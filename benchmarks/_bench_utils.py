@@ -1,0 +1,18 @@
+"""Fidelity switch shared by the benchmark modules.
+
+Set ``REPRO_BENCH_FULL=1`` to run at the paper's full sample sizes
+(10⁶ ping-pong samples, 1000-run collectives); the default is a reduced
+fidelity that keeps the whole harness under a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Full paper fidelity (1M ping-pong samples etc.) vs quick harness run.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+
+def fidelity(full_n: int, quick_n: int) -> int:
+    """Pick the sample count for the current fidelity mode."""
+    return full_n if FULL else quick_n

@@ -1,0 +1,63 @@
+"""Ablation (Section 4.2.1): k-batching vs single-event measurement.
+
+Batching k events per timed interval fixes timer-resolution problems but
+destroys per-event information: the batch means are smoothed (CLT), so
+tail percentiles computed from them wildly underestimate the true
+per-event tail.  This bench quantifies that loss on simulated ping-pong
+latency — the reason the paper recommends "measuring single events" when
+the timer allows it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import render_table
+from repro.simsys import SimComm, piz_dora
+from repro.stats import block_means
+
+N_EVENTS = 200_000
+
+
+def build_ablation():
+    comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=23)
+    lat = comm.ping_pong(64, N_EVENTS) * 1e6
+    true_p99 = float(np.quantile(lat, 0.99))
+    true_max = float(lat.max())
+    rows = []
+    for k in (1, 10, 100, 1000):
+        data = lat if k == 1 else block_means(lat, k)
+        rows.append(
+            [
+                k,
+                data.size,
+                f"{np.median(data):.3f}",
+                f"{np.quantile(data, 0.99):.3f}",
+                f"{data.max():.3f}",
+                f"{100 * (np.quantile(data, 0.99) / true_p99 - 1):+.1f}%",
+            ]
+        )
+    return rows, true_p99, true_max
+
+
+def render(result) -> str:
+    rows, true_p99, true_max = result
+    return render_table(
+        ["k", "samples", "median (us)", "p99 (us)", "max (us)", "p99 error"],
+        rows,
+        title=(
+            f"Ablation: k-batching destroys tail information "
+            f"(true p99 {true_p99:.3f} us, true max {true_max:.2f} us)"
+        ),
+    )
+
+
+def test_ablation_batching(benchmark, record_result):
+    result = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+    record_result("ablation_batching", render(result))
+    rows, true_p99, _ = result
+    p99_by_k = {r[0]: float(r[3]) for r in rows}
+    # Medians barely move with k, but the p99 collapses toward the median.
+    assert abs(p99_by_k[1] - true_p99) < 0.01  # k=1 row is the truth (rounded)
+    assert p99_by_k[1000] < p99_by_k[100] < p99_by_k[10] < p99_by_k[1]
+    assert p99_by_k[1000] < 0.9 * true_p99

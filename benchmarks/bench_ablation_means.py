@@ -1,0 +1,69 @@
+"""Ablation (Rules 3-4): how much do the wrong means mislead?
+
+Across simulated HPL campaigns with varying run-to-run noise, compare the
+arithmetic mean of rates and the geometric mean of relative rates against
+the correct cost-first aggregate.  The error of the wrong summaries grows
+with the variability — quantifying why the paper legislates the choice of
+mean rather than leaving it to taste.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import render_table
+from repro.simsys import HPLModel, piz_daint
+from repro.stats import arithmetic_mean, geometric_mean, harmonic_mean
+
+
+def build_ablation() -> list[list]:
+    rows = []
+    for sigma in (0.1, 0.3, 0.6, 1.0):
+        model = HPLModel(piz_daint(64), spread_sigma=sigma, seed=17)
+        times = model.run(200)
+        rates = model.rates(times)
+        correct = model.flops / times.mean()
+        wrong_arith = arithmetic_mean(rates)
+        harm = harmonic_mean(rates)
+        geo_eff = geometric_mean(rates / model.machine.peak_flops)
+        geo_as_rate = geo_eff * model.machine.peak_flops
+        rows.append(
+            [
+                sigma,
+                f"{correct / 1e12:.2f}",
+                f"{harm / 1e12:.2f}",
+                f"{wrong_arith / 1e12:.2f}",
+                f"{100 * (wrong_arith / correct - 1):+.1f}%",
+                f"{geo_as_rate / 1e12:.2f}",
+                f"{100 * (geo_as_rate / correct - 1):+.1f}%",
+            ]
+        )
+    return rows
+
+
+def render(rows) -> str:
+    return render_table(
+        [
+            "noise sigma",
+            "correct (Tflop/s)",
+            "harmonic",
+            "arith of rates",
+            "arith error",
+            "geometric",
+            "geo error",
+        ],
+        rows,
+        title="Ablation: summarizing rates with the wrong mean (200 HPL runs each)",
+    )
+
+
+def test_ablation_means(benchmark, record_result):
+    rows = benchmark(build_ablation)
+    record_result("ablation_means", render(rows))
+    # Harmonic == correct at every noise level; arithmetic inflates, and
+    # the inflation grows with noise.
+    errors = [float(r[4].rstrip("%")) for r in rows]
+    assert all(e >= 0 for e in errors)      # arithmetic never underestimates
+    assert errors[-1] > max(errors[0], 1.0)  # and inflates badly under noise
+    for r in rows:
+        assert r[1] == r[2]  # harmonic mean equals the cost-first aggregate

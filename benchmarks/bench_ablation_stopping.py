@@ -1,0 +1,86 @@
+"""Ablation (Section 4.2.2): how many measurements are enough?
+
+Compares measurement-count strategies on simulated ping-pong latency:
+the textbook fixed n=30, the paper's sequential CI-width rule at several
+precision targets, and the analytic required-n formula (which assumes
+normality and therefore misjudges skewed data).  Reports the achieved CI
+width and the cost (number of measurements) of each strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CIWidthRule, FixedCount, measure_simulated
+from repro.report import render_table
+from repro.simsys import SimComm, piz_dora
+from repro.stats import median_ci, required_n_normal
+
+
+def build_ablation():
+    comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=37)
+    rows = []
+
+    def fresh_sampler():
+        return lambda n: comm.ping_pong(64, n) * 1e6
+
+    # Fixed n = 30 (the textbook habit the paper pushes back on).
+    ms = measure_simulated(fresh_sampler(), name="fixed30", stopping=FixedCount(30))
+    ci = median_ci(ms.values, 0.95)
+    rows.append(["fixed n=30", ms.n, f"{100 * ci.relative_width:.2f}%"])
+
+    # Sequential CI rule at three targets.
+    for target in (0.05, 0.02, 0.005):
+        rule = CIWidthRule(relative_error=target, confidence=0.95, statistic="median")
+        ms = measure_simulated(
+            fresh_sampler(), name=f"ci{target}", stopping=rule, chunk=16
+        )
+        ci = median_ci(ms.values, 0.95)
+        rows.append(
+            [
+                f"sequential CI <= {100 * target:g}%",
+                ms.n,
+                f"{100 * ci.relative_width:.2f}%",
+            ]
+        )
+
+    # Analytic required-n from a pilot (normality-assuming formula).
+    pilot = fresh_sampler()(50)
+    n_req = required_n_normal(
+        float(np.mean(pilot)), float(np.std(pilot, ddof=1)),
+        relative_error=0.005, confidence=0.95,
+    )
+    data = fresh_sampler()(n_req)
+    ci = median_ci(data, 0.95)
+    rows.append(
+        [
+            "analytic required-n (target 0.5%, normal assumption)",
+            n_req,
+            f"{100 * ci.relative_width:.2f}%",
+        ]
+    )
+    return rows
+
+
+def render(rows) -> str:
+    return render_table(
+        ["strategy", "measurements", "achieved 95% median-CI width"],
+        rows,
+        title="Ablation: measurement-count strategies on Piz Dora ping-pong",
+    )
+
+
+def test_ablation_stopping(benchmark, record_result):
+    rows = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+    record_result("ablation_stopping", render(rows))
+    n_by_strategy = {r[0]: int(r[1]) for r in rows}
+    # Tighter targets require more measurements.
+    assert (
+        n_by_strategy["sequential CI <= 0.5%"]
+        > n_by_strategy["sequential CI <= 2%"]
+        >= n_by_strategy["sequential CI <= 5%"]
+    )
+    # Each sequential run achieved its target.
+    for row in rows[1:4]:
+        target = float(row[0].split("<=")[1].rstrip("%"))
+        assert float(row[2].rstrip("%")) <= target + 1e-9

@@ -1,0 +1,68 @@
+"""Ablation (Rule 10): window synchronization vs barrier vs nothing.
+
+Measures the true start-time skew of P simulated processes under three
+schemes: the paper's recommended window scheme (clock sync + future start
+time), the common MPI-barrier practice, and no synchronization at all
+(uncorrected clock offsets).  Expected ordering: window << barrier <<
+none — quantifying why Rule 10 requires the scheme to be documented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ClockEnsemble, barrier_start, estimate_offsets, window_start
+from repro.report import render_table
+from repro.simsys import LogNormalNoise, RngFactory, SimClock, realistic_clock
+
+NPROCS = (4, 16, 64)
+
+
+def _ensemble(n: int, seed: int) -> ClockEnsemble:
+    rngs = RngFactory(seed)
+    clocks = [SimClock()] + [realistic_clock(rngs("clk", i)) for i in range(1, n)]
+    return ClockEnsemble(
+        clocks,
+        base_latency=1.5e-6,
+        latency_noise=LogNormalNoise(0.15e-6, 0.6),
+        rng=rngs("net"),
+    )
+
+
+def build_ablation() -> list[list]:
+    rows = []
+    for n in NPROCS:
+        ens = _ensemble(n, seed=7)
+        offsets = estimate_offsets(ens, n_pings=30)
+        window = np.ptp(window_start(ens, offsets, window=0.02))
+        barrier = np.ptp(barrier_start(ens))
+        # No synchronization: every process starts when its local clock
+        # shows the agreed time, but offsets were never estimated.
+        none = np.ptp(window_start(ens, np.zeros(n), window=0.02))
+        rows.append(
+            [
+                n,
+                f"{window * 1e6:.3f}",
+                f"{barrier * 1e6:.3f}",
+                f"{none * 1e6:.1f}",
+                f"{barrier / window:.0f}x",
+                f"{none / window:.0f}x",
+            ]
+        )
+    return rows
+
+
+def render(rows) -> str:
+    return render_table(
+        ["P", "window (us)", "barrier (us)", "none (us)", "barrier/window", "none/window"],
+        rows,
+        title="Ablation: true start-time skew by synchronization scheme",
+    )
+
+
+def test_ablation_sync(benchmark, record_result):
+    rows = benchmark(build_ablation)
+    record_result("ablation_sync", render(rows))
+    for row in rows:
+        window, barrier, none = float(row[1]), float(row[2]), float(row[3])
+        assert window < barrier < none

@@ -1,0 +1,86 @@
+"""Ablation (Section 4.2.1): timer quality and the smallest sound interval.
+
+Calibrates the real Python timer and several simulated clocks of varying
+quality, reporting resolution, overhead, the smallest interval satisfying
+the paper's two criteria (<5% overhead, >=10x resolution), and the batch
+factor k needed to measure a 1 us event soundly on each.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    MonotonicTimer,
+    PerfTimer,
+    ProcessTimer,
+    SimTimer,
+    calibrate,
+    check_interval,
+)
+from repro.report import render_table
+from repro.simsys import SimClock
+
+TARGET_INTERVAL = 1e-6  # a 1 us event, typical small-message latency
+
+
+def _timers():
+    yield "perf_counter_ns (real)", PerfTimer()
+    yield "monotonic_ns (real)", MonotonicTimer()
+    yield "process_time_ns (real)", ProcessTimer()
+    yield "sim: rdtsc-class", SimTimer(clock=SimClock(granularity=1e-9, read_overhead=2e-8))
+    yield "sim: clock_gettime-class", SimTimer(
+        clock=SimClock(granularity=1e-8, read_overhead=3e-8)
+    )
+    yield "sim: gettimeofday-class", SimTimer(
+        clock=SimClock(granularity=1e-6, read_overhead=5e-8)
+    )
+    # Legacy tick-based clock: 1 ms granularity, 1 us syscall cost (the
+    # read overhead must be large enough that calibration observes ticks).
+    yield "sim: jiffies-class", SimTimer(
+        clock=SimClock(granularity=1e-3, read_overhead=1e-6)
+    )
+
+
+def build_ablation():
+    rows = []
+    for name, timer in _timers():
+        cal = calibrate(timer, samples=4000)
+        chk = check_interval(cal, TARGET_INTERVAL)
+        rows.append(
+            [
+                name,
+                f"{cal.resolution:.2e}",
+                f"{cal.overhead:.2e}",
+                f"{cal.smallest_measurable_interval():.2e}",
+                "yes" if chk.ok else "no",
+                chk.recommended_batch(),
+            ]
+        )
+    return rows
+
+
+def render(rows) -> str:
+    return render_table(
+        [
+            "timer",
+            "resolution (s)",
+            "overhead (s)",
+            "smallest sound (s)",
+            "1us single-event ok?",
+            "k needed",
+        ],
+        rows,
+        title="Ablation: timer quality vs smallest soundly measurable interval",
+    )
+
+
+def test_ablation_timer(benchmark, record_result):
+    rows = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+    record_result("ablation_timer", render(rows))
+    by_name = {r[0]: r for r in rows}
+    # The rdtsc-class clock can time 1 us events directly...
+    assert by_name["sim: rdtsc-class"][4] == "yes"
+    # ...the microsecond-granularity clock cannot, and needs k-batching...
+    assert by_name["sim: gettimeofday-class"][4] == "no"
+    assert by_name["sim: gettimeofday-class"][5] >= 10
+    # ...and the millisecond clock needs thousands of events per interval.
+    assert by_name["sim: jiffies-class"][5] >= 1000

@@ -1,0 +1,60 @@
+"""Extension (Section 4.2): energy as a second measured metric.
+
+The paper focuses on time but notes that "other mechanisms (e.g., energy)
+require similar considerations".  This bench runs HPL's energy-to-solution
+through the same Rule 3 pipeline: energy (J) is a *cost* (arithmetic
+mean), flop/J is a *rate* (harmonic mean / cost-first aggregation), and
+the arithmetic mean of the efficiency rates overstates reality exactly as
+it does for flop/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import render_table
+from repro.simsys import HPLModel, PowerModel, piz_daint
+from repro.stats import arithmetic_mean, harmonic_mean, mean_ci
+
+
+def build_energy():
+    machine = piz_daint(64)
+    hpl = HPLModel(machine, seed=71)
+    power = PowerModel(machine, seed=71)
+    times = hpl.run(50)
+    energy = power.measure_energy(times, utilization=0.9)
+    rates = hpl.flops / energy  # flop/J per run
+
+    mean_energy = arithmetic_mean(energy)
+    ci = mean_ci(energy, 0.95)
+    correct_rate = hpl.flops / mean_energy
+    wrong_rate = arithmetic_mean(rates)
+    harm_rate = harmonic_mean(rates)
+    rows = [
+        ["runs", f"{times.size}"],
+        ["mean energy-to-solution (MJ)", f"{mean_energy / 1e6:.2f}"],
+        ["95% CI of mean energy (MJ)",
+         f"[{ci.low / 1e6:.2f}, {ci.high / 1e6:.2f}]"],
+        ["efficiency, cost-first (Mflop/J)", f"{correct_rate / 1e6:.1f}"],
+        ["efficiency, harmonic mean (Mflop/J)", f"{harm_rate / 1e6:.1f}"],
+        ["efficiency, arithmetic mean (Mflop/J) [WRONG]",
+         f"{wrong_rate / 1e6:.1f}"],
+    ]
+    return rows, correct_rate, harm_rate, wrong_rate
+
+
+def render(result) -> str:
+    rows, *_ = result
+    return render_table(
+        ["quantity", "value"],
+        rows,
+        title="Extension: HPL energy-to-solution with Rule 3 summaries",
+    )
+
+
+def test_extension_energy(benchmark, record_result):
+    result = benchmark.pedantic(build_energy, rounds=1, iterations=1)
+    record_result("extension_energy", render(result))
+    _, correct, harm, wrong = result
+    assert harm == __import__("pytest").approx(correct, rel=1e-9)
+    assert wrong > correct  # the classic rate-averaging overestimate

@@ -1,0 +1,77 @@
+"""Extension (Section 1 / references [26, 47]): characterizing system noise.
+
+The paper traces nondeterminism to system noise and cites the noise
+literature for its catastrophic interaction with scale.  This bench runs
+the fixed-work-quantum benchmark on the simulated machines, reports the
+noise fraction and detected periodicity, and — the scale effect — the
+noise-induced slowdown bound for synchronizing collectives at growing
+process counts (tiny serial noise, large parallel cost).
+"""
+
+from __future__ import annotations
+
+from repro.report import render_table
+from repro.simsys import dominant_period, fixed_work_quantum, piz_daint, piz_dora
+
+ITERATIONS = 8192
+QUANTUM = 1e-3
+
+
+def build_noise():
+    rows = []
+    results = {}
+    for machine, ticks in ((piz_daint(), 4.4e-3), (piz_dora(), None)):
+        fwq = fixed_work_quantum(
+            machine,
+            quantum=QUANTUM,
+            iterations=ITERATIONS,
+            tick_period=ticks,
+            tick_duration=60e-6,
+            seed=91,
+        )
+        period = dominant_period(fwq)
+        results[machine.name] = fwq
+        rows.append(
+            [
+                machine.name + (" (+4.4ms tick train)" if ticks else ""),
+                f"{100 * fwq.noise_fraction:.2f}%",
+                f"{period * 1e3:.2f} ms" if period else "aperiodic",
+                f"{100 * fwq.slowdown_bound_for_collectives(64):.1f}%",
+                f"{100 * fwq.slowdown_bound_for_collectives(4096):.1f}%",
+                f"{100 * fwq.slowdown_bound_for_collectives(262144):.1f}%",
+            ]
+        )
+    return rows, results
+
+
+def render(result) -> str:
+    rows, _ = result
+    return render_table(
+        [
+            "machine",
+            "noise fraction",
+            "dominant period",
+            "slowdown P=64",
+            "P=4096",
+            "P=262144",
+        ],
+        rows,
+        title=(
+            f"Extension: FWQ noise characterization "
+            f"({ITERATIONS} x {QUANTUM * 1e3:.0f} ms quanta)"
+        ),
+    )
+
+
+def test_extension_noise(benchmark, record_result):
+    result = benchmark.pedantic(build_noise, rounds=1, iterations=1)
+    record_result("extension_noise", render(result))
+    rows, results = result
+    # The injected tick train must be detected on the machine that has it.
+    assert "ms" in rows[0][2]
+    # Scale amplification: the collective bound grows with P on both.
+    for fwq in results.values():
+        assert (
+            fwq.slowdown_bound_for_collectives(262144)
+            >= fwq.slowdown_bound_for_collectives(64)
+        )

@@ -1,0 +1,79 @@
+"""Extension (Section 4): factor screening with two-level designs.
+
+Screens four candidate influences on MPI_Reduce performance — process
+count, message size, placement, and the RNG seed (a deliberate non-factor)
+— with the full 2^4 design and its half fraction.  Both must rank the
+factors identically (p dominant, seed negligible); the half fraction gets
+there in 8 runs instead of 16, paying with the documented alias table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import full_factorial_2k, half_fraction_2k
+from repro.report import render_table
+from repro.simsys import SimComm, piz_daint
+
+LEVELS = {
+    "p": (8, 48),
+    "size": (8, 4096),
+    "placement": ("packed", "scattered"),
+    "seed": (1, 2),
+}
+N_RUNS = 60
+
+
+def _measure(point) -> float:
+    comm = SimComm(
+        piz_daint(),
+        point["p"],
+        placement=point["placement"],
+        seed=point["seed"],
+    )
+    return float(np.median(comm.reduce(point["size"], N_RUNS).max(axis=1)) * 1e6)
+
+
+def build_screening():
+    names = ("p", "size", "placement", "seed")
+    results = {}
+    for label, design in (
+        ("full 2^4", full_factorial_2k(names)),
+        ("half 2^(4-1)", half_fraction_2k(names)),
+    ):
+        responses = [_measure(pt) for pt in design.settings(LEVELS)]
+        effects = design.estimate_effects(responses)
+        results[label] = (design, {e.name: e.effect for e in effects})
+    rows = []
+    for name in names:
+        full_e = results["full 2^4"][1][name]
+        half_e = results["half 2^(4-1)"][1][name]
+        alias = results["half 2^(4-1)"][0].aliases.get(name, "-")
+        rows.append([name, f"{full_e:+.2f}", f"{half_e:+.2f}", alias])
+    return rows, results
+
+
+def render(result) -> str:
+    rows, results = result
+    full_runs = results["full 2^4"][0].n_runs
+    half_runs = results["half 2^(4-1)"][0].n_runs
+    return render_table(
+        ["factor", "effect, full (us)", "effect, half (us)", "half aliased with"],
+        rows,
+        title=(
+            f"Extension: screening reduce-performance factors "
+            f"({full_runs} vs {half_runs} runs)"
+        ),
+    )
+
+
+def test_extension_screening(benchmark, record_result):
+    result = benchmark.pedantic(build_screening, rounds=1, iterations=1)
+    record_result("extension_screening", render(result))
+    rows, results = result
+    for label in results:
+        effects = results[label][1]
+        # Both designs agree: process count dominates, the seed is noise.
+        assert abs(effects["p"]) > 3 * abs(effects["seed"])
+        assert abs(effects["p"]) == max(abs(v) for v in effects.values())
+    assert results["half 2^(4-1)"][0].n_runs == 8

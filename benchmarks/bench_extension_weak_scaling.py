@@ -1,0 +1,83 @@
+"""Extension (Section 4.2): a declared weak-scaling study.
+
+"Papers should always indicate if experiments are using strong scaling
+(constant problem size) or weak scaling (problem size grows with the
+number of processes)."  This bench runs a weak-scaled stencil-like
+workload (fixed per-process work + one allreduce per step) across node
+counts, with the scaling function *declared* via
+:class:`repro.models.WeakScaling`.  The expected weak-scaling curve: flat
+compute plus a logarithmically growing communication term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import WeakScaling
+from repro.report import render_table
+from repro.simsys import SimComm, piz_daint
+
+PER_PROCESS_WORK_S = 2e-3   # compute per process per step (perfectly weak)
+STEPS = 4
+N_RUNS = 60
+
+
+def _weak_step_times(p: int, n_runs: int) -> np.ndarray:
+    """Simulated per-run times of STEPS compute+allreduce iterations."""
+    comm = SimComm(piz_daint(), p, placement="packed", seed=201)
+    total = np.full(n_runs, STEPS * PER_PROCESS_WORK_S)
+    for _ in range(STEPS):
+        completion = comm.allreduce(4 << 20, n_runs)  # 4 MiB halo/allreduce
+        total += completion.max(axis=1)
+    return total
+
+
+def build_weak_scaling():
+    decl = WeakScaling(base_size=1_000_000, growth_name="linear", ndims=2,
+                       scaled_dims=(0,))
+    ps = (1, 2, 4, 8, 16, 32, 64)
+    rows = []
+    base_med = None
+    for p in ps:
+        times = _weak_step_times(p, N_RUNS)
+        med = float(np.median(times))
+        if base_med is None:
+            base_med = med
+        rows.append(
+            [
+                p,
+                decl.size_for(p),
+                f"{med * 1e3:.3f}",
+                f"{med / base_med:.3f}",
+            ]
+        )
+    return decl, rows
+
+
+def render(result) -> str:
+    decl, rows = result
+    return "\n".join(
+        [
+            f"declaration: {decl.describe()}",
+            "",
+            render_table(
+                ["P", "global size", "median time (ms)", "vs P=1"],
+                rows,
+                title="Extension: weak scaling of a stencil step (compute + allreduce)",
+            ),
+        ]
+    )
+
+
+def test_extension_weak_scaling(benchmark, record_result):
+    result = benchmark.pedantic(build_weak_scaling, rounds=1, iterations=1)
+    record_result("extension_weak_scaling", render(result))
+    decl, rows = result
+    assert "weak scaling" in decl.describe()
+    ratios = [float(r[3]) for r in rows]
+    # Ideal weak scaling would stay at 1.0; the allreduce term bends it up,
+    # but only logarithmically: under 2.5x at 64 processes.
+    assert all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))
+    assert 1.0 <= ratios[-1] < 2.5
+    sizes = [int(r[1]) for r in rows]
+    assert sizes[-1] == 64 * sizes[0]  # the declared growth function

@@ -1,0 +1,50 @@
+"""Figure 1: distribution of completion times for 50 HPL runs.
+
+Regenerates the density of completion times on 64 simulated Piz Daint
+nodes (N = 314k) and the figure's five Tflop/s annotations.  Paper values
+for comparison: Max 77.38, 95% quantile 72.79, Median 69.92, Arithmetic
+Mean 65.23, Min 61.23 Tflop/s against a 94.5 Tflop/s peak.
+"""
+
+from __future__ import annotations
+
+from repro.report import fig1_hpl, histogram_plot, render_table
+from repro.stats import median_ci
+
+
+def build_fig1():
+    return fig1_hpl(n_runs=50, seed=0)
+
+
+def render(fig) -> str:
+    parts = []
+    rows = [[label, f"{value:.2f}"] for label, value in fig.annotation_rows()]
+    rows.append(["Theoretical peak", f"{fig.peak_tflops:.2f}"])
+    parts.append(
+        render_table(
+            ["annotation", "Tflop/s"],
+            rows,
+            title="Figure 1 annotations (paper: 77.38 / 72.79 / 69.92 / 65.23 / 61.23, peak 94.5)",
+        )
+    )
+    parts.append("")
+    ci = fig.median_ci99
+    parts.append(
+        f"completion times: n={fig.summary.n}, median {fig.summary.median:.1f} s "
+        f"(99% CI [{ci.low:.1f}, {ci.high:.1f}]), "
+        f"range [{fig.summary.minimum:.1f}, {fig.summary.maximum:.1f}] s"
+    )
+    parts.append("")
+    parts.append(histogram_plot(fig.times, bins=20, width=50, label="HPL completion time", unit="s"))
+    return "\n".join(parts)
+
+
+def test_fig1_hpl(benchmark, record_result):
+    fig = benchmark(build_fig1)
+    record_result("fig1_hpl", render(fig))
+    rows = dict(fig.annotation_rows())
+    # Shape assertions: ordering and rough magnitudes of the paper's labels.
+    assert rows["Max"] > rows["95% Quantile"] > rows["Median"] > rows["Min"]
+    assert 74 < rows["Max"] < 80
+    assert 60 < rows["Min"] < 68
+    assert rows["Max"] < fig.peak_tflops

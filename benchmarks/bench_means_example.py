@@ -1,0 +1,58 @@
+"""Section 3.1.1's worked HPL example: how (not) to summarize rates.
+
+Three 100-Gflop runs take (10, 100, 40) s.  The paper's numbers:
+arithmetic mean of times 50 s → 2 Gflop/s; arithmetic mean of the rates
+4.5 Gflop/s (wrong); harmonic mean of the rates 2 Gflop/s (right);
+geometric mean of the relative rates 0.29 → a meaningless 2.9 Gflop/s
+"efficiency" against a 10 Gflop/s peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import render_table
+from repro.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    summarize_rates,
+)
+
+WORK = 100e9           # flop per run
+TIMES = (10.0, 100.0, 40.0)
+PEAK = 10e9            # flop/s
+
+
+def build_example() -> dict[str, float]:
+    times = np.asarray(TIMES)
+    rates = WORK / times
+    return {
+        "mean time (s)": arithmetic_mean(times),
+        "rate from mean time (Gflop/s)": WORK / arithmetic_mean(times) / 1e9,
+        "arithmetic mean of rates (Gflop/s) [WRONG]": arithmetic_mean(rates) / 1e9,
+        "harmonic mean of rates (Gflop/s)": harmonic_mean(rates) / 1e9,
+        "summarize_rates from costs (Gflop/s)": summarize_rates(
+            numerators=np.full(3, WORK), denominators=times
+        )
+        / 1e9,
+        "geometric mean of relative rates [MEANINGLESS]": geometric_mean(rates / PEAK),
+    }
+
+
+def render(vals: dict[str, float]) -> str:
+    return render_table(
+        ["summary", "value"],
+        [[k, f"{v:.4g}"] for k, v in vals.items()],
+        title="Section 3.1.1 worked example (paper: 50 s, 2, 4.5, 2, 0.29)",
+    )
+
+
+def test_means_example(benchmark, record_result):
+    vals = benchmark(build_example)
+    record_result("means_example", render(vals))
+    assert vals["mean time (s)"] == 50.0
+    assert abs(vals["rate from mean time (Gflop/s)"] - 2.0) < 1e-9
+    assert vals["arithmetic mean of rates (Gflop/s) [WRONG]"] == 4.5
+    assert abs(vals["harmonic mean of rates (Gflop/s)"] - 2.0) < 1e-9
+    assert abs(vals["geometric mean of relative rates [MEANINGLESS]"] - 0.2924) < 1e-3

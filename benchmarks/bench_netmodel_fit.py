@@ -1,0 +1,65 @@
+"""Extension (Sections 4.1.2 / 5.1): microbenchmark-parametrized peaks.
+
+Characterizes both simulated interconnects by fitting the postal model
+t(m) = α + m/β with quantile regression over a message-size sweep, then
+validates the "back of the envelope" quality: predicted vs measured time
+for a 1 MiB transfer.  The fitted β must recover each machine's configured
+link bandwidth — the microbenchmark really does parametrize the peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import fit_postal, sweep_to_arrays
+from repro.report import render_table
+from repro.simsys import SimComm, pilatus, piz_dora
+
+SIZES = (0, 256, 4096, 65536, 1 << 19, 1 << 21)
+SAMPLES = 200
+
+
+def build_fit():
+    rows = []
+    for machine, seed in ((piz_dora(), 61), (pilatus(), 62)):
+        comm = SimComm(machine, 2, placement="one_per_node", seed=seed)
+        sweep = {size: comm.ping_pong(size, SAMPLES) for size in SIZES}
+        m, t = sweep_to_arrays(sweep)
+        model = fit_postal(m, t, tau=0.5)
+        predicted = float(model.predict([1 << 20])[0])
+        measured = float(np.median(comm.ping_pong(1 << 20, SAMPLES)))
+        rows.append(
+            [
+                machine.name,
+                f"{model.alpha * 1e6:.2f}",
+                f"{model.beta / 1e9:.2f}",
+                f"{machine.network.bandwidth / 1e9:.2f}",
+                f"{model.half_bandwidth_size / 1024:.1f}",
+                f"{100 * abs(predicted / measured - 1):.1f}%",
+            ]
+        )
+    return rows
+
+
+def render(rows) -> str:
+    return render_table(
+        [
+            "machine",
+            "alpha fit (us)",
+            "beta fit (GB/s)",
+            "beta configured",
+            "n_1/2 (KiB)",
+            "1 MiB prediction error",
+        ],
+        rows,
+        title="Extension: postal-model fit (quantile regression, tau=0.5)",
+    )
+
+
+def test_netmodel_fit(benchmark, record_result):
+    rows = benchmark.pedantic(build_fit, rounds=1, iterations=1)
+    record_result("netmodel_fit", render(rows))
+    for row in rows:
+        fit_beta, true_beta = float(row[2]), float(row[3])
+        assert abs(fit_beta / true_beta - 1) < 0.05   # bandwidth recovered
+        assert float(row[5].rstrip("%")) < 5.0        # envelope check holds

@@ -1,0 +1,87 @@
+"""Table 1: the literature survey — category totals and score box plots.
+
+Regenerates every number the table prints: per-category documented counts
+over the 95 applicable papers, the 25/120 not-applicable split, the
+per-conference-year design-score box statistics, and the running-text
+extras (speedup hygiene, summarization-method disclosure, CI usage, unit
+hygiene), plus the per-conference trend tests (expected: no significant
+improvement).
+"""
+
+from __future__ import annotations
+
+from repro.report import bar_chart, render_table
+from repro.survey import (
+    CONFERENCES,
+    category_totals,
+    extras_totals,
+    load_survey,
+    not_applicable_count,
+    render_table1_grid,
+    score_boxes,
+    trend_test,
+)
+
+
+def build_table1() -> str:
+    records = load_survey()
+    totals = category_totals(records)
+    na, total = not_applicable_count(records)
+    parts = [render_table1_grid(records), ""]
+    rows = [[cat, f"{got}/{n}"] for cat, (got, n) in totals.items()]
+    parts.append(
+        render_table(
+            ["category", "documented"],
+            rows,
+            title=f"Table 1 totals ({na}/{total} papers not applicable)",
+        )
+    )
+    parts.append("")
+    parts.append(
+        bar_chart(
+            list(totals),
+            [got for got, _ in totals.values()],
+            unit="/95",
+        )
+    )
+    parts.append("")
+    box_rows = [
+        [f"{b.conference} {b.year}", b.minimum, b.q1, b.median, b.q3, b.maximum]
+        for b in score_boxes(records)
+    ]
+    parts.append(
+        render_table(
+            ["venue-year", "min", "q1", "median", "q3", "max"],
+            box_rows,
+            title="Design-score box plots (0-9 checkmarks per paper)",
+        )
+    )
+    parts.append("")
+    extras = extras_totals(records)
+    parts.append(
+        render_table(
+            ["observation", "papers"],
+            [[k, v] for k, v in extras.items()],
+            title="Running-text observations (of 95 applicable)",
+        )
+    )
+    parts.append("")
+    trend_rows = []
+    for conf in CONFERENCES:
+        t = trend_test(records, conf)
+        trend_rows.append([conf, f"{t.statistic:.2f}", f"{t.p_value:.3f}",
+                           "yes" if t.significant() else "no"])
+    parts.append(
+        render_table(
+            ["conference", "KW H", "p-value", "significant improvement?"],
+            trend_rows,
+            title="Year-over-year trend (paper: not significant)",
+        )
+    )
+    return "\n".join(parts)
+
+
+def test_table1_survey(benchmark, record_result):
+    text = benchmark(build_table1)
+    record_result("table1_survey", text)
+    assert "79/95" in text and "7/95" in text

@@ -1,0 +1,88 @@
+"""Energy-to-solution study: the twelve rules applied to a second metric.
+
+Section 4.2 notes that metrics other than time "require similar
+considerations".  This example measures HPL energy-to-solution on the
+simulated Piz Daint and walks the same methodology:
+
+* energy (J) is a *cost*: arithmetic mean + t-CI after a normality check;
+* flop/J is a *rate*: harmonic mean (or total work over total energy);
+* comparing two power configurations uses the sign test on paired runs —
+  each configuration measured on the same simulated allocations.
+
+Run:  python examples/energy_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import render_table
+from repro.simsys import HPLModel, PowerModel, piz_daint
+from repro.stats import (
+    arithmetic_mean,
+    harmonic_mean,
+    is_plausibly_normal,
+    mean_ci,
+    median_ci,
+    sign_test,
+)
+
+N_RUNS = 50
+
+
+def main() -> None:
+    machine = piz_daint(64)
+    hpl = HPLModel(machine, seed=81)
+    times = hpl.run(N_RUNS)
+
+    # Two power configurations over the *same* runs (paired).
+    default_power = PowerModel(machine, idle_watts=90, peak_watts=350, seed=1)
+    capped_power = PowerModel(machine, idle_watts=90, peak_watts=300, seed=2)
+    e_default = default_power.measure_energy(times, utilization=0.92)
+    # Power capping stretches runtime a little and cuts power a lot.
+    e_capped = capped_power.measure_energy(times * 1.06, utilization=0.97)
+
+    rows = []
+    for name, energy in (("default", e_default), ("capped", e_capped)):
+        rate = hpl.flops / energy
+        normal = is_plausibly_normal(energy)
+        ci = mean_ci(energy, 0.95) if normal else median_ci(energy, 0.95)
+        rows.append(
+            [
+                name,
+                f"{arithmetic_mean(energy) / 1e6:.2f}",
+                f"[{ci.low / 1e6:.2f}, {ci.high / 1e6:.2f}] ({ci.statistic})",
+                f"{harmonic_mean(rate) / 1e6:.1f}",
+                "yes" if normal else "no",
+            ]
+        )
+    print(render_table(
+        ["config", "mean energy (MJ)", "95% CI (MJ)", "flop/J (Mflop/J, harmonic)",
+         "normal?"],
+        rows,
+        title=f"HPL energy-to-solution, {N_RUNS} runs on simulated Piz Daint",
+    ))
+    print()
+
+    st_result = sign_test(e_capped, e_default)
+    print("Paired comparison (same allocations):")
+    print(f"  {st_result.summary()}")
+    winner = "capped" if st_result.wins_a > st_result.wins_b else "default"
+    if st_result.significant(0.05):
+        print(f"  -> the {winner} configuration uses less energy "
+              f"(statistically significant).")
+    else:
+        print("  -> no significant energy difference; report both with CIs.")
+    print()
+
+    saving = 1.0 - arithmetic_mean(e_capped) / arithmetic_mean(e_default)
+    slowdown = 0.06
+    print(f"Rule 1 discipline applied to the trade-off: capping saves "
+          f"{100 * saving:.1f}% energy at {100 * slowdown:.0f}% more runtime "
+          f"(absolute: {arithmetic_mean(e_default) / 1e6:.1f} MJ -> "
+          f"{arithmetic_mean(e_capped) / 1e6:.1f} MJ, "
+          f"{np.mean(times):.0f} s -> {np.mean(times) * 1.06:.0f} s).")
+
+
+if __name__ == "__main__":
+    main()

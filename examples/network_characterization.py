@@ -1,0 +1,105 @@
+"""Characterizing an interconnect with statistically sound microbenchmarks.
+
+Section 4.1.2 wants the network's latency and bandwidth documented so
+readers can make "back of the envelope comparisons"; Section 5.1 says that
+when vendor numbers are missing, the peaks should be parametrized "using
+carefully crafted and statistically sound microbenchmarks".  This example
+does exactly that for two simulated machines:
+
+1. sweep the ping-pong over message sizes (weak levels chosen by the
+   adaptive refiner where the curve is steepest — the SKaMPI idea, §4.2);
+2. fit the postal model t(m) = α + m/β by *quantile* regression — the
+   floor fit (τ = 0.1) characterizes the hardware, the median fit (τ = 0.5)
+   the typical cost;
+3. report α, β and n_1/2 and compare machines.
+
+Run:  python examples/network_characterization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaptiveRefiner
+from repro.models import fit_postal, sweep_to_arrays
+from repro.report import render_table
+from repro.simsys import SimComm, pilatus, piz_dora
+from repro.stats import median_ci
+
+SAMPLES_PER_SIZE = 300
+
+
+def sweep(machine, seed: int) -> dict[int, np.ndarray]:
+    """Message-size sweep with adaptive level refinement.
+
+    Starts from a coarse log-spaced grid, then lets the refiner insert
+    sizes where the latency curve changes fastest (relative to its CI).
+    """
+    comm = SimComm(machine, 2, placement="one_per_node", seed=seed)
+    results: dict[int, np.ndarray] = {}
+    refiner = AdaptiveRefiner(tolerance=0.08, min_gap=1.0, integer_levels=True)
+
+    def measure(size: int) -> None:
+        lat = comm.ping_pong(int(size), SAMPLES_PER_SIZE)
+        results[int(size)] = lat
+        ci = median_ci(lat, 0.95)
+        # Refine in log2(size) space so "midpoint" means geometric mean.
+        refiner.observe(np.log2(max(size, 1)), ci.estimate * 1e6, ci.width * 1e6)
+
+    for size in (1, 256, 4096, 65536, 1 << 20):
+        measure(size)
+    for _ in range(6):
+        nxt = refiner.propose()
+        if nxt is None:
+            break
+        measure(int(round(2**nxt)))
+    return results
+
+
+def main() -> None:
+    rows = []
+    for machine, seed in ((piz_dora(), 1), (pilatus(), 2)):
+        data = sweep(machine, seed)
+        sizes, times = sweep_to_arrays(data)
+        floor = fit_postal(sizes, times, tau=0.10)
+        typical = fit_postal(sizes, times, tau=0.50)
+        spec_beta = machine.network.bandwidth
+        rows.append(
+            [
+                machine.name,
+                len(data),
+                f"{floor.alpha * 1e6:.2f}",
+                f"{typical.alpha * 1e6:.2f}",
+                f"{typical.beta / 1e9:.2f}",
+                f"{spec_beta / 1e9:.2f}",
+                f"{typical.half_bandwidth_size / 1024:.1f} KiB",
+            ]
+        )
+        print(f"{machine.name}: measured sizes "
+              f"{sorted(data)} (adaptively refined)")
+    print()
+    print(render_table(
+        [
+            "machine", "sizes", "alpha floor (us)", "alpha median (us)",
+            "beta fit (GB/s)", "beta spec (GB/s)", "n_1/2",
+        ],
+        rows,
+        title="Postal-model characterization via quantile regression",
+    ))
+    print()
+    print("Back-of-the-envelope check (Section 4.1.2): a 1 MiB transfer "
+          "should take alpha + 2^20/beta;")
+    for machine, seed in ((piz_dora(), 11), (pilatus(), 12)):
+        data = sweep(machine, seed)
+        sizes, times = sweep_to_arrays(data)
+        model = fit_postal(sizes, times, tau=0.5)
+        predicted = model.predict([1 << 20])[0]
+        comm = SimComm(machine, 2, placement="one_per_node", seed=seed + 100)
+        measured = float(np.median(comm.ping_pong(1 << 20, 200)))
+        print(f"  {machine.name}: predicted {predicted * 1e6:.1f} us, "
+              f"measured median {measured * 1e6:.1f} us "
+              f"({100 * abs(predicted / measured - 1):.1f}% off)")
+
+
+if __name__ == "__main__":
+    main()

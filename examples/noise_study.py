@@ -1,0 +1,77 @@
+"""Characterizing system noise and predicting its cost at scale.
+
+The paper opens with noise as the root of nondeterminism ("network
+background traffic, task scheduling, interrupts...") and cites work where
+noise silently ate a supercomputer's performance.  This example runs the
+fixed-work-quantum (FWQ) benchmark on a simulated machine, inspects the
+detour trace, hunts for periodic interference in its spectrum, and uses
+the empirical detour distribution to bound the noise cost of synchronizing
+collectives as the job grows — small serial noise, large parallel bill.
+
+Run:  python examples/noise_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import histogram_plot, render_table
+from repro.simsys import (
+    dominant_period,
+    fixed_work_quantum,
+    piz_daint,
+)
+from repro.stats import quantile_ci
+
+ITERATIONS = 8192
+QUANTUM = 1e-3
+
+
+def main() -> None:
+    machine = piz_daint()
+    # A machine with a 4.4 ms service-daemon tick train on top of its
+    # baseline compute noise.
+    fwq = fixed_work_quantum(
+        machine,
+        quantum=QUANTUM,
+        iterations=ITERATIONS,
+        tick_period=4.4e-3,
+        tick_duration=60e-6,
+        seed=17,
+    )
+    detours_us = fwq.detours * 1e6
+
+    print(f"FWQ: {ITERATIONS} x {QUANTUM * 1e3:.0f} ms quanta on {machine.name}")
+    print(f"noise fraction: {100 * fwq.noise_fraction:.2f}% of machine time")
+    p99 = quantile_ci(detours_us, 0.99, 0.95)
+    print(f"p99 detour: {p99.estimate:.1f} us "
+          f"(95% CI [{p99.low:.1f}, {p99.high:.1f}])")
+    period = dominant_period(fwq)
+    if period is not None:
+        print(f"periodic interference detected: every {period * 1e3:.2f} ms "
+              f"(injected: 4.40 ms)")
+    else:
+        print("no dominant periodicity found")
+    print()
+    print(histogram_plot(detours_us, bins=20, width=50,
+                         label="per-iteration detour", unit="us"))
+    print()
+
+    rows = []
+    for p in (16, 256, 4096, 65536, 262144):
+        bound = fwq.slowdown_bound_for_collectives(p)
+        rows.append([p, f"{100 * bound:.1f}%"])
+    print(render_table(
+        ["processes", "collective slowdown bound"],
+        rows,
+        title="Noise amplification at scale (max-of-P detour estimate)",
+    ))
+    print()
+    print("Reading: each synchronizing collective absorbs roughly the worst")
+    print("detour among its P processes — a fraction of a percent of serial")
+    print("noise becomes a double-digit tax at scale, which is why Rule 9/10")
+    print("demand the noise environment and measurement scheme be reported.")
+
+
+if __name__ == "__main__":
+    main()

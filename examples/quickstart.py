@@ -1,0 +1,79 @@
+"""Quickstart: statistically sound benchmarking of a Python function.
+
+Measures a small numerical kernel the way the paper prescribes:
+
+1. calibrate the timer and report its resolution/overhead (§4.2.1);
+2. run warmup iterations and exclude them (§4.1.2);
+3. collect measurements until the 95% CI of the median is within 2% —
+   the paper's sequential stopping rule (§4.2.2) — under a safety budget;
+4. check normality before even thinking about parametric statistics
+   (Rule 6) and report nonparametric CIs (Rule 5).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    BudgetRule,
+    CIWidthRule,
+    PerfTimer,
+    calibrate,
+    run_benchmark,
+)
+from repro.report import histogram_plot
+
+
+def workload() -> None:
+    """The operation under test: a small dense linear solve."""
+    rng = np.random.default_rng(0)
+    a = rng.random((64, 64))
+    b = rng.random(64)
+    np.linalg.solve(a, b)
+
+
+def main() -> None:
+    timer = PerfTimer()
+    cal = calibrate(timer)
+    print(cal.describe())
+    print()
+
+    stopping = CIWidthRule(
+        relative_error=0.02, confidence=0.95, statistic="median"
+    ) | BudgetRule(max_seconds=10.0, max_n=5000)
+
+    ms = run_benchmark(
+        workload,
+        name="solve(64x64)",
+        warmup=5,
+        stopping=stopping,
+        timer=timer,
+        calibration=cal,
+        auto_batch=True,
+    )
+
+    print(ms.describe())
+    print()
+
+    report = ms.normality()
+    print(f"normality: {report.summary()}")
+    print(f"mean  CI: {ms.mean_ci(0.95)}")
+    if ms.batch_k == 1:
+        print(f"median CI: {ms.median_ci(0.95)}")
+        print(f"p99    CI: {ms.quantile_ci(0.99, 0.95)}")
+    else:
+        print(
+            f"(k={ms.batch_k} events per interval: rank statistics are "
+            "unavailable by design — see Section 4.2.1)"
+        )
+    print()
+    print(histogram_plot(ms.values * 1e6, bins=20, width=50,
+                         label="per-interval time", unit="us"))
+    print()
+    print(f"methodology: {ms.metadata['stopping']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""A complete scaling study with bounds models and rule checking (Fig. 7).
+
+Runs the paper's π-digit workload on the simulated Piz Daint across
+1–32 processes using the experiment orchestration (randomized run order,
+Rule 9 environment capture), derives speedups with explicit Rule 1
+bookkeeping, overlays the three bounds models of Section 5.1, and finishes
+by checking the would-be report against all twelve rules.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    Experiment,
+    ExperimentDeclaration,
+    Factor,
+    FactorialDesign,
+    PlotDeclaration,
+    SummaryDeclaration,
+    check_all,
+    from_machine,
+)
+from repro.models import (
+    AmdahlBound,
+    IdealScaling,
+    ParallelOverheadBound,
+    ScalingSeries,
+    piecewise_log_overhead,
+    superlinear_points,
+)
+from repro.report import line_chart, render_table
+from repro.simsys import PiWorkload, piz_daint
+
+
+def main() -> None:
+    machine = piz_daint()
+    workload = PiWorkload(machine, seed=11)
+    env = from_machine(
+        machine,
+        input_desc="pi digits, base case 20 ms, serial fraction b=0.01",
+        measurement_desc="10 runs per process count, randomized order",
+    )
+
+    exp = Experiment(
+        name="pi-scaling",
+        design=FactorialDesign(
+            (Factor("p", (1, 2, 4, 8, 12, 16, 20, 24, 28, 32)),),
+            replications=2,
+        ),
+        measure=lambda point, rep: workload.run(point["p"], 5),
+        unit="s",
+        environment=env,
+    )
+    result = exp.run()
+    ps, _ = result.series("p")
+
+    series = ScalingSeries.from_measurements(
+        {p: result.get(p=p).values for p in ps},
+        base_case="single_parallel_process",
+    )
+    print(series.describe_base())  # Rule 1, verbatim
+    print()
+
+    ideal = IdealScaling(series.base_time)
+    amdahl = AmdahlBound(series.base_time, workload.serial_fraction)
+    over = ParallelOverheadBound(
+        series.base_time, workload.serial_fraction, piecewise_log_overhead
+    )
+    rows = []
+    for p, t, s in zip(series.ps, series.times, series.speedups()):
+        rows.append(
+            [
+                p,
+                f"{t * 1e3:.3f}",
+                f"{s:.2f}",
+                f"{over.speedup_bound(p):.2f}",
+                f"{amdahl.speedup_bound(p):.2f}",
+                p,
+            ]
+        )
+    print(render_table(
+        ["P", "time (ms)", "speedup", "overheads bound", "Amdahl bound", "ideal"],
+        rows,
+        title="Pi scaling vs bounds models (Rule 11)",
+    ))
+    print()
+    print(line_chart(
+        list(series.ps),
+        {
+            "measured": list(series.speedups()),
+            "overheads": [over.speedup_bound(p) for p in series.ps],
+            "ideal": [float(p) for p in series.ps],
+        },
+        height=12, width=56, xlabel="processes", ylabel="speedup",
+    ))
+    print()
+
+    superlinear = superlinear_points(series.ps, series.speedups())
+    if superlinear:
+        print(f"WARNING: super-linear points {superlinear} — "
+              "suspect suboptimal resource use at small p (Section 5.1).")
+    else:
+        print("no super-linear points (good).")
+    print()
+
+    decl = ExperimentDeclaration(
+        reports_speedup=True,
+        speedup_base_case="single_parallel_process",
+        base_absolute_performance=series.base_time,
+        summaries=[SummaryDeclaration("cost", "median", label="times")],
+        reports_confidence_intervals=True,
+        environment=env,
+        factors_documented=True,
+        is_parallel_measurement=True,
+        sync_method="window scheme (simulated)",
+        rank_summary_method="completion of the final reduction at root",
+        bounds_model_shown=True,
+        plots=[
+            PlotDeclaration(
+                "speedup vs p",
+                connects_points=True,
+                interpolation_valid=True,
+                variability_stated_in_text=True,
+            )
+        ],
+        reported_unit_strings=("20 ms base case", "speedup 12.1x at 32 processes"),
+    )
+    card = check_all(decl)
+    print(card.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — Scientific benchmarking of parallel computing systems.
+
+A Python reproduction of Hoefler & Belli, "Scientific Benchmarking of
+Parallel Computing Systems: Twelve ways to tell the masses when reporting
+performance results" (SC'15): a LibSciBench-style measurement library
+(:mod:`repro.core`), the statistics it prescribes (:mod:`repro.stats`),
+analytic bounds models (:mod:`repro.models`), a calibrated simulated
+parallel machine standing in for the paper's Cray systems
+(:mod:`repro.simsys`), the literature-survey substrate
+(:mod:`repro.survey`), and figure/table regeneration
+(:mod:`repro.report`).
+
+Quick start::
+
+    from repro.core import run_benchmark, FixedCount
+    ms = run_benchmark(my_function, stopping=FixedCount(50))
+    print(ms.describe())
+    print(ms.median_ci(0.99))
+"""
+
+from . import core, models, report, simsys, stats, survey
+from .errors import (
+    ReproError,
+    ValidationError,
+    InsufficientDataError,
+    UnitError,
+    TimerError,
+    DesignError,
+    SimulationError,
+    RuleViolation,
+    SurveyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "stats",
+    "simsys",
+    "models",
+    "survey",
+    "report",
+    "ReproError",
+    "ValidationError",
+    "InsufficientDataError",
+    "UnitError",
+    "TimerError",
+    "DesignError",
+    "SimulationError",
+    "RuleViolation",
+    "SurveyError",
+    "__version__",
+]

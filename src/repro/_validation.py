@@ -1,0 +1,103 @@
+"""Internal argument-validation helpers shared across the library.
+
+These are deliberately small and allocation-free on the fast path: they
+return the validated (possibly converted) value so call sites can write
+``x = as_sample(x)`` once and then work with a contiguous float64 array.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .errors import InsufficientDataError, ValidationError
+
+__all__ = [
+    "as_sample",
+    "as_positive_sample",
+    "check_prob",
+    "check_positive",
+    "check_nonneg",
+    "check_int",
+    "check_in",
+]
+
+
+def as_sample(
+    data: Iterable[float],
+    *,
+    min_n: int = 1,
+    what: str = "sample",
+    allow_nan: bool = False,
+) -> np.ndarray:
+    """Convert *data* to a 1-D contiguous float64 array and validate it.
+
+    Raises :class:`ValidationError` for non-numeric or multi-dimensional
+    input and :class:`InsufficientDataError` when fewer than *min_n*
+    observations are present.
+    """
+    try:
+        arr = np.ascontiguousarray(data, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{what} must be numeric: {exc}") from exc
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValidationError(f"{what} must be one-dimensional, got shape {arr.shape}")
+    if not allow_nan and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{what} contains non-finite values")
+    if arr.size < min_n:
+        raise InsufficientDataError(min_n, arr.size, what)
+    return arr
+
+
+def as_positive_sample(
+    data: Iterable[float], *, min_n: int = 1, what: str = "sample"
+) -> np.ndarray:
+    """Like :func:`as_sample` but additionally require strictly positive values."""
+    arr = as_sample(data, min_n=min_n, what=what)
+    if np.any(arr <= 0.0):
+        raise ValidationError(f"{what} must be strictly positive")
+    return arr
+
+
+def check_prob(value: float, name: str = "probability") -> float:
+    """Validate that *value* lies strictly inside (0, 1)."""
+    value = float(value)
+    if not 0.0 < value < 1.0:
+        raise ValidationError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite, strictly positive float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be positive and finite, got {value}")
+    return value
+
+
+def check_nonneg(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite, non-negative float."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValidationError(f"{name} must be non-negative and finite, got {value}")
+    return value
+
+
+def check_int(value: Any, name: str = "value", *, minimum: int | None = None) -> int:
+    """Validate that *value* is integral (bools rejected), optionally >= minimum."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_in(value: Any, options: Sequence[Any], name: str = "value") -> Any:
+    """Validate that *value* is one of *options*."""
+    if value not in options:
+        raise ValidationError(f"{name} must be one of {list(options)}, got {value!r}")
+    return value

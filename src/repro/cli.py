@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    Regenerate the data behind any of the paper's figures and print the
+    rows/series as text tables.
+``table1``
+    Regenerate the literature-survey table.
+``calibrate``
+    Calibrate this host's timer and report resolution/overhead and the
+    smallest soundly measurable interval (Section 4.2.1).
+``machines``
+    Describe the simulated machines and their calibration anchors.
+``noise``
+    Run the fixed-work-quantum benchmark on *this* host and report its
+    noise fraction and any periodic interference.
+``check``
+    Run the twelve-rules checker on an experiment declaration stored as
+    JSON (see ``--template`` for the schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from . import report as rpt
+
+    n = args.samples
+    wanted = args.fig
+    out = sys.stdout
+
+    def emit(title: str, body: str) -> None:
+        out.write(f"\n=== {title} ===\n{body}\n")
+
+    if wanted in ("1", "all"):
+        fig = rpt.fig1_hpl(50, seed=args.seed)
+        rows = "\n".join(f"{k:<16} {v:8.2f} Tflop/s" for k, v in fig.annotation_rows())
+        emit("Figure 1: HPL annotations", rows)
+    if wanted in ("2", "all"):
+        fig = rpt.fig2_normalization(max(n, 10_000), seed=args.seed)
+        rows = "\n".join(
+            f"{v.name:<12} k={v.k:<5} QQ={v.report.qq_corr:.4f} "
+            f"normal={v.report.plausibly_normal}"
+            for v in fig.variants
+        )
+        emit("Figure 2: normalization ladder", rows)
+    if wanted in ("3", "all"):
+        fig = rpt.fig3_significance(max(n, 1000), seed=args.seed)
+        rows = []
+        for s in (fig.dora, fig.pilatus):
+            rows.append(
+                f"{s.name:<10} median {s.summary.median:.3f} us "
+                f"(99% CI [{s.median_ci99.low:.3f}, {s.median_ci99.high:.3f}]), "
+                f"range [{s.summary.minimum:.2f}, {s.summary.maximum:.2f}]"
+            )
+        rows.append(f"medians differ: {fig.medians_differ_significantly}")
+        emit("Figure 3: two-system significance", "\n".join(rows))
+    if wanted in ("4", "all"):
+        cmp = rpt.fig4_quantile_regression(max(n, 1000), seed=args.seed)
+        rows = [
+            f"tau={t:.1f}  Dora {i.coef[0]:.3f} us  diff {d.coef[0]:+.3f} us"
+            for t, i, d in zip(cmp.taus, cmp.intercept, cmp.difference)
+        ]
+        rows.append(f"mean difference {cmp.mean_difference:+.3f} us; "
+                    f"crossover at {cmp.crossover_taus()}")
+        emit("Figure 4: quantile regression", "\n".join(rows))
+    if wanted in ("5", "all"):
+        fig = rpt.fig5_reduce_scaling(tuple(range(2, 33)), max(n // 1000, 100),
+                                      seed=args.seed)
+        rows = [
+            f"P={pt.p:<3} {'2^k' if pt.power_of_two else '   '} "
+            f"median {pt.median_us:6.2f} us"
+            for pt in fig.points
+        ]
+        rows.append(f"power-of-two advantage: {fig.pof2_advantage():.3f}x")
+        emit("Figure 5: reduce scaling", "\n".join(rows))
+    if wanted in ("6", "all"):
+        fig = rpt.fig6_rank_variation(32, max(n // 1000, 100), seed=args.seed)
+        emit(
+            "Figure 6: rank variation",
+            f"heterogeneous ranks: {not fig.rank_summary.homogeneous}; "
+            f"slow ranks {fig.slow_ranks()}",
+        )
+    if wanted in ("7", "all"):
+        fig = rpt.fig7ab_bounds(seed=args.seed)
+        err = fig.model_error()
+        emit(
+            "Figure 7(a)/(b): bounds models",
+            "median relative error: "
+            + ", ".join(f"{k}={v:.3f}" for k, v in err.items()),
+        )
+        c = rpt.fig7c_distribution(max(n, 1000), seed=args.seed)
+        emit(
+            "Figure 7(c): latency distribution",
+            f"median {c.summary.median:.3f} us, mean {c.summary.mean:.3f}, "
+            f"geometric {c.geometric_mean:.3f}, whiskers "
+            f"[{c.whisker_low:.3f}, {c.whisker_high:.3f}]",
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .report import render_table
+    from .survey import category_totals, load_survey, not_applicable_count
+
+    records = load_survey()
+    totals = category_totals(records)
+    na, total = not_applicable_count(records)
+    print(
+        render_table(
+            ["category", "documented"],
+            [[k, f"{got}/{n}"] for k, (got, n) in totals.items()],
+            title=f"Table 1 ({na}/{total} not applicable)",
+        )
+    )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core import PerfTimer, calibrate, check_interval
+
+    cal = calibrate(PerfTimer(), samples=args.samples or 10_000)
+    print(cal.describe())
+    for interval in (1e-7, 1e-6, 1e-5, 1e-4, 1e-3):
+        chk = check_interval(cal, interval)
+        verdict = "ok" if chk.ok else f"k>={chk.recommended_batch()} batching needed"
+        print(f"  interval {interval:.0e} s: {verdict}")
+    return 0
+
+
+def _cmd_noise(args: argparse.Namespace) -> int:
+    from .core import measure_host_noise
+    from .simsys import dominant_period
+
+    report = measure_host_noise(
+        quantum=args.quantum, iterations=args.iterations
+    )
+    print(report.summary())
+    period = dominant_period(report.result)
+    if period is not None:
+        print(f"  dominant periodic interference: every {period * 1e3:.2f} ms")
+    else:
+        print("  no dominant periodic interference detected")
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    from .core import from_machine
+    from .simsys import MACHINES, get_machine
+
+    for name in sorted(MACHINES):
+        m = get_machine(name)
+        print(f"== {name}: {m.description}")
+        print(from_machine(m).checklist())
+        print()
+    return 0
+
+
+_CHECK_TEMPLATE = {
+    "reports_speedup": True,
+    "speedup_base_case": "single_parallel_process",
+    "base_absolute_performance": 0.02,
+    "data_deterministic": False,
+    "reports_confidence_intervals": True,
+    "uses_parametric_statistics": False,
+    "normality_checked": False,
+    "compares_alternatives": False,
+    "comparison_method": "none",
+    "factors_documented": True,
+    "is_parallel_measurement": True,
+    "sync_method": "window scheme",
+    "rank_summary_method": "max across ranks",
+    "bounds_model_shown": True,
+    "reported_unit_strings": ["77.38 Tflop/s"],
+}
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .core import ExperimentDeclaration, check_all
+
+    if args.template:
+        print(json.dumps(_CHECK_TEMPLATE, indent=2))
+        return 0
+    if not args.declaration:
+        print("error: provide a declaration file or --template", file=sys.stderr)
+        return 2
+    with open(args.declaration) as fh:
+        payload = json.load(fh)
+    valid = set(ExperimentDeclaration.__dataclass_fields__)
+    unknown = set(payload) - valid
+    if unknown:
+        print(f"error: unknown declaration fields {sorted(unknown)}", file=sys.stderr)
+        return 2
+    decl = ExperimentDeclaration(**payload)
+    card = check_all(decl)
+    print(card.summary())
+    return 0 if card.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scientific benchmarking of parallel computing systems "
+        "(Hoefler & Belli, SC'15) — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate figure data")
+    p.add_argument("--fig", choices=["1", "2", "3", "4", "5", "6", "7", "all"],
+                   default="all")
+    p.add_argument("--samples", type=int, default=100_000,
+                   help="ping-pong sample count (paper: 1000000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("table1", help="regenerate the survey table")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("calibrate", help="calibrate this host's timer")
+    p.add_argument("--samples", type=int, default=10_000)
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("machines", help="describe the simulated machines")
+    p.set_defaults(func=_cmd_machines)
+
+    p = sub.add_parser("noise", help="measure this host's noise (FWQ)")
+    p.add_argument("--quantum", type=float, default=1e-3,
+                   help="work quantum in seconds (default 1 ms)")
+    p.add_argument("--iterations", type=int, default=500)
+    p.set_defaults(func=_cmd_noise)
+
+    p = sub.add_parser("check", help="run the twelve-rules checker")
+    p.add_argument("declaration", nargs="?", help="JSON declaration file")
+    p.add_argument("--template", action="store_true",
+                   help="print a JSON declaration template and exit")
+    p.set_defaults(func=_cmd_check)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

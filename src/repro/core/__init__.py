@@ -1,0 +1,113 @@
+"""The LibSciBench-style measurement library (the paper's contribution).
+
+Timers with measured resolution/overhead, unambiguous units, measurement
+containers, the warmup/batching/stopping measurement loop, factorial and
+adaptive experimental design, environment documentation, window-based
+synchronization, cross-rank summarization, the twelve rules as executable
+checks, and experiment orchestration.
+"""
+
+from .units import (
+    SI_PREFIXES,
+    IEC_PREFIXES,
+    Quantity,
+    format_quantity,
+    parse_quantity,
+    ambiguity_warnings,
+)
+from .timer import (
+    Timer,
+    PerfTimer,
+    MonotonicTimer,
+    ProcessTimer,
+    SimTimer,
+    TimerCalibration,
+    calibrate,
+    IntervalCheck,
+    check_interval,
+    MIN_OVERHEAD_FRACTION,
+    MIN_RESOLUTION_MULTIPLE,
+)
+from .measurement import MeasurementSet
+from .stopping import StoppingRule, FixedCount, CIWidthRule, BudgetRule, EitherRule
+from .benchmark import run_benchmark, measure_simulated
+from .design import Factor, FactorialDesign, AdaptiveRefiner
+from .environment import CATEGORIES, EnvironmentSpec, capture_host, from_machine
+from .sync import ClockEnsemble, estimate_offsets, window_start, barrier_start
+from .summarize_ranks import RankSummary, summarize_across_ranks, per_rank_boxstats
+from .rules import (
+    SummaryDeclaration,
+    PlotDeclaration,
+    ExperimentDeclaration,
+    RuleResult,
+    ReportCard,
+    check_all,
+    RULE_TITLES,
+)
+from .experiment import Experiment, ExperimentResult
+from .campaign import Campaign
+from .hostnoise import HostNoiseReport, measure_host_noise
+from .screening import (
+    TwoLevelDesign,
+    EffectEstimate,
+    full_factorial_2k,
+    half_fraction_2k,
+)
+
+__all__ = [
+    "SI_PREFIXES",
+    "IEC_PREFIXES",
+    "Quantity",
+    "format_quantity",
+    "parse_quantity",
+    "ambiguity_warnings",
+    "Timer",
+    "PerfTimer",
+    "MonotonicTimer",
+    "ProcessTimer",
+    "SimTimer",
+    "TimerCalibration",
+    "calibrate",
+    "IntervalCheck",
+    "check_interval",
+    "MIN_OVERHEAD_FRACTION",
+    "MIN_RESOLUTION_MULTIPLE",
+    "MeasurementSet",
+    "StoppingRule",
+    "FixedCount",
+    "CIWidthRule",
+    "BudgetRule",
+    "EitherRule",
+    "run_benchmark",
+    "measure_simulated",
+    "Factor",
+    "FactorialDesign",
+    "AdaptiveRefiner",
+    "CATEGORIES",
+    "EnvironmentSpec",
+    "capture_host",
+    "from_machine",
+    "ClockEnsemble",
+    "estimate_offsets",
+    "window_start",
+    "barrier_start",
+    "RankSummary",
+    "summarize_across_ranks",
+    "per_rank_boxstats",
+    "SummaryDeclaration",
+    "PlotDeclaration",
+    "ExperimentDeclaration",
+    "RuleResult",
+    "ReportCard",
+    "check_all",
+    "RULE_TITLES",
+    "Experiment",
+    "ExperimentResult",
+    "Campaign",
+    "HostNoiseReport",
+    "measure_host_noise",
+    "TwoLevelDesign",
+    "EffectEstimate",
+    "full_factorial_2k",
+    "half_fraction_2k",
+]

@@ -1,0 +1,194 @@
+"""The measurement loop: warmup, batching, repetitions (Sections 4.1–4.2).
+
+:func:`run_benchmark` is the LibSciBench-style entry point for measuring a
+Python callable; :func:`measure_simulated` is the equivalent for simulated
+workloads that return their own durations.  Both encode the paper's
+experimental-design rules:
+
+* the first iteration(s) are *warmup* and excluded (communication systems
+  "establish their working state on demand", Section 4.1.2);
+* intervals too small for the timer are k-batched — and the resulting set
+  is marked so rank statistics refuse to run on it (Section 4.2.1);
+* how many repetitions to run is delegated to a stopping rule
+  (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import warnings as _warnings
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .._validation import check_int
+from ..errors import ValidationError
+from .measurement import MeasurementSet
+from .stopping import FixedCount, StoppingRule
+from .timer import PerfTimer, Timer, TimerCalibration, calibrate, check_interval
+
+__all__ = ["run_benchmark", "measure_simulated"]
+
+
+def run_benchmark(
+    fn: Callable[[], Any],
+    *,
+    name: str = "benchmark",
+    warmup: int = 1,
+    batch_k: int = 1,
+    stopping: StoppingRule | None = None,
+    timer: Timer | None = None,
+    calibration: TimerCalibration | None = None,
+    auto_batch: bool = False,
+    max_measurements: int = 1_000_000,
+    metadata: Mapping[str, Any] | None = None,
+) -> MeasurementSet:
+    """Measure the execution time of *fn* with sound methodology.
+
+    Parameters
+    ----------
+    fn:
+        The operation under test (no arguments; close over inputs).
+    warmup:
+        Iterations run and *discarded* before measuring.
+    batch_k:
+        Events per measured interval.  k > 1 divides each interval by k
+        (sample means) and taints the result set for rank statistics.
+    stopping:
+        When to stop; default ``FixedCount(30)``.
+    timer, calibration:
+        The clock and (optionally pre-computed) calibration; calibrating
+        takes ~10k timer reads, so pass one in when measuring many
+        benchmarks.
+    auto_batch:
+        If True, a pilot measurement picks ``batch_k`` automatically so
+        the interval satisfies the paper's overhead/resolution criteria.
+    max_measurements:
+        Hard safety cap on repetitions.
+
+    Returns
+    -------
+    MeasurementSet
+        Per-interval times (seconds), possibly k-batched means, with the
+        methodology recorded in metadata (timer, calibration, stopping
+        rule).
+    """
+    check_int(warmup, "warmup", minimum=0)
+    check_int(batch_k, "batch_k", minimum=1)
+    check_int(max_measurements, "max_measurements", minimum=1)
+    timer = timer or PerfTimer()
+    stopping = stopping or FixedCount(30)
+    stopping.reset()
+    if calibration is None:
+        calibration = calibrate(timer, samples=2000)
+
+    for _ in range(warmup):
+        fn()
+
+    if auto_batch:
+        t0 = timer.now()
+        fn()
+        pilot = max(timer.now() - t0, 0.0)
+        if pilot > 0:
+            batch_k = max(batch_k, check_interval(calibration, pilot).recommended_batch())
+
+    values: list[float] = []
+    total_start = timer.now()
+    while True:
+        t0 = timer.now()
+        for _ in range(batch_k):
+            fn()
+        t1 = timer.now()
+        interval = t1 - t0
+        per_event = interval / batch_k
+        values.append(per_event)
+        elapsed = t1 - total_start
+        if stopping.update(per_event, elapsed):
+            break
+        if len(values) >= max_measurements:
+            _warnings.warn(
+                f"{name}: stopping rule unsatisfied after "
+                f"{max_measurements} measurements; results may not meet the "
+                "requested precision",
+                stacklevel=2,
+            )
+            break
+
+    chk = check_interval(calibration, float(np.median(values)) * batch_k)
+    for w in chk.warnings:
+        _warnings.warn(f"{name}: {w}", stacklevel=2)
+
+    md = dict(metadata or {})
+    md.update(
+        timer=calibration.timer_name,
+        timer_resolution_s=calibration.resolution,
+        timer_overhead_s=calibration.overhead,
+        stopping=stopping.describe(),
+        interval_check_ok=chk.ok,
+    )
+    return MeasurementSet(
+        values=np.asarray(values),
+        unit="s",
+        name=name,
+        warmup_dropped=warmup,
+        batch_k=batch_k,
+        deterministic=False,
+        metadata=md,
+    )
+
+
+def measure_simulated(
+    sample_fn: Callable[[int], np.ndarray],
+    *,
+    name: str,
+    unit: str = "s",
+    warmup: int = 0,
+    stopping: StoppingRule | None = None,
+    chunk: int = 64,
+    max_measurements: int = 10_000_000,
+    metadata: Mapping[str, Any] | None = None,
+) -> MeasurementSet:
+    """Collect measurements from a simulated workload under a stopping rule.
+
+    ``sample_fn(n)`` must return *n* fresh measurement values (the
+    simulator equivalents of timed runs).  Values are drawn in chunks for
+    vectorization; the stopping rule still sees them one at a time, so the
+    sequential-CI semantics match the real loop.
+    """
+    check_int(warmup, "warmup", minimum=0)
+    check_int(chunk, "chunk", minimum=1)
+    stopping = stopping or FixedCount(30)
+    stopping.reset()
+    if warmup:
+        sample_fn(warmup)  # discarded
+    values: list[float] = []
+    elapsed = 0.0
+    done = False
+    while not done:
+        block = np.asarray(sample_fn(chunk), dtype=np.float64).ravel()
+        if block.size == 0:
+            raise ValidationError("sample_fn returned no values")
+        for v in block:
+            values.append(float(v))
+            elapsed += float(v)
+            if stopping.update(float(v), elapsed):
+                done = True
+                break
+            if len(values) >= max_measurements:
+                _warnings.warn(
+                    f"{name}: stopping rule unsatisfied after "
+                    f"{max_measurements} simulated measurements",
+                    stacklevel=2,
+                )
+                done = True
+                break
+    md = dict(metadata or {})
+    md.update(stopping=stopping.describe(), simulated=True)
+    return MeasurementSet(
+        values=np.asarray(values),
+        unit=unit,
+        name=name,
+        warmup_dropped=warmup,
+        batch_k=1,
+        deterministic=False,
+        metadata=md,
+    )

@@ -1,0 +1,171 @@
+"""Persistent measurement campaigns: collect now, analyze forever.
+
+LibSciBench's "integrated low-overhead data collection mechanism produces
+datasets that can be read directly with established statistical tools";
+the reproducibility half of Rule 9 needs those datasets to survive the
+session that created them, with their provenance intact.
+
+A :class:`Campaign` is a directory of serialized
+:class:`~repro.core.measurement.MeasurementSet` records plus an index with
+the environment description.  Typical life cycle::
+
+    camp = Campaign.create(path, name="latency-study", environment=env)
+    camp.record(ms)                      # during measurement
+    ...
+    camp = Campaign.open(path)           # weeks later
+    old = camp.load("64B ping-pong")     # identical values, unit, metadata
+    camp.compare("64B ping-pong", new_ms)  # did the machine change?
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ValidationError
+from ..stats.compare import TestOutcome
+from ..stats.nonparametric import mann_whitney
+from .environment import EnvironmentSpec
+from .measurement import MeasurementSet
+
+__all__ = ["Campaign"]
+
+_INDEX = "campaign.json"
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe dataset file name."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_")
+    if not slug:
+        raise ValidationError(f"dataset name {name!r} has no usable characters")
+    return slug
+
+
+@dataclass
+class Campaign:
+    """A directory-backed store of measurement datasets."""
+
+    path: Path
+    name: str
+    environment_fields: dict = field(default_factory=dict)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        *,
+        name: str,
+        environment: EnvironmentSpec | None = None,
+    ) -> "Campaign":
+        """Create a new campaign directory (must not already hold one)."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        index = path / _INDEX
+        if index.exists():
+            raise ValidationError(f"{path} already contains a campaign")
+        env_fields = {}
+        if environment is not None:
+            env_fields = {
+                **{k: getattr(environment, k) for k in (
+                    "processor", "memory", "network", "compiler", "runtime",
+                    "filesystem", "input", "measurement", "code",
+                )},
+                "extra": dict(environment.extra),
+            }
+        camp = cls(path=path, name=name, environment_fields=env_fields)
+        camp._write_index([])
+        return camp
+
+    @classmethod
+    def open(cls, path: str | Path) -> "Campaign":
+        """Open an existing campaign."""
+        path = Path(path)
+        index = path / _INDEX
+        if not index.exists():
+            raise ValidationError(f"no campaign at {path}")
+        payload = json.loads(index.read_text())
+        return cls(
+            path=path,
+            name=payload["name"],
+            environment_fields=payload.get("environment", {}),
+        )
+
+    def _write_index(self, datasets: list[dict]) -> None:
+        payload = {
+            "name": self.name,
+            "environment": self.environment_fields,
+            "datasets": datasets,
+        }
+        (self.path / _INDEX).write_text(json.dumps(payload, indent=2))
+
+    def _read_datasets(self) -> list[dict]:
+        return json.loads((self.path / _INDEX).read_text()).get("datasets", [])
+
+    # -- data ------------------------------------------------------------
+
+    def record(self, ms: MeasurementSet, *, overwrite: bool = False) -> Path:
+        """Persist a dataset under its name; refuses silent overwrites."""
+        from ..report.export import measurements_to_json
+
+        slug = _slug(ms.name)
+        target = self.path / f"{slug}.json"
+        datasets = self._read_datasets()
+        existing = [d for d in datasets if d["name"] == ms.name]
+        if existing and not overwrite:
+            raise ValidationError(
+                f"dataset {ms.name!r} already recorded; pass overwrite=True "
+                "to replace it (the old values will be lost)"
+            )
+        target.write_text(measurements_to_json(ms))
+        datasets = [d for d in datasets if d["name"] != ms.name]
+        datasets.append({"name": ms.name, "file": target.name, "n": ms.n,
+                         "unit": ms.unit})
+        datasets.sort(key=lambda d: d["name"])
+        self._write_index(datasets)
+        return target
+
+    def names(self) -> list[str]:
+        """Names of all recorded datasets."""
+        return [d["name"] for d in self._read_datasets()]
+
+    def load(self, name: str) -> MeasurementSet:
+        """Load a dataset by name, provenance intact."""
+        from ..report.export import measurements_from_json
+
+        for d in self._read_datasets():
+            if d["name"] == name:
+                return measurements_from_json(
+                    (self.path / d["file"]).read_text()
+                )
+        raise ValidationError(
+            f"no dataset {name!r} in campaign {self.name!r}; have {self.names()}"
+        )
+
+    def environment(self) -> EnvironmentSpec:
+        """The environment description recorded at campaign creation."""
+        fields = dict(self.environment_fields)
+        extra = fields.pop("extra", {})
+        spec = EnvironmentSpec(**fields) if fields else EnvironmentSpec()
+        spec.extra.update(extra)
+        return spec
+
+    # -- analysis ---------------------------------------------------------
+
+    def compare(self, name: str, new: MeasurementSet) -> TestOutcome:
+        """Has this measurement changed since it was recorded?
+
+        Runs the Mann–Whitney test between the stored dataset and *new* —
+        the regression-detection primitive (e.g. after a software upgrade,
+        the Section 4.1.2 concern about "regular software upgrades on these
+        systems").  Units must match.
+        """
+        old = self.load(name)
+        if old.unit != new.unit:
+            raise ValidationError(
+                f"unit mismatch: stored {old.unit!r}, new {new.unit!r}"
+            )
+        return mann_whitney(old.values, new.values)

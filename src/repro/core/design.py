@@ -1,0 +1,177 @@
+"""Experimental design: factors, levels, randomization, refinement (§4).
+
+The paper recommends *factorial design* "to compare the influence of
+multiple factors, each at various different levels" and, where a parameter
+cannot be controlled, *randomization* (e.g. randomizing execution order
+within a job launcher, Hunold et al.).  For choosing the levels of a
+continuous factor it points to *adaptive refinement* — "measure levels
+where the uncertainty is highest" — the SKaMPI approach.
+
+This module provides those three pieces: :class:`Factor`/
+:class:`FactorialDesign` enumerating design points, deterministic
+randomized run orders, and :class:`AdaptiveRefiner` that proposes the next
+level of a numeric factor by maximum linear-interpolation uncertainty.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_int
+from ..errors import DesignError
+from ..simsys.rng import stream
+
+__all__ = ["Factor", "DesignPoint", "FactorialDesign", "AdaptiveRefiner"]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """An experimental factor with an explicit, documented set of levels.
+
+    Section 4.2's powers-of-two warning is a levels question: declare
+    whether you measure only 2^k process counts or the general case.
+    """
+
+    name: str
+    levels: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("factor needs a name")
+        if len(self.levels) == 0:
+            raise DesignError(f"factor {self.name!r} needs at least one level")
+        if len(set(map(repr, self.levels))) != len(self.levels):
+            raise DesignError(f"factor {self.name!r} has duplicate levels")
+
+
+DesignPoint = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class FactorialDesign:
+    """A full-factorial design over the given factors.
+
+    Iterates the Cartesian product of all factor levels, each repeated
+    ``replications`` times.  :meth:`run_order` yields the same points in a
+    deterministic *randomized* order — the standard defence against
+    time-varying confounders (machine warming up, filesystem caches,
+    daily load patterns).
+    """
+
+    factors: tuple[Factor, ...]
+    replications: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise DesignError("design needs at least one factor")
+        names = [f.name for f in self.factors]
+        if len(set(names)) != len(names):
+            raise DesignError(f"duplicate factor names in {names}")
+        check_int(self.replications, "replications", minimum=1)
+
+    @property
+    def n_points(self) -> int:
+        """Number of distinct design points (without replications)."""
+        out = 1
+        for f in self.factors:
+            out *= len(f.levels)
+        return out
+
+    @property
+    def n_runs(self) -> int:
+        """Total runs including replications."""
+        return self.n_points * self.replications
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        """All design points in canonical (lexicographic) order."""
+        names = [f.name for f in self.factors]
+        for combo in itertools.product(*(f.levels for f in self.factors)):
+            yield dict(zip(names, combo))
+
+    def run_order(self, seed: int = 0) -> list[dict[str, Any]]:
+        """Replicated design points in a deterministic random order.
+
+        Each replication index is recorded under the reserved key
+        ``"__rep__"`` so analyses can model replication as a factor.
+        """
+        runs = [
+            {**point, "__rep__": rep}
+            for point in self.points()
+            for rep in range(self.replications)
+        ]
+        rng = stream(seed, "design", "run_order", len(runs))
+        order = rng.permutation(len(runs))
+        return [runs[i] for i in order]
+
+    def describe(self) -> str:
+        """The design declaration for the experiment report (Rule 9)."""
+        parts = [
+            f"{f.name}: {list(f.levels)!r}" for f in self.factors
+        ]
+        return (
+            f"full factorial design, {self.n_points} points x "
+            f"{self.replications} replications; factors: " + "; ".join(parts)
+        )
+
+
+@dataclass
+class AdaptiveRefiner:
+    """Adaptive level refinement for one numeric factor (SKaMPI-style).
+
+    Feed it measured ``(level, estimate, ci_width)`` observations; it
+    proposes the next level at the midpoint of the interval with the
+    largest *predicted* uncertainty, where uncertainty is the deviation of
+    the measured midpoint from linear interpolation plus the local CI
+    width.  ``propose()`` returns ``None`` once every gap's score falls
+    under ``tolerance`` (relative to the data range) or the minimum gap is
+    reached.
+    """
+
+    tolerance: float = 0.05
+    min_gap: float = 1.0
+    integer_levels: bool = True
+    _obs: dict[float, tuple[float, float]] = field(default_factory=dict)
+
+    def observe(self, level: float, estimate: float, ci_width: float = 0.0) -> None:
+        """Record the measurement summary at *level*."""
+        if ci_width < 0:
+            raise DesignError("ci_width must be non-negative")
+        self._obs[float(level)] = (float(estimate), float(ci_width))
+
+    def propose(self) -> float | None:
+        """The next level to measure, or ``None`` when refined enough."""
+        if len(self._obs) < 2:
+            raise DesignError("need at least two observed levels to refine")
+        levels = np.array(sorted(self._obs))
+        estimates = np.array([self._obs[l][0] for l in levels])
+        widths = np.array([self._obs[l][1] for l in levels])
+        scale = float(np.ptp(estimates))
+        if scale == 0.0:
+            return None
+        best_score, best_mid = 0.0, None
+        for i in range(len(levels) - 1):
+            gap = levels[i + 1] - levels[i]
+            if gap <= self.min_gap:
+                continue
+            mid = 0.5 * (levels[i] + levels[i + 1])
+            if self.integer_levels:
+                mid = float(int(round(mid)))
+                if mid in self._obs or mid <= levels[i] or mid >= levels[i + 1]:
+                    continue
+            # Predicted uncertainty: curvature proxy (difference of the
+            # segment's endpoints) plus the endpoints' own CI widths.
+            segment_change = abs(estimates[i + 1] - estimates[i])
+            score = (segment_change + 0.5 * (widths[i] + widths[i + 1])) / scale
+            if score > best_score:
+                best_score, best_mid = score, mid
+        if best_mid is None or best_score < self.tolerance:
+            return None
+        return best_mid
+
+    def refined_levels(self) -> list[float]:
+        """All levels observed so far, sorted."""
+        return sorted(self._obs)

@@ -1,0 +1,159 @@
+"""Experimental-setup documentation (Table 1 categories, Rule 9).
+
+Table 1 scores papers on nine experimental-design categories — hardware
+(processor/accelerator, RAM, network), software (compiler, kernel and
+libraries, filesystem/storage), and configuration (software & input,
+measurement setup, code availability).  :class:`EnvironmentSpec` is that
+checklist as a data structure: fill in what applies, mark what does not,
+and :meth:`completeness` scores the description exactly as the survey
+scored papers.
+
+:func:`capture_host` pre-fills what can be discovered automatically about
+the current host; :func:`from_machine` documents a simulated machine.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from dataclasses import dataclass, field, fields
+from typing import Mapping
+
+from ..errors import ValidationError
+
+__all__ = ["CATEGORIES", "EnvironmentSpec", "capture_host", "from_machine"]
+
+#: The nine Table 1 categories, grouped as in the survey.
+CATEGORIES: dict[str, tuple[str, ...]] = {
+    "hardware": ("processor", "memory", "network"),
+    "software": ("compiler", "runtime", "filesystem"),
+    "configuration": ("input", "measurement", "code"),
+}
+
+#: Sentinel for "this category does not apply to the experiment"
+#: (e.g. network for a shared-memory study) — counted as documented,
+#: exactly as the survey's dot-marks were.
+NOT_APPLICABLE = "n/a"
+
+
+@dataclass
+class EnvironmentSpec:
+    """A structured experimental-environment description.
+
+    Every field is free text; empty string means *undocumented*.  Set a
+    field to :data:`NOT_APPLICABLE` when the category genuinely does not
+    affect the experiment (and be prepared to defend that in review).
+    """
+
+    processor: str = ""
+    memory: str = ""
+    network: str = ""
+    compiler: str = ""
+    runtime: str = ""
+    filesystem: str = ""
+    input: str = ""
+    measurement: str = ""
+    code: str = ""
+    extra: dict[str, str] = field(default_factory=dict)
+
+    def _category_fields(self) -> dict[str, str]:
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "extra"
+        }
+
+    def documented(self, category: str) -> bool:
+        """True if *category* is described or explicitly not applicable."""
+        values = self._category_fields()
+        if category not in values:
+            raise ValidationError(
+                f"unknown category {category!r}; have {sorted(values)}"
+            )
+        return bool(values[category].strip())
+
+    def completeness(self) -> tuple[int, int]:
+        """(documented, total) over the nine Table 1 categories."""
+        values = self._category_fields()
+        done = sum(1 for v in values.values() if v.strip())
+        return done, len(values)
+
+    def missing(self) -> list[str]:
+        """Categories still undocumented — fix these before submitting."""
+        return [k for k, v in self._category_fields().items() if not v.strip()]
+
+    def checklist(self) -> str:
+        """A Table 1-row-style rendering of this description."""
+        lines = []
+        values = self._category_fields()
+        for group, cats in CATEGORIES.items():
+            lines.append(f"{group}:")
+            for cat in cats:
+                v = values[cat].strip()
+                mark = "✓" if v else "✗"
+                shown = v if v else "(undocumented)"
+                lines.append(f"  [{mark}] {cat:<12} {shown}")
+        for k, v in self.extra.items():
+            lines.append(f"  [+] {k:<12} {v}")
+        done, total = self.completeness()
+        lines.append(f"completeness: {done}/{total}")
+        return "\n".join(lines)
+
+
+def capture_host() -> EnvironmentSpec:
+    """Auto-document the current host (best effort, honest about gaps).
+
+    Captures processor, memory hints, Python runtime, and platform; leaves
+    what cannot be discovered (network, filesystem, inputs) undocumented so
+    the completeness score tells the truth.
+    """
+    spec = EnvironmentSpec()
+    spec.processor = platform.processor() or platform.machine()
+    spec.runtime = (
+        f"Python {platform.python_version()} ({platform.python_implementation()}), "
+        f"{platform.platform()}"
+    )
+    spec.compiler = platform.python_compiler()
+    try:
+        with open("/proc/meminfo") as fh:
+            first = fh.readline().split()
+            if len(first) >= 2:
+                spec.memory = f"{int(first[1]) // (1024 * 1024)} GiB total RAM"
+    except OSError:
+        pass
+    spec.extra["argv"] = " ".join(sys.argv[:3])
+    return spec
+
+
+def from_machine(machine, *, input_desc: str = "", measurement_desc: str = "") -> EnvironmentSpec:
+    """Document a simulated :class:`~repro.simsys.MachineSpec` (Rule 9).
+
+    Produces the Section 4.1.2-style paragraph fields for experiment
+    reports generated against the simulator.
+    """
+    node = machine.node
+    spec = EnvironmentSpec(
+        processor=(
+            f"{node.sockets}x {node.cpu_model} ({node.cores} cores/node)"
+            + (f", {node.accelerator}" if node.accelerator else "")
+        ),
+        memory=(
+            f"{node.mem_bytes // 2**30} GiB/node, "
+            f"{node.mem_bandwidth / 1e9:.1f} GB/s"
+        ),
+        network=(
+            f"{machine.network.topology.name}, base latency "
+            f"{machine.network.base_latency * 1e6:.2f} us, "
+            f"{machine.network.bandwidth / 1e9:.1f} GB/s per link"
+        ),
+        compiler=dict(machine.software).get("compiler", ""),
+        runtime="; ".join(f"{k}={v}" for k, v in machine.software) or "simulated",
+        filesystem=NOT_APPLICABLE,
+        input=input_desc,
+        measurement=measurement_desc,
+        code="repro (this repository), deterministic seeds recorded",
+    )
+    spec.extra["simulated"] = (
+        f"machine model {machine.name!r} ({machine.description}); see DESIGN.md"
+    )
+    return spec

@@ -1,0 +1,149 @@
+"""Experiment orchestration: design × measurement → analyzed datasets.
+
+Ties the core pieces together: a :class:`~repro.core.design.FactorialDesign`
+supplies design points, a user measurement function produces values for each
+point, runs execute in randomized order (Section 4.1.1), and results land in
+per-point :class:`~repro.core.measurement.MeasurementSet` objects together
+with the environment description — everything a Rule 9-compliant report
+needs, in one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import DesignError, ValidationError
+from .design import FactorialDesign
+from .environment import EnvironmentSpec
+from .measurement import MeasurementSet
+
+__all__ = ["Experiment", "ExperimentResult"]
+
+PointKey = tuple[tuple[str, Any], ...]
+
+
+def _point_key(point: Mapping[str, Any]) -> PointKey:
+    """Canonical hashable key of a design point (replication stripped)."""
+    return tuple(sorted((k, v) for k, v in point.items() if k != "__rep__"))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All measurements of one experiment, keyed by design point."""
+
+    name: str
+    unit: str
+    environment: EnvironmentSpec | None
+    datasets: dict[PointKey, MeasurementSet]
+    run_order: tuple[PointKey, ...]
+
+    def points(self) -> list[dict[str, Any]]:
+        """The measured design points as dicts (canonical order)."""
+        return [dict(k) for k in self.datasets]
+
+    def get(self, **factors: Any) -> MeasurementSet:
+        """The dataset for the design point with the given factor values."""
+        key = _point_key(factors)
+        if key not in self.datasets:
+            raise ValidationError(
+                f"no dataset for {dict(key)!r}; have {[dict(k) for k in self.datasets]}"
+            )
+        return self.datasets[key]
+
+    def series(
+        self, factor: str, summary: Callable[[np.ndarray], float] = np.median
+    ) -> tuple[list[Any], list[float]]:
+        """(levels, summarized values) along one factor.
+
+        Only valid when *factor* is the single varying factor; raises
+        otherwise so nobody accidentally averages over hidden factors.
+        """
+        keys = list(self.datasets)
+        varying = {name for key in keys for name, _ in key}
+        if varying != {factor}:
+            raise ValidationError(
+                f"series() needs {factor!r} to be the only factor; "
+                f"design has {sorted(varying)}"
+            )
+        pairs = sorted((dict(k)[factor], v) for k, v in self.datasets.items())
+        levels = [p[0] for p in pairs]
+        values = [float(summary(p[1].values)) for p in pairs]
+        return levels, values
+
+    def describe(self) -> str:
+        """Readable multi-dataset summary with the environment checklist."""
+        lines = [f"experiment {self.name!r}: {len(self.datasets)} design point(s)"]
+        for key, ms in self.datasets.items():
+            s = ms.summary()
+            lines.append(
+                f"  {dict(key)!r}: n={ms.n} median={s.median:.6g} {self.unit} "
+                f"(CoV {s.cov:.3f})"
+            )
+        if self.environment is not None:
+            done, total = self.environment.completeness()
+            lines.append(f"environment documented: {done}/{total} categories")
+        return "\n".join(lines)
+
+
+@dataclass
+class Experiment:
+    """A runnable experiment definition.
+
+    Parameters
+    ----------
+    name:
+        Experiment identifier.
+    design:
+        The factorial design (factors, levels, replications).
+    measure:
+        ``measure(point, rep) -> float | ndarray`` producing one or more
+        measurement values for a design point.  It receives the replication
+        index so simulated workloads can derive per-replication seeds.
+    unit:
+        Unit of the returned values.
+    environment:
+        Setup documentation attached to the result (Rule 9).
+    order_seed:
+        Seed of the randomized run order.
+    """
+
+    name: str
+    design: FactorialDesign
+    measure: Callable[[dict[str, Any], int], float | np.ndarray]
+    unit: str = "s"
+    environment: EnvironmentSpec | None = None
+    order_seed: int = 0
+
+    def run(self) -> ExperimentResult:
+        """Execute all runs in randomized order and collect datasets."""
+        buckets: dict[PointKey, list[float]] = {}
+        order: list[PointKey] = []
+        for run in self.design.run_order(self.order_seed):
+            rep = run["__rep__"]
+            point = {k: v for k, v in run.items() if k != "__rep__"}
+            key = _point_key(point)
+            out = self.measure(point, rep)
+            values = np.atleast_1d(np.asarray(out, dtype=np.float64)).ravel()
+            if values.size == 0:
+                raise DesignError(f"measure() returned no values for {point!r}")
+            buckets.setdefault(key, []).extend(float(v) for v in values)
+            order.append(key)
+        datasets = {
+            key: MeasurementSet(
+                values=np.asarray(vals),
+                unit=self.unit,
+                name=f"{self.name} @ {dict(key)!r}",
+                metadata={"design": self.design.describe()},
+            )
+            for key, vals in buckets.items()
+        }
+        return ExperimentResult(
+            name=self.name,
+            unit=self.unit,
+            environment=self.environment,
+            datasets=datasets,
+            run_order=tuple(order),
+        )

@@ -1,0 +1,95 @@
+"""Fixed-work-quantum noise measurement on the *real* host.
+
+The simulated FWQ (:mod:`repro.simsys.noisebench`) characterizes model
+machines; this module runs the same protocol against the actual machine
+the library is executing on: busy-spin a calibrated quantum of work,
+time every iteration, and treat the excess over the observed floor as the
+host's noise (scheduler preemptions, SMIs, page faults, other tenants).
+
+Useful both as a real measurement tool and as the honest disclaimer
+generator for benchmarks run on shared machines (Rule 9: the environment
+includes the noise you cannot switch off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..simsys.noisebench import FWQResult
+from .timer import PerfTimer, Timer
+
+__all__ = ["HostNoiseReport", "measure_host_noise"]
+
+
+@dataclass(frozen=True)
+class HostNoiseReport:
+    """Host-noise measurement: the FWQ trace plus summary statistics."""
+
+    result: FWQResult
+    quantum_target: float
+    spin_chunk: int
+
+    def summary(self) -> str:
+        """Multi-line host-noise report for logs and papers."""
+        detours = self.result.detours * 1e6
+        return "\n".join(
+            [
+                f"host FWQ: {self.result.durations.size} quanta of "
+                f"~{self.result.quantum * 1e3:.2f} ms",
+                f"  noise fraction: {100 * self.result.noise_fraction:.2f}%",
+                f"  detours (us): median {np.median(detours):.1f}, "
+                f"p99 {np.quantile(detours, 0.99):.1f}, max {detours.max():.1f}",
+            ]
+        )
+
+
+def _spin(chunk: int) -> float:
+    """A fixed amount of pure-Python work; returns a value to defeat DCE."""
+    acc = 0.0
+    for i in range(chunk):
+        acc += i * 1e-9
+    return acc
+
+
+def measure_host_noise(
+    *,
+    quantum: float = 1e-3,
+    iterations: int = 500,
+    timer: Timer | None = None,
+) -> HostNoiseReport:
+    """Run the FWQ protocol on this host.
+
+    Calibrates a busy-spin loop to roughly *quantum* seconds, executes it
+    *iterations* times, and reports each iteration's duration.  The quantum
+    baseline is the *minimum observed* duration — the quietest the host got
+    — so detours are non-negative by construction.
+    """
+    check_positive(quantum, "quantum")
+    check_int(iterations, "iterations", minimum=20)
+    timer = timer or PerfTimer()
+
+    # Calibrate the spin chunk to the requested quantum.
+    chunk = 1000
+    while True:
+        t0 = timer.now()
+        _spin(chunk)
+        elapsed = timer.now() - t0
+        if elapsed >= quantum or chunk >= 1 << 28:
+            break
+        scale = quantum / max(elapsed, 1e-9)
+        chunk = int(chunk * min(max(scale, 1.5), 10.0))
+
+    durations = np.empty(iterations)
+    for i in range(iterations):
+        t0 = timer.now()
+        _spin(chunk)
+        durations[i] = timer.now() - t0
+    floor = float(durations.min())
+    return HostNoiseReport(
+        result=FWQResult(quantum=floor, durations=durations),
+        quantum_target=quantum,
+        spin_chunk=chunk,
+    )

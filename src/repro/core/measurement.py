@@ -1,0 +1,164 @@
+"""Measurement containers: values + unit + provenance.
+
+A :class:`MeasurementSet` is the unit of data flowing between the
+benchmark runner, the statistics engine, and the report layer.  It carries
+what Rule 5/9/10 demand be reported alongside the numbers: the unit, how
+many warmup iterations were dropped, whether values are per-event or
+k-batched means, whether the data is believed deterministic, and free-form
+metadata about the setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from .._validation import as_sample, check_int
+from ..errors import ValidationError
+from ..stats.ci import ConfidenceInterval, mean_ci, median_ci, quantile_ci
+from ..stats.normality import NormalityReport, diagnose
+from ..stats.summaries import Summary, summarize
+from .units import format_quantity
+
+__all__ = ["MeasurementSet"]
+
+
+@dataclass(frozen=True)
+class MeasurementSet:
+    """An immutable batch of measurements of one quantity.
+
+    Attributes
+    ----------
+    values:
+        The observations (read-only float64 array).
+    unit:
+        Measurement unit, e.g. ``"s"`` or ``"flop/s"``.
+    name:
+        What was measured (``"HPL completion time"``).
+    warmup_dropped:
+        Number of warmup iterations excluded before these values
+        (Section 4.1.2 "Warmup").
+    batch_k:
+        1 for per-event measurements; k > 1 means every value is the mean
+        of k events, which forfeits per-event CIs and exact ranks
+        (Section 4.2.1 "Measuring multiple events").
+    deterministic:
+        Declares the quantity deterministic (e.g. a flop count).  Rule 5
+        requires stating this; statistics that need spread refuse to run
+        on deterministic sets with zero variance pretensions.
+    metadata:
+        Free-form experimental-setup annotations.
+    """
+
+    values: np.ndarray
+    unit: str
+    name: str = "measurement"
+    warmup_dropped: int = 0
+    batch_k: int = 1
+    deterministic: bool = False
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = as_sample(self.values, what=self.name)
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+        check_int(self.warmup_dropped, "warmup_dropped", minimum=0)
+        check_int(self.batch_k, "batch_k", minimum=1)
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    @property
+    def n(self) -> int:
+        """Number of retained measurements."""
+        return len(self)
+
+    # -- derived sets --------------------------------------------------------
+
+    def with_metadata(self, **extra: Any) -> "MeasurementSet":
+        """A copy with additional metadata entries."""
+        md = {**self.metadata, **extra}
+        return replace(self, metadata=md)
+
+    def converted(self, factor: float, unit: str) -> "MeasurementSet":
+        """Unit conversion by a multiplicative factor (e.g. s -> us)."""
+        if factor <= 0:
+            raise ValidationError("conversion factor must be positive")
+        return replace(self, values=self.values * factor, unit=unit)
+
+    # -- statistics (thin delegations to repro.stats) -----------------------
+
+    def summary(self) -> Summary:
+        """Descriptive statistics of the sample."""
+        return summarize(self.values)
+
+    def mean_ci(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Student-t CI of the mean (check normality first, Rule 6)."""
+        return mean_ci(self.values, confidence)
+
+    def median_ci(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Nonparametric CI of the median.
+
+        Refused for k-batched data: ranks of batch means are not ranks of
+        events (Section 4.2.1).
+        """
+        self._require_per_event("median/rank statistics")
+        return median_ci(self.values, confidence)
+
+    def quantile_ci(self, q: float, confidence: float = 0.95) -> ConfidenceInterval:
+        """Nonparametric CI of quantile *q* (per-event data only)."""
+        self._require_per_event("quantile statistics")
+        return quantile_ci(self.values, q, confidence)
+
+    def normality(self, alpha: float = 0.05) -> NormalityReport:
+        """Run the Rule 6 normality diagnostic on the sample."""
+        return diagnose(self.values, alpha)
+
+    def _require_per_event(self, what: str) -> None:
+        if self.batch_k > 1:
+            raise ValidationError(
+                f"{what} requires per-event measurements, but this set holds "
+                f"means of k={self.batch_k} events (Section 4.2.1: measure "
+                f"single events to allow exact ranks and CIs)"
+            )
+
+    # -- presentation --------------------------------------------------------
+
+    def _fmt(self, value: float) -> str:
+        """Format with canonical prefixes when the unit is known, else plainly.
+
+        Users may store pre-scaled units ("us", "Gflop/s"); those are kept
+        verbatim rather than rejected.
+        """
+        try:
+            return format_quantity(value, self.unit)
+        except Exception:
+            return f"{value:.6g} {self.unit}"
+
+    def describe(self) -> str:
+        """Multi-line human-readable description with Rule-5 disclosure."""
+        s = self.summary()
+        det = "deterministic" if self.deterministic else "nondeterministic"
+        batching = (
+            "per-event"
+            if self.batch_k == 1
+            else f"means of k={self.batch_k} events"
+        )
+        lines = [
+            f"{self.name}: n={self.n} ({det}, {batching}, "
+            f"{self.warmup_dropped} warmup dropped)",
+            f"  mean   {self._fmt(s.mean)}"
+            f"   std {self._fmt(s.std)}   CoV {s.cov:.3f}",
+            f"  median {self._fmt(s.median)}"
+            f"   IQR [{self._fmt(s.q25)}, {self._fmt(s.q75)}]",
+            f"  range  [{self._fmt(s.minimum)}, {self._fmt(s.maximum)}]",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,403 @@
+"""The twelve rules as executable checks.
+
+The paper's contribution is a set of ground rules for interpretable
+benchmarking.  This module encodes each rule as a check over a declarative
+:class:`ExperimentDeclaration` — a structured statement of what an
+experiment did and what its report contains.  ``check_all`` produces a
+:class:`ReportCard` (what a reviewer armed with the paper would produce);
+``strict=True`` raises :class:`~repro.errors.RuleViolation` on the first
+failure, for use in CI pipelines that gate result publication.
+
+The rules (abbreviated; see the paper for full statements):
+
+ 1. state the speedup base case and its absolute performance;
+ 2. justify benchmark/application subsets and partial resource use;
+ 3. arithmetic mean only for costs, harmonic mean for rates;
+ 4. avoid summarizing ratios (geometric mean as last resort);
+ 5. report if data is deterministic; CIs for nondeterministic data;
+ 6. do not assume normality without diagnostic checking;
+ 7. compare nondeterministic data with statistically sound methods;
+ 8. consider whether mean/median are the right measures (tails!);
+ 9. document all factors, levels, and the complete setup;
+10. report parallel-time measurement, synchronization, and summarization;
+11. show upper performance bounds where possible;
+12. plot as much information as needed; connect points only for trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from ..errors import RuleViolation, ValidationError
+from .environment import EnvironmentSpec
+from .units import ambiguity_warnings
+
+__all__ = [
+    "SummaryDeclaration",
+    "PlotDeclaration",
+    "ExperimentDeclaration",
+    "RuleResult",
+    "ReportCard",
+    "check_all",
+    "RULE_TITLES",
+]
+
+RULE_TITLES: dict[int, str] = {
+    1: "speedup base case and absolute base performance",
+    2: "justify subsets of benchmarks/resources",
+    3: "arithmetic mean for costs, harmonic for rates",
+    4: "avoid summarizing ratios",
+    5: "declare determinism; report CIs",
+    6: "check normality before parametric statistics",
+    7: "statistically sound comparisons",
+    8: "right measure of central tendency (or percentiles)",
+    9: "document factors, levels, and setup",
+    10: "document parallel timing, sync, and rank summarization",
+    11: "show upper performance bounds",
+    12: "informative plots; lines only for trends",
+}
+
+
+@dataclass(frozen=True)
+class SummaryDeclaration:
+    """One summarized quantity in the report.
+
+    ``kind`` is the semantic class of the values (Rule 3/4); ``method`` the
+    mean used; ``costs_available`` whether the underlying costs/rates could
+    have been summarized instead of a ratio.
+    """
+
+    kind: Literal["cost", "rate", "ratio"]
+    method: Literal["arithmetic", "harmonic", "geometric", "median", "min", "max"]
+    costs_available: bool = True
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class PlotDeclaration:
+    """One figure in the report (Rule 12)."""
+
+    label: str
+    connects_points: bool = False
+    interpolation_valid: bool = True
+    shows_variability: bool = False
+    variability_stated_in_text: bool = False
+    caption: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentDeclaration:
+    """Everything the rules need to know about an experiment's report."""
+
+    # Rule 1
+    reports_speedup: bool = False
+    speedup_base_case: Literal["single_parallel_process", "best_serial", None] = None
+    base_absolute_performance: float | None = None
+    # Rule 2
+    uses_subset: bool = False
+    subset_reason: str = ""
+    uses_all_resources: bool = True
+    resource_reason: str = ""
+    # Rules 3-4
+    summaries: Sequence[SummaryDeclaration] = ()
+    # Rules 5-8
+    data_deterministic: bool = False
+    reports_confidence_intervals: bool = False
+    uses_parametric_statistics: bool = False
+    normality_checked: bool = False
+    compares_alternatives: bool = False
+    comparison_method: Literal[
+        "nonoverlapping_ci", "anova", "kruskal_wallis", "effect_size", "none"
+    ] = "none"
+    tail_sensitive_workload: bool = False
+    reports_percentiles: bool = False
+    # Rule 9
+    environment: EnvironmentSpec | None = None
+    factors_documented: bool = False
+    # Rule 10
+    is_parallel_measurement: bool = False
+    sync_method: str = ""
+    rank_summary_method: str = ""
+    # Rule 11
+    bounds_model_shown: bool = False
+    bounds_infeasible_reason: str = ""
+    # Rule 12
+    plots: Sequence[PlotDeclaration] = ()
+    # units hygiene (Section 2.1.2) — checked alongside the rules
+    reported_unit_strings: Sequence[str] = ()
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """Outcome of one rule check.
+
+    ``passed`` is ``None`` when the rule does not apply to the experiment
+    (e.g. Rule 1 when no speedups are reported).
+    """
+
+    rule_id: int
+    passed: bool | None
+    message: str
+
+    @property
+    def title(self) -> str:
+        return RULE_TITLES[self.rule_id]
+
+
+@dataclass(frozen=True)
+class ReportCard:
+    """All rule results plus unit-hygiene findings."""
+
+    results: tuple[RuleResult, ...]
+    unit_warnings: tuple[str, ...] = ()
+
+    @property
+    def failures(self) -> tuple[RuleResult, ...]:
+        return tuple(r for r in self.results if r.passed is False)
+
+    @property
+    def n_applicable(self) -> int:
+        return sum(1 for r in self.results if r.passed is not None)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures and not self.unit_warnings
+
+    def summary(self) -> str:
+        """Human-readable card: one line per rule plus unit findings."""
+        lines = [f"rules passed: {self.n_passed}/{self.n_applicable} applicable"]
+        for r in self.results:
+            mark = "n/a " if r.passed is None else ("pass" if r.passed else "FAIL")
+            lines.append(f"  [{mark}] rule {r.rule_id:>2}: {r.title} — {r.message}")
+        for w in self.unit_warnings:
+            lines.append(f"  [unit] {w}")
+        return "\n".join(lines)
+
+
+def _rule1(d: ExperimentDeclaration) -> RuleResult:
+    if not d.reports_speedup:
+        return RuleResult(1, None, "no speedups reported")
+    if d.speedup_base_case is None:
+        return RuleResult(
+            1, False, "speedup reported without stating the base case"
+        )
+    if d.base_absolute_performance is None:
+        return RuleResult(
+            1,
+            False,
+            "base case stated but its absolute performance is missing "
+            "(38% of surveyed speedup papers made this mistake)",
+        )
+    return RuleResult(
+        1,
+        True,
+        f"base case {d.speedup_base_case} at "
+        f"{d.base_absolute_performance:.6g} (absolute)",
+    )
+
+
+def _rule2(d: ExperimentDeclaration) -> RuleResult:
+    problems = []
+    if d.uses_subset and not d.subset_reason.strip():
+        problems.append("benchmark/application subset without a stated reason")
+    if not d.uses_all_resources and not d.resource_reason.strip():
+        problems.append("partial resource use (e.g. not all cores) unjustified")
+    if problems:
+        return RuleResult(2, False, "; ".join(problems))
+    if not d.uses_subset and d.uses_all_resources:
+        return RuleResult(2, True, "whole benchmarks on whole nodes")
+    return RuleResult(2, True, "subset/resource choices justified")
+
+
+def _rules34(d: ExperimentDeclaration) -> tuple[RuleResult, RuleResult]:
+    r3_problems, r4_problems = [], []
+    for s in d.summaries:
+        label = s.label or s.kind
+        if s.kind == "cost" and s.method == "harmonic":
+            r3_problems.append(f"{label}: harmonic mean on costs")
+        if s.kind == "cost" and s.method == "geometric":
+            r3_problems.append(f"{label}: geometric mean on costs")
+        if s.kind == "rate" and s.method == "arithmetic":
+            r3_problems.append(
+                f"{label}: arithmetic mean on rates (use harmonic, or average "
+                "the underlying costs)"
+            )
+        if s.kind == "ratio":
+            if s.costs_available:
+                r4_problems.append(
+                    f"{label}: ratio summarized although the underlying "
+                    "costs/rates are available"
+                )
+            elif s.method != "geometric" and s.method not in ("median", "min", "max"):
+                r4_problems.append(
+                    f"{label}: ratios averaged with the {s.method} mean "
+                    "(geometric is the only defensible choice)"
+                )
+    any_means = any(s.method in ("arithmetic", "harmonic", "geometric") for s in d.summaries)
+    r3 = (
+        RuleResult(3, None, "no mean-based summaries")
+        if not any_means
+        else RuleResult(3, not r3_problems, "; ".join(r3_problems) or "means match value semantics")
+    )
+    any_ratio = any(s.kind == "ratio" for s in d.summaries)
+    r4 = (
+        RuleResult(4, None, "no ratio summaries")
+        if not any_ratio
+        else RuleResult(4, not r4_problems, "; ".join(r4_problems) or "ratio handling acceptable")
+    )
+    return r3, r4
+
+
+def _rule5(d: ExperimentDeclaration) -> RuleResult:
+    if d.data_deterministic:
+        return RuleResult(5, True, "data declared deterministic")
+    if not d.reports_confidence_intervals:
+        return RuleResult(
+            5,
+            False,
+            "nondeterministic data without confidence intervals (only 2 of "
+            "95 surveyed papers reported CIs)",
+        )
+    return RuleResult(5, True, "CIs reported for nondeterministic data")
+
+
+def _rule6(d: ExperimentDeclaration) -> RuleResult:
+    if not d.uses_parametric_statistics:
+        return RuleResult(6, None, "no parametric statistics used")
+    if not d.normality_checked:
+        return RuleResult(
+            6, False, "parametric statistics without a normality diagnostic"
+        )
+    return RuleResult(6, True, "normality checked before parametric statistics")
+
+
+def _rule7(d: ExperimentDeclaration) -> RuleResult:
+    if not d.compares_alternatives:
+        return RuleResult(7, None, "no cross-system/-technique comparison")
+    if d.data_deterministic:
+        return RuleResult(7, True, "deterministic comparison (no test needed)")
+    if d.comparison_method == "none":
+        return RuleResult(
+            7,
+            False,
+            "nondeterministic results compared without a statistical test "
+            "(none of the 95 surveyed papers did this soundly)",
+        )
+    return RuleResult(7, True, f"comparison via {d.comparison_method}")
+
+
+def _rule8(d: ExperimentDeclaration) -> RuleResult:
+    if not d.tail_sensitive_workload:
+        return RuleResult(8, None, "central tendency is the question")
+    if not d.reports_percentiles:
+        return RuleResult(
+            8,
+            False,
+            "tail-sensitive workload summarized only by mean/median "
+            "(report high percentiles or quantile regression)",
+        )
+    return RuleResult(8, True, "tail percentiles reported")
+
+
+def _rule9(d: ExperimentDeclaration) -> RuleResult:
+    problems = []
+    if d.environment is None:
+        problems.append("no environment description at all")
+    else:
+        missing = d.environment.missing()
+        if missing:
+            problems.append(f"undocumented setup categories: {', '.join(missing)}")
+    if not d.factors_documented:
+        problems.append("varying factors/levels not documented")
+    if problems:
+        return RuleResult(9, False, "; ".join(problems))
+    return RuleResult(9, True, "setup and factors fully documented")
+
+
+def _rule10(d: ExperimentDeclaration) -> RuleResult:
+    if not d.is_parallel_measurement:
+        return RuleResult(10, None, "not a parallel time measurement")
+    problems = []
+    if not d.sync_method.strip():
+        problems.append("synchronization method unstated")
+    if not d.rank_summary_method.strip():
+        problems.append("cross-process summarization unstated")
+    if problems:
+        return RuleResult(10, False, "; ".join(problems))
+    return RuleResult(
+        10, True, f"sync: {d.sync_method}; rank summary: {d.rank_summary_method}"
+    )
+
+
+def _rule11(d: ExperimentDeclaration) -> RuleResult:
+    if d.bounds_model_shown:
+        return RuleResult(11, True, "upper performance bound shown")
+    if d.bounds_infeasible_reason.strip():
+        return RuleResult(
+            11, True, f"bounds infeasible: {d.bounds_infeasible_reason}"
+        )
+    return RuleResult(
+        11, False, "no performance bound shown and no reason given"
+    )
+
+
+def _rule12(d: ExperimentDeclaration) -> RuleResult:
+    if not d.plots:
+        return RuleResult(12, None, "no plots declared")
+    problems = []
+    for p in d.plots:
+        if p.connects_points and not p.interpolation_valid:
+            problems.append(
+                f"{p.label}: points connected by lines without a valid "
+                "trend/interpolation"
+            )
+        if not d.data_deterministic and not (
+            p.shows_variability or p.variability_stated_in_text
+        ):
+            problems.append(
+                f"{p.label}: no variability shown in the plot or stated in text"
+            )
+    if problems:
+        return RuleResult(12, False, "; ".join(problems))
+    return RuleResult(12, True, f"{len(d.plots)} plot(s) pass")
+
+
+def check_all(decl: ExperimentDeclaration, *, strict: bool = False) -> ReportCard:
+    """Check an experiment declaration against all twelve rules.
+
+    With ``strict=True`` the first failing rule raises
+    :class:`RuleViolation` instead of being collected.
+    """
+    if not isinstance(decl, ExperimentDeclaration):
+        raise ValidationError("check_all expects an ExperimentDeclaration")
+    r3, r4 = _rules34(decl)
+    results = (
+        _rule1(decl),
+        _rule2(decl),
+        r3,
+        r4,
+        _rule5(decl),
+        _rule6(decl),
+        _rule7(decl),
+        _rule8(decl),
+        _rule9(decl),
+        _rule10(decl),
+        _rule11(decl),
+        _rule12(decl),
+    )
+    unit_warnings = []
+    for text in decl.reported_unit_strings:
+        for w in ambiguity_warnings(text):
+            unit_warnings.append(f"{text!r}: {w}")
+    if strict:
+        for r in results:
+            if r.passed is False:
+                raise RuleViolation(r.rule_id, r.message)
+        if unit_warnings:
+            raise RuleViolation(0, unit_warnings[0])
+    return ReportCard(results=results, unit_warnings=tuple(unit_warnings))

@@ -1,0 +1,177 @@
+"""Stopping rules: how many repetitions to run (Section 4.2.2).
+
+The benchmark runner consults a stopping rule after every measurement.
+Three concrete rules:
+
+* :class:`FixedCount` — the traditional "run n times";
+* :class:`CIWidthRule` — the paper's recommendation: stop once the 1−α CI
+  of the chosen statistic is within e·statistic (wraps
+  :class:`repro.stats.samplesize.SequentialChecker`);
+* :class:`BudgetRule` — stop after a wall-time or count budget, whichever
+  comes first (supercomputer time is expensive).
+
+Rules compose: ``CIWidthRule(...) | BudgetRule(...)`` stops when *either*
+is satisfied, which is the recommended production configuration (precision
+target with a safety budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from .._validation import check_int, check_positive
+from ..stats.samplesize import SequentialChecker
+
+__all__ = ["StoppingRule", "FixedCount", "CIWidthRule", "BudgetRule", "EitherRule"]
+
+
+class StoppingRule(Protocol):
+    """Decides after each measurement whether enough data was collected."""
+
+    def update(self, value: float, elapsed: float) -> bool:
+        """Record one measurement (and total elapsed seconds); True = stop."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all recorded measurements (rules are reusable)."""
+        ...
+
+    def describe(self) -> str:
+        """The methodology sentence for the experiment report."""
+        ...
+
+
+class _RuleOps:
+    """Mixin providing composition with ``|``."""
+
+    def __or__(self, other: "StoppingRule") -> "EitherRule":
+        return EitherRule(self, other)  # type: ignore[arg-type]
+
+
+@dataclass
+class FixedCount(_RuleOps):
+    """Stop after exactly *n* measurements."""
+
+    n: int
+    _seen: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_int(self.n, "n", minimum=1)
+
+    def update(self, value: float, elapsed: float) -> bool:
+        """Count one measurement; stop at the n-th."""
+        self._seen += 1
+        return self._seen >= self.n
+
+    def reset(self) -> None:
+        """Restart the repetition counter."""
+        self._seen = 0
+
+    def describe(self) -> str:
+        """The methodology sentence: fixed n."""
+        return f"fixed repetition count n={self.n}"
+
+
+class CIWidthRule(_RuleOps):
+    """Stop when the CI of the target statistic is tight enough.
+
+    Parameters mirror :class:`~repro.stats.samplesize.SequentialChecker`:
+    ``statistic`` is ``"mean"``, ``"median"``, or a quantile in (0, 1);
+    ``relative_error`` the target CI half... full width relative to the
+    estimate; ``check_every`` the recomputation stride k.
+    """
+
+    def __init__(
+        self,
+        relative_error: float = 0.05,
+        confidence: float = 0.95,
+        statistic: str | float = "median",
+        check_every: int = 1,
+    ) -> None:
+        self._args = dict(
+            relative_error=relative_error,
+            confidence=confidence,
+            statistic=statistic,
+            check_every=check_every,
+        )
+        self._checker = SequentialChecker(**self._args)
+
+    def update(self, value: float, elapsed: float) -> bool:
+        """Feed the sequential checker; stop when the CI is tight."""
+        return self._checker.add(value)
+
+    def reset(self) -> None:
+        """Discard accumulated measurements and CI state."""
+        self._checker = SequentialChecker(**self._args)
+
+    @property
+    def checker(self) -> SequentialChecker:
+        """The underlying sequential checker (exposes the current CI)."""
+        return self._checker
+
+    def describe(self) -> str:
+        """The Rule 5 disclosure sentence for this rule."""
+        return self._checker.describe()
+
+
+@dataclass
+class BudgetRule(_RuleOps):
+    """Stop when a time budget or a count budget is exhausted."""
+
+    max_seconds: float | None = None
+    max_n: int | None = None
+    _seen: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is None and self.max_n is None:
+            raise ValueError("budget rule needs max_seconds or max_n")
+        if self.max_seconds is not None:
+            check_positive(self.max_seconds, "max_seconds")
+        if self.max_n is not None:
+            check_int(self.max_n, "max_n", minimum=1)
+
+    def update(self, value: float, elapsed: float) -> bool:
+        """Count the measurement and elapsed time against the budget."""
+        self._seen += 1
+        if self.max_n is not None and self._seen >= self.max_n:
+            return True
+        if self.max_seconds is not None and elapsed >= self.max_seconds:
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Restart the budget counters."""
+        self._seen = 0
+
+    def describe(self) -> str:
+        """The methodology sentence: the budget limits."""
+        parts = []
+        if self.max_n is not None:
+            parts.append(f"at most {self.max_n} repetitions")
+        if self.max_seconds is not None:
+            parts.append(f"at most {self.max_seconds:g} s of measurement")
+        return " and ".join(parts)
+
+
+@dataclass
+class EitherRule(_RuleOps):
+    """Stop as soon as either sub-rule is satisfied."""
+
+    first: StoppingRule
+    second: StoppingRule
+
+    def update(self, value: float, elapsed: float) -> bool:
+        """Update both sub-rules; stop when either is satisfied."""
+        a = self.first.update(value, elapsed)
+        b = self.second.update(value, elapsed)
+        return a or b
+
+    def reset(self) -> None:
+        """Reset both sub-rules."""
+        self.first.reset()
+        self.second.reset()
+
+    def describe(self) -> str:
+        """Combined methodology sentence of both sub-rules."""
+        return f"{self.first.describe()}, or {self.second.describe()}"

@@ -1,0 +1,128 @@
+"""Summarizing measurements across processes (Section 4.2.1, Rule 10).
+
+After measuring n events on P processes there are n·P values.  The paper:
+"we recommend performing an ANOVA test to determine if the timings of
+different processes are significantly different.  If the test indicates no
+significant difference, then all values can be considered from the same
+population.  Otherwise, more detailed investigations may be necessary" —
+with maximum or median as the common cross-process summaries (the paper
+advises against non-robust min/max summaries unless worst-case behaviour
+is the question, as in Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_prob
+from ..errors import ValidationError
+from ..stats.compare import TestOutcome, kruskal_wallis, one_way_anova
+
+__all__ = ["RankSummary", "summarize_across_ranks", "per_rank_boxstats"]
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Outcome of the Rule 10 cross-process summarization procedure.
+
+    Attributes
+    ----------
+    anova, kruskal:
+        Homogeneity tests across ranks (means and medians respectively).
+    homogeneous:
+        True when neither test rejects at the chosen alpha — values may be
+        pooled into one population.
+    pooled:
+        All n·P values if homogeneous, else None.
+    per_rank_median, per_rank_mean:
+        Per-rank summaries (always available).
+    max_over_ranks, median_over_ranks:
+        Per-repetition summaries across ranks: the worst-case and typical
+        process view of each repetition.
+    """
+
+    anova: TestOutcome
+    kruskal: TestOutcome
+    alpha: float
+    homogeneous: bool
+    pooled: np.ndarray | None
+    per_rank_median: np.ndarray
+    per_rank_mean: np.ndarray
+    max_over_ranks: np.ndarray
+    median_over_ranks: np.ndarray
+
+    def recommendation(self) -> str:
+        """Rule 10 guidance given the homogeneity verdict."""
+        if self.homogeneous:
+            return (
+                "rank timings are statistically homogeneous; pool all values "
+                "and report a single distribution"
+            )
+        return (
+            "rank timings differ significantly; do not pool — report "
+            "per-rank distributions (e.g. Figure 6 box plots) and state the "
+            "cross-rank summary used (median or max), per Rule 10"
+        )
+
+
+def summarize_across_ranks(times: np.ndarray, alpha: float = 0.05) -> RankSummary:
+    """Run the paper's cross-process summarization procedure.
+
+    *times* is the ``(n, P)`` array produced by the simulated collectives:
+    n repetitions by P ranks.
+    """
+    check_prob(alpha, "alpha")
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] < 2 or arr.shape[1] < 2:
+        raise ValidationError(f"times must be (n>=2, P>=2), got shape {arr.shape}")
+    groups = [arr[:, r] for r in range(arr.shape[1])]
+    anova = one_way_anova(groups)
+    kruskal = kruskal_wallis(groups)
+    homogeneous = not (anova.significant(alpha) or kruskal.significant(alpha))
+    return RankSummary(
+        anova=anova,
+        kruskal=kruskal,
+        alpha=alpha,
+        homogeneous=homogeneous,
+        pooled=arr.ravel().copy() if homogeneous else None,
+        per_rank_median=np.median(arr, axis=0),
+        per_rank_mean=arr.mean(axis=0),
+        max_over_ranks=arr.max(axis=1),
+        median_over_ranks=np.median(arr, axis=1),
+    )
+
+
+def per_rank_boxstats(times: np.ndarray) -> list[dict[str, float]]:
+    """Box-plot statistics per rank with 1.5 IQR whiskers (Figure 6).
+
+    Returns one dict per rank: q1/median/q3, whisker positions (lowest and
+    highest observations inside 1.5 IQR of the box, the figure's stated
+    whisker semantics), and the outlier count.
+    """
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"times must be 2-D (n, P), got shape {arr.shape}")
+    out = []
+    q1s = np.quantile(arr, 0.25, axis=0)
+    meds = np.quantile(arr, 0.5, axis=0)
+    q3s = np.quantile(arr, 0.75, axis=0)
+    for r in range(arr.shape[1]):
+        col = arr[:, r]
+        q1, med, q3 = float(q1s[r]), float(meds[r]), float(q3s[r])
+        iqr = q3 - q1
+        lo_fence, hi_fence = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+        inside = col[(col >= lo_fence) & (col <= hi_fence)]
+        out.append(
+            {
+                "rank": float(r),
+                "q1": q1,
+                "median": med,
+                "q3": q3,
+                "whisker_low": float(inside.min()) if inside.size else q1,
+                "whisker_high": float(inside.max()) if inside.size else q3,
+                "n_outliers": float(col.size - inside.size),
+            }
+        )
+    return out

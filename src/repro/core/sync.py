@@ -1,0 +1,156 @@
+"""Synchronizing parallel time measurements (Section 4.2.1, Rule 10).
+
+Asynchronous machines have no common clock; starting a collective "at the
+same time" on all processes needs a protocol.  The paper recommends the
+*window scheme*: a master synchronizes every process's clock, then
+broadcasts a start time far enough in the future that the broadcast
+arrives first; each process spins until its (offset-corrected) local clock
+reaches the start time.  The commonly used alternative — an MPI barrier —
+gives no timing guarantee and leaves processes skewed by the barrier's own
+exit spread.
+
+This module implements both against simulated clocks and returns the
+*true* per-process start times, so the residual skew of each scheme is
+directly measurable (the Rule 10 ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..errors import SimulationError, ValidationError
+from ..simsys.clock import SimClock
+from ..simsys.noise import NoiseModel
+
+__all__ = ["ClockEnsemble", "estimate_offsets", "window_start", "barrier_start"]
+
+
+@dataclass
+class ClockEnsemble:
+    """P process clocks plus the network connecting them.
+
+    ``latency`` samples one-way master<->worker message latencies
+    (seconds); it receives the rng and a count, like a noise model.
+    """
+
+    clocks: Sequence[SimClock]
+    base_latency: float
+    latency_noise: NoiseModel
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if len(self.clocks) < 1:
+            raise ValidationError("ensemble needs at least one clock")
+        check_positive(self.base_latency, "base_latency")
+
+    @property
+    def nprocs(self) -> int:
+        """Number of processes (clock 0 is the master)."""
+        return len(self.clocks)
+
+    def one_way(self, n: int) -> np.ndarray:
+        """Sample *n* one-way latencies."""
+        return self.base_latency + self.latency_noise.sample(self.rng, n)
+
+
+def estimate_offsets(
+    ensemble: ClockEnsemble, *, n_pings: int = 10, at_true_time: float = 0.0
+) -> np.ndarray:
+    """Estimate each clock's offset from the master clock by ping-pong.
+
+    Classic Cristian-style exchange: the master reads t₁, pings the worker,
+    the worker replies with its reading θ, the master reads t₂ on receipt;
+    one exchange estimates ``offset ≈ θ − (t₁ + t₂)/2``.  The *minimum-RTT*
+    exchange of ``n_pings`` attempts is kept (its latency is the most
+    symmetric), which is how careful implementations (the paper's [25])
+    reduce the error from latency noise.
+
+    Returns offsets such that ``worker_reading − offset ≈ master_reading``
+    at the same true instant; element 0 is 0 by construction.
+    """
+    check_int(n_pings, "n_pings", minimum=1)
+    master = ensemble.clocks[0]
+    offsets = np.zeros(ensemble.nprocs)
+    for r in range(1, ensemble.nprocs):
+        worker = ensemble.clocks[r]
+        go = ensemble.one_way(n_pings)
+        back = ensemble.one_way(n_pings)
+        best_rtt = math.inf
+        best_offset = 0.0
+        t_true = at_true_time
+        for i in range(n_pings):
+            t1 = master.observe(t_true)
+            worker_reading = worker.observe(t_true + go[i])
+            t2 = master.observe(t_true + go[i] + back[i])
+            rtt = t2 - t1
+            if rtt < best_rtt:
+                best_rtt = rtt
+                best_offset = worker_reading - 0.5 * (t1 + t2)
+            t_true += go[i] + back[i] + 1e-6  # tiny gap between exchanges
+        offsets[r] = best_offset
+    return offsets
+
+
+def window_start(
+    ensemble: ClockEnsemble,
+    offsets: np.ndarray,
+    *,
+    window: float,
+    at_true_time: float = 0.0,
+) -> np.ndarray:
+    """True start times under the window scheme; ideal result: all equal.
+
+    The master announces (broadcast, taking one message latency per
+    process) a start reading ``S = master_now + window`` on *its* clock;
+    process r spins until its local clock reads ``S + offsets[r]``.
+    Raises :class:`SimulationError` if the window is too small and the
+    announcement reaches some process after its start deadline — exactly
+    the failure mode the paper warns the window must preclude.
+    """
+    check_positive(window, "window")
+    offsets = np.asarray(offsets, dtype=np.float64)
+    if offsets.shape != (ensemble.nprocs,):
+        raise ValidationError("offsets must have one entry per process")
+    master = ensemble.clocks[0]
+    start_reading = master.observe(at_true_time) + window
+    arrival = at_true_time + ensemble.one_way(ensemble.nprocs)
+    arrival[0] = at_true_time
+    starts = np.empty(ensemble.nprocs)
+    for r, clock in enumerate(ensemble.clocks):
+        local_deadline = start_reading + offsets[r]
+        t_start = clock.invert(local_deadline)
+        if arrival[r] > t_start:
+            raise SimulationError(
+                f"window {window:.3g}s too small: broadcast reached rank {r} "
+                f"after its start deadline"
+            )
+        starts[r] = t_start
+    return starts
+
+
+def barrier_start(ensemble: ClockEnsemble, *, at_true_time: float = 0.0) -> np.ndarray:
+    """True start times after a dissemination barrier (the common practice).
+
+    Processes leave the barrier spread by the accumulated message-latency
+    noise of ⌈log₂ P⌉ rounds — no clock correction at all.  Compare its
+    spread (``ptp``) with :func:`window_start`'s to quantify what Rule 10's
+    recommended scheme buys.
+    """
+    P = ensemble.nprocs
+    t = np.full(P, at_true_time)
+    if P == 1:
+        return t
+    rounds = math.ceil(math.log2(P))
+    for k in range(rounds):
+        shift = 1 << k
+        lat = ensemble.one_way(P)
+        arrive = np.empty(P)
+        for r in range(P):
+            arrive[(r + shift) % P] = t[r] + lat[r]
+        t = np.maximum(t, arrive)
+    return t

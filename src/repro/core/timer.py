@@ -1,0 +1,248 @@
+"""Timers with measured resolution and overhead (paper Section 4.2.1).
+
+LibSciBench "automatically reports the timer resolution and overhead on the
+target architecture" and warns when measurement intervals are too small;
+the paper's concrete criteria are
+
+* timer **overhead** must stay below ~5 % of the measured interval, and
+* timer **precision** (resolution) should be ~10× finer than the interval.
+
+This module provides a :class:`Timer` protocol, the real
+``perf_counter_ns``-backed timer, a virtual timer over a simulated
+:class:`~repro.simsys.clock.SimClock`, a calibration routine measuring
+resolution/overhead empirically, and :func:`check_interval` implementing
+the two criteria.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..errors import TimerError
+from ..simsys.clock import SimClock
+
+__all__ = [
+    "Timer",
+    "PerfTimer",
+    "MonotonicTimer",
+    "ProcessTimer",
+    "SimTimer",
+    "TimerCalibration",
+    "calibrate",
+    "IntervalCheck",
+    "check_interval",
+    "MIN_OVERHEAD_FRACTION",
+    "MIN_RESOLUTION_MULTIPLE",
+]
+
+#: Paper's suggested ceilings: overhead < 5% of the interval, and the
+#: interval at least 10x the timer resolution.
+MIN_OVERHEAD_FRACTION = 0.05
+MIN_RESOLUTION_MULTIPLE = 10.0
+
+
+class Timer(Protocol):
+    """A monotonic clock returning seconds."""
+
+    name: str
+
+    def now(self) -> float:
+        """Current reading in seconds (monotonic, arbitrary epoch)."""
+        ...
+
+
+class PerfTimer:
+    """Wall-clock timer backed by :func:`time.perf_counter_ns`.
+
+    The highest-resolution monotonic clock Python exposes; on Linux this is
+    ``CLOCK_MONOTONIC`` (~ns granularity, tens of ns per call).
+    """
+
+    name = "perf_counter_ns"
+
+    def now(self) -> float:
+        """Current perf_counter reading in seconds."""
+        return time.perf_counter_ns() * 1e-9
+
+
+class MonotonicTimer:
+    """Wall-clock timer backed by :func:`time.monotonic_ns`.
+
+    Often the same kernel clock as :class:`PerfTimer` but may be coarser on
+    some platforms — calibrate rather than assume (the whole point of
+    Section 4.2.1).
+    """
+
+    name = "monotonic_ns"
+
+    def now(self) -> float:
+        """Current monotonic reading in seconds."""
+        return time.monotonic_ns() * 1e-9
+
+
+class ProcessTimer:
+    """CPU-time timer backed by :func:`time.process_time_ns`.
+
+    Counts CPU time of this process only — it excludes sleeps and other
+    processes' interference, which makes it the *wrong* clock for measuring
+    parallel communication (waiting is real cost there) but a useful
+    cross-check for compute-bound kernels.
+    """
+
+    name = "process_time_ns"
+
+    def now(self) -> float:
+        """CPU time consumed by this process, in seconds."""
+        return time.process_time_ns() * 1e-9
+
+
+@dataclass
+class SimTimer:
+    """A virtual timer over a simulated process clock.
+
+    Holds the current *true* simulation time and advances it on every read
+    (clock read overhead) and via :meth:`advance` (simulated work).  Lets
+    the whole measurement stack run deterministically in tests.
+    """
+
+    clock: SimClock
+    true_time: float = 0.0
+    name: str = "sim"
+
+    def now(self) -> float:
+        """Read the simulated clock (accrues its read overhead)."""
+        reading, self.true_time = self.clock.read(self.true_time)
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Let *seconds* of simulated work elapse."""
+        if seconds < 0:
+            raise TimerError("cannot advance time backwards")
+        self.true_time += seconds
+
+
+@dataclass(frozen=True)
+class TimerCalibration:
+    """Empirically measured timer properties (what LibSciBench reports).
+
+    ``resolution`` is the smallest observable nonzero increment;
+    ``overhead`` the cost of one ``now()`` call.  Both in seconds.
+    """
+
+    timer_name: str
+    resolution: float
+    overhead: float
+    samples: int
+
+    def smallest_measurable_interval(self) -> float:
+        """Shortest interval satisfying both paper criteria.
+
+        The binding constraint is the larger of (overhead / 5 %) and
+        (10 × resolution) — below this, single-event measurement is
+        unsound and k-batching is required.
+        """
+        return max(
+            self.overhead / MIN_OVERHEAD_FRACTION,
+            MIN_RESOLUTION_MULTIPLE * self.resolution,
+        )
+
+    def describe(self) -> str:
+        """One-line report, as LibSciBench prints at startup."""
+        return (
+            f"timer {self.timer_name}: resolution {self.resolution:.3g} s, "
+            f"overhead {self.overhead:.3g} s/call, smallest sound interval "
+            f"{self.smallest_measurable_interval():.3g} s"
+        )
+
+
+def calibrate(timer: Timer, samples: int = 10_000) -> TimerCalibration:
+    """Measure a timer's resolution and per-call overhead.
+
+    Resolution: the smallest positive difference between consecutive
+    readings.  Overhead: total time of *samples* back-to-back reads divided
+    by the count (median-of-batches to resist interference).
+    """
+    check_int(samples, "samples", minimum=100)
+    readings = np.empty(samples)
+    for i in range(samples):
+        readings[i] = timer.now()
+    diffs = np.diff(readings)
+    positive = diffs[diffs > 0]
+    if positive.size == 0:
+        raise TimerError(
+            f"timer {timer.name!r} never advanced over {samples} reads; "
+            "it is unusable for this platform"
+        )
+    resolution = float(positive.min())
+    # Overhead: mean spacing of back-to-back reads, computed per batch and
+    # summarized with the median to shrug off scheduler interference.
+    n_batches = 10
+    batch = (samples - 1) // n_batches
+    spans = [
+        (readings[(i + 1) * batch] - readings[i * batch]) / batch
+        for i in range(n_batches)
+        if (i + 1) * batch < samples
+    ]
+    overhead = float(np.median(spans))
+    return TimerCalibration(
+        timer_name=timer.name,
+        resolution=resolution,
+        overhead=max(overhead, 0.0),
+        samples=samples,
+    )
+
+
+@dataclass(frozen=True)
+class IntervalCheck:
+    """Verdict on measuring an interval with a calibrated timer."""
+
+    interval: float
+    overhead_fraction: float
+    resolution_multiple: float
+    ok: bool
+    warnings: tuple[str, ...]
+
+    def recommended_batch(self) -> int:
+        """The k needed so k·interval passes both criteria (1 if already ok).
+
+        The paper's escape hatch: "Microbenchmarks can simply be adapted to
+        measure multiple events if the timer resolution or overhead are not
+        sufficient" — at the cost of per-event statistics (Section 4.2.1).
+        """
+        if self.ok:
+            return 1
+        need_overhead = self.overhead_fraction / MIN_OVERHEAD_FRACTION
+        need_resolution = MIN_RESOLUTION_MULTIPLE / max(self.resolution_multiple, 1e-300)
+        return int(np.ceil(max(need_overhead, need_resolution, 1.0)))
+
+
+def check_interval(calibration: TimerCalibration, interval: float) -> IntervalCheck:
+    """Apply the paper's two timing criteria to a measurement interval."""
+    check_positive(interval, "interval")
+    overhead_fraction = calibration.overhead / interval
+    resolution_multiple = (
+        interval / calibration.resolution if calibration.resolution > 0 else np.inf
+    )
+    warnings = []
+    if overhead_fraction > MIN_OVERHEAD_FRACTION:
+        warnings.append(
+            f"timer overhead is {100 * overhead_fraction:.1f}% of the "
+            f"interval (suggest < {100 * MIN_OVERHEAD_FRACTION:.0f}%)"
+        )
+    if resolution_multiple < MIN_RESOLUTION_MULTIPLE:
+        warnings.append(
+            f"interval is only {resolution_multiple:.1f}x the timer "
+            f"resolution (suggest >= {MIN_RESOLUTION_MULTIPLE:.0f}x)"
+        )
+    return IntervalCheck(
+        interval=float(interval),
+        overhead_fraction=float(overhead_fraction),
+        resolution_multiple=float(resolution_multiple),
+        ok=not warnings,
+        warnings=tuple(warnings),
+    )

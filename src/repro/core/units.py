@@ -1,0 +1,275 @@
+"""Unambiguous units and quantity formatting (paper Section 2.1.2).
+
+The paper documents "general sloppiness in reporting results": MFLOPs that
+might be a rate or a count, KB that might be 1000 or 1024 bytes.  Following
+the PARKBENCH recommendations it adopts
+
+* ``flop`` for floating-point operations (singular and plural),
+* ``flop/s`` for the rate,
+* ``B`` for bytes and ``b`` for bits,
+* IEC 60027-2 binary prefixes (``Ki``, ``Mi``, …) whenever base-2
+  qualifiers are meant.
+
+This module provides a small quantity type enforcing those conventions,
+formatting/parsing helpers, and an ambiguity linter that flags the
+notations the paper calls out (only 2 of 95 surveyed papers were fully
+unambiguous).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import UnitError
+
+__all__ = [
+    "SI_PREFIXES",
+    "IEC_PREFIXES",
+    "Quantity",
+    "format_quantity",
+    "parse_quantity",
+    "ambiguity_warnings",
+]
+
+#: SI decimal prefixes (symbol -> factor).
+SI_PREFIXES: dict[str, float] = {
+    "": 1.0,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "k": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+    "P": 1e15,
+    "E": 1e18,
+}
+
+#: IEC 60027-2 binary prefixes (symbol -> factor).
+IEC_PREFIXES: dict[str, float] = {
+    "Ki": 2.0**10,
+    "Mi": 2.0**20,
+    "Gi": 2.0**30,
+    "Ti": 2.0**40,
+    "Pi": 2.0**50,
+    "Ei": 2.0**60,
+}
+
+#: Units the library understands.  Rates are written with '/'.
+_KNOWN_UNITS = {
+    "s",
+    "flop",
+    "B",
+    "b",
+    "W",
+    "J",
+    "op",
+    "msg",
+    "flop/s",
+    "B/s",
+    "b/s",
+    "op/s",
+    "msg/s",
+    "flop/W",
+    "flop/B",
+}
+
+_ASCENDING_SI = [
+    ("", 1.0),
+    ("k", 1e3),
+    ("M", 1e6),
+    ("G", 1e9),
+    ("T", 1e12),
+    ("P", 1e15),
+    ("E", 1e18),
+]
+_DESCENDING_SUB = [("m", 1e-3), ("u", 1e-6), ("n", 1e-9)]
+
+
+def _check_unit(unit: str) -> str:
+    if unit not in _KNOWN_UNITS:
+        raise UnitError(
+            f"unknown unit {unit!r}; known units: {sorted(_KNOWN_UNITS)} "
+            f"(use 'flop' not 'FLOPS', 'B' for bytes, 'b' for bits)"
+        )
+    return unit
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A value with an explicit, validated unit (always stored unscaled).
+
+    Arithmetic keeps units honest: adding mismatched units raises, and
+    dividing two quantities produces the correct rate unit where known.
+    """
+
+    value: float
+    unit: str
+
+    def __post_init__(self) -> None:
+        _check_unit(self.unit)
+        if not math.isfinite(self.value):
+            raise UnitError(f"non-finite quantity value {self.value!r}")
+
+    def __add__(self, other: "Quantity") -> "Quantity":
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        if other.unit != self.unit:
+            raise UnitError(f"cannot add {self.unit!r} and {other.unit!r}")
+        return Quantity(self.value + other.value, self.unit)
+
+    def __sub__(self, other: "Quantity") -> "Quantity":
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        if other.unit != self.unit:
+            raise UnitError(f"cannot subtract {other.unit!r} from {self.unit!r}")
+        return Quantity(self.value - other.value, self.unit)
+
+    def __truediv__(self, other: "Quantity | float") -> "Quantity | float":
+        if isinstance(other, (int, float)):
+            return Quantity(self.value / other, self.unit)
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        if other.value == 0:
+            raise UnitError("division by a zero quantity")
+        if other.unit == self.unit:
+            return self.value / other.value  # dimensionless ratio
+        rate_unit = f"{self.unit}/{other.unit}"
+        if rate_unit in _KNOWN_UNITS:
+            return Quantity(self.value / other.value, rate_unit)
+        raise UnitError(f"unsupported rate unit {rate_unit!r}")
+
+    def __mul__(self, factor: float) -> "Quantity":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return Quantity(self.value * factor, self.unit)
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return format_quantity(self.value, self.unit)
+
+
+def format_quantity(
+    value: float,
+    unit: str,
+    *,
+    binary: bool = False,
+    precision: int = 4,
+) -> str:
+    """Format a value with an auto-selected unambiguous prefix.
+
+    ``binary=True`` uses IEC prefixes (allowed for B and b only, where
+    base-2 sizes are conventional): ``format_quantity(2**25, "B",
+    binary=True) == "32 MiB"``.  Decimal formatting picks the SI prefix
+    that puts the mantissa in [1, 1000).
+    """
+    _check_unit(unit)
+    if not math.isfinite(value):
+        raise UnitError(f"cannot format non-finite value {value!r}")
+    if binary and unit not in ("B", "b"):
+        raise UnitError("binary (IEC) prefixes are only used for B and b")
+    # Sizes in B/b are always printed with IEC prefixes: a bare "MB" is
+    # exactly the ambiguity Section 2.1.2 complains about, and this
+    # formatter must never produce strings its own linter would flag.
+    if unit in ("B", "b") and abs(value) >= 1000.0:
+        binary = True
+    if binary:
+        mag = abs(value)
+        chosen = ("", 1.0)
+        for sym, factor in sorted(IEC_PREFIXES.items(), key=lambda kv: kv[1]):
+            if mag >= factor:
+                chosen = (sym, factor)
+        scaled = value / chosen[1]
+        return f"{_fmt_num(scaled, precision)} {chosen[0]}{unit}"
+    mag = abs(value)
+    if mag == 0.0:
+        return f"0 {unit}"
+    chosen = ("", 1.0)
+    if mag >= 1.0:
+        for sym, factor in _ASCENDING_SI:
+            if mag >= factor:
+                chosen = (sym, factor)
+    else:
+        for sym, factor in _DESCENDING_SUB:
+            chosen = (sym, factor)
+            if mag >= factor:
+                break
+    scaled = value / chosen[1]
+    return f"{_fmt_num(scaled, precision)} {chosen[0]}{unit}"
+
+
+def _fmt_num(x: float, precision: int) -> str:
+    s = f"{x:.{precision}g}"
+    return s
+
+
+_QUANTITY_RE = re.compile(
+    r"^\s*(?P<num>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)\s*"
+    r"(?P<prefix>Ki|Mi|Gi|Ti|Pi|Ei|[numkMGTPEµ]?)"
+    r"(?P<unit>flop/s|B/s|b/s|op/s|msg/s|flop/W|flop/B|flop|B|b|s|W|J|op|msg)\s*$"
+)
+
+
+def parse_quantity(text: str) -> Quantity:
+    """Parse strings like ``"77.38 Tflop/s"``, ``"64 B"``, ``"32 MiB"``.
+
+    Returns the :class:`Quantity` in unscaled base units.  Rejects the
+    ambiguous spellings the paper complains about (``MFLOPs``, ``KB``).
+    """
+    warnings = ambiguity_warnings(text)
+    if warnings:
+        raise UnitError(f"ambiguous quantity {text!r}: {'; '.join(warnings)}")
+    m = _QUANTITY_RE.match(text)
+    if not m:
+        raise UnitError(f"cannot parse quantity {text!r}")
+    num = float(m.group("num"))
+    prefix = m.group("prefix")
+    unit = m.group("unit")
+    if prefix in IEC_PREFIXES:
+        if unit not in ("B", "b"):
+            raise UnitError(f"IEC prefix {prefix!r} only applies to B and b")
+        factor = IEC_PREFIXES[prefix]
+    else:
+        factor = SI_PREFIXES[prefix]
+    return Quantity(num * factor, unit)
+
+
+#: (pattern, explanation) pairs for the ambiguity linter.
+_AMBIGUOUS_PATTERNS: tuple[tuple[re.Pattern, str], ...] = (
+    (
+        # 'FLOPS', 'MFLOPs', 'flops', 'Gflops' — but not 'flop' or 'flop/s'.
+        re.compile(r"\b[kKmMGTP]?(?:FLOP[sS]?|[Ff]lops)\b"),
+        "'FLOPS'/'MFLOPs' does not say whether a rate or a count is meant; "
+        "use 'flop' for counts and 'flop/s' for rates",
+    ),
+    (
+        re.compile(r"\b\d+(?:\.\d+)?\s*K[Bb]\b"),
+        "'KB'/'Kb' is ambiguous between 1000 and 1024; use 'kB' (SI) or "
+        "'KiB' (IEC), and 'B' vs 'b' for bytes vs bits",
+    ),
+    (
+        # Sizes like "2 GB" are ambiguous; rates like "2 GB/s" are
+        # conventionally decimal and not flagged.
+        re.compile(r"\b\d+(?:\.\d+)?\s*[MGT]B\b(?!/)"),
+        "decimal-vs-binary base unclear; state the base or use IEC "
+        "prefixes (MiB, GiB, TiB)",
+    ),
+)
+
+
+def ambiguity_warnings(text: str) -> list[str]:
+    """Lint *text* for the ambiguous unit spellings of Section 2.1.2.
+
+    Returns a (possibly empty) list of explanations.  Used by the rules
+    checker and usable on figure captions and table cells.
+    """
+    out = []
+    for pattern, explanation in _AMBIGUOUS_PATTERNS:
+        if pattern.search(text):
+            out.append(explanation)
+    return out

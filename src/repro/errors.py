@@ -1,0 +1,73 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate finer failure classes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InsufficientDataError",
+    "UnitError",
+    "TimerError",
+    "DesignError",
+    "SimulationError",
+    "RuleViolation",
+    "SurveyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class InsufficientDataError(ReproError, ValueError):
+    """Too few measurements for the requested statistic.
+
+    The paper's nonparametric confidence intervals, for instance, need
+    ``n > 5`` samples (Section 4.2.2); estimators raise this error instead
+    of silently returning unreliable values.
+    """
+
+    def __init__(self, needed: int, got: int, what: str = "statistic") -> None:
+        self.needed = int(needed)
+        self.got = int(got)
+        self.what = what
+        super().__init__(
+            f"{what} requires at least {needed} measurements, got {got}"
+        )
+
+
+class UnitError(ReproError, ValueError):
+    """Mismatched or unparsable measurement units (Section 2.1.2)."""
+
+
+class TimerError(ReproError, RuntimeError):
+    """A timer could not satisfy precision/overhead requirements."""
+
+
+class DesignError(ReproError, ValueError):
+    """Invalid experimental design (factors, levels, or plan)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulated machine was asked to do something unphysical."""
+
+
+class RuleViolation(ReproError):
+    """A reporting rule check failed and strict mode was requested."""
+
+    def __init__(self, rule_id: int, message: str) -> None:
+        self.rule_id = int(rule_id)
+        super().__init__(f"Rule {rule_id}: {message}")
+
+
+class SurveyError(ReproError, ValueError):
+    """Inconsistent literature-survey data."""

@@ -1,0 +1,47 @@
+"""Analytic performance models: bounds, capability vectors, scaling (§5.1)."""
+
+from .bounds import (
+    BoundsModel,
+    IdealScaling,
+    AmdahlBound,
+    ParallelOverheadBound,
+    piecewise_log_overhead,
+    superlinear_points,
+)
+from .capability import (
+    MachineCapability,
+    ApplicationRequirement,
+    NormalizedPerformance,
+    roofline,
+    RooflinePoint,
+)
+from .scaling import (
+    StrongScaling,
+    WeakScaling,
+    speedup,
+    efficiency,
+    ScalingSeries,
+)
+from .netmodel import PostalModel, fit_postal, sweep_to_arrays
+
+__all__ = [
+    "BoundsModel",
+    "IdealScaling",
+    "AmdahlBound",
+    "ParallelOverheadBound",
+    "piecewise_log_overhead",
+    "superlinear_points",
+    "MachineCapability",
+    "ApplicationRequirement",
+    "NormalizedPerformance",
+    "roofline",
+    "RooflinePoint",
+    "StrongScaling",
+    "WeakScaling",
+    "speedup",
+    "efficiency",
+    "ScalingSeries",
+    "PostalModel",
+    "fit_postal",
+    "sweep_to_arrays",
+]

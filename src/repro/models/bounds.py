@@ -1,0 +1,168 @@
+"""Scaling bounds models (paper Section 5.1, Figure 7a/b, Rule 11).
+
+"If possible, show upper performance bounds to facilitate interpretability
+of the measured results."  Three bounds of growing fidelity:
+
+* :class:`IdealScaling` — p processes cannot be more than p× faster;
+* :class:`AmdahlBound` — serial fraction b limits speedup to
+  ``(b + (1 − b)/p)⁻¹``;
+* :class:`ParallelOverheadBound` — adds an explicit parallel-overhead
+  function f(p) (e.g. the Ω(log p) of a reduction), the model that
+  "explains nearly all the scaling observed" in Figure 7.
+
+Every bound exposes both the *time* lower bound and the *speedup* upper
+bound so the two panels of Figure 7 come from the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+from .._validation import check_positive, check_prob
+from ..errors import ValidationError
+
+__all__ = [
+    "BoundsModel",
+    "IdealScaling",
+    "AmdahlBound",
+    "ParallelOverheadBound",
+    "piecewise_log_overhead",
+    "superlinear_points",
+]
+
+
+class BoundsModel(Protocol):
+    """A scalability bound: minimal time / maximal speedup at p processes."""
+
+    name: str
+
+    def time_bound(self, p: int) -> float:
+        """Lower bound on execution time with *p* processes (s)."""
+        ...
+
+    def speedup_bound(self, p: int) -> float:
+        """Upper bound on speedup with *p* processes."""
+        ...
+
+
+def _check_p(p: int) -> int:
+    if isinstance(p, bool) or int(p) != p or p < 1:
+        raise ValidationError(f"p must be a positive integer, got {p!r}")
+    return int(p)
+
+
+@dataclass(frozen=True)
+class IdealScaling:
+    """Perfect linear scaling: ``T(p) = T₁/p``, speedup ``= p``."""
+
+    base_time: float
+    name: str = "ideal linear"
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_time, "base_time")
+
+    def time_bound(self, p: int) -> float:
+        """Lower time bound T1/p."""
+        return self.base_time / _check_p(p)
+
+    def speedup_bound(self, p: int) -> float:
+        """Upper speedup bound: exactly p."""
+        return float(_check_p(p))
+
+
+@dataclass(frozen=True)
+class AmdahlBound:
+    """Amdahl's law with serial fraction ``b``.
+
+    ``T(p) = T₁·(b + (1 − b)/p)``; speedup bound ``(b + (1 − b)/p)⁻¹``,
+    saturating at ``1/b`` as p → ∞.
+    """
+
+    base_time: float
+    serial_fraction: float
+    name: str = "serial overheads (Amdahl)"
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_time, "base_time")
+        check_prob(self.serial_fraction, "serial_fraction")
+
+    def time_bound(self, p: int) -> float:
+        """Lower time bound with the serial fraction kept serial."""
+        b = self.serial_fraction
+        return self.base_time * (b + (1.0 - b) / _check_p(p))
+
+    def speedup_bound(self, p: int) -> float:
+        """Upper speedup bound, saturating at 1/b."""
+        b = self.serial_fraction
+        return 1.0 / (b + (1.0 - b) / _check_p(p))
+
+    @property
+    def max_speedup(self) -> float:
+        """Asymptotic speedup limit 1/b."""
+        return 1.0 / self.serial_fraction
+
+
+@dataclass(frozen=True)
+class ParallelOverheadBound:
+    """Amdahl plus an explicit parallel-overhead term f(p).
+
+    ``T(p) = T₁·(b + (1 − b)/p) + f(p)``.  ``f`` captures costs that *grow*
+    with p, e.g. the logarithmic depth of a reduction tree; this is the
+    bound that hugged the measurements in Figure 7.
+    """
+
+    base_time: float
+    serial_fraction: float
+    overhead: Callable[[int], float]
+    name: str = "parallel overheads"
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_time, "base_time")
+        check_prob(self.serial_fraction, "serial_fraction")
+
+    def time_bound(self, p: int) -> float:
+        """Lower time bound including the overhead term f(p)."""
+        p = _check_p(p)
+        b = self.serial_fraction
+        f = self.overhead(p) if p > 1 else 0.0
+        if f < 0:
+            raise ValidationError(f"overhead f({p}) must be non-negative")
+        return self.base_time * (b + (1.0 - b) / p) + f
+
+    def speedup_bound(self, p: int) -> float:
+        """Upper speedup bound implied by the time bound."""
+        return self.base_time / self.time_bound(p)
+
+
+def piecewise_log_overhead(p: int) -> float:
+    """The paper's empirical Piz Daint reduction overhead (Section 5.1).
+
+    f(p ≤ 8) = 10 ns, f(8 < p ≤ 16) = 0.1 ms·log₂ p,
+    f(p > 16) = 0.17 ms·log₂ p — "the three pieces can be explained by Piz
+    Daint's architecture" (node, group, multi-group).
+    """
+    p = _check_p(p)
+    if p <= 8:
+        return 10e-9
+    if p <= 16:
+        return 0.1e-3 * float(np.log2(p))
+    return 0.17e-3 * float(np.log2(p))
+
+
+def superlinear_points(
+    ps: Iterable[int], speedups: Iterable[float]
+) -> list[tuple[int, float]]:
+    """Measurements exceeding ideal scaling (speedup > p).
+
+    The paper flags super-linear scaling as "an indication of suboptimal
+    resource use for small p" — worth calling out in a report rather than
+    celebrating.
+    """
+    out = []
+    for p, s in zip(ps, speedups, strict=True):
+        if s > _check_p(p):
+            out.append((int(p), float(s)))
+    return out

@@ -1,0 +1,192 @@
+"""Machine-capability vectors and the normalized performance metric (§5.1).
+
+The paper models a machine as a k-dimensional feature space
+``Γ = (p₁, …, p_k)`` of peak rates (flop/s, memory B/s, network B/s, …) and
+an application measurement as ``τ = (r₁, …, r_k)`` of achieved rates.  The
+dimensionless metric ``P = (r₁/p₁, …, r_k/p_k)`` immediately shows the
+likely bottleneck and supports optimality arguments: if some ``rⱼ/pⱼ ≈ 1``
+and the algorithm cannot do with fewer operations of feature j, the
+implementation is optimal.
+
+The classic roofline model is the k = 2 special case (flops + memory
+bandwidth), provided by :func:`roofline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from .._validation import check_positive
+from ..errors import ValidationError
+
+__all__ = [
+    "MachineCapability",
+    "ApplicationRequirement",
+    "NormalizedPerformance",
+    "roofline",
+    "RooflinePoint",
+]
+
+
+@dataclass(frozen=True)
+class MachineCapability:
+    """Γ: named peak rates of a machine (all strictly positive)."""
+
+    features: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValidationError("capability needs at least one feature")
+        for name, peak in self.features.items():
+            check_positive(peak, f"peak[{name}]")
+
+    @classmethod
+    def from_machine(cls, machine) -> "MachineCapability":
+        """Standard three-feature Γ from a :class:`~repro.simsys.MachineSpec`."""
+        return cls(
+            {
+                "flops": machine.node.peak_flops * machine.n_nodes,
+                "mem_bw": machine.node.mem_bandwidth * machine.n_nodes,
+                "net_bw": machine.network.bandwidth * machine.n_nodes,
+            }
+        )
+
+    def __getitem__(self, name: str) -> float:
+        return self.features[name]
+
+
+@dataclass(frozen=True)
+class ApplicationRequirement:
+    """τ: achieved (measured) rates of an application, same feature names."""
+
+    rates: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ValidationError("requirement needs at least one feature")
+        for name, rate in self.rates.items():
+            if rate < 0:
+                raise ValidationError(f"rate[{name}] must be non-negative")
+
+
+@dataclass(frozen=True)
+class NormalizedPerformance:
+    """P = τ/Γ componentwise, with bottleneck and balance analysis."""
+
+    fractions: Mapping[str, float]
+
+    @classmethod
+    def compute(
+        cls, capability: MachineCapability, requirement: ApplicationRequirement
+    ) -> "NormalizedPerformance":
+        """Build P; requires matching feature sets and rᵢ ≤ pᵢ."""
+        cap = set(capability.features)
+        req = set(requirement.rates)
+        if cap != req:
+            raise ValidationError(
+                f"feature mismatch: capability has {sorted(cap)}, "
+                f"requirement has {sorted(req)}"
+            )
+        fractions = {}
+        for name in capability.features:
+            r, p = requirement.rates[name], capability.features[name]
+            if r > p * (1.0 + 1e-9):
+                raise ValidationError(
+                    f"achieved rate for {name!r} exceeds the machine peak "
+                    f"({r:.4g} > {p:.4g}); re-check Γ or the measurement"
+                )
+            fractions[name] = min(r / p, 1.0)
+        return cls(fractions)
+
+    def bottleneck(self) -> tuple[str, float]:
+        """The feature with the highest peak fraction — the likely limiter."""
+        name = max(self.fractions, key=self.fractions.__getitem__)
+        return name, self.fractions[name]
+
+    def balance(self) -> float:
+        """Ratio of the smallest to the largest fraction in (0, 1].
+
+        1 means the application stresses all machine features equally (a
+        perfectly balanced machine for this program); small values mean the
+        machine is over-provisioned in some dimension for this workload.
+        """
+        vals = np.array(list(self.fractions.values()))
+        hi = vals.max()
+        if hi == 0.0:
+            return 1.0
+        return float(vals.min() / hi)
+
+    def optimality_argument(self, feature: str, threshold: float = 0.9) -> str:
+        """The paper's two-part optimality statement for *feature*.
+
+        Reports whether condition (1) — ``r/p`` close to one — holds; the
+        caller must argue condition (2), that the computation cannot be
+        done with fewer operations of this feature.
+        """
+        if feature not in self.fractions:
+            raise ValidationError(f"unknown feature {feature!r}")
+        frac = self.fractions[feature]
+        if frac >= threshold:
+            return (
+                f"{feature} runs at {100 * frac:.1f}% of peak (>= "
+                f"{100 * threshold:.0f}%): condition (1) for optimality holds; "
+                f"show that fewer {feature} operations are impossible to "
+                f"conclude optimality"
+            )
+        return (
+            f"{feature} runs at {100 * frac:.1f}% of peak: no optimality "
+            f"argument; headroom remains"
+        )
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One application on a roofline plot.
+
+    ``intensity`` is arithmetic intensity (flop/B), ``achieved`` the
+    measured flop rate, ``bound`` the roofline at that intensity.
+    """
+
+    intensity: float
+    achieved: float
+    bound: float
+    memory_bound: bool
+
+    @property
+    def fraction_of_bound(self) -> float:
+        """Achieved rate relative to the attainable roofline."""
+        return self.achieved / self.bound if self.bound > 0 else 0.0
+
+
+def roofline(
+    peak_flops: float,
+    mem_bandwidth: float,
+    intensity: float,
+    achieved_flops: float = 0.0,
+) -> RooflinePoint:
+    """Evaluate the k = 2 roofline: ``min(peak, intensity · bandwidth)``.
+
+    ``intensity`` in flop/B.  The returned point records whether the
+    application sits on the memory-bound slope or the compute-bound flat.
+    """
+    check_positive(peak_flops, "peak_flops")
+    check_positive(mem_bandwidth, "mem_bandwidth")
+    check_positive(intensity, "intensity")
+    if achieved_flops < 0:
+        raise ValidationError("achieved_flops must be non-negative")
+    mem_bound_rate = intensity * mem_bandwidth
+    bound = min(peak_flops, mem_bound_rate)
+    if achieved_flops > bound * (1.0 + 1e-9):
+        raise ValidationError(
+            f"achieved {achieved_flops:.4g} flop/s exceeds the roofline "
+            f"{bound:.4g}; re-check peaks or the measurement"
+        )
+    return RooflinePoint(
+        intensity=float(intensity),
+        achieved=float(achieved_flops),
+        bound=float(bound),
+        memory_bound=bool(mem_bound_rate < peak_flops),
+    )

@@ -1,0 +1,142 @@
+"""Fitting communication-cost models from measurements (Section 4.1.2).
+
+"Details of the network (topology, latency, and bandwidth) need to be
+specified.  This enables simple but insightful back of the envelope
+comparisons" — and when the vendor numbers are missing or optimistic, the
+paper's Section 5.1 advice applies: "parametrize the pᵢ using carefully
+crafted and statistically sound microbenchmarks".
+
+This module fits the postal (Hockney) model ``t(m) = α + m/β`` from a
+ping-pong message-size sweep.  The fit uses *quantile regression* rather
+than least squares: latency distributions are right-skewed with spikes, so
+a median (or any quantile) fit is robust where an L2 fit would be dragged
+by the tail — a direct application of the library's own Rule 8 machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .._validation import check_prob
+from ..errors import ValidationError
+from ..stats.quantreg import fit_quantile_lp
+
+__all__ = ["PostalModel", "fit_postal", "sweep_to_arrays"]
+
+
+@dataclass(frozen=True)
+class PostalModel:
+    """A fitted postal model ``t(m) = alpha + m / beta``.
+
+    ``alpha`` is the zero-byte latency (s), ``beta`` the asymptotic
+    bandwidth (B/s), ``tau`` the quantile the fit targeted.
+    """
+
+    alpha: float
+    beta: float
+    tau: float
+    n_observations: int
+
+    def predict(self, size_bytes: Iterable[float]) -> np.ndarray:
+        """Predicted transfer time for each message size (s)."""
+        m = np.atleast_1d(np.asarray(size_bytes, dtype=np.float64))
+        if np.any(m < 0):
+            raise ValidationError("message sizes must be non-negative")
+        return self.alpha + m / self.beta
+
+    @property
+    def half_bandwidth_size(self) -> float:
+        """``n_1/2``: the message size achieving half the peak bandwidth.
+
+        Equal to ``alpha · beta`` — the classic balance point between the
+        latency- and bandwidth-dominated regimes.
+        """
+        return self.alpha * self.beta
+
+    def describe(self) -> str:
+        """One-line model statement for the experiment report."""
+        return (
+            f"postal model (tau={self.tau:g}): alpha = {self.alpha * 1e6:.3f} us, "
+            f"beta = {self.beta / 1e9:.2f} GB/s, n_1/2 = "
+            f"{self.half_bandwidth_size:.0f} B"
+        )
+
+
+def sweep_to_arrays(
+    sweep: Mapping[int, Iterable[float]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a {message_size: latency samples} sweep to paired arrays."""
+    if not sweep:
+        raise ValidationError("empty sweep")
+    sizes, times = [], []
+    for size, samples in sweep.items():
+        arr = np.asarray(samples, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValidationError(f"no samples for size {size}")
+        sizes.append(np.full(arr.size, float(size)))
+        times.append(arr)
+    return np.concatenate(sizes), np.concatenate(times)
+
+
+def fit_postal(
+    sizes: Iterable[float],
+    times: Iterable[float],
+    *,
+    tau: float = 0.5,
+    max_points_per_size: int = 200,
+    seed: int = 0,
+) -> PostalModel:
+    """Fit ``t(m) = α + m/β`` by τ-quantile regression.
+
+    Parameters
+    ----------
+    sizes, times:
+        Paired observations (message size in B, transfer time in s).
+    tau:
+        Target quantile: 0.5 fits the typical cost; a low τ (e.g. 0.1)
+        fits the *floor*, which is what hardware comparisons want.
+    max_points_per_size:
+        The LP grows with n; sweeps bigger than this per distinct size are
+        deterministically subsampled.
+    """
+    check_prob(tau, "tau")
+    m = np.asarray(sizes, dtype=np.float64).ravel()
+    t = np.asarray(times, dtype=np.float64).ravel()
+    if m.shape != t.shape:
+        raise ValidationError("sizes and times must pair up")
+    if m.size < 4:
+        raise ValidationError("need at least 4 observations")
+    if np.any(m < 0) or np.any(t <= 0):
+        raise ValidationError("sizes must be >= 0 and times > 0")
+    if np.unique(m).size < 2:
+        raise ValidationError("need at least two distinct message sizes")
+
+    # Per-size subsampling keeps the LP tractable on big sweeps.
+    rng = np.random.default_rng(seed)
+    keep = np.zeros(m.size, dtype=bool)
+    for size in np.unique(m):
+        idx = np.flatnonzero(m == size)
+        if idx.size > max_points_per_size:
+            idx = rng.choice(idx, size=max_points_per_size, replace=False)
+        keep[idx] = True
+    m_fit, t_fit = m[keep], t[keep]
+
+    X = np.column_stack([np.ones(m_fit.size), m_fit])
+    coef = fit_quantile_lp(X, t_fit, tau)
+    alpha, slope = float(coef[0]), float(coef[1])
+    if alpha <= 0:
+        raise ValidationError(
+            f"fit produced non-positive latency alpha={alpha:.3g}; the sweep "
+            "may not cover the latency-dominated regime"
+        )
+    if slope <= 0:
+        raise ValidationError(
+            f"fit produced non-positive slope {slope:.3g}; the sweep may not "
+            "cover the bandwidth-dominated regime (use larger messages)"
+        )
+    return PostalModel(
+        alpha=alpha, beta=1.0 / slope, tau=tau, n_observations=int(m_fit.size)
+    )

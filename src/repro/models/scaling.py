@@ -1,0 +1,180 @@
+"""Strong/weak scaling definitions and efficiency metrics (Section 4.2).
+
+"Papers should always indicate if experiments are using strong scaling
+(constant problem size) or weak scaling (problem size grows with the number
+of processes)", including the scaling *function* for weak scaling and which
+dimensions of multi-dimensional domains grow.  These classes make those
+declarations explicit, compute per-p problem sizes, and derive
+speedup/efficiency with the Rule 1 base-case bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Literal, Sequence
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..errors import ValidationError
+
+__all__ = [
+    "StrongScaling",
+    "WeakScaling",
+    "speedup",
+    "efficiency",
+    "ScalingSeries",
+]
+
+BaseCase = Literal["single_parallel_process", "best_serial"]
+
+
+@dataclass(frozen=True)
+class StrongScaling:
+    """Strong scaling: the global problem size is fixed."""
+
+    problem_size: int
+
+    def __post_init__(self) -> None:
+        check_int(self.problem_size, "problem_size", minimum=1)
+
+    def size_for(self, p: int) -> int:
+        """Global problem size at *p* processes (constant by definition)."""
+        check_int(p, "p", minimum=1)
+        return self.problem_size
+
+    def describe(self) -> str:
+        """The declaration a paper should print."""
+        return f"strong scaling, constant problem size N={self.problem_size}"
+
+
+@dataclass(frozen=True)
+class WeakScaling:
+    """Weak scaling: per-process size fixed; global size grows with p.
+
+    ``growth`` maps p to the global size multiplier (default linear, the
+    common case).  ``scaled_dims`` documents which domain dimensions grow —
+    required because "depending on the domain decomposition, this could
+    cause significant performance differences".
+    """
+
+    base_size: int
+    growth: Callable[[int], float] | None = None
+    growth_name: str = "linear"
+    ndims: int = 1
+    scaled_dims: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_int(self.base_size, "base_size", minimum=1)
+        check_int(self.ndims, "ndims", minimum=1)
+        if self.scaled_dims is not None:
+            for d in self.scaled_dims:
+                if not 0 <= d < self.ndims:
+                    raise ValidationError(f"scaled dim {d} outside 0..{self.ndims - 1}")
+
+    def size_for(self, p: int) -> int:
+        """Global problem size at *p* processes."""
+        check_int(p, "p", minimum=1)
+        factor = float(p) if self.growth is None else float(self.growth(p))
+        if factor <= 0:
+            raise ValidationError("growth function must be positive")
+        return int(round(self.base_size * factor))
+
+    def describe(self) -> str:
+        """The declaration a paper should print."""
+        dims = (
+            f", scaling dims {list(self.scaled_dims)} of {self.ndims}"
+            if self.scaled_dims is not None
+            else ""
+        )
+        return (
+            f"weak scaling, base size {self.base_size}, "
+            f"{self.growth_name} growth{dims}"
+        )
+
+
+def speedup(base_time: float, time_p: float) -> float:
+    """``s = T_base / T_p``; relative gain is ``s − 1`` (Section 2.1.1)."""
+    check_positive(base_time, "base_time")
+    check_positive(time_p, "time_p")
+    return base_time / time_p
+
+
+def efficiency(base_time: float, time_p: float, p: int) -> float:
+    """Parallel efficiency ``s/p`` in (0, 1] for sub-linear scaling."""
+    check_int(p, "p", minimum=1)
+    return speedup(base_time, time_p) / p
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    """A scaling measurement series with Rule 1 bookkeeping.
+
+    Rule 1: "report if the base case is a single parallel process or best
+    serial execution, as well as the absolute execution performance of the
+    base case."  This container refuses to produce speedups without that
+    information.
+    """
+
+    ps: tuple[int, ...]
+    times: tuple[float, ...]
+    base_case: BaseCase
+    base_time: float
+
+    def __post_init__(self) -> None:
+        if len(self.ps) != len(self.times):
+            raise ValidationError("ps and times must have equal length")
+        if not self.ps:
+            raise ValidationError("empty scaling series")
+        for p in self.ps:
+            check_int(p, "p", minimum=1)
+        for t in self.times:
+            check_positive(t, "time")
+        check_positive(self.base_time, "base_time")
+        if self.base_case not in ("single_parallel_process", "best_serial"):
+            raise ValidationError(f"unknown base case {self.base_case!r}")
+
+    @classmethod
+    def from_measurements(
+        cls,
+        times_by_p: dict[int, Iterable[float]],
+        *,
+        base_case: BaseCase = "single_parallel_process",
+        base_time: float | None = None,
+        summary: Callable[[np.ndarray], float] = np.median,
+    ) -> "ScalingSeries":
+        """Summarize raw per-p measurement arrays into a series.
+
+        With the default base case, p = 1 must be present and supplies the
+        base time; for ``"best_serial"`` pass the measured serial time
+        explicitly.
+        """
+        if not times_by_p:
+            raise ValidationError("no measurements")
+        ps = tuple(sorted(times_by_p))
+        times = tuple(float(summary(np.asarray(times_by_p[p]))) for p in ps)
+        if base_time is None:
+            if base_case != "single_parallel_process" or 1 not in times_by_p:
+                raise ValidationError(
+                    "base_time required unless base is the measured p=1 run"
+                )
+            base_time = times[ps.index(1)]
+        return cls(ps=ps, times=times, base_case=base_case, base_time=float(base_time))
+
+    def speedups(self) -> tuple[float, ...]:
+        """Speedup at every p relative to the declared base."""
+        return tuple(self.base_time / t for t in self.times)
+
+    def efficiencies(self) -> tuple[float, ...]:
+        """Parallel efficiency at every p."""
+        return tuple(s / p for s, p in zip(self.speedups(), self.ps))
+
+    def describe_base(self) -> str:
+        """The Rule 1 sentence."""
+        kind = (
+            "a single parallel process"
+            if self.base_case == "single_parallel_process"
+            else "the best serial implementation"
+        )
+        return f"speedups are relative to {kind} taking {self.base_time:.6g} s"

@@ -1,0 +1,66 @@
+"""Reporting layer: tables, terminal plots, figure builders, export, docs."""
+
+from .table import render_table
+from .ascii_plot import histogram_plot, box_plot, violin_plot, line_chart, qq_plot, bar_chart
+from .figures import (
+    Fig1HPL,
+    fig1_hpl,
+    Fig2Variant,
+    Fig2Normalization,
+    fig2_normalization,
+    Fig3System,
+    Fig3Significance,
+    fig3_significance,
+    fig4_quantile_regression,
+    Fig5Point,
+    Fig5Reduce,
+    fig5_reduce_scaling,
+    Fig6RankVariation,
+    fig6_rank_variation,
+    Fig7Bounds,
+    fig7ab_bounds,
+    Fig7cPlots,
+    fig7c_distribution,
+)
+from .export import (
+    write_csv,
+    read_csv,
+    measurements_to_json,
+    measurements_from_json,
+)
+from .document import ReportBuilder
+from .autoreport import report_experiment
+
+__all__ = [
+    "render_table",
+    "histogram_plot",
+    "box_plot",
+    "violin_plot",
+    "line_chart",
+    "qq_plot",
+    "bar_chart",
+    "Fig1HPL",
+    "fig1_hpl",
+    "Fig2Variant",
+    "Fig2Normalization",
+    "fig2_normalization",
+    "Fig3System",
+    "Fig3Significance",
+    "fig3_significance",
+    "fig4_quantile_regression",
+    "Fig5Point",
+    "Fig5Reduce",
+    "fig5_reduce_scaling",
+    "Fig6RankVariation",
+    "fig6_rank_variation",
+    "Fig7Bounds",
+    "fig7ab_bounds",
+    "Fig7cPlots",
+    "fig7c_distribution",
+    "write_csv",
+    "read_csv",
+    "measurements_to_json",
+    "measurements_from_json",
+    "ReportBuilder",
+    "report_experiment",
+]

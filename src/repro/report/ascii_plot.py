@@ -1,0 +1,248 @@
+"""Terminal plotting: histograms, box plots, line charts, Q-Q plots.
+
+The paper's Figures are density/box/violin/line plots; in a text-only
+environment these renderers make the same information inspectable in a
+terminal or a log file.  They intentionally favour legibility over pixel
+fidelity — every plot also exists as raw series via
+:mod:`repro.report.figures` for external plotting tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import as_sample, check_int
+from ..errors import ValidationError
+
+__all__ = ["histogram_plot", "box_plot", "violin_plot", "line_chart", "qq_plot", "bar_chart"]
+
+
+def histogram_plot(
+    data: Iterable[float],
+    *,
+    bins: int = 30,
+    width: int = 60,
+    label: str = "",
+    unit: str = "",
+) -> str:
+    """A horizontal-bar histogram (the terminal stand-in for a density plot)."""
+    x = as_sample(data, min_n=1, what="histogram plot")
+    bins = check_int(bins, "bins", minimum=1)
+    width = check_int(width, "width", minimum=10)
+    counts, edges = np.histogram(x, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if label:
+        lines.append(f"{label} (n={x.size})")
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{edges[i]:>12.5g} .. {edges[i + 1]:<12.5g} |{bar} {c}")
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def box_plot(
+    groups: Mapping[str, Iterable[float]],
+    *,
+    width: int = 60,
+    whisker: float = 1.5,
+) -> str:
+    """One-line-per-group box plots with shared scale and 1.5 IQR whiskers.
+
+    Glyphs: ``|----[==M==]----|`` — whiskers at the most extreme points
+    inside ``whisker``·IQR, box at the quartiles, ``M`` at the median.
+    """
+    width = check_int(width, "width", minimum=20)
+    arrays = {k: as_sample(v, min_n=1, what=f"box group {k}") for k, v in groups.items()}
+    if not arrays:
+        raise ValidationError("box_plot needs at least one group")
+    lo = min(a.min() for a in arrays.values())
+    hi = max(a.max() for a in arrays.values())
+    if hi == lo:
+        hi = lo + 1.0
+    label_w = max(len(k) for k in arrays)
+
+    def col(v: float) -> int:
+        return int(round((v - lo) / (hi - lo) * (width - 1)))
+
+    lines = [f"{'':{label_w}}  scale: [{lo:.5g}, {hi:.5g}]"]
+    for name, a in arrays.items():
+        q1, med, q3 = np.quantile(a, [0.25, 0.5, 0.75])
+        iqr = q3 - q1
+        in_l = a[a >= q1 - whisker * iqr]
+        in_h = a[a <= q3 + whisker * iqr]
+        w_lo = in_l.min() if in_l.size else q1
+        w_hi = in_h.max() if in_h.size else q3
+        row = [" "] * width
+        for i in range(col(w_lo), col(w_hi) + 1):
+            row[i] = "-"
+        for i in range(col(q1), col(q3) + 1):
+            row[i] = "="
+        row[col(w_lo)] = "|"
+        row[col(w_hi)] = "|"
+        row[col(med)] = "M"
+        lines.append(f"{name:>{label_w}}  {''.join(row)}")
+    return "\n".join(lines)
+
+
+def violin_plot(
+    groups: Mapping[str, Iterable[float]],
+    *,
+    width: int = 60,
+    bins: int = 40,
+) -> str:
+    """Horizontal character violins: density rendered as glyph thickness.
+
+    Each group becomes one line whose glyph at a position encodes the local
+    density (` .:=#@` from thin to thick), with `M` marking the median —
+    the terminal rendition of Figure 7(c)'s violin bodies.
+    """
+    width = check_int(width, "width", minimum=20)
+    bins = check_int(bins, "bins", minimum=5)
+    arrays = {
+        k: as_sample(v, min_n=2, what=f"violin group {k}") for k, v in groups.items()
+    }
+    if not arrays:
+        raise ValidationError("violin_plot needs at least one group")
+    lo = min(a.min() for a in arrays.values())
+    hi = max(a.max() for a in arrays.values())
+    if hi == lo:
+        raise ValidationError("degenerate range for violin plot")
+    glyphs = " .:=%#@"
+    label_w = max(len(k) for k in arrays)
+    lines = [f"{'':{label_w}}  scale: [{lo:.5g}, {hi:.5g}]"]
+    edges = np.linspace(lo, hi, width + 1)
+    for name, a in arrays.items():
+        counts, _ = np.histogram(a, bins=edges)
+        peak = counts.max() if counts.max() > 0 else 1
+        row = []
+        for c in counts:
+            level = int(round((len(glyphs) - 1) * c / peak))
+            row.append(glyphs[level])
+        med_col = int((np.median(a) - lo) / (hi - lo) * (width - 1))
+        row[med_col] = "M"
+        lines.append(f"{name:>{label_w}}  {''.join(row)}")
+    lines.append(f"{'':{label_w}}  (glyph thickness = density, M = median)")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 16,
+    width: int = 64,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """A multi-series scatter/line chart on a character grid.
+
+    Each series gets a distinct glyph; collisions show the later glyph.
+    ``logy`` plots log10 of the values (all must be positive).
+    """
+    check_int(height, "height", minimum=4)
+    check_int(width, "width", minimum=10)
+    xs_arr = as_sample(xs, min_n=1, what="x values")
+    data = {}
+    for name, ys in series.items():
+        arr = as_sample(ys, min_n=1, what=f"series {name}")
+        if arr.size != xs_arr.size:
+            raise ValidationError(f"series {name!r} length mismatch")
+        if logy:
+            if np.any(arr <= 0):
+                raise ValidationError("logy requires positive values")
+            arr = np.log10(arr)
+        data[name] = arr
+    if not data:
+        raise ValidationError("line_chart needs at least one series")
+    ymin = min(a.min() for a in data.values())
+    ymax = max(a.max() for a in data.values())
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = float(xs_arr.min()), float(xs_arr.max())
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*#@%&"
+    for gi, (name, ys) in enumerate(data.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        for x, y in zip(xs_arr, ys):
+            cx = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+            cy = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - cy][cx] = glyph
+    top = 10 ** ymax if logy else ymax
+    bot = 10 ** ymin if logy else ymin
+    lines = [f"{top:>12.5g} +" + "".join(grid[0])]
+    lines += ["             |" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{bot:>12.5g} +" + "".join(grid[-1]))
+    lines.append(
+        f"{'':13} {xmin:<.5g}{'':{max(width - 24, 1)}}{xmax:>.5g}  {xlabel}"
+    )
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(data)
+    )
+    lines.append(f"{'':14}{legend}" + (f"   [{ylabel}]" if ylabel else ""))
+    return "\n".join(lines)
+
+
+def qq_plot(
+    theoretical: Iterable[float],
+    sample: Iterable[float],
+    *,
+    size: int = 24,
+) -> str:
+    """A square character-grid Q-Q plot with the identity-fit diagonal.
+
+    Points near the diagonal (drawn from the first/last quantile pair)
+    indicate normality, as in Figure 2's bottom row.
+    """
+    check_int(size, "size", minimum=8)
+    t = as_sample(theoretical, min_n=2, what="theoretical quantiles")
+    s = as_sample(sample, min_n=2, what="sample quantiles")
+    if t.size != s.size:
+        raise ValidationError("quantile arrays must have equal length")
+    # Subsample to at most size^2 points for rendering.
+    if t.size > size * size:
+        idx = np.linspace(0, t.size - 1, size * size).astype(int)
+        t, s = t[idx], s[idx]
+    tmin, tmax = t.min(), t.max()
+    smin, smax = s.min(), s.max()
+    if tmax == tmin or smax == smin:
+        raise ValidationError("degenerate quantile range")
+    grid = [[" "] * size for _ in range(size)]
+    # Reference line through the (t, s) endpoints.
+    for i in range(size):
+        grid[size - 1 - i][i] = "."
+    for x, y in zip(t, s):
+        cx = int(round((x - tmin) / (tmax - tmin) * (size - 1)))
+        cy = int(round((y - smin) / (smax - smin) * (size - 1)))
+        grid[size - 1 - cy][cx] = "o"
+    lines = ["".join(row) for row in grid]
+    lines.append("theoretical quantiles ->  (o data, . reference)")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars for categorical comparisons (e.g. Table 1 totals)."""
+    vals = as_sample(values, min_n=1, what="bar values")
+    if len(labels) != vals.size:
+        raise ValidationError("labels and values must have equal length")
+    check_int(width, "width", minimum=10)
+    peak = vals.max() if vals.max() > 0 else 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, vals):
+        bar = "#" * int(round(width * v / peak))
+        suffix = f" {v:g}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label:>{label_w}} |{bar}{suffix}")
+    return "\n".join(lines)

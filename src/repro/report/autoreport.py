@@ -1,0 +1,94 @@
+"""One-call experiment reports: data + environment + rules in one document.
+
+Ties the pipeline ends together: given an
+:class:`~repro.core.experiment.ExperimentResult` and the experiment's
+:class:`~repro.core.rules.ExperimentDeclaration`, produce the complete
+markdown report a paper appendix (or an artifact-evaluation package) needs
+— per-point statistics with CIs, the environment checklist, optional
+scaling analysis with bounds, and the twelve-rules compliance card.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.experiment import ExperimentResult
+from ..core.rules import ExperimentDeclaration, check_all
+from ..errors import ValidationError
+from ..models.bounds import BoundsModel
+from .ascii_plot import line_chart
+from .document import ReportBuilder
+from .table import render_table
+
+__all__ = ["report_experiment"]
+
+
+def report_experiment(
+    result: ExperimentResult,
+    declaration: ExperimentDeclaration | None = None,
+    *,
+    scaling_factor: str | None = None,
+    bounds: Sequence[BoundsModel] = (),
+    confidence: float = 0.95,
+) -> str:
+    """Render a complete markdown report for an experiment.
+
+    Parameters
+    ----------
+    result:
+        The measured experiment.
+    declaration:
+        The methodology declaration; when given, the twelve-rules card is
+        appended (and the report honestly shows any failures).
+    scaling_factor:
+        Name of the single factor to present as a scaling series with a
+        chart; requires that factor to be the experiment's only factor.
+    bounds:
+        Bounds models to overlay on the scaling chart (Rule 11).
+    """
+    builder = ReportBuilder(f"Experiment report: {result.name}")
+    if result.environment is not None:
+        builder.add_environment(result.environment)
+
+    # Per-point statistics.
+    rows = []
+    for key, ms in result.datasets.items():
+        s = ms.summary()
+        ci = ms.median_ci(confidence) if ms.batch_k == 1 else ms.mean_ci(confidence)
+        rows.append(
+            [
+                str(dict(key)),
+                ms.n,
+                f"{s.median:.6g}",
+                f"[{ci.low:.6g}, {ci.high:.6g}]",
+                f"{s.cov:.3f}",
+            ]
+        )
+    builder.add_section(
+        "Results",
+        "```\n"
+        + render_table(
+            ["point", "n", "median", f"{100 * confidence:g}% CI", "CoV"],
+            rows,
+            title=f"unit: {result.unit}",
+        )
+        + "\n```",
+    )
+
+    if scaling_factor is not None:
+        levels, values = result.series(scaling_factor)
+        xs = [float(l) for l in levels]
+        series = {"measured": values}
+        for model in bounds:
+            series[model.name] = [model.time_bound(int(l)) for l in levels]
+        chart = line_chart(
+            xs, series, height=12, width=56,
+            xlabel=scaling_factor, ylabel=result.unit,
+        )
+        builder.add_figure(f"{result.name} vs {scaling_factor}", chart)
+
+    if declaration is not None:
+        builder.add_rule_card(check_all(declaration))
+    return builder.render()

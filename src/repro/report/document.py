@@ -1,0 +1,74 @@
+"""Experiment report assembly (Rules 5, 9, 10, 12 in one document).
+
+:class:`ReportBuilder` assembles a markdown report from the library's
+objects — environment checklist, per-dataset statistics with CIs, figures'
+text renderings, and the twelve-rules report card — so an experiment's
+publishable writeup and its rule compliance come from the same source of
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.environment import EnvironmentSpec
+from ..core.measurement import MeasurementSet
+from ..core.rules import ReportCard
+from ..errors import ValidationError
+
+__all__ = ["ReportBuilder"]
+
+
+@dataclass
+class ReportBuilder:
+    """Incrementally build a markdown experiment report."""
+
+    title: str
+    _sections: list[tuple[str, str]] = field(default_factory=list)
+
+    def add_section(self, heading: str, body: str) -> "ReportBuilder":
+        """Append a free-form section."""
+        if not heading.strip():
+            raise ValidationError("section heading must be non-empty")
+        self._sections.append((heading, body))
+        return self
+
+    def add_environment(self, env: EnvironmentSpec) -> "ReportBuilder":
+        """Append the Rule 9 environment checklist."""
+        return self.add_section("Experimental setup", "```\n" + env.checklist() + "\n```")
+
+    def add_measurements(
+        self, ms: MeasurementSet, *, confidence: float = 0.95
+    ) -> "ReportBuilder":
+        """Append a dataset's description with CIs (Rule 5 disclosure)."""
+        body = ["```", ms.describe()]
+        if not ms.deterministic:
+            try:
+                body.append(str(ms.mean_ci(confidence)))
+                if ms.batch_k == 1:
+                    body.append(str(ms.median_ci(confidence)))
+            except Exception as exc:  # pragma: no cover - tiny samples
+                body.append(f"(CI unavailable: {exc})")
+        body.append("```")
+        return self.add_section(f"Measurements: {ms.name}", "\n".join(body))
+
+    def add_rule_card(self, card: ReportCard) -> "ReportBuilder":
+        """Append the twelve-rules compliance card."""
+        return self.add_section(
+            "Rule compliance (Hoefler & Belli, SC'15)",
+            "```\n" + card.summary() + "\n```",
+        )
+
+    def add_figure(self, caption: str, rendered: str) -> "ReportBuilder":
+        """Append a text-rendered figure with its caption."""
+        return self.add_section(f"Figure: {caption}", "```\n" + rendered + "\n```")
+
+    def render(self) -> str:
+        """The complete markdown document."""
+        parts = [f"# {self.title}", ""]
+        for heading, body in self._sections:
+            parts.append(f"## {heading}")
+            parts.append("")
+            parts.append(body)
+            parts.append("")
+        return "\n".join(parts)

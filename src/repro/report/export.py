@@ -1,0 +1,97 @@
+"""Dataset export/import: CSV and JSON round-trips.
+
+LibSciBench's "low-overhead data collection mechanism produces datasets
+that can be read directly with established statistical tools such as GNU
+R"; the Python equivalents are plain CSV (for R/pandas) and JSON (for
+provenance-preserving round-trips of :class:`MeasurementSet`).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..core.measurement import MeasurementSet
+from ..errors import ValidationError
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "measurements_to_json",
+    "measurements_from_json",
+]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write a headers+rows table as CSV; returns the written path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValidationError("row width does not match headers")
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
+    """Read a CSV written by :func:`write_csv`; returns (headers, rows)."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise ValidationError(f"{path} is empty") from None
+        rows = [row for row in reader]
+    return headers, rows
+
+
+def measurements_to_json(ms: MeasurementSet) -> str:
+    """Serialize a MeasurementSet, preserving all provenance fields."""
+    payload = {
+        "name": ms.name,
+        "unit": ms.unit,
+        "warmup_dropped": ms.warmup_dropped,
+        "batch_k": ms.batch_k,
+        "deterministic": ms.deterministic,
+        "metadata": {k: _jsonable(v) for k, v in ms.metadata.items()},
+        "values": ms.values.tolist(),
+    }
+    return json.dumps(payload)
+
+
+def measurements_from_json(text: str) -> MeasurementSet:
+    """Inverse of :func:`measurements_to_json`."""
+    payload = json.loads(text)
+    try:
+        return MeasurementSet(
+            values=np.asarray(payload["values"], dtype=np.float64),
+            unit=payload["unit"],
+            name=payload["name"],
+            warmup_dropped=payload["warmup_dropped"],
+            batch_k=payload["batch_k"],
+            deterministic=payload["deterministic"],
+            metadata=payload.get("metadata", {}),
+        )
+    except KeyError as exc:
+        raise ValidationError(f"missing field in serialized set: {exc}") from exc
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

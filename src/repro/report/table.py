@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import ValidationError
+
+__all__ = ["render_table"]
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.6g}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    aligns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a monospace table.
+
+    ``aligns`` is a per-column sequence of ``"l"``/``"r"`` (default: left
+    for the first column, right for the rest — the usual label+numbers
+    layout).
+    """
+    rows = [list(map(_fmt, r)) for r in rows]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValidationError(
+                f"row width {len(r)} does not match {len(headers)} headers"
+            )
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (len(headers) - 1)
+    if len(aligns) != len(headers):
+        raise ValidationError("aligns must match header count")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, align in zip(cells, widths, aligns):
+            parts.append(cell.ljust(width) if align == "l" else cell.rjust(width))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt_row(headers))
+    out.append(sep)
+    out.extend(fmt_row(r) for r in rows)
+    return "\n".join(out)

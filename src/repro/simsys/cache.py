@@ -1,0 +1,111 @@
+"""Warm vs. cold cache state (paper Section 4.1.2).
+
+"One of the most critical states regarding performance is the cache.  If
+small benchmarks are performed repeatedly, then their data may be in cache
+and thus accelerate computations.  This may or may not be representative
+for the intended use of the code."  (The paper cites Whaley & Castaldo on
+flushing strategies.)
+
+This module models a single cache level and a repeated-kernel benchmark
+over it, so the warm/cold reporting pitfall is measurable: per-iteration
+time depends on how much of the working set survived in cache from the
+previous iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..errors import ValidationError
+from .rng import RngFactory
+
+__all__ = ["CacheModel", "CachedKernel"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """A one-level cache with hit/miss access times.
+
+    ``capacity`` in bytes; ``hit_time``/``miss_time`` per byte touched (s)
+    — coarse, but sufficient for the warm/cold phenomenology.
+    """
+
+    capacity: int
+    hit_time_per_byte: float = 0.25e-10   # ~40 GB/s cache bandwidth
+    miss_time_per_byte: float = 2.5e-10   # ~4 GB/s memory bandwidth
+
+    def __post_init__(self) -> None:
+        check_int(self.capacity, "capacity", minimum=1)
+        check_positive(self.hit_time_per_byte, "hit_time_per_byte")
+        if self.miss_time_per_byte <= self.hit_time_per_byte:
+            raise ValidationError("misses must cost more than hits")
+
+    def sweep_time(self, working_set: int, resident_fraction: float) -> float:
+        """Time to touch *working_set* bytes with the given residency."""
+        check_int(working_set, "working_set", minimum=1)
+        if not 0.0 <= resident_fraction <= 1.0:
+            raise ValidationError("resident_fraction must be in [0, 1]")
+        hits = working_set * resident_fraction
+        misses = working_set - hits
+        return hits * self.hit_time_per_byte + misses * self.miss_time_per_byte
+
+    def steady_residency(self, working_set: int) -> float:
+        """Fraction of the working set resident after a previous sweep.
+
+        A working set within capacity stays fully resident; beyond it, a
+        cyclic sweep leaves ``capacity/working_set`` of the data cached.
+        """
+        check_int(working_set, "working_set", minimum=1)
+        return min(1.0, self.capacity / working_set)
+
+
+@dataclass
+class CachedKernel:
+    """A repeated data-touching kernel over a cache model.
+
+    ``run(iterations, flush_between)`` measures each iteration; with
+    ``flush_between=True`` the cache is invalidated before every iteration
+    (the Whaley–Castaldo cold-cache methodology), otherwise iteration i > 0
+    enjoys whatever iteration i − 1 left behind — the warm-cache trap.
+    """
+
+    cache: CacheModel
+    working_set: int
+    noise_cov: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int(self.working_set, "working_set", minimum=1)
+        if self.noise_cov < 0:
+            raise ValidationError("noise_cov must be non-negative")
+        self._rngs = RngFactory(self.seed).child("cache", self.working_set)
+
+    def run(self, iterations: int = 100, *, flush_between: bool = False) -> np.ndarray:
+        """Per-iteration times (s); iteration 0 is always cold."""
+        check_int(iterations, "iterations", minimum=1)
+        rng = self._rngs("run", iterations, flush_between)
+        times = np.empty(iterations)
+        steady = self.cache.steady_residency(self.working_set)
+        for i in range(iterations):
+            residency = 0.0 if (i == 0 or flush_between) else steady
+            times[i] = self.cache.sweep_time(self.working_set, residency)
+        if self.noise_cov > 0:
+            times = times * np.maximum(
+                rng.lognormal(0.0, self.noise_cov, iterations), 1.0
+            )
+        return times
+
+    def warm_cold_ratio(self) -> float:
+        """Cold-sweep time over steady warm-sweep time (no noise).
+
+        Quantifies how misleading a warm-only report would be for users
+        whose real workload arrives with a cold cache.
+        """
+        cold = self.cache.sweep_time(self.working_set, 0.0)
+        warm = self.cache.sweep_time(
+            self.working_set, self.cache.steady_residency(self.working_set)
+        )
+        return cold / warm

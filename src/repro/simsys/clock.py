@@ -1,0 +1,123 @@
+"""Simulated per-process clocks (paper Section 4.2.1, "Parallel time").
+
+Real parallel systems are asynchronous: each process has its own clock with
+an unknown *offset* from true time, a slow *drift*, finite *granularity*
+(resolution), and a non-zero cost to *read*.  These effects are exactly why
+the paper prescribes window-based synchronization and timer calibration;
+this module models them so :mod:`repro.core.sync` and
+:mod:`repro.core.timer` have something honest to work against.
+
+All times are in seconds.  The clock maps true simulation time ``t`` to an
+observed reading ``offset + (1 + drift)·t`` quantized down to the clock's
+granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_nonneg
+
+__all__ = ["SimClock", "perfect_clock", "realistic_clock"]
+
+
+@dataclass
+class SimClock:
+    """A drifting, quantized, costly-to-read process clock.
+
+    Attributes
+    ----------
+    offset:
+        Constant offset from true time (s).  Unknown to the process.
+    drift:
+        Fractional rate error; 1e-6 means the clock gains 1 µs per second.
+    granularity:
+        Reading resolution (s); readings are floored to a multiple of it.
+    read_overhead:
+        True-time cost of one reading (s); accrued on :meth:`read`.
+    jitter:
+        Std-dev of Gaussian read-time jitter (s) modelling variable call
+        cost; requires an ``rng`` when non-zero.
+    """
+
+    offset: float = 0.0
+    drift: float = 0.0
+    granularity: float = 0.0
+    read_overhead: float = 0.0
+    jitter: float = 0.0
+    rng: np.random.Generator | None = None
+    reads: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.granularity, "granularity")
+        check_nonneg(self.read_overhead, "read_overhead")
+        check_nonneg(self.jitter, "jitter")
+        if self.jitter > 0.0 and self.rng is None:
+            raise ValueError("jitter requires an rng")
+
+    def observe(self, true_time: float) -> float:
+        """The reading an instantaneous, free peek at *true_time* would give."""
+        raw = self.offset + (1.0 + self.drift) * true_time
+        if self.granularity > 0.0:
+            raw = math.floor(raw / self.granularity) * self.granularity
+        return raw
+
+    def read(self, true_time: float) -> tuple[float, float]:
+        """Read the clock at *true_time*.
+
+        Returns ``(reading, new_true_time)`` where the new true time
+        includes the read overhead (and jitter, if configured) — reading a
+        timer is never free, which is what the <5% overhead rule guards.
+        """
+        cost = self.read_overhead
+        if self.jitter > 0.0:
+            assert self.rng is not None
+            cost = max(0.0, cost + float(self.rng.normal(0.0, self.jitter)))
+        self.reads += 1
+        return self.observe(true_time), true_time + cost
+
+    def interval(self, start_true: float, stop_true: float) -> float:
+        """Measured duration between two true instants (observed units)."""
+        return self.observe(stop_true) - self.observe(start_true)
+
+    def invert(self, reading: float) -> float:
+        """The earliest true time at which the clock shows >= *reading*.
+
+        Used by the window-synchronization scheme: a process spinning until
+        its local clock reaches a deadline actually starts at this true
+        time (granularity makes the mapping many-to-one; we return the
+        first instant the quantized reading reaches the target).
+        """
+        return (reading - self.offset) / (1.0 + self.drift)
+
+
+def perfect_clock() -> SimClock:
+    """An ideal clock: no offset, drift, quantization, or read cost."""
+    return SimClock()
+
+
+def realistic_clock(
+    rng: np.random.Generator,
+    *,
+    granularity: float = 1e-8,
+    read_overhead: float = 2.5e-8,
+    max_offset: float = 5e-3,
+    max_drift: float = 2e-6,
+) -> SimClock:
+    """A clock with randomized offset/drift, defaults near modern hardware.
+
+    ~10 ns granularity and ~25 ns read cost match ``clock_gettime`` /
+    RDTSC-based timers; offsets up to a few milliseconds and ppm-level
+    drift match unsynchronized node clocks.
+    """
+    return SimClock(
+        offset=float(rng.uniform(-max_offset, max_offset)),
+        drift=float(rng.uniform(-max_drift, max_drift)),
+        granularity=granularity,
+        read_overhead=read_overhead,
+        jitter=read_overhead * 0.1,
+        rng=rng,
+    )

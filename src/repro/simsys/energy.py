@@ -1,0 +1,97 @@
+"""Energy as a measured quantity (Section 4.2: "other mechanisms (e.g.,
+energy) require similar considerations").
+
+Energy is a *cost* in the paper's taxonomy — it has an atomic unit (J) and
+linear influence, so the arithmetic mean summarizes it; the derived
+``flop/W`` is a *rate* and takes the harmonic mean (Rule 3).  This module
+provides a simple per-node power model so energy measurements flow through
+the same pipeline as times:
+
+``P(t) = idle + (peak − idle) · utilization``, energy = ∫P dt, with
+multiplicative measurement noise standing in for power-sensor error and
+unmodelled activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int, check_nonneg, check_prob
+from ..errors import ValidationError
+from .machine import MachineSpec
+from .rng import RngFactory
+
+__all__ = ["PowerModel"]
+
+
+@dataclass
+class PowerModel:
+    """Per-node power/energy model for a simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        Machine the power profile belongs to.
+    idle_watts, peak_watts:
+        Per-node power at 0% and 100% utilization (defaults are typical
+        for the Xeon-class nodes the paper's systems used).
+    sensor_cov:
+        Coefficient of variation of the energy-measurement noise (power
+        sensors on HPC systems are coarse; a few percent is realistic).
+    """
+
+    machine: MachineSpec
+    idle_watts: float = 90.0
+    peak_watts: float = 350.0
+    sensor_cov: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.idle_watts, "idle_watts")
+        if self.peak_watts <= self.idle_watts:
+            raise ValidationError("peak_watts must exceed idle_watts")
+        check_nonneg(self.sensor_cov, "sensor_cov")
+        self._rngs = RngFactory(self.seed).child("power", self.machine.name)
+
+    def power(self, utilization: float) -> float:
+        """Instantaneous per-node power draw at *utilization* in [0,1] (W)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValidationError("utilization must be in [0, 1]")
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * utilization
+
+    def measure_energy(
+        self,
+        durations: np.ndarray,
+        *,
+        utilization: float = 0.9,
+        n_nodes: int | None = None,
+    ) -> np.ndarray:
+        """Measured machine energy (J) for runs of the given durations (s).
+
+        One energy sample per duration, with multiplicative sensor noise.
+        ``n_nodes`` defaults to the whole machine.
+        """
+        t = np.asarray(durations, dtype=np.float64).ravel()
+        if t.size == 0 or np.any(t <= 0):
+            raise ValidationError("durations must be positive and non-empty")
+        nodes = self.machine.n_nodes if n_nodes is None else check_int(
+            n_nodes, "n_nodes", minimum=1
+        )
+        true_energy = nodes * self.power(utilization) * t
+        if self.sensor_cov == 0.0:
+            return true_energy
+        rng = self._rngs("measure", t.size)
+        return true_energy * rng.lognormal(0.0, self.sensor_cov, t.size)
+
+    def flops_per_watt(self, flops: float, durations: np.ndarray, **kw) -> np.ndarray:
+        """Achieved flop/W for runs doing *flops* work in the given times.
+
+        A *rate* in the Rule 3 sense — summarize with the harmonic mean or,
+        better, total flop over total energy.
+        """
+        if flops <= 0:
+            raise ValidationError("flops must be positive")
+        energy = self.measure_energy(durations, **kw)
+        return flops / energy

@@ -1,0 +1,85 @@
+"""A minimal discrete-event simulation core.
+
+The collective-operation models in :mod:`repro.simsys.mpi` are expressed as
+events ("rank r becomes ready at time t", "message arrives at time t") and
+need a deterministic scheduler.  Ties are broken by insertion order so runs
+are bit-reproducible regardless of floating-point coincidences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+@dataclass
+class EventQueue:
+    """A priority queue of timed callbacks.
+
+    >>> q = EventQueue()
+    >>> order = []
+    >>> q.schedule(2.0, lambda: order.append("b"))
+    >>> q.schedule(1.0, lambda: order.append("a"))
+    >>> q.run()
+    2.0
+    >>> order
+    ['a', 'b']
+    """
+
+    _heap: list[tuple[float, int, Callable[[], None]]] = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count)
+    now: float = 0.0
+    processed: int = 0
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule *action* to fire at absolute simulation *time*.
+
+        Scheduling into the past (before the event currently executing)
+        is a logic error and raises :class:`SimulationError`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self.now} (causality)"
+            )
+        heapq.heappush(self._heap, (float(time), next(self._counter), action))
+
+    def after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule *action* to fire *delay* seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self.now + delay, action)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, action = heapq.heappop(self._heap)
+        self.now = time
+        self.processed += 1
+        action()
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run events (optionally only up to time *until*); return final time.
+
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            executed += 1
+        return self.now
+
+    def __len__(self) -> int:
+        return len(self._heap)

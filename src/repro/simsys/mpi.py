@@ -1,0 +1,441 @@
+"""A simulated MPI communicator over the machine models.
+
+:class:`SimComm` provides the communication operations the paper's
+experiments need — ping-pong, reduce, broadcast, barrier — with timing that
+emerges from the machine's network model, the actual collective *tree
+algorithms*, and the machine's noise profile:
+
+* **ping-pong** latency = deterministic message cost + per-message network
+  noise (Figures 2, 3, 4, 7c);
+* **reduce** uses the binomial-tree algorithm with the MPICH-style extra
+  fold-in phase for non-power-of-two process counts, which is exactly why
+  "several implementations perform better with 2^k processes" (Figure 5);
+* per-rank noise heterogeneity (OS/daemon cores) makes some processes
+  systematically slower (Figure 6).
+
+Collectives are evaluated *vectorized over repetitions*: one call computes
+``n`` independent repetitions of the operation and returns an ``(n, P)``
+array of per-rank completion times, which is what the analysis layer wants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from .._validation import check_in, check_int
+from ..errors import SimulationError, ValidationError
+from .machine import MachineSpec
+from .rng import RngFactory
+
+__all__ = ["SimComm", "reduce_schedule", "Placement"]
+
+Placement = Literal["packed", "scattered", "one_per_node"]
+
+#: Fixed software cost of executing the reduction operator on one message
+#: worth of data, relative to node compute speed; small vs. network costs.
+_OP_FLOPS_PER_BYTE = 0.25
+
+
+def reduce_schedule(nprocs: int) -> tuple[list[tuple[int, int]], list[list[tuple[int, int]]]]:
+    """The message schedule of a binomial-tree reduce to root 0.
+
+    Returns ``(pre_phase, rounds)`` where *pre_phase* is the list of
+    ``(src, dst)`` messages folding the ``rem = P − 2^⌊log2 P⌋`` extra
+    processes into a power-of-two group (MPICH algorithm: the first
+    ``2·rem`` ranks pair up, odd sends to even), and *rounds* is the list
+    of per-round ``(src, dst)`` message lists of the binomial tree over the
+    surviving group.  For powers of two the pre-phase is empty — one fewer
+    communication step, the Figure 5 effect.
+
+    Rank identifiers in *rounds* refer to original ranks; the surviving
+    group after the pre-phase is ranks ``{0, 2, 4, …, 2·rem−2} ∪
+    {2·rem, …, P−1}`` relabelled consecutively.
+    """
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    pof2 = 1 << (nprocs.bit_length() - 1)
+    rem = nprocs - pof2
+    pre_phase: list[tuple[int, int]] = []
+    if rem:
+        for r in range(rem):
+            pre_phase.append((2 * r + 1, 2 * r))
+    # Surviving ranks, relabelled 0..pof2-1 in order.
+    if rem:
+        survivors = list(range(0, 2 * rem, 2)) + list(range(2 * rem, nprocs))
+    else:
+        survivors = list(range(nprocs))
+    assert len(survivors) == pof2
+    rounds: list[list[tuple[int, int]]] = []
+    k = 1
+    while k < pof2:
+        this_round = [
+            (survivors[j], survivors[j - k])
+            for j in range(k, pof2, 2 * k)
+        ]
+        rounds.append(this_round)
+        k *= 2
+    return pre_phase, rounds
+
+
+@dataclass
+class SimComm:
+    """A communicator of ``nprocs`` simulated processes on a machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine model (hardware + noise).
+    nprocs:
+        Number of processes.
+    placement:
+        ``"packed"`` fills each node's cores before moving on (the typical
+        batch-system default), ``"scattered"`` round-robins ranks over
+        nodes, ``"one_per_node"`` gives every rank its own node.  Placement
+        matters (Section 4.1.1: "batch system allocation policies ... can
+        play an important role") because intra-node messages are cheaper.
+    seed:
+        Root seed for all noise streams.
+    """
+
+    machine: MachineSpec
+    nprocs: int
+    placement: Placement = "packed"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int(self.nprocs, "nprocs", minimum=1)
+        check_in(self.placement, ("packed", "scattered", "one_per_node"), "placement")
+        self._rngs = RngFactory(self.seed).child("simcomm", self.machine.name)
+        self.rank_node, self.rank_core = self._place()
+        # Core 0 of every node hosts OS daemons / service threads: its
+        # local noise is scaled by the machine's heterogeneity factor.
+        self.rank_noise_scale = np.where(
+            self.rank_core == 0, self.machine.noisy_rank_factor, 1.0
+        )
+        self._op_count = 0
+
+    # -- placement -----------------------------------------------------
+
+    def _place(self) -> tuple[np.ndarray, np.ndarray]:
+        cores = self.machine.node.cores
+        n_nodes = self.machine.n_nodes
+        ranks = np.arange(self.nprocs)
+        if self.placement == "packed":
+            node = ranks // cores
+            core = ranks % cores
+        elif self.placement == "scattered":
+            node = ranks % n_nodes
+            core = ranks // n_nodes
+        else:  # one_per_node
+            node = ranks
+            core = np.zeros_like(ranks)
+        if np.any(node >= n_nodes):
+            raise SimulationError(
+                f"{self.nprocs} ranks with placement={self.placement!r} need "
+                f"{int(node.max()) + 1} nodes; machine has {n_nodes}"
+            )
+        if np.any(core >= cores):
+            raise SimulationError(
+                f"placement={self.placement!r} oversubscribes cores "
+                f"({cores} per node)"
+            )
+        return node.astype(np.int64), core.astype(np.int64)
+
+    # -- primitive costs ------------------------------------------------
+
+    def message_base(self, src: int, dst: int, size_bytes: int) -> float:
+        """Deterministic one-way message time between two ranks (s)."""
+        return self.machine.network.message_time(
+            int(self.rank_node[src]), int(self.rank_node[dst]), size_bytes
+        )
+
+    def _net_noise(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.machine.network_noise.sample(rng, n)
+
+    def _op_cost(self, size_bytes: int) -> float:
+        """Local reduction-operator cost for one message of data (s)."""
+        flops = max(size_bytes * _OP_FLOPS_PER_BYTE, 1.0)
+        return flops / self.machine.node.cpu_flops
+
+    def _fresh_stream(self, *keys) -> np.random.Generator:
+        self._op_count += 1
+        return self._rngs("op", self._op_count, *keys)
+
+    # -- point-to-point -------------------------------------------------
+
+    def ping_pong(
+        self,
+        size_bytes: int = 64,
+        n: int = 1000,
+        *,
+        ranks: tuple[int, int] = (0, 1),
+    ) -> np.ndarray:
+        """One-way latencies of *n* ping-pong exchanges between two ranks.
+
+        Returns the half round-trip time of each exchange, the standard
+        latency metric.  The two ranks must differ; the paper always
+        places them on different compute nodes, which ``packed`` placement
+        delivers only when the node has one rank — use ``"one_per_node"``
+        or ``"scattered"`` to match the paper's setup.
+        """
+        check_int(n, "n", minimum=1)
+        a, b = ranks
+        if a == b:
+            raise ValidationError("ping-pong needs two distinct ranks")
+        for r in (a, b):
+            if not 0 <= r < self.nprocs:
+                raise ValidationError(f"rank {r} out of range")
+        base_fwd = self.message_base(a, b, size_bytes)
+        base_bwd = self.message_base(b, a, size_bytes)
+        rng = self._fresh_stream("pingpong")
+        noise_fwd = self._net_noise(rng, n)
+        noise_bwd = self._net_noise(rng, n)
+        rtt = base_fwd + base_bwd + noise_fwd + noise_bwd
+        return rtt / 2.0
+
+    # -- collectives ----------------------------------------------------
+
+    def reduce(
+        self, size_bytes: int = 8, n: int = 1, *, skew: float | None = None
+    ) -> np.ndarray:
+        """Simulate *n* reductions to root 0; per-rank completion times.
+
+        Returns an ``(n, nprocs)`` array: entry ``[i, r]`` is the time at
+        which rank *r* finished its participation in repetition *i*
+        (relative to the synchronized start).  The root's column is the
+        conventional "completion time of the reduce".
+
+        ``skew`` adds a uniform random start offset per rank in
+        ``[0, skew]``, modelling imperfect synchronization (used by the
+        Rule 10 synchronization ablation).
+        """
+        check_int(n, "n", minimum=1)
+        pre, rounds = reduce_schedule(self.nprocs)
+        rng = self._fresh_stream("reduce")
+        P = self.nprocs
+        op_cost = self._op_cost(size_bytes)
+        # ready[i, r]: time rank r is ready to participate.
+        if skew:
+            ready = rng.uniform(0.0, skew, size=(n, P))
+        else:
+            ready = np.zeros((n, P))
+        # Per-rank local noise entering the operation (OS jitter on the
+        # compute part), scaled on daemon cores.
+        local = self.machine.network_noise.sample(rng, n * P).reshape(n, P)
+        ready = ready + 0.2 * local * self.rank_noise_scale[None, :]
+        done = ready.copy()
+        completion = ready.copy()
+
+        def deliver(src: int, dst: int) -> None:
+            base = self.message_base(src, dst, size_bytes)
+            noise = self._net_noise(rng, n)
+            send_done = done[:, src] + base + noise
+            # Receiver-side daemon-core delays slow message absorption.
+            recv_extra = (
+                0.15
+                * self.machine.network_noise.sample(rng, n)
+                * self.rank_noise_scale[dst]
+            )
+            arrived = np.maximum(done[:, dst], send_done) + recv_extra
+            done[:, dst] = arrived + op_cost
+            # Sender is finished once its message is on the wire.
+            completion[:, src] = np.maximum(completion[:, src], send_done)
+            completion[:, dst] = np.maximum(completion[:, dst], done[:, dst])
+
+        for src, dst in pre:
+            deliver(src, dst)
+        for rnd in rounds:
+            for src, dst in rnd:
+                deliver(src, dst)
+        return completion
+
+    def reduce_root_times(self, size_bytes: int = 8, n: int = 1000) -> np.ndarray:
+        """Convenience: the root's completion time for *n* reductions."""
+        return self.reduce(size_bytes, n)[:, 0]
+
+    def bcast(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
+        """Binomial-tree broadcast from root 0; ``(n, P)`` receive times."""
+        check_int(n, "n", minimum=1)
+        rng = self._fresh_stream("bcast")
+        P = self.nprocs
+        done = np.zeros((n, P))
+        # Binomial tree: in round k, every rank that already has the data
+        # (rank < 2^k) sends to rank + 2^k.
+        k = 1
+        while k < P:
+            for src in range(min(k, P - k)):
+                dst = src + k
+                base = self.message_base(src, dst, size_bytes)
+                noise = self._net_noise(rng, n)
+                done[:, dst] = np.maximum(done[:, dst], done[:, src] + base + noise)
+            k *= 2
+        return done
+
+    def allreduce(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
+        """Recursive-doubling allreduce; ``(n, P)`` per-rank completion times.
+
+        For power-of-two P: ⌈log₂P⌉ rounds of pairwise exchange, every rank
+        ending with the result.  Non-powers-of-two use the standard fold-in
+        (extra ranks send to a partner first and receive the result last),
+        so the Figure 5 penalty applies here too.
+        """
+        check_int(n, "n", minimum=1)
+        rng = self._fresh_stream("allreduce")
+        P = self.nprocs
+        op_cost = self._op_cost(size_bytes)
+        t = np.zeros((n, P))
+        local = self.machine.network_noise.sample(rng, n * P).reshape(n, P)
+        t += 0.2 * local * self.rank_noise_scale[None, :]
+        pof2 = 1 << (P.bit_length() - 1)
+        rem = P - pof2
+        # Fold-in: rank 2r+1 sends to 2r for r < rem.
+        for r in range(rem):
+            src, dst = 2 * r + 1, 2 * r
+            base = self.message_base(src, dst, size_bytes)
+            noise = self._net_noise(rng, n)
+            t[:, dst] = np.maximum(t[:, dst], t[:, src] + base + noise) + op_cost
+        survivors = (
+            list(range(0, 2 * rem, 2)) + list(range(2 * rem, P)) if rem else list(range(P))
+        )
+        # Recursive doubling among survivors (pairwise exchange per round).
+        k = 1
+        while k < pof2:
+            new_t = t.copy()
+            for j in range(pof2):
+                partner = j ^ k
+                a, b = survivors[j], survivors[partner]
+                base = self.message_base(b, a, size_bytes)
+                noise = self._net_noise(rng, n)
+                new_t[:, a] = np.maximum(t[:, a], t[:, b] + base + noise) + op_cost
+            t = new_t
+            k *= 2
+        # Fold-out: results back to the folded-in odd ranks.
+        for r in range(rem):
+            src, dst = 2 * r, 2 * r + 1
+            base = self.message_base(src, dst, size_bytes)
+            noise = self._net_noise(rng, n)
+            t[:, dst] = np.maximum(t[:, dst], t[:, src] + base + noise)
+        return t
+
+    def alltoall(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
+        """Pairwise-exchange alltoall; ``(n, P)`` per-rank completion times.
+
+        P − 1 rounds; in round k, rank r exchanges with rank ``r XOR k``
+        (for power-of-two P) or ``(r + k) mod P`` otherwise.  Completion is
+        bandwidth-dominated: every rank moves (P − 1)·size bytes.
+        """
+        check_int(n, "n", minimum=1)
+        rng = self._fresh_stream("alltoall")
+        P = self.nprocs
+        t = np.zeros((n, P))
+        if P == 1:
+            return t
+        use_xor = (P & (P - 1)) == 0
+        for k in range(1, P):
+            new_t = t.copy()
+            for r in range(P):
+                partner = (r ^ k) if use_xor else ((r + k) % P)
+                if partner == r:
+                    continue
+                base = self.message_base(partner, r, size_bytes)
+                noise = self._net_noise(rng, n)
+                new_t[:, r] = np.maximum(new_t[:, r], t[:, partner] + base + noise)
+            t = new_t
+        return t
+
+    def gather(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
+        """Binomial-tree gather to root 0; ``(n, P)`` completion times.
+
+        Follows the reduce schedule but message sizes grow toward the root
+        (an interior node forwards its whole subtree's data), which makes
+        gather bandwidth-bound near the root for large payloads.
+        """
+        check_int(n, "n", minimum=1)
+        pre, rounds = reduce_schedule(self.nprocs)
+        rng = self._fresh_stream("gather")
+        P = self.nprocs
+        done = np.zeros((n, P))
+        completion = np.zeros((n, P))
+        # Bytes accumulated at each rank (own contribution to start with).
+        payload = np.full(P, size_bytes, dtype=np.int64)
+
+        def deliver(src: int, dst: int) -> None:
+            base = self.message_base(src, dst, int(payload[src]))
+            noise = self._net_noise(rng, n)
+            send_done = done[:, src] + base + noise
+            done[:, dst] = np.maximum(done[:, dst], send_done)
+            payload[dst] += payload[src]
+            completion[:, src] = np.maximum(completion[:, src], send_done)
+            completion[:, dst] = np.maximum(completion[:, dst], done[:, dst])
+
+        for src, dst in pre:
+            deliver(src, dst)
+        for rnd in rounds:
+            for src, dst in rnd:
+                deliver(src, dst)
+        return completion
+
+    def scatter(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
+        """Binomial-tree scatter from root 0; ``(n, P)`` receive times.
+
+        The mirror of :meth:`gather`: interior sends carry the payload for
+        the whole destination subtree, halving in size per round.
+        """
+        check_int(n, "n", minimum=1)
+        rng = self._fresh_stream("scatter")
+        P = self.nprocs
+        done = np.zeros((n, P))
+        # In round k (descending), rank src < 2^k sends the data destined
+        # for ranks [src + 2^k, min(src + 2^{k+1}, P)) to rank src + 2^k.
+        k = 1 << max(P - 1, 1).bit_length()
+        while k >= 1:
+            for src in range(min(k, max(P - k, 0))):
+                dst = src + k
+                if dst >= P:
+                    continue
+                subtree = min(k, P - dst)
+                base = self.message_base(src, dst, size_bytes * subtree)
+                noise = self._net_noise(rng, n)
+                done[:, dst] = np.maximum(
+                    done[:, dst], done[:, src] + base + noise
+                )
+            k //= 2
+        return done
+
+    def barrier(self, n: int = 1) -> np.ndarray:
+        """Dissemination barrier; ``(n, P)`` exit times.
+
+        Round k: rank r signals rank (r + 2^k) mod P; a rank leaves round k
+        once it has both sent and received.  ⌈log2 P⌉ rounds total.
+        """
+        check_int(n, "n", minimum=1)
+        rng = self._fresh_stream("barrier")
+        P = self.nprocs
+        t = np.zeros((n, P))
+        if P == 1:
+            return t
+        rounds = math.ceil(math.log2(P))
+        size = 0  # zero-byte flag messages
+        for k in range(rounds):
+            shift = 1 << k
+            arrive = np.empty_like(t)
+            for r in range(P):
+                dst = (r + shift) % P
+                base = self.message_base(r, dst, size)
+                noise = self._net_noise(rng, n)
+                arrive[:, dst] = t[:, r] + base + noise
+            t = np.maximum(t, arrive)
+        return t
+
+    # -- introspection ---------------------------------------------------
+
+    def describe_placement(self) -> str:
+        """Human-readable placement summary for experiment documentation."""
+        n_nodes = int(self.rank_node.max()) + 1
+        return (
+            f"{self.nprocs} ranks, placement={self.placement}, "
+            f"{n_nodes} node(s) of {self.machine.name}"
+        )

@@ -1,0 +1,198 @@
+"""Interconnect models: topology, hop counts, and message cost.
+
+The paper's systems use Cray's Aries interconnect in a *dragonfly* topology
+(Piz Daint, Piz Dora) and InfiniBand FDR in a *fat tree* (Pilatus);
+Section 4.1.2 insists that the network "topology, latency, and bandwidth"
+be documented because they enable back-of-the-envelope reasoning.  We build
+the actual graphs (networkx) so hop counts — and therefore latencies — come
+from structure rather than constants.
+
+Message cost follows the postal/Hockney model
+``t(m) = α + hops·α_hop + m/β`` with per-message noise added by the MPI
+layer, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import networkx as nx
+import numpy as np
+
+from .._validation import check_int, check_nonneg, check_positive
+from ..errors import SimulationError, ValidationError
+
+__all__ = [
+    "Topology",
+    "dragonfly",
+    "fat_tree",
+    "single_switch",
+    "NetworkModel",
+]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A network graph whose nodes carry attached compute-node ids.
+
+    ``graph`` vertices are switches/routers; the mapping
+    ``attachment[compute_node] -> router vertex`` places compute nodes.
+    """
+
+    name: str
+    graph: nx.Graph
+    attachment: dict[int, object]
+
+    @property
+    def n_compute_nodes(self) -> int:
+        """Number of attachable compute nodes."""
+        return len(self.attachment)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Router-to-router hop count between two compute nodes.
+
+        Two nodes on the same router are 0 router hops apart (they still
+        pay the base NIC latency).  Results are cached per topology.
+        """
+        if src not in self.attachment or dst not in self.attachment:
+            raise SimulationError(
+                f"node {src if src not in self.attachment else dst} not attached "
+                f"to topology {self.name!r}"
+            )
+        a, b = self.attachment[src], self.attachment[dst]
+        if a == b:
+            return 0
+        return _shortest_path_len(id(self), self.graph, a, b)
+
+
+# Cache keyed by topology identity: graphs are immutable once built.
+@lru_cache(maxsize=200_000)
+def _shortest_path_len(topo_id: int, graph: nx.Graph, a, b) -> int:
+    return int(nx.shortest_path_length(graph, a, b))
+
+
+def dragonfly(
+    groups: int = 6, routers_per_group: int = 16, nodes_per_router: int = 4
+) -> Topology:
+    """A canonical dragonfly: all-to-all intra-group, all-to-all inter-group.
+
+    Each group is a clique of routers; every pair of groups is connected by
+    one global link (placed round-robin over the group's routers).  This is
+    the idealized structure of Cray Aries (one-hop within a group, at most
+    router→global→router between groups).
+    """
+    groups = check_int(groups, "groups", minimum=2)
+    routers_per_group = check_int(routers_per_group, "routers_per_group", minimum=1)
+    nodes_per_router = check_int(nodes_per_router, "nodes_per_router", minimum=1)
+    g = nx.Graph()
+    for grp in range(groups):
+        routers = [(grp, r) for r in range(routers_per_group)]
+        g.add_nodes_from(routers)
+        for i in range(routers_per_group):
+            for j in range(i + 1, routers_per_group):
+                g.add_edge(routers[i], routers[j])
+    # Global links: group pair (a, b) connects router (a, idx) to (b, idx).
+    for a in range(groups):
+        for b in range(a + 1, groups):
+            idx = (a + b) % routers_per_group
+            g.add_edge((a, idx), (b, idx))
+    attachment: dict[int, object] = {}
+    node = 0
+    for grp in range(groups):
+        for r in range(routers_per_group):
+            for _ in range(nodes_per_router):
+                attachment[node] = (grp, r)
+                node += 1
+    return Topology(
+        name=f"dragonfly(g={groups},r={routers_per_group},n={nodes_per_router})",
+        graph=g,
+        attachment=attachment,
+    )
+
+
+def fat_tree(
+    leaf_switches: int = 18, nodes_per_leaf: int = 18, spine_switches: int = 9
+) -> Topology:
+    """A two-level folded-Clos (fat tree): leaves all connect to all spines.
+
+    Any two nodes on different leaves are exactly leaf→spine→leaf = 2 hops
+    apart — the InfiniBand FDR fat tree of Pilatus.
+    """
+    leaf_switches = check_int(leaf_switches, "leaf_switches", minimum=1)
+    nodes_per_leaf = check_int(nodes_per_leaf, "nodes_per_leaf", minimum=1)
+    spine_switches = check_int(spine_switches, "spine_switches", minimum=1)
+    g = nx.Graph()
+    leaves = [("leaf", i) for i in range(leaf_switches)]
+    spines = [("spine", i) for i in range(spine_switches)]
+    g.add_nodes_from(leaves)
+    g.add_nodes_from(spines)
+    for leaf in leaves:
+        for spine in spines:
+            g.add_edge(leaf, spine)
+    attachment = {
+        leaf_idx * nodes_per_leaf + k: ("leaf", leaf_idx)
+        for leaf_idx in range(leaf_switches)
+        for k in range(nodes_per_leaf)
+    }
+    return Topology(
+        name=f"fat_tree(l={leaf_switches},n={nodes_per_leaf},s={spine_switches})",
+        graph=g,
+        attachment=attachment,
+    )
+
+
+def single_switch(nodes: int) -> Topology:
+    """All nodes on one switch — the trivial testbed topology."""
+    nodes = check_int(nodes, "nodes", minimum=1)
+    g = nx.Graph()
+    g.add_node("sw")
+    return Topology(
+        name=f"single_switch(n={nodes})",
+        graph=g,
+        attachment={i: "sw" for i in range(nodes)},
+    )
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Deterministic message-cost model over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The switch graph with compute-node attachments.
+    base_latency:
+        One-way latency floor (s): NIC + software stack (the α term).
+    per_hop_latency:
+        Additional latency per router-to-router hop (s).
+    bandwidth:
+        Link bandwidth (B/s) — the 1/β term.
+    """
+
+    topology: Topology
+    base_latency: float
+    per_hop_latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.base_latency, "base_latency")
+        check_nonneg(self.per_hop_latency, "per_hop_latency")
+        check_positive(self.bandwidth, "bandwidth")
+
+    def message_time(self, src_node: int, dst_node: int, size_bytes: int) -> float:
+        """Deterministic one-way transfer time for *size_bytes* (seconds).
+
+        Intra-node communication (``src == dst``) pays a fixed fraction of
+        the base latency (shared-memory transport) and no hop cost.
+        """
+        if size_bytes < 0:
+            raise ValidationError("size_bytes must be non-negative")
+        if src_node == dst_node:
+            return 0.3 * self.base_latency + size_bytes / (4.0 * self.bandwidth)
+        hops = self.topology.hops(src_node, dst_node)
+        return (
+            self.base_latency
+            + hops * self.per_hop_latency
+            + size_bytes / self.bandwidth
+        )

@@ -1,0 +1,220 @@
+"""Composable noise models for the simulated machine.
+
+The paper lists the usual suspects behind nondeterministic performance:
+"network background traffic, task scheduling, interrupts, job placement"
+on the system side and load imbalance, cache misses etc. on the application
+side (Section 1), producing distributions that are "multi-modal" and
+"heavily skewed to the right" (Section 3.1.3).  Each model here contributes
+a non-negative extra delay; models compose by summation and mixture, and
+all sampling is vectorized.
+
+All delays are in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .._validation import check_nonneg
+from ..errors import ValidationError
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "LogNormalNoise",
+    "ExponentialSpikes",
+    "PeriodicInterrupts",
+    "MixtureNoise",
+    "CompositeNoise",
+    "scaled",
+]
+
+
+class NoiseModel(Protocol):
+    """Anything that can produce n non-negative delay samples."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* delay samples (seconds, >= 0)."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """The deterministic machine: zero extra delay."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Return n zeros: the machine is perfectly quiet."""
+        return np.zeros(n)
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """Symmetric small-scale timing noise, truncated at zero.
+
+    Models the aggregate of many tiny independent perturbations (bus
+    arbitration, minor cache effects) that the CLT pushes toward normal.
+    """
+
+    sigma: float
+    mean: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.sigma, "sigma")
+        check_nonneg(self.mean, "mean")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n truncated-Gaussian delays."""
+        return np.maximum(rng.normal(self.mean, self.sigma, size=n), 0.0)
+
+
+@dataclass(frozen=True)
+class LogNormalNoise:
+    """Right-skewed, long-tailed delay — the paper's canonical shape.
+
+    Parameterized by the *median* delay and the log-space ``sigma`` so
+    calibration reads naturally: ``LogNormalNoise(median=0.2e-6,
+    sigma=0.8)`` has half its delays under 0.2 µs with a heavy right tail.
+    """
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.median, "median")
+        check_nonneg(self.sigma, "sigma")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n log-normal delays with the configured median."""
+        if self.median == 0.0:
+            return np.zeros(n)
+        return rng.lognormal(np.log(self.median), self.sigma, size=n)
+
+
+@dataclass(frozen=True)
+class ExponentialSpikes:
+    """Rare large delays: daemon wakeups, network congestion events.
+
+    Each sample independently suffers a spike with probability *prob*; the
+    spike size is exponential with the given *mean*.  This is the second
+    mode of the paper's multi-modal distributions.
+    """
+
+    prob: float
+    mean: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob < 1.0:
+            raise ValidationError(f"prob must be in [0, 1), got {self.prob}")
+        check_nonneg(self.mean, "mean")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n delays, each a spike with probability prob."""
+        hits = rng.random(n) < self.prob
+        out = np.zeros(n)
+        k = int(hits.sum())
+        if k:
+            out[hits] = rng.exponential(self.mean, size=k)
+        return out
+
+
+@dataclass(frozen=True)
+class PeriodicInterrupts:
+    """OS scheduler-tick style noise.
+
+    An interrupt of fixed *duration* fires every *period* seconds of
+    machine time; an operation of length *op_length* overlaps
+    ``op_length/period`` interrupts in expectation.  Sampling picks a
+    uniformly random phase per operation — the classic model of system
+    noise as in the paper's reference [26] (noise simulation).
+    """
+
+    period: float
+    duration: float
+    op_length: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValidationError("period must be positive")
+        check_nonneg(self.duration, "duration")
+        check_nonneg(self.op_length, "op_length")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n delays from uniformly random interrupt phases."""
+        # Number of interrupt firings overlapping the operation given a
+        # uniform phase: floor((op_length + phase)/period) with phase ~ U[0, period).
+        phase = rng.uniform(0.0, self.period, size=n)
+        count = np.floor((self.op_length + phase) / self.period)
+        return count * self.duration
+
+
+@dataclass(frozen=True)
+class MixtureNoise:
+    """Probabilistic mixture: each sample draws from one component.
+
+    ``components`` is a sequence of ``(weight, model)``; weights must sum
+    to 1.  Produces the multi-modal shapes of Figure 3.
+    """
+
+    components: Sequence[tuple[float, NoiseModel]]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValidationError("mixture needs at least one component")
+        total = sum(w for w, _ in self.components)
+        if abs(total - 1.0) > 1e-9:
+            raise ValidationError(f"mixture weights must sum to 1, got {total}")
+        if any(w < 0 for w, _ in self.components):
+            raise ValidationError("mixture weights must be non-negative")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n delays, each from a weight-chosen component."""
+        weights = np.array([w for w, _ in self.components])
+        choice = rng.choice(len(self.components), size=n, p=weights)
+        out = np.empty(n)
+        for i, (_, model) in enumerate(self.components):
+            mask = choice == i
+            k = int(mask.sum())
+            if k:
+                out[mask] = model.sample(rng, k)
+        return out
+
+
+@dataclass(frozen=True)
+class CompositeNoise:
+    """Sum of independent noise sources (system + application + network)."""
+
+    models: Sequence[NoiseModel]
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValidationError("composite needs at least one model")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n delays as the sum over all component models."""
+        out = np.zeros(n)
+        for model in self.models:
+            out += model.sample(rng, n)
+        return out
+
+
+@dataclass(frozen=True)
+class scaled:
+    """Scale another model's delays by a constant factor.
+
+    Used for per-rank heterogeneity: a rank co-located with system daemons
+    sees the same noise *shape*, only larger (Figure 6).
+    """
+
+    factor: float
+    model: NoiseModel
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.factor, "factor")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw n delays from the base model, scaled by the factor."""
+        return self.factor * self.model.sample(rng, n)

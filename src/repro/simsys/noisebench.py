@@ -1,0 +1,157 @@
+"""System-noise characterization: the fixed-work-quantum benchmark.
+
+The paper attributes nondeterminism to "network background traffic, task
+scheduling, interrupts" and cites the system-noise literature (its
+references [26, 47]) for cases where noise destroys application
+performance.  The standard instrument for *measuring* a machine's noise is
+the fixed-work-quantum (FWQ) benchmark: execute a calibrated quantum of
+work repeatedly and record each iteration's duration; everything above the
+noise-free quantum is the noise signal ("detour").
+
+This module runs FWQ against a machine's noise model and analyzes the
+trace: detour statistics, the noise fraction, and detection of *periodic*
+interference (OS ticks, daemons) via the detour spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..errors import ValidationError
+from .machine import MachineSpec
+from .noise import NoiseModel
+from .rng import RngFactory
+
+__all__ = ["FWQResult", "fixed_work_quantum", "detour_spectrum", "dominant_period"]
+
+
+@dataclass(frozen=True)
+class FWQResult:
+    """A fixed-work-quantum noise trace.
+
+    Attributes
+    ----------
+    quantum:
+        Noise-free duration of one work quantum (s).
+    durations:
+        Measured per-iteration durations (s).
+    """
+
+    quantum: float
+    durations: np.ndarray
+
+    @property
+    def detours(self) -> np.ndarray:
+        """Per-iteration noise: duration minus the noise-free quantum."""
+        return self.durations - self.quantum
+
+    @property
+    def noise_fraction(self) -> float:
+        """Fraction of total time lost to noise — the headline FWQ number."""
+        total = float(self.durations.sum())
+        return float(self.detours.sum()) / total if total > 0 else 0.0
+
+    def slowdown_bound_for_collectives(self, nprocs: int) -> float:
+        """Crude upper bound on noise-induced collective slowdown.
+
+        A synchronizing collective over P processes absorbs roughly the
+        *maximum* of P independent detours per phase; we estimate it from
+        the empirical detour distribution (the core insight of the paper's
+        reference [26]: noise is amplified by scale).
+        """
+        check_int(nprocs, "nprocs", minimum=1)
+        if self.durations.size < 10:
+            raise ValidationError("need at least 10 iterations")
+        # P-th order statistic estimate: the (1 - 1/P) detour quantile.
+        q = 1.0 - 1.0 / max(nprocs, 2)
+        worst = float(np.quantile(self.detours, q))
+        return worst / self.quantum
+
+
+def fixed_work_quantum(
+    machine: MachineSpec,
+    *,
+    quantum: float = 1e-3,
+    iterations: int = 10_000,
+    extra_noise: NoiseModel | None = None,
+    tick_period: float | None = None,
+    tick_duration: float = 50e-6,
+    seed: int = 0,
+) -> FWQResult:
+    """Run the FWQ benchmark on a simulated machine.
+
+    Each iteration takes ``quantum`` plus compute noise (the machine's
+    ``compute_noise_cov`` as a multiplicative term) plus any ``extra_noise``
+    additive model.  ``tick_period``/``tick_duration`` model a *coherent*
+    OS interrupt train: the benchmark tracks cumulative machine time, so an
+    iteration's detour depends on how many tick boundaries its window
+    crosses — this temporal correlation is what makes the periodicity
+    visible in the spectrum (stateless per-sample noise cannot produce it).
+    """
+    check_positive(quantum, "quantum")
+    check_int(iterations, "iterations", minimum=10)
+    if tick_period is not None:
+        check_positive(tick_period, "tick_period")
+        if tick_duration < 0:
+            raise ValidationError("tick_duration must be non-negative")
+    rngs = RngFactory(seed).child("fwq", machine.name)
+    rng = rngs("run", iterations)
+    durations = np.full(iterations, quantum)
+    if machine.compute_noise_cov > 0:
+        durations = durations * np.maximum(
+            rng.lognormal(0.0, machine.compute_noise_cov, iterations), 1.0
+        )
+    if extra_noise is not None:
+        durations = durations + extra_noise.sample(rng, iterations)
+    if tick_period is not None:
+        # Coherent tick train: interrupts fire at phase + k*period in
+        # machine time; each iteration absorbs the ticks inside its window.
+        phase = float(rng.uniform(0.0, tick_period))
+        t = 0.0
+        for i in range(iterations):
+            end = t + durations[i]
+            n_ticks = int(np.floor((end - phase) / tick_period)) - int(
+                np.floor((t - phase) / tick_period)
+            )
+            if n_ticks > 0:
+                durations[i] += n_ticks * tick_duration
+                end = t + durations[i]
+            t = end
+    return FWQResult(quantum=quantum, durations=durations)
+
+
+def detour_spectrum(result: FWQResult) -> tuple[np.ndarray, np.ndarray]:
+    """Amplitude spectrum of the detour trace.
+
+    The x-axis is frequency in events per iteration... more usefully, in
+    cycles per second of *machine time*, obtained by treating iterations as
+    samples spaced one mean duration apart (valid when detours are small
+    relative to the quantum).  Returns ``(frequencies_hz, amplitude)``
+    without the DC component.
+    """
+    detours = result.detours
+    if detours.size < 16:
+        raise ValidationError("need at least 16 iterations for a spectrum")
+    spacing = float(result.durations.mean())
+    centered = detours - detours.mean()
+    amp = np.abs(np.fft.rfft(centered))
+    freqs = np.fft.rfftfreq(detours.size, d=spacing)
+    return freqs[1:], amp[1:]
+
+
+def dominant_period(result: FWQResult) -> float | None:
+    """The dominant periodicity of the noise (s), if one stands out.
+
+    Returns the period of the strongest spectral line when it exceeds 4x
+    the median amplitude (a simple prominence criterion), else ``None`` —
+    aperiodic noise has no meaningful period.
+    """
+    freqs, amp = detour_spectrum(result)
+    peak_idx = int(np.argmax(amp))
+    prominence = amp[peak_idx] / (np.median(amp) + 1e-300)
+    if prominence < 4.0 or freqs[peak_idx] <= 0:
+        return None
+    return float(1.0 / freqs[peak_idx])

@@ -1,0 +1,104 @@
+"""Long-horizon performance-variability traces (paper references [34, 52]).
+
+Kramer & Ryan / Skinner & Kramer studied how the *same* benchmark's
+performance wanders over days of machine operation — competing jobs,
+filesystem load, daily usage patterns.  This module generates such traces
+for a simulated machine: a baseline runtime modulated by a diurnal load
+cycle, slow drift, incident windows (degraded service), and per-run noise,
+so the rolling-CoV consistency analysis has realistic material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int, check_nonneg, check_positive
+from ..errors import ValidationError
+from .machine import MachineSpec
+from .rng import RngFactory
+
+__all__ = ["VariabilityTimeline"]
+
+
+@dataclass
+class VariabilityTimeline:
+    """Generator of benchmark-runtime traces over machine time.
+
+    Parameters
+    ----------
+    machine:
+        Machine supplying the per-run noise scale (``compute_noise_cov``).
+    base_runtime:
+        Noise-free runtime of the tracked benchmark (s).
+    diurnal_amplitude:
+        Peak fractional slowdown of the daily load cycle (0.05 = 5 %
+        slower at the busiest hour).
+    incident_rate:
+        Expected number of degradation incidents per day.
+    incident_slowdown:
+        Mean fractional slowdown during an incident.
+    incident_duration_hours:
+        Mean incident length.
+    """
+
+    machine: MachineSpec
+    base_runtime: float = 300.0
+    diurnal_amplitude: float = 0.05
+    incident_rate: float = 0.25
+    incident_slowdown: float = 0.30
+    incident_duration_hours: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_runtime, "base_runtime")
+        check_nonneg(self.diurnal_amplitude, "diurnal_amplitude")
+        check_nonneg(self.incident_rate, "incident_rate")
+        check_nonneg(self.incident_slowdown, "incident_slowdown")
+        check_positive(self.incident_duration_hours, "incident_duration_hours")
+        self._rngs = RngFactory(self.seed).child("timeline", self.machine.name)
+
+    def sample(
+        self, days: int = 14, runs_per_day: int = 24
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate *days* of periodic benchmark runs.
+
+        Returns ``(hours, runtimes)``: the run timestamps (hours since
+        start) and the measured runtimes (s).
+        """
+        check_int(days, "days", minimum=1)
+        check_int(runs_per_day, "runs_per_day", minimum=1)
+        n = days * runs_per_day
+        rng = self._rngs("sample", days, runs_per_day)
+        hours = np.arange(n) * (24.0 / runs_per_day)
+
+        # Daily load cycle peaking mid-afternoon (hour 15).
+        diurnal = 1.0 + self.diurnal_amplitude * 0.5 * (
+            1.0 + np.cos(2.0 * np.pi * (hours % 24.0 - 15.0) / 24.0)
+        )
+
+        # Degradation incidents: Poisson arrivals, exponential durations.
+        slowdown = np.ones(n)
+        n_incidents = int(rng.poisson(self.incident_rate * days))
+        for _ in range(n_incidents):
+            start = float(rng.uniform(0.0, days * 24.0))
+            length = float(rng.exponential(self.incident_duration_hours))
+            severity = 1.0 + float(rng.exponential(self.incident_slowdown))
+            mask = (hours >= start) & (hours < start + length)
+            slowdown[mask] = np.maximum(slowdown[mask], severity)
+
+        cov = max(self.machine.compute_noise_cov, 1e-6)
+        # Per-run noise only ever slows the run down: the base runtime is
+        # the noise-free floor, consistent with the other workload models.
+        per_run = np.maximum(rng.lognormal(0.0, cov, n), 1.0)
+        runtimes = self.base_runtime * diurnal * slowdown * per_run
+        return hours, runtimes
+
+    def expected_quiet_cov(self) -> float:
+        """CoV expected in incident-free windows (per-run noise only).
+
+        The diurnal term adds to this over long windows; rolling windows
+        shorter than a day sit near this floor outside incidents.
+        """
+        return float(self.machine.compute_noise_cov)

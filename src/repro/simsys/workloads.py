@@ -1,0 +1,243 @@
+"""Simulated workloads: HPL, the Amdahl Pi kernel, and STREAM triad.
+
+These stand in for the applications the paper measures:
+
+* :class:`HPLModel` — High-Performance Linpack completion times on a
+  machine, with run-to-run variation calibrated to Figure 1 (50 runs on 64
+  Piz Daint nodes, N = 314k: best 77.38 Tflop/s ≈ 267 s, worst
+  61.23 Tflop/s ≈ 337 s against a 94.5 Tflop/s peak).
+* :class:`PiWorkload` — the π-digit computation of Figure 7: fully
+  parallel except a serial initialization (b = 0.01 of the 20 ms base
+  case) and one final reduction with the paper's empirical piecewise
+  overhead model f(p).
+* :class:`StreamWorkload` — a memory-bandwidth-bound triad used by the
+  capability/roofline examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_int, check_positive, check_prob
+from ..errors import ValidationError
+from .machine import MachineSpec
+from .rng import RngFactory
+
+__all__ = ["hpl_flops", "HPLModel", "reduction_overhead_piz_daint", "PiWorkload", "StreamWorkload"]
+
+
+def hpl_flops(n: int) -> float:
+    """Floating-point operations of an order-*n* HPL solve: 2/3·n³ + 2·n²."""
+    n = check_int(n, "n", minimum=1)
+    return (2.0 / 3.0) * float(n) ** 3 + 2.0 * float(n) ** 2
+
+
+@dataclass
+class HPLModel:
+    """Run-to-run HPL completion-time model on a simulated machine.
+
+    The deterministic part is ``flops / (efficiency · peak)``; on top of it
+    run-to-run variation follows a shifted log-normal — the minimum is set
+    by the hardware, while congestion, placement and system noise stretch
+    individual runs to the right (Section 1 lists the sources).  Calibrated
+    so 64-node Piz Daint, N = 314k lands on Figure 1's anchors.
+
+    Parameters
+    ----------
+    machine:
+        Machine model supplying the peak flop rate.
+    n:
+        Problem size (matrix order).
+    peak_efficiency:
+        Fraction of theoretical peak achieved by the *best possible* run
+        (0.818 for the paper's best run).
+    spread_median, spread_sigma:
+        Median and log-sigma of the log-normal slowdown term, expressed as
+        a fraction of the best-case time.
+    """
+
+    machine: MachineSpec
+    n: int = 314_000
+    peak_efficiency: float = 0.818
+    spread_median: float = 0.105
+    spread_sigma: float = 0.42
+    fast_alloc_prob: float = 0.01
+    fast_alloc_slowdown: float = 0.004
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int(self.n, "n", minimum=1)
+        check_prob(self.peak_efficiency, "peak_efficiency")
+        check_positive(self.spread_median, "spread_median")
+        check_positive(self.spread_sigma, "spread_sigma")
+        if not 0.0 <= self.fast_alloc_prob < 1.0:
+            raise ValidationError("fast_alloc_prob must be in [0, 1)")
+        self._rngs = RngFactory(self.seed).child("hpl", self.machine.name, self.n)
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point work of one run."""
+        return hpl_flops(self.n)
+
+    @property
+    def best_time(self) -> float:
+        """Best-case completion time (peak_efficiency of machine peak)."""
+        return self.flops / (self.peak_efficiency * self.machine.peak_flops)
+
+    def run(self, n_runs: int = 50) -> np.ndarray:
+        """Simulate *n_runs* complete HPL executions; completion times (s).
+
+        Each run uses a fresh allocation (the paper: "For HPL we chose
+        different allocations for each experiment"), which is the main
+        source of the broad spread.
+        """
+        check_int(n_runs, "n_runs", minimum=1)
+        rng = self._rngs("runs", n_runs)
+        base = self.best_time
+        # Allocation-quality mixture: a small fraction of allocations land
+        # on a compact, quiet partition and run near the hardware optimum;
+        # the bulk suffers a right-skewed slowdown from placement spread,
+        # network congestion, and system noise.
+        slowdown = rng.lognormal(math.log(self.spread_median), self.spread_sigma, n_runs)
+        fast = rng.random(n_runs) < self.fast_alloc_prob
+        slowdown[fast] = np.abs(
+            rng.normal(self.fast_alloc_slowdown, self.fast_alloc_slowdown / 2, int(fast.sum()))
+        )
+        return base * (1.0 + slowdown)
+
+    def rates(self, times: np.ndarray) -> np.ndarray:
+        """Convert completion times to achieved flop rates (flop/s)."""
+        t = np.asarray(times, dtype=np.float64)
+        if np.any(t <= 0):
+            raise ValidationError("times must be positive")
+        return self.flops / t
+
+    def efficiency(self, times: np.ndarray) -> np.ndarray:
+        """Fraction of machine peak achieved by each run."""
+        return self.rates(times) / self.machine.peak_flops
+
+
+def reduction_overhead_piz_daint(p: int) -> float:
+    """The paper's empirical piecewise reduction model on Piz Daint (s).
+
+    f(p ≤ 8) = 10 ns; f(8 < p ≤ 16) = 0.1 ms·log2(p);
+    f(p > 16) = 0.17 ms·log2(p).  The three pieces correspond to
+    shared-memory, single-group, and multi-group communication on the
+    dragonfly (Section 5.1).
+    """
+    p = check_int(p, "p", minimum=1)
+    if p <= 8:
+        return 10e-9
+    if p <= 16:
+        return 0.1e-3 * math.log2(p)
+    return 0.17e-3 * math.log2(p)
+
+
+@dataclass
+class PiWorkload:
+    """Figure 7's π-digit computation with Amdahl + parallel overheads.
+
+    ``time(p) = b·T₁ + (1 − b)·T₁/p + f(p) + noise`` where ``T₁`` is the
+    base (single-process) time of 20 ms, ``b = 0.01`` the serial fraction
+    (0.2 ms serial initialization), and ``f(p)`` the final reduction's
+    overhead — by default the paper's Piz Daint piecewise model.
+    """
+
+    machine: MachineSpec
+    base_time: float = 20e-3
+    serial_fraction: float = 0.01
+    seed: int = 0
+    overhead: object = None  # Callable[[int], float]; default Piz Daint model
+    noise_cov: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_time, "base_time")
+        check_prob(self.serial_fraction, "serial_fraction")
+        if self.overhead is None:
+            self.overhead = reduction_overhead_piz_daint
+        if self.noise_cov is None:
+            self.noise_cov = self.machine.compute_noise_cov
+        self._rngs = RngFactory(self.seed).child("pi", self.machine.name)
+
+    def ideal_time(self, p: int) -> float:
+        """Deterministic model time for *p* processes (no noise)."""
+        p = check_int(p, "p", minimum=1)
+        b = self.serial_fraction
+        overhead = self.overhead(p) if p > 1 else 0.0
+        return self.base_time * (b + (1.0 - b) / p) + overhead
+
+    def run(self, p: int, n_runs: int = 10) -> np.ndarray:
+        """Simulate *n_runs* executions on *p* processes; times (s).
+
+        Noise is a straggler effect: the slowest of *p* per-process
+        perturbations governs, so variability grows mildly with p — as on
+        real machines.
+        """
+        check_int(n_runs, "n_runs", minimum=1)
+        p = check_int(p, "p", minimum=1)
+        rng = self._rngs("run", p, n_runs)
+        base = self.ideal_time(p)
+        cov = float(self.noise_cov)
+        if cov == 0.0:
+            return np.full(n_runs, base)
+        # Straggler model: each rank suffers an independent log-normal
+        # slowdown; the run finishes with its slowest rank.  Noise only ever
+        # adds time -- the ideal model is the floor.
+        factors = rng.lognormal(0.0, cov, size=(n_runs, p)).max(axis=1)
+        return base * np.maximum(factors, 1.0)
+
+    def speedups(self, times_by_p: dict[int, np.ndarray]) -> dict[int, float]:
+        """Median-based speedup relative to the measured single-process run.
+
+        Rule 1: the base case is the *single parallel process* execution;
+        its absolute runtime is available as ``times_by_p[1]``.
+        """
+        if 1 not in times_by_p:
+            raise ValidationError("need p=1 measurements as the speedup base")
+        t1 = float(np.median(times_by_p[1]))
+        return {p: t1 / float(np.median(t)) for p, t in sorted(times_by_p.items())}
+
+
+@dataclass
+class StreamWorkload:
+    """Memory-bandwidth-bound triad ``a = b + s·c`` (3 streams × 8 B).
+
+    Time per iteration = ``24·n / mem_bandwidth``; flop rate is
+    ``2·n / time`` — far below CPU peak, making it the memory-bound corner
+    case for the roofline/capability analysis (Section 5.1).
+    """
+
+    machine: MachineSpec
+    n_elements: int = 10_000_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int(self.n_elements, "n_elements", minimum=1)
+        self._rngs = RngFactory(self.seed).child("stream", self.machine.name)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Bytes transferred per triad sweep."""
+        return 24.0 * self.n_elements
+
+    @property
+    def flops(self) -> float:
+        """Floating-point operations per triad sweep."""
+        return 2.0 * self.n_elements
+
+    def ideal_time(self) -> float:
+        """Bandwidth-bound lower time bound for one sweep."""
+        return self.bytes_moved / self.machine.node.mem_bandwidth
+
+    def run(self, n_runs: int = 10) -> np.ndarray:
+        """Simulate *n_runs* sweeps with the machine's compute noise."""
+        check_int(n_runs, "n_runs", minimum=1)
+        rng = self._rngs("run", n_runs)
+        cov = self.machine.compute_noise_cov
+        base = self.ideal_time()
+        if cov == 0.0:
+            return np.full(n_runs, base)
+        return base * rng.lognormal(0.0, cov, n_runs)

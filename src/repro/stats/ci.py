@@ -1,0 +1,192 @@
+"""Confidence intervals for means, medians, and arbitrary quantiles.
+
+Implements the two CI constructions from the paper (Section 3.1.2/3.1.3):
+
+* the parametric Student-t interval around the arithmetic mean, valid for
+  (approximately) normally distributed iid samples, and
+* the nonparametric rank-based interval around the median or any other
+  quantile, following Le Boudec's construction, valid for any iid sample.
+
+Both return a :class:`ConfidenceInterval`, which also powers the simple
+"non-overlapping CIs imply significance" comparison of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+from scipy import stats as _sps
+
+from .._validation import as_sample, check_prob
+from ..errors import InsufficientDataError
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "median_ci",
+    "quantile_ci",
+    "quantile_ci_ranks",
+    "intervals_overlap",
+]
+
+#: Minimum sample size for nonparametric CIs; the paper notes that
+#: "n > 5 measurements are needed to assess confidence intervals
+#: nonparametrically" (Section 4.2.2).
+MIN_NONPARAMETRIC_N = 6
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """An estimated statistic together with its confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        The point estimate (mean, median, or quantile).
+    low, high:
+        Interval bounds, ``low <= estimate <= high`` (up to rank
+        discreteness in the nonparametric case, where the estimate may sit
+        on a bound).
+    confidence:
+        The confidence level ``1 − α`` used to build the interval.
+    statistic:
+        Name of the summarized statistic (``"mean"``, ``"median"``,
+        ``"quantile(0.99)"``, ...).
+    n:
+        Number of observations the interval is based on.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    statistic: str
+    n: int
+
+    @property
+    def width(self) -> float:
+        """Absolute interval width ``high − low``."""
+        return self.high - self.low
+
+    @property
+    def relative_width(self) -> float:
+        """Width relative to the magnitude of the estimate.
+
+        Used by the sequential stopping rule of Section 4.2.2 ("collect
+        measurements until the 99% CI is within 5% of the median").
+        """
+        if self.estimate == 0.0:
+            return math.inf
+        return self.width / abs(self.estimate)
+
+    def contains(self, value: float) -> bool:
+        """True if *value* lies inside the closed interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pct = 100.0 * self.confidence
+        return (
+            f"{self.statistic}={self.estimate:.6g} "
+            f"[{self.low:.6g}, {self.high:.6g}] ({pct:g}% CI, n={self.n})"
+        )
+
+
+def mean_ci(data: Iterable[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval for the arithmetic mean.
+
+    ``[x̄ − t(n−1, α/2)·s/√n,  x̄ + t(n−1, α/2)·s/√n]`` exactly as in
+    Section 3.1.2.  Assumes iid, approximately normal data — check with
+    :mod:`repro.stats.normality` first (Rule 6).
+    """
+    check_prob(confidence, "confidence")
+    x = as_sample(data, min_n=2, what="mean CI")
+    n = x.size
+    mean = float(x.mean())
+    sem = float(x.std(ddof=1)) / math.sqrt(n)
+    tcrit = float(_sps.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    half = tcrit * sem
+    return ConfidenceInterval(
+        estimate=mean,
+        low=mean - half,
+        high=mean + half,
+        confidence=confidence,
+        statistic="mean",
+        n=n,
+    )
+
+
+def quantile_ci_ranks(n: int, q: float, confidence: float) -> tuple[int, int]:
+    """Zero-based order-statistic ranks bounding a nonparametric quantile CI.
+
+    Implements Le Boudec's normal-approximation construction.  For the
+    median the paper quotes the ranks (1-based)
+
+        ``⌊(n − z(α/2)√n)/2⌋``  and  ``⌈1 + (n + z(α/2)√n)/2⌉``;
+
+    the general-quantile version replaces ``n/2`` by ``nq`` and ``√n/2`` by
+    ``√(nq(1−q))``.  Returned ranks are clipped into ``[0, n−1]`` and
+    converted to 0-based indexing for direct use on a sorted array.
+    """
+    check_prob(q, "q")
+    check_prob(confidence, "confidence")
+    if n < MIN_NONPARAMETRIC_N:
+        raise InsufficientDataError(MIN_NONPARAMETRIC_N, n, "nonparametric CI")
+    alpha = 1.0 - confidence
+    z = float(_sps.norm.ppf(1.0 - alpha / 2.0))
+    center = n * q
+    spread = z * math.sqrt(n * q * (1.0 - q))
+    lo_rank_1based = math.floor(center - spread)
+    hi_rank_1based = math.ceil(center + spread) + 1
+    lo = max(0, lo_rank_1based - 1)
+    hi = min(n - 1, hi_rank_1based - 1)
+    return lo, hi
+
+
+def quantile_ci(
+    data: Iterable[float], q: float, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Nonparametric (rank-based) confidence interval for quantile *q*.
+
+    Distribution-free: valid for any iid sample, including the skewed and
+    multi-modal runtimes typical of parallel systems (Section 3.1.3).  The
+    interval endpoints are observed order statistics, so the interval can
+    be asymmetric around the estimate.
+    """
+    x = as_sample(data, min_n=MIN_NONPARAMETRIC_N, what="nonparametric CI")
+    xs = np.sort(x)
+    lo, hi = quantile_ci_ranks(x.size, q, confidence)
+    estimate = float(np.quantile(x, q))
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=float(xs[lo]),
+        high=float(xs[hi]),
+        confidence=confidence,
+        statistic=f"quantile({q:g})",
+        n=int(x.size),
+    )
+
+
+def median_ci(data: Iterable[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Nonparametric confidence interval for the median (Section 3.1.3)."""
+    ci = quantile_ci(data, 0.5, confidence)
+    return ConfidenceInterval(
+        estimate=ci.estimate,
+        low=ci.low,
+        high=ci.high,
+        confidence=ci.confidence,
+        statistic="median",
+        n=ci.n,
+    )
+
+
+def intervals_overlap(a: ConfidenceInterval, b: ConfidenceInterval) -> bool:
+    """True if two confidence intervals overlap.
+
+    Per Section 3.2: *non*-overlapping 1−α intervals imply a statistically
+    significant difference at level 1−α; overlapping intervals are
+    inconclusive (the difference may still be significant).
+    """
+    return a.low <= b.high and b.low <= a.high

@@ -1,0 +1,112 @@
+"""Distribution fitting helpers for measurement data.
+
+Runtimes on parallel systems are "typically multi-modal ... heavily skewed
+to the right" (Section 3.1.3); the log-normal family is the paper's working
+model for the long right tail.  These helpers fit normal and (shifted)
+log-normal models to observed samples — used by the simulator calibration
+and the normalization search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .._validation import as_positive_sample, as_sample
+from ..errors import ValidationError
+
+__all__ = ["NormalFit", "LogNormalFit", "fit_normal", "fit_lognormal"]
+
+
+@dataclass(frozen=True)
+class NormalFit:
+    """Maximum-likelihood normal fit ``N(mu, sigma²)``."""
+
+    mu: float
+    sigma: float
+    n: int
+
+    def pdf(self, at: Iterable[float]) -> np.ndarray:
+        """Density of the fitted normal at the given points."""
+        x = np.atleast_1d(np.asarray(at, dtype=np.float64))
+        z = (x - self.mu) / self.sigma
+        return np.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw n variates from the fitted distribution."""
+        return rng.normal(self.mu, self.sigma, size=n)
+
+
+@dataclass(frozen=True)
+class LogNormalFit:
+    """Shifted log-normal fit: ``X = shift + LogNormal(mu, sigma²)``.
+
+    ``shift`` models the deterministic minimum (e.g. the physical network
+    latency floor) below which no measurement can fall.
+    """
+
+    mu: float
+    sigma: float
+    shift: float
+    n: int
+
+    @property
+    def mean(self) -> float:
+        """Mean of the fitted distribution."""
+        return self.shift + math.exp(self.mu + 0.5 * self.sigma**2)
+
+    @property
+    def median(self) -> float:
+        """Median of the fitted distribution."""
+        return self.shift + math.exp(self.mu)
+
+    def pdf(self, at: Iterable[float]) -> np.ndarray:
+        """Density of the fitted shifted log-normal at the given points."""
+        x = np.atleast_1d(np.asarray(at, dtype=np.float64)) - self.shift
+        out = np.zeros_like(x)
+        pos = x > 0
+        xp = x[pos]
+        z = (np.log(xp) - self.mu) / self.sigma
+        out[pos] = np.exp(-0.5 * z * z) / (
+            xp * self.sigma * math.sqrt(2.0 * math.pi)
+        )
+        return out
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw n variates from the fitted distribution."""
+        return self.shift + rng.lognormal(self.mu, self.sigma, size=n)
+
+
+def fit_normal(data: Iterable[float]) -> NormalFit:
+    """MLE normal fit (ddof=0, the maximum-likelihood variance)."""
+    x = as_sample(data, min_n=2, what="normal fit")
+    sigma = float(x.std(ddof=0))
+    if sigma == 0.0:
+        raise ValidationError("degenerate sample: zero variance")
+    return NormalFit(mu=float(x.mean()), sigma=sigma, n=int(x.size))
+
+
+def fit_lognormal(data: Iterable[float], *, shift: float | None = None) -> LogNormalFit:
+    """Fit a shifted log-normal.
+
+    If *shift* is omitted it is estimated as slightly below the sample
+    minimum (``min − 5%·range``), a simple and robust choice for runtime
+    floors.  The remaining (mu, sigma) are the MLE of the shifted logs.
+    """
+    x = as_sample(data, min_n=2, what="lognormal fit")
+    if shift is None:
+        lo, hi = float(x.min()), float(x.max())
+        if hi == lo:
+            raise ValidationError("degenerate sample: zero range")
+        shift = lo - 0.05 * (hi - lo)
+    shifted = x - shift
+    if np.any(shifted <= 0):
+        raise ValidationError("shift must lie strictly below all observations")
+    logs = np.log(shifted)
+    sigma = float(logs.std(ddof=0))
+    if sigma == 0.0:
+        raise ValidationError("degenerate sample: zero variance after shift")
+    return LogNormalFit(mu=float(logs.mean()), sigma=sigma, shift=float(shift), n=int(x.size))

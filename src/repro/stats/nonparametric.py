@@ -1,0 +1,115 @@
+"""Additional nonparametric comparisons: Mann–Whitney U and the sign test.
+
+Companions to Kruskal–Wallis (Section 3.2.2) for the two-group and
+paired-measurement cases:
+
+* **Mann–Whitney U** — the two-group rank test (Kruskal–Wallis with k = 2
+  reduces to it); reported with the rank-biserial effect size so Rule 7's
+  "how large" question gets answered alongside "is it significant".
+* **Sign test** — for *paired* runs (same input, two systems, run-by-run):
+  counts which system wins each pair; distribution-free under the weakest
+  possible assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+from scipy import stats as _sps
+
+from .._validation import as_sample, check_prob
+from ..errors import ValidationError
+from .compare import TestOutcome
+
+__all__ = ["mann_whitney", "rank_biserial", "SignTestResult", "sign_test"]
+
+
+def mann_whitney(a: Iterable[float], b: Iterable[float]) -> TestOutcome:
+    """Two-sided Mann–Whitney U test (normal approximation with ties).
+
+    Null hypothesis: a value drawn from *a* is equally likely to exceed a
+    value drawn from *b* as vice versa.  Cross-checkable against
+    :func:`scipy.stats.mannwhitneyu`.
+    """
+    x = as_sample(a, min_n=2, what="group a")
+    y = as_sample(b, min_n=2, what="group b")
+    res = _sps.mannwhitneyu(x, y, alternative="two-sided", method="asymptotic")
+    note = ""
+    if min(x.size, y.size) < 8:
+        note = "small groups: normal approximation weak"
+    return TestOutcome(
+        "mann-whitney-U", float(res.statistic), float(res.pvalue),
+        (float(x.size), float(y.size)), note,
+    )
+
+
+def rank_biserial(a: Iterable[float], b: Iterable[float]) -> float:
+    """Rank-biserial correlation: the Mann–Whitney effect size in [−1, 1].
+
+    ``r = 2·P(A > B) − 1`` (with ties split): +1 means every *a* exceeds
+    every *b*; 0 means stochastic equality.  Vectorized O(n log n) via
+    ranks.
+    """
+    x = as_sample(a, min_n=1, what="group a")
+    y = as_sample(b, min_n=1, what="group b")
+    ranks = _sps.rankdata(np.concatenate([x, y]))
+    r_x = ranks[: x.size].sum()
+    u_x = r_x - x.size * (x.size + 1) / 2.0
+    return float(2.0 * u_x / (x.size * y.size) - 1.0)
+
+
+@dataclass(frozen=True)
+class SignTestResult:
+    """Outcome of the paired sign test.
+
+    ``wins_a``/``wins_b`` count pairs where each side was strictly faster
+    (smaller); ties are discarded, as is standard.
+    """
+
+    wins_a: int
+    wins_b: int
+    ties: int
+    p_value: float
+
+    @property
+    def n_effective(self) -> int:
+        return self.wins_a + self.wins_b
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the win rates differ significantly from 50/50."""
+        check_prob(alpha, "alpha")
+        return self.p_value < alpha
+
+    def summary(self) -> str:
+        """One-line win/loss/tie statement with the p-value."""
+        return (
+            f"A faster in {self.wins_a}, B faster in {self.wins_b} "
+            f"of {self.n_effective} informative pairs ({self.ties} ties); "
+            f"two-sided p = {self.p_value:.4g}"
+        )
+
+
+def sign_test(a: Iterable[float], b: Iterable[float]) -> SignTestResult:
+    """Paired sign test: is one system faster more than half the time?
+
+    *a* and *b* are paired measurements (same index = same trial).  The
+    two-sided exact binomial p-value is returned.  All-ties data yields
+    p = 1 (no evidence either way).
+    """
+    x = as_sample(a, min_n=1, what="paired a")
+    y = as_sample(b, min_n=1, what="paired b")
+    if x.shape != y.shape:
+        raise ValidationError("paired samples must have equal length")
+    wins_a = int(np.sum(x < y))
+    wins_b = int(np.sum(y < x))
+    ties = int(x.size - wins_a - wins_b)
+    n = wins_a + wins_b
+    if n == 0:
+        return SignTestResult(0, 0, ties, 1.0)
+    k = min(wins_a, wins_b)
+    # Two-sided exact binomial tail.
+    p = float(min(1.0, 2.0 * _sps.binom.cdf(k, n, 0.5)))
+    return SignTestResult(wins_a, wins_b, ties, p)

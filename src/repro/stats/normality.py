@@ -1,0 +1,244 @@
+"""Normality diagnostics (paper Section 3.1.2, Rule 6).
+
+"Do not assume normality of collected data (e.g., based on the number of
+samples) without diagnostic checking."  This module provides the tests the
+paper recommends — Shapiro–Wilk as the most powerful (per Razali & Wah),
+cross-checked with Anderson–Darling / Kolmogorov–Smirnov and a Q-Q plot —
+wrapped in a single :func:`diagnose` entry point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+from scipy import stats as _sps
+
+from .._validation import as_sample, check_prob
+from ..errors import ValidationError
+
+__all__ = [
+    "NormalityReport",
+    "shapiro_wilk",
+    "anderson_darling",
+    "kolmogorov_smirnov",
+    "qq_points",
+    "qq_correlation",
+    "skewness",
+    "excess_kurtosis",
+    "diagnose",
+    "is_plausibly_normal",
+]
+
+#: Shapiro–Wilk loses calibration for very large samples (and scipy warns
+#: above 5000); the paper likewise notes it "may be misleading for large
+#: sample sizes".  Above this size we test a fixed-seed subsample and say so.
+SHAPIRO_MAX_N = 5000
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a single statistical test."""
+
+    name: str
+    statistic: float
+    p_value: float
+    n: int
+    note: str = ""
+
+    def rejects_normality(self, alpha: float = 0.05) -> bool:
+        """True when the test rejects the normality hypothesis at *alpha*."""
+        check_prob(alpha, "alpha")
+        return self.p_value < alpha
+
+
+def shapiro_wilk(data: Iterable[float], *, subsample_seed: int = 0) -> TestResult:
+    """Shapiro–Wilk test for normality.
+
+    For samples larger than :data:`SHAPIRO_MAX_N` a deterministic random
+    subsample is tested instead (noted in the result), mirroring common
+    practice and the paper's caveat about large-n behaviour.
+    """
+    x = as_sample(data, min_n=3, what="Shapiro-Wilk")
+    note = ""
+    if x.size > SHAPIRO_MAX_N:
+        original_n = x.size
+        rng = np.random.default_rng(subsample_seed)
+        x = rng.choice(x, size=SHAPIRO_MAX_N, replace=False)
+        note = f"subsampled to {SHAPIRO_MAX_N} of {original_n} observations"
+    if np.ptp(x) == 0.0:
+        # Constant data: degenerate; normality is moot, report p=0.
+        return TestResult("shapiro-wilk", 1.0, 0.0, int(x.size), "constant data")
+    stat, p = _sps.shapiro(x)
+    return TestResult("shapiro-wilk", float(stat), float(p), int(x.size), note)
+
+
+def anderson_darling(data: Iterable[float]) -> TestResult:
+    """Anderson–Darling test for normality.
+
+    scipy returns critical values rather than a p-value; we convert the A²
+    statistic to an approximate p-value using the Stephens (1974) formula
+    for the case of estimated mean and variance.
+    """
+    x = as_sample(data, min_n=8, what="Anderson-Darling")
+    if np.ptp(x) == 0.0:
+        return TestResult("anderson-darling", math.inf, 0.0, int(x.size), "constant data")
+    import warnings
+
+    with warnings.catch_warnings():
+        # scipy >= 1.17 asks for an explicit p-value method; we compute the
+        # p-value ourselves (Stephens), so suppress the transition warning.
+        warnings.simplefilter("ignore", FutureWarning)
+        res = _sps.anderson(x, dist="norm")
+    a2 = float(res.statistic)
+    n = x.size
+    a2_star = a2 * (1.0 + 0.75 / n + 2.25 / n**2)
+    if a2_star > 30.0:
+        # Stephens' formula is only calibrated for moderate A²; beyond this
+        # the p-value is zero to machine precision (and the quadratic term
+        # would overflow).
+        p = 0.0
+    elif a2_star >= 0.6:
+        p = math.exp(1.2937 - 5.709 * a2_star + 0.0186 * a2_star**2)
+    elif a2_star > 0.34:
+        p = math.exp(0.9177 - 4.279 * a2_star - 1.38 * a2_star**2)
+    elif a2_star > 0.2:
+        p = 1.0 - math.exp(-8.318 + 42.796 * a2_star - 59.938 * a2_star**2)
+    else:
+        p = 1.0 - math.exp(-13.436 + 101.14 * a2_star - 223.73 * a2_star**2)
+    return TestResult("anderson-darling", a2, float(min(max(p, 0.0), 1.0)), int(n))
+
+
+def kolmogorov_smirnov(data: Iterable[float]) -> TestResult:
+    """Lilliefors-style K-S test against a normal with estimated parameters.
+
+    The plain K-S p-value is anti-conservative when mean/std are estimated
+    from the same data; we note that in the result and keep it as a
+    secondary diagnostic only, as the paper ranks it below Shapiro–Wilk.
+    """
+    x = as_sample(data, min_n=5, what="Kolmogorov-Smirnov")
+    if np.ptp(x) == 0.0:
+        return TestResult("kolmogorov-smirnov", math.inf, 0.0, int(x.size), "constant data")
+    stat, p = _sps.kstest(x, "norm", args=(x.mean(), x.std(ddof=1)))
+    return TestResult(
+        "kolmogorov-smirnov",
+        float(stat),
+        float(p),
+        int(x.size),
+        "parameters estimated from data; p-value approximate",
+    )
+
+
+def qq_points(data: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Data for a normal Q-Q plot (Figure 2, bottom row).
+
+    Returns ``(theoretical, sample)`` quantile arrays: theoretical standard
+    normal quantiles at plotting positions ``(i − 0.5)/n`` against the
+    sorted sample.  A straight-line relation indicates normality.
+    """
+    x = as_sample(data, min_n=2, what="Q-Q plot")
+    xs = np.sort(x)
+    n = x.size
+    positions = (np.arange(1, n + 1) - 0.5) / n
+    theoretical = _sps.norm.ppf(positions)
+    return theoretical, xs
+
+
+def qq_correlation(data: Iterable[float]) -> float:
+    """Pearson correlation of the Q-Q points — a scalar straightness score.
+
+    Values very close to 1 indicate the Q-Q plot is nearly a straight line;
+    this is the probability-plot correlation coefficient (PPCC) test
+    statistic and backs the paper's advice to "check the test result with a
+    Q-Q plot".
+    """
+    theo, samp = qq_points(data)
+    if np.ptp(samp) == 0.0:
+        return 0.0
+    return float(np.corrcoef(theo, samp)[0, 1])
+
+
+def skewness(data: Iterable[float]) -> float:
+    """Sample skewness (Fisher); ≈ 0 for symmetric (e.g. normal) data."""
+    x = as_sample(data, min_n=3, what="skewness")
+    return float(_sps.skew(x))
+
+
+def excess_kurtosis(data: Iterable[float]) -> float:
+    """Sample excess kurtosis; ≈ 0 for a normal distribution."""
+    x = as_sample(data, min_n=4, what="kurtosis")
+    return float(_sps.kurtosis(x))
+
+
+@dataclass(frozen=True)
+class NormalityReport:
+    """Combined normality diagnostic (what Rule 6 asks you to look at).
+
+    Attributes
+    ----------
+    shapiro, anderson, ks:
+        Individual test outcomes (``None`` if skipped for size reasons).
+    qq_corr:
+        Q-Q straightness score in [−1, 1].
+    skew, kurt:
+        Shape moments (0 for a perfect normal).
+    plausibly_normal:
+        The overall verdict at the requested ``alpha``.
+    """
+
+    n: int
+    alpha: float
+    shapiro: TestResult
+    anderson: TestResult | None
+    ks: TestResult | None
+    qq_corr: float
+    skew: float
+    kurt: float
+    plausibly_normal: bool
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "plausibly normal" if self.plausibly_normal else "NOT normal"
+        return (
+            f"n={self.n}: {verdict} (Shapiro-Wilk p={self.shapiro.p_value:.3g}, "
+            f"QQ-corr={self.qq_corr:.4f}, skew={self.skew:.3f})"
+        )
+
+
+def diagnose(data: Iterable[float], alpha: float = 0.05) -> NormalityReport:
+    """Run the full normality diagnostic battery on a sample.
+
+    The verdict combines the Shapiro–Wilk decision with the Q-Q
+    correlation: for the huge samples typical of microbenchmarks every
+    formal test rejects (the paper's large-n caveat), so the Q-Q
+    straightness criterion (> 0.999) may override a rejection when shape
+    moments are also small.
+    """
+    check_prob(alpha, "alpha")
+    x = as_sample(data, min_n=8, what="normality diagnosis")
+    sw = shapiro_wilk(x)
+    ad = anderson_darling(x) if x.size >= 8 else None
+    ks = kolmogorov_smirnov(x)
+    qq = qq_correlation(x)
+    sk = skewness(x)
+    ku = excess_kurtosis(x)
+    tests_pass = not sw.rejects_normality(alpha)
+    shape_ok = qq > 0.999 and abs(sk) < 0.3 and abs(ku) < 0.5
+    return NormalityReport(
+        n=int(x.size),
+        alpha=alpha,
+        shapiro=sw,
+        anderson=ad,
+        ks=ks,
+        qq_corr=qq,
+        skew=sk,
+        kurt=ku,
+        plausibly_normal=bool(tests_pass or shape_ok),
+    )
+
+
+def is_plausibly_normal(data: Iterable[float], alpha: float = 0.05) -> bool:
+    """Convenience wrapper: the boolean verdict of :func:`diagnose`."""
+    return diagnose(data, alpha).plausibly_normal

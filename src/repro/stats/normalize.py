@@ -1,0 +1,120 @@
+"""Normalization of non-normal measurement data (paper Section 3.1.2, Fig. 2).
+
+Two strategies from the paper:
+
+* **log-normalization** — runtimes are positive and right-skewed, often
+  approximately log-normal; taking logarithms symmetrizes them.  The mean
+  of the log data back-transforms to the geometric mean.
+* **CLT block-averaging** — average disjoint blocks of *k* raw observations;
+  by the central limit theorem the block means approach normality as *k*
+  grows.  This buys parametric statistics at the price of resolution: one
+  can no longer reason about individual events (only about block means),
+  which is why the paper recommends measuring single events when possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .._validation import as_positive_sample, as_sample, check_int
+from ..errors import InsufficientDataError, ValidationError
+from .normality import diagnose
+
+__all__ = [
+    "log_transform",
+    "log_back_transform",
+    "block_means",
+    "NormalizationResult",
+    "auto_normalize",
+]
+
+
+def log_transform(data: Iterable[float]) -> np.ndarray:
+    """Natural-log transform of strictly positive measurements."""
+    return np.log(as_positive_sample(data, what="log transform"))
+
+
+def log_back_transform(mean_of_logs: float) -> float:
+    """Back-transform a log-space mean: ``exp(mean(ln x))`` = geometric mean."""
+    return float(np.exp(mean_of_logs))
+
+
+def block_means(data: Iterable[float], k: int) -> np.ndarray:
+    """Means of disjoint length-*k* blocks (CLT normalization, Figure 2c/d).
+
+    A trailing partial block is dropped so every mean averages exactly *k*
+    observations.  Requires at least one complete block.
+    """
+    k = check_int(k, "k", minimum=1)
+    x = as_sample(data, what="block means")
+    nblocks = x.size // k
+    if nblocks == 0:
+        raise InsufficientDataError(k, x.size, f"block means with k={k}")
+    return x[: nblocks * k].reshape(nblocks, k).mean(axis=1)
+
+
+@dataclass(frozen=True)
+class NormalizationResult:
+    """Outcome of :func:`auto_normalize`.
+
+    Attributes
+    ----------
+    method:
+        ``"identity"``, ``"log"`` or ``"block"`` — the first strategy whose
+        output passed the normality diagnostic.
+    k:
+        Block length used (1 unless ``method == "block"``).
+    data:
+        The transformed observations.
+    normal:
+        Whether the final diagnostic accepted normality.
+    """
+
+    method: str
+    k: int
+    data: np.ndarray
+    normal: bool
+
+
+def auto_normalize(
+    data: Iterable[float],
+    *,
+    candidate_ks: Iterable[int] = (10, 100, 1000),
+    alpha: float = 0.05,
+    min_blocks: int = 30,
+) -> NormalizationResult:
+    """Search for a normalizing transformation, as Figure 2 does by hand.
+
+    Tries, in order: the raw data, the log transform (for positive data),
+    then block means for each candidate *k* (skipping ks leaving fewer than
+    *min_blocks* blocks).  Returns the first transform whose output the
+    normality diagnostic accepts, else the last block-mean attempt flagged
+    ``normal=False`` — mirroring the paper's warning that "it is not
+    guaranteed that any realistic k will suffice".
+    """
+    x = as_sample(data, min_n=8, what="auto normalization")
+    report = diagnose(x, alpha)
+    if report.plausibly_normal:
+        return NormalizationResult("identity", 1, x, True)
+    if np.all(x > 0.0):
+        logged = np.log(x)
+        if diagnose(logged, alpha).plausibly_normal:
+            return NormalizationResult("log", 1, logged, True)
+    last: NormalizationResult | None = None
+    for k in candidate_ks:
+        k = check_int(k, "k", minimum=2)
+        if x.size // k < min_blocks:
+            continue
+        means = block_means(x, k)
+        ok = diagnose(means, alpha).plausibly_normal
+        last = NormalizationResult("block", k, means, bool(ok))
+        if ok:
+            return last
+    if last is None:
+        raise ValidationError(
+            "no candidate k leaves enough blocks; provide smaller ks or more data"
+        )
+    return last

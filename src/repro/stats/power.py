@@ -1,0 +1,80 @@
+"""Statistical power: can the experiment even see the effect?
+
+Section 4.2.2 plans measurement counts for *precision* (CI width); the
+dual question for *comparisons* (Rule 7) is power — the probability of
+detecting a real difference of a given effect size.  Under-powered
+comparisons produce the "we observed no significant difference" non-result
+that may only mean "we didn't run enough repetitions"; the paper's
+effect-size advocacy (citing Ioannidis, Coe) is exactly about this.
+
+Implements power for the two-sample t-test (normal approximation, equal
+group sizes) and its inverse: the per-group n needed to reach a target
+power.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats as _sps
+
+from .._validation import check_int, check_prob
+from ..errors import ValidationError
+
+__all__ = ["t_test_power", "required_n_for_power"]
+
+
+def t_test_power(n_per_group: int, effect_size: float, alpha: float = 0.05) -> float:
+    """Power of the two-sided two-sample t-test.
+
+    ``effect_size`` is the standardized difference (Cohen's d, the paper's
+    E); ``n_per_group`` measurements per group.  Uses the noncentral-t
+    formulation, exact for normal data.
+    """
+    n = check_int(n_per_group, "n_per_group", minimum=2)
+    check_prob(alpha, "alpha")
+    d = abs(float(effect_size))
+    if not math.isfinite(d):
+        raise ValidationError("effect size must be finite")
+    df = 2 * n - 2
+    ncp = d * math.sqrt(n / 2.0)
+    t_crit = float(_sps.t.ppf(1.0 - alpha / 2.0, df))
+    # Two-sided rejection region under the noncentral alternative.
+    power = float(
+        _sps.nct.sf(t_crit, df, ncp) + _sps.nct.cdf(-t_crit, df, ncp)
+    )
+    return min(max(power, 0.0), 1.0)
+
+
+def required_n_for_power(
+    effect_size: float,
+    *,
+    power: float = 0.8,
+    alpha: float = 0.05,
+    max_n: int = 10_000_000,
+) -> int:
+    """Per-group measurements needed to detect *effect_size* with *power*.
+
+    Solved by bisection over :func:`t_test_power` (monotone in n).  Raises
+    when the target cannot be met within *max_n* — e.g. a zero effect.
+    """
+    check_prob(power, "power")
+    check_prob(alpha, "alpha")
+    d = abs(float(effect_size))
+    if d == 0.0:
+        raise ValidationError("a zero effect cannot be detected at any n")
+    lo, hi = 2, 4
+    while t_test_power(hi, d, alpha) < power:
+        hi *= 2
+        if hi > max_n:
+            raise ValidationError(
+                f"required n exceeds max_n={max_n}; the effect "
+                f"(d={d:g}) is too small for this power target"
+            )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if t_test_power(mid, d, alpha) >= power:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,170 @@
+"""How many measurements are needed? (paper Section 4.2.2).
+
+Supercomputer time is expensive; the paper shows how to plan measurement
+counts from a target *error certainty*: a confidence level ``1 − α`` and an
+allowed relative error ``e`` around the mean or median.
+
+* For (approximately) normal data the required n follows from inverting the
+  t-interval: ``n = (s·t(n−1, α/2) / (e·x̄))²``, solved by fixed-point
+  iteration because t's degrees of freedom depend on n.
+* For unknown distributions no closed form exists; instead one re-checks
+  the nonparametric CI every k measurements and stops when it is tight
+  enough — see :class:`SequentialChecker` (also used by
+  :mod:`repro.core.stopping`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as _sps
+
+from .._validation import check_int, check_prob
+from ..errors import InsufficientDataError, ValidationError
+from .ci import MIN_NONPARAMETRIC_N, ConfidenceInterval, mean_ci, quantile_ci
+
+__all__ = ["required_n_normal", "SequentialChecker"]
+
+
+def required_n_normal(
+    sample_mean: float,
+    sample_std: float,
+    *,
+    relative_error: float,
+    confidence: float = 0.95,
+    max_n: int = 10_000_000,
+) -> int:
+    """Measurements needed so the t-CI half-width ≤ ``relative_error·mean``.
+
+    Parameters come from a pilot experiment.  Iterates
+    ``n ← (s·t(n−1, α/2)/(e·x̄))²`` to a fixed point (t depends on n).
+
+    Returns at least 2.  Raises if the target cannot be met within *max_n*
+    (e.g. a near-zero mean).
+    """
+    check_prob(relative_error, "relative_error")
+    check_prob(confidence, "confidence")
+    if sample_std < 0:
+        raise ValidationError("sample_std must be non-negative")
+    if sample_mean == 0.0:
+        raise ValidationError("relative error undefined for zero mean")
+    if sample_std == 0.0:
+        return 2
+    target = relative_error * abs(sample_mean)
+    n = 2
+    for _ in range(200):
+        tcrit = float(_sps.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+        n_next = int(math.ceil((sample_std * tcrit / target) ** 2))
+        n_next = max(n_next, 2)
+        if n_next > max_n:
+            raise ValidationError(
+                f"required n exceeds max_n={max_n}; relax the error target"
+            )
+        if n_next == n:
+            return n
+        # Dampen oscillation between two adjacent values.
+        n = max(n_next, n - 1) if n_next < n else n_next
+    return n
+
+
+@dataclass
+class SequentialChecker:
+    """Sequential CI-width stopping rule for unknown distributions.
+
+    Add measurements as they arrive; every *check_every* (the paper's k,
+    chosen by experiment cost — k = 1 for expensive runs) observations the
+    1−α CI of the target statistic is recomputed, and :attr:`satisfied`
+    flips once its relative width is at most *relative_error*.
+
+    ``statistic`` selects the estimator: ``"mean"`` (t-interval) or
+    ``"median"``/any ``q`` in (0,1) via the nonparametric rank interval.
+
+    Example
+    -------
+    >>> chk = SequentialChecker(relative_error=0.05, confidence=0.99)
+    >>> for t in measurements:          # doctest: +SKIP
+    ...     if chk.add(t):
+    ...         break
+    """
+
+    relative_error: float
+    confidence: float = 0.95
+    statistic: str | float = "median"
+    check_every: int = 1
+    min_n: int = MIN_NONPARAMETRIC_N
+    _values: list[float] = field(default_factory=list, repr=False)
+    _since_check: int = field(default=0, repr=False)
+    _last_ci: ConfidenceInterval | None = field(default=None, repr=False)
+    _satisfied: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_prob(self.relative_error, "relative_error")
+        check_prob(self.confidence, "confidence")
+        check_int(self.check_every, "check_every", minimum=1)
+        if self.statistic not in ("mean", "median") and not (
+            isinstance(self.statistic, float) and 0.0 < self.statistic < 1.0
+        ):
+            raise ValidationError(
+                "statistic must be 'mean', 'median', or a quantile in (0,1)"
+            )
+        min_required = 2 if self.statistic == "mean" else MIN_NONPARAMETRIC_N
+        self.min_n = max(self.min_n, min_required)
+
+    @property
+    def n(self) -> int:
+        """Number of measurements accumulated so far."""
+        return len(self._values)
+
+    @property
+    def satisfied(self) -> bool:
+        """True once the CI target has been reached."""
+        return self._satisfied
+
+    @property
+    def current_ci(self) -> ConfidenceInterval:
+        """Most recently computed interval (raises before the first check)."""
+        if self._last_ci is None:
+            raise InsufficientDataError(self.min_n, self.n, "sequential CI")
+        return self._last_ci
+
+    def _compute_ci(self) -> ConfidenceInterval:
+        data = np.asarray(self._values)
+        if self.statistic == "mean":
+            return mean_ci(data, self.confidence)
+        q = 0.5 if self.statistic == "median" else float(self.statistic)
+        return quantile_ci(data, q, self.confidence)
+
+    def add(self, value: float) -> bool:
+        """Record one measurement; return True when it is safe to stop."""
+        self._values.append(float(value))
+        if self._satisfied:
+            return True
+        self._since_check += 1
+        if self.n >= self.min_n and self._since_check >= self.check_every:
+            self._since_check = 0
+            self._last_ci = self._compute_ci()
+            if self._last_ci.relative_width <= self.relative_error:
+                self._satisfied = True
+        return self._satisfied
+
+    def add_many(self, values) -> bool:
+        """Record a batch of measurements; return the final stop verdict."""
+        out = False
+        for v in np.asarray(values, dtype=np.float64).ravel():
+            out = self.add(float(v))
+        return out
+
+    def describe(self) -> str:
+        """The disclosure sentence suggested under Rule 5.
+
+        e.g. "We collected measurements until the 99% confidence interval
+        was within 5% of our reported medians."
+        """
+        stat = self.statistic if isinstance(self.statistic, str) else f"q{self.statistic:g}"
+        return (
+            f"We collected measurements until the "
+            f"{100 * self.confidence:g}% confidence interval was within "
+            f"{100 * self.relative_error:g}% of our reported {stat}s."
+        )

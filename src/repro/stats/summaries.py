@@ -1,0 +1,354 @@
+"""Summarizing measurement results (paper Section 3.1, Rules 3 and 4).
+
+The paper distinguishes three semantic classes of values:
+
+* **costs** — quantities with an atomic unit and linear influence (seconds,
+  watts, dollars, flop).  Summarize with the *arithmetic* mean.
+* **rates** — cost ratios where the denominator carries the primary meaning
+  (flop/s, flop/watt).  Summarize with the *harmonic* mean, or better,
+  average numerator and denominator costs first and divide once.
+* **ratios** — dimensionless normalized values (speedups, fractions of
+  peak).  Should not be averaged at all; if unavoidable, the *geometric*
+  mean is the least-bad choice (Rule 4) but remains strictly-speaking
+  incorrect.
+
+This module provides those means plus rank statistics, spread measures and
+numerically stable online (streaming) estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from .._validation import as_positive_sample, as_sample, check_in, check_prob
+from ..errors import InsufficientDataError, ValidationError
+
+__all__ = [
+    "arithmetic_mean",
+    "harmonic_mean",
+    "geometric_mean",
+    "summarize_costs",
+    "summarize_rates",
+    "summarize_ratios",
+    "rate_from_costs",
+    "median",
+    "quantile",
+    "quartiles",
+    "iqr",
+    "sample_std",
+    "sample_var",
+    "coefficient_of_variation",
+    "MeanKind",
+    "RunningMoments",
+    "Summary",
+    "summarize",
+]
+
+MeanKind = Literal["arithmetic", "harmonic", "geometric"]
+
+
+def arithmetic_mean(data: Iterable[float], weights: Iterable[float] | None = None) -> float:
+    """Arithmetic mean ``x̄ = (1/n) Σ xᵢ`` — the correct summary for *costs*.
+
+    Optionally weighted: ``Σ wᵢxᵢ / Σ wᵢ``.
+    """
+    x = as_sample(data, what="costs")
+    if weights is None:
+        return float(x.mean())
+    w = as_sample(weights, what="weights")
+    if w.shape != x.shape:
+        raise ValidationError("weights must match data length")
+    if np.any(w < 0) or w.sum() == 0.0:
+        raise ValidationError("weights must be non-negative with positive sum")
+    return float(np.average(x, weights=w))
+
+
+def harmonic_mean(data: Iterable[float], weights: Iterable[float] | None = None) -> float:
+    """Harmonic mean ``n / Σ (1/xᵢ)`` — the correct summary for *rates*.
+
+    Requires strictly positive data.  With weights, computes
+    ``Σwᵢ / Σ(wᵢ/xᵢ)``.
+    """
+    x = as_positive_sample(data, what="rates")
+    if weights is None:
+        return float(x.size / np.sum(1.0 / x))
+    w = as_sample(weights, what="weights")
+    if w.shape != x.shape:
+        raise ValidationError("weights must match data length")
+    if np.any(w < 0) or w.sum() == 0.0:
+        raise ValidationError("weights must be non-negative with positive sum")
+    return float(w.sum() / np.sum(w / x))
+
+
+def geometric_mean(data: Iterable[float]) -> float:
+    """Geometric mean ``(Π xᵢ)^(1/n)``, computed as a log-average.
+
+    The paper interprets it as the mean of log-normalized data
+    (Section 3.1.2) and allows it only as a last resort for ratios
+    (Rule 4).  Requires strictly positive data.
+    """
+    x = as_positive_sample(data, what="ratios")
+    return float(np.exp(np.mean(np.log(x))))
+
+
+def summarize_costs(data: Iterable[float]) -> float:
+    """Summarize cost measurements (Rule 3): the arithmetic mean."""
+    return arithmetic_mean(data)
+
+
+def summarize_rates(
+    data: Iterable[float] | None = None,
+    *,
+    numerators: Iterable[float] | None = None,
+    denominators: Iterable[float] | None = None,
+) -> float:
+    """Summarize rate measurements (Rule 3).
+
+    Preferred form: pass the underlying *numerators* (e.g. flop counts) and
+    *denominators* (e.g. seconds); the summary is then
+    ``mean(numerators) / mean(denominators)``, the paper's recommendation
+    when absolute counts are available.  If only the rates themselves are
+    given, fall back to the harmonic mean (exact when the numerator cost is
+    constant across measurements).
+    """
+    if numerators is not None or denominators is not None:
+        if numerators is None or denominators is None:
+            raise ValidationError("provide both numerators and denominators")
+        if data is not None:
+            raise ValidationError("pass either rates or cost pairs, not both")
+        num = as_sample(numerators, what="numerators")
+        den = as_positive_sample(denominators, what="denominators")
+        if num.shape != den.shape:
+            raise ValidationError("numerators and denominators must match in length")
+        return float(num.mean() / den.mean())
+    if data is None:
+        raise ValidationError("no data given")
+    return harmonic_mean(data)
+
+
+def summarize_ratios(data: Iterable[float], *, acknowledge_incorrect: bool = False) -> float:
+    """Summarize ratios with the geometric mean (Rule 4).
+
+    The paper is explicit that averaging ratios is *meaningless* and that
+    the geometric mean is merely the least-bad option when the underlying
+    costs or rates are unavailable.  Callers must opt in by setting
+    ``acknowledge_incorrect=True``; otherwise a :class:`ValidationError`
+    reminds them to summarize the costs/rates instead.
+    """
+    if not acknowledge_incorrect:
+        raise ValidationError(
+            "Rule 4: avoid summarizing ratios; summarize the underlying costs "
+            "or rates instead, or pass acknowledge_incorrect=True to use the "
+            "geometric mean anyway"
+        )
+    return geometric_mean(data)
+
+
+def rate_from_costs(total_work: float, times: Iterable[float]) -> float:
+    """Aggregate rate for *total_work* per run over measured *times*.
+
+    Equivalent to the harmonic mean of the per-run rates when each run
+    performs the same amount of work — the paper's HPL example: runs of
+    100 Gflop taking (10, 100, 40) s give 2 Gflop/s, not the 4.5 Gflop/s
+    arithmetic mean of rates.
+    """
+    t = as_positive_sample(times, what="times")
+    if total_work <= 0:
+        raise ValidationError("total_work must be positive")
+    return float(total_work / t.mean())
+
+
+def median(data: Iterable[float]) -> float:
+    """The median (50th percentile), robust to outliers (Section 3.1.3)."""
+    return float(np.median(as_sample(data)))
+
+
+def quantile(
+    data: Iterable[float],
+    q: float | Sequence[float],
+    *,
+    method: str = "linear",
+) -> float | np.ndarray:
+    """Empirical quantile(s) of the sample.
+
+    ``q`` is in (0, 1).  ``method`` follows :func:`numpy.quantile`
+    (``"linear"`` default; ``"lower"`` gives the paper's rank-based
+    definition where the quantile is an actually observed value).
+    """
+    x = as_sample(data)
+    qs = np.atleast_1d(np.asarray(q, dtype=np.float64))
+    if np.any((qs <= 0.0) | (qs >= 1.0)):
+        raise ValidationError("quantiles must lie strictly inside (0, 1)")
+    out = np.quantile(x, qs, method=method)
+    return float(out[0]) if np.isscalar(q) or np.ndim(q) == 0 else out
+
+
+def quartiles(data: Iterable[float]) -> tuple[float, float, float]:
+    """The (25th, 50th, 75th) percentiles as a tuple."""
+    x = as_sample(data)
+    q1, q2, q3 = np.quantile(x, [0.25, 0.5, 0.75])
+    return float(q1), float(q2), float(q3)
+
+
+def iqr(data: Iterable[float]) -> float:
+    """Inter-quartile range ``Q3 − Q1`` — the spread used by box plots."""
+    q1, _, q3 = quartiles(data)
+    return q3 - q1
+
+
+def sample_var(data: Iterable[float]) -> float:
+    """Unbiased sample variance ``s² = Σ(xᵢ−x̄)²/(n−1)`` (needs n ≥ 2)."""
+    x = as_sample(data, min_n=2, what="sample variance")
+    return float(x.var(ddof=1))
+
+
+def sample_std(data: Iterable[float]) -> float:
+    """Sample standard deviation ``s`` (square root of :func:`sample_var`)."""
+    return math.sqrt(sample_var(data))
+
+
+def coefficient_of_variation(data: Iterable[float]) -> float:
+    """Coefficient of variation ``CoV = s/x̄`` (Section 3.1.2).
+
+    A dimensionless stability measure; the paper cites it as a good gauge
+    of system performance consistency over time.  Requires a nonzero mean.
+    """
+    x = as_sample(data, min_n=2, what="CoV")
+    m = x.mean()
+    if m == 0.0:
+        raise ValidationError("CoV undefined for zero mean")
+    return float(x.std(ddof=1) / m)
+
+
+@dataclass
+class RunningMoments:
+    """Numerically stable online mean/variance (Welford's algorithm).
+
+    The paper gives incremental update formulas for the sample mean and
+    variance but warns they can be numerically unstable; Welford's method
+    is the stable scheme alluded to.  Supports ``update`` for single
+    observations, ``update_many`` for arrays, and ``merge`` for combining
+    partial results from parallel workers (Chan et al. parallel variant).
+    """
+
+    n: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def update(self, x: float) -> None:
+        """Incorporate one observation in O(1) time and memory."""
+        x = float(x)
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    def update_many(self, data: Iterable[float]) -> None:
+        """Incorporate a batch of observations (vectorized merge)."""
+        x = as_sample(data, min_n=1, what="batch")
+        batch = RunningMoments(
+            n=int(x.size), mean=float(x.mean()), _m2=float(((x - x.mean()) ** 2).sum())
+        )
+        merged = self.merge(batch)
+        self.n, self.mean, self._m2 = merged.n, merged.mean, merged._m2
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Combine two partial summaries; exact, order-independent."""
+        if self.n == 0:
+            return RunningMoments(other.n, other.mean, other._m2)
+        if other.n == 0:
+            return RunningMoments(self.n, self.mean, self._m2)
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.n / n
+        m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / n
+        return RunningMoments(n, mean, m2)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of everything seen so far (n ≥ 2)."""
+        if self.n < 2:
+            raise InsufficientDataError(2, self.n, "online variance")
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation of everything seen so far."""
+        return math.sqrt(self.variance)
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation of everything seen so far."""
+        if self.mean == 0.0:
+            raise ValidationError("CoV undefined for zero mean")
+        return self.std / self.mean
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A full descriptive summary of one measurement sample.
+
+    Produced by :func:`summarize`; carries every statistic the paper's
+    Figure 1 annotates (min, max, median, arithmetic mean, 95 % quantile)
+    plus spread measures.
+    """
+
+    n: int
+    mean: float
+    std: float
+    cov: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    q95: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view, convenient for tabular export."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "cov": self.cov,
+            "min": self.minimum,
+            "q25": self.q25,
+            "median": self.median,
+            "q75": self.q75,
+            "q95": self.q95,
+            "max": self.maximum,
+        }
+
+
+def summarize(data: Iterable[float]) -> Summary:
+    """Compute the descriptive :class:`Summary` of a sample (n ≥ 2)."""
+    x = as_sample(data, min_n=2, what="summary")
+    q25, q50, q75, q95 = np.quantile(x, [0.25, 0.5, 0.75, 0.95])
+    mean = float(x.mean())
+    std = float(x.std(ddof=1))
+    return Summary(
+        n=int(x.size),
+        mean=mean,
+        std=std,
+        cov=std / mean if mean != 0.0 else math.inf,
+        minimum=float(x.min()),
+        q25=float(q25),
+        median=float(q50),
+        q75=float(q75),
+        q95=float(q95),
+        maximum=float(x.max()),
+    )
+
+
+def mean_by_kind(data: Iterable[float], kind: MeanKind) -> float:
+    """Dispatch to the mean named by *kind* (used by report generators)."""
+    check_in(kind, ("arithmetic", "harmonic", "geometric"), "kind")
+    if kind == "arithmetic":
+        return arithmetic_mean(data)
+    if kind == "harmonic":
+        return harmonic_mean(data)
+    return geometric_mean(data)

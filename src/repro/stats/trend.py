@@ -1,0 +1,115 @@
+"""Trend detection: the Mann–Kendall test and rolling statistics.
+
+Two uses in the paper's orbit:
+
+* Section 2 eyeballs whether venues' methodology scores "seem to be
+  improving over the years" and finds "no statistically significant
+  evidence"; the Mann–Kendall test is the standard nonparametric
+  monotone-trend test for such short ordered series.
+* The CoV literature the paper cites ([34, 52]) tracks performance
+  *consistency over time*; rolling windows of the CoV/median are the tool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+from scipy import stats as _sps
+
+from .._validation import as_sample, check_int, check_prob
+from ..errors import InsufficientDataError, ValidationError
+
+__all__ = ["MannKendallResult", "mann_kendall", "rolling_cov", "rolling_median"]
+
+
+@dataclass(frozen=True)
+class MannKendallResult:
+    """Outcome of the Mann–Kendall monotone-trend test.
+
+    ``s`` is the raw statistic (sum of pairwise signs), ``z`` the
+    tie-corrected normal score, ``tau`` Kendall's rank correlation with
+    time, ``p_value`` two-sided.
+    """
+
+    s: int
+    z: float
+    tau: float
+    p_value: float
+    n: int
+
+    @property
+    def direction(self) -> str:
+        """"increasing", "decreasing", or "none" (by the sign of S)."""
+        if self.s > 0:
+            return "increasing"
+        if self.s < 0:
+            return "decreasing"
+        return "none"
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when a monotone trend is detected at level *alpha*."""
+        check_prob(alpha, "alpha")
+        return self.p_value < alpha
+
+
+def mann_kendall(values: Iterable[float]) -> MannKendallResult:
+    """Two-sided Mann–Kendall trend test on a time-ordered series.
+
+    Distribution-free; handles ties through the standard variance
+    correction.  Needs at least 4 observations for the normal
+    approximation to mean anything.
+    """
+    x = as_sample(values, min_n=4, what="trend series")
+    n = x.size
+    # S = sum over i<j of sign(x_j - x_i); vectorized upper triangle.
+    diffs = np.sign(x[None, :] - x[:, None])
+    s = int(np.triu(diffs, k=1).sum())
+    # Tie-corrected variance.
+    _, counts = np.unique(x, return_counts=True)
+    tie_term = float(np.sum(counts * (counts - 1) * (2 * counts + 5)))
+    var_s = (n * (n - 1) * (2 * n + 5) - tie_term) / 18.0
+    if var_s <= 0:
+        return MannKendallResult(s=s, z=0.0, tau=0.0, p_value=1.0, n=n)
+    if s > 0:
+        z = (s - 1) / math.sqrt(var_s)
+    elif s < 0:
+        z = (s + 1) / math.sqrt(var_s)
+    else:
+        z = 0.0
+    p = float(2.0 * _sps.norm.sf(abs(z)))
+    tau = s / (0.5 * n * (n - 1))
+    return MannKendallResult(s=s, z=float(z), tau=float(tau), p_value=p, n=n)
+
+
+def _rolling(x: np.ndarray, window: int) -> np.ndarray:
+    """A (n - window + 1, window) sliding-window view (no copies)."""
+    return np.lib.stride_tricks.sliding_window_view(x, window)
+
+
+def rolling_cov(values: Iterable[float], window: int) -> np.ndarray:
+    """Rolling coefficient of variation over a sliding window.
+
+    The consistency-over-time measure of the paper's references [34, 52]:
+    spikes in the rolling CoV localize periods of unstable performance.
+    """
+    x = as_sample(values, what="rolling CoV")
+    window = check_int(window, "window", minimum=2)
+    if x.size < window:
+        raise InsufficientDataError(window, x.size, "rolling CoV")
+    win = _rolling(x, window)
+    means = win.mean(axis=1)
+    if np.any(means == 0):
+        raise ValidationError("rolling CoV undefined where the window mean is 0")
+    return win.std(axis=1, ddof=1) / means
+
+
+def rolling_median(values: Iterable[float], window: int) -> np.ndarray:
+    """Rolling median over a sliding window (robust trend line)."""
+    x = as_sample(values, what="rolling median")
+    window = check_int(window, "window", minimum=1)
+    if x.size < window:
+        raise InsufficientDataError(window, x.size, "rolling median")
+    return np.median(_rolling(x, window), axis=1)

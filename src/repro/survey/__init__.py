@@ -1,0 +1,37 @@
+"""Literature-survey substrate: schema, encoded dataset, Table 1 analysis."""
+
+from .schema import (
+    CONFERENCES,
+    YEARS,
+    DESIGN_CATEGORIES,
+    ANALYSIS_CATEGORIES,
+    PaperRecord,
+)
+from .dataset import PUBLISHED_MARGINALS, EXTRA_MARGINALS, load_survey
+from .render import render_table1_grid
+from .analysis import (
+    category_totals,
+    extras_totals,
+    ScoreBox,
+    score_boxes,
+    trend_test,
+    not_applicable_count,
+)
+
+__all__ = [
+    "CONFERENCES",
+    "YEARS",
+    "DESIGN_CATEGORIES",
+    "ANALYSIS_CATEGORIES",
+    "PaperRecord",
+    "PUBLISHED_MARGINALS",
+    "EXTRA_MARGINALS",
+    "load_survey",
+    "category_totals",
+    "extras_totals",
+    "ScoreBox",
+    "score_boxes",
+    "trend_test",
+    "not_applicable_count",
+    "render_table1_grid",
+]

@@ -1,0 +1,147 @@
+"""Aggregation and trend analysis of the survey (regenerates Table 1).
+
+Provides the three kinds of numbers Table 1 and Section 2 present:
+
+* per-category totals over the 95 applicable papers ("(79/95)" etc.),
+* per-conference-year box-plot statistics of the per-paper design scores
+  (the horizontal box plots in the table's right margin), and
+* a trend-significance test across years — the paper observes that the
+  median scores of ConfA/ConfC "seem to be improving over the years" but
+  finds "no statistically significant evidence for this"; we run
+  Kruskal–Wallis across years per conference to check the same claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import check_prob
+from ..errors import SurveyError
+from ..stats.compare import TestOutcome, kruskal_wallis
+from .schema import (
+    ANALYSIS_CATEGORIES,
+    CONFERENCES,
+    DESIGN_CATEGORIES,
+    YEARS,
+    PaperRecord,
+)
+
+__all__ = [
+    "category_totals",
+    "extras_totals",
+    "ScoreBox",
+    "score_boxes",
+    "trend_test",
+    "not_applicable_count",
+]
+
+
+def _applicable(records: Iterable[PaperRecord]) -> list[PaperRecord]:
+    return [r for r in records if r.applicable]
+
+
+def not_applicable_count(records: Iterable[PaperRecord]) -> tuple[int, int]:
+    """(not-applicable, total) paper counts — the paper's 25/120."""
+    records = list(records)
+    return sum(1 for r in records if not r.applicable), len(records)
+
+
+def category_totals(records: Iterable[PaperRecord]) -> dict[str, tuple[int, int]]:
+    """Per-category (documented, applicable) counts — Table 1's row totals."""
+    apps = _applicable(records)
+    n = len(apps)
+    out: dict[str, tuple[int, int]] = {}
+    for cat in DESIGN_CATEGORIES:
+        out[cat] = (sum(r.design[cat] for r in apps), n)
+    for cat in ANALYSIS_CATEGORIES:
+        out[cat] = (sum(r.analysis[cat] for r in apps), n)
+    return out
+
+
+def extras_totals(records: Iterable[PaperRecord]) -> dict[str, int]:
+    """Counts of the running-text flags (speedup hygiene, CIs, units)."""
+    apps = _applicable(records)
+    if not apps:
+        raise SurveyError("no applicable papers")
+    keys = apps[0].extras.keys()
+    return {k: sum(r.extras[k] for r in apps) for k in keys}
+
+
+@dataclass(frozen=True)
+class ScoreBox:
+    """Box-plot statistics of design scores for one conference-year.
+
+    Matches the table's marginal box plots: distribution of per-paper
+    ✓-counts (0–9) with min/max whiskers.
+    """
+
+    conference: str
+    year: int
+    n_papers: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_scores(cls, conference: str, year: int, scores: Sequence[int]) -> "ScoreBox":
+        if not scores:
+            raise SurveyError(f"no applicable papers for {conference} {year}")
+        arr = np.asarray(scores, dtype=np.float64)
+        q1, med, q3 = np.quantile(arr, [0.25, 0.5, 0.75])
+        return cls(
+            conference=conference,
+            year=year,
+            n_papers=int(arr.size),
+            minimum=float(arr.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            maximum=float(arr.max()),
+        )
+
+
+def score_boxes(records: Iterable[PaperRecord]) -> list[ScoreBox]:
+    """Design-score box statistics for every conference-year cell."""
+    records = list(records)
+    out = []
+    for conf in CONFERENCES:
+        for year in YEARS:
+            scores = [
+                r.design_score
+                for r in records
+                if r.applicable and r.conference == conf and r.year == year
+            ]
+            if scores:
+                out.append(ScoreBox.from_scores(conf, year, scores))
+    return out
+
+
+def trend_test(
+    records: Iterable[PaperRecord], conference: str, alpha: float = 0.05
+) -> TestOutcome:
+    """Kruskal–Wallis test: do design scores differ across years?
+
+    A non-significant result reproduces the paper's finding that apparent
+    year-over-year improvement is not statistically supported.
+    """
+    check_prob(alpha, "alpha")
+    if conference not in CONFERENCES:
+        raise SurveyError(f"unknown conference {conference!r}")
+    records = list(records)
+    groups = []
+    for year in YEARS:
+        scores = [
+            float(r.design_score)
+            for r in records
+            if r.applicable and r.conference == conference and r.year == year
+        ]
+        if len(scores) >= 2:
+            groups.append(scores)
+    if len(groups) < 2:
+        raise SurveyError(f"not enough applicable data for {conference}")
+    return kruskal_wallis(groups)

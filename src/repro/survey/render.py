@@ -1,0 +1,102 @@
+"""Rendering the full Table 1 grid: per-paper marks per venue-year.
+
+The original table shows, for every category, a string of ✓ / blank / ·
+marks — one per paper — grouped by conference and year, with box-plot
+margins.  This module reproduces that layout as text from the
+reconstructed dataset, so readers can see the same sparse-checkmark
+texture the paper shows (and auditors can diff it against the totals).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import SurveyError
+from .schema import (
+    ANALYSIS_CATEGORIES,
+    CONFERENCES,
+    DESIGN_CATEGORIES,
+    YEARS,
+    PaperRecord,
+)
+
+__all__ = ["render_table1_grid"]
+
+#: Display names matching the paper's row labels.
+_LABELS = {
+    "processor": "Processor Model / Accelerator",
+    "memory": "RAM Size / Type / Bus Infos",
+    "network": "NIC Model / Network Infos",
+    "compiler": "Compiler Version / Flags",
+    "runtime": "Kernel / Libraries Version",
+    "filesystem": "Filesystem / Storage",
+    "input": "Software and Input",
+    "measurement": "Measurement Setup",
+    "code": "Code Available Online",
+    "mean": "Mean",
+    "best_worst": "Best / Worst Performance",
+    "rank_based": "Rank Based Statistics",
+    "variation": "Measure of Variation",
+}
+
+
+def _cell(records: list[PaperRecord], category: str, kind: str) -> str:
+    marks = []
+    for r in sorted(records, key=lambda r: r.index):
+        if not r.applicable:
+            marks.append("·")
+        else:
+            flags = r.design if kind == "design" else r.analysis
+            marks.append("✓" if flags[category] else " ")
+    return "".join(marks)
+
+
+def render_table1_grid(records: Iterable[PaperRecord]) -> str:
+    """The Table 1 checkmark grid as text.
+
+    One row per category; one 10-character cell per conference-year
+    (✓ documented, blank not, · not applicable), with the per-category
+    total in the right margin.
+    """
+    records = list(records)
+    if not records:
+        raise SurveyError("no records")
+    cells: dict[tuple[str, int], list[PaperRecord]] = {}
+    for r in records:
+        cells.setdefault((r.conference, r.year), []).append(r)
+
+    header_parts = []
+    for conf in CONFERENCES:
+        for year in YEARS:
+            header_parts.append(f"{conf[-1]}{str(year)[2:]:<2}".ljust(10))
+    label_w = max(len(v) for v in _LABELS.values())
+    lines = [
+        f"{'':{label_w}}  " + " ".join(header_parts),
+        f"{'':{label_w}}  " + " ".join(["-" * 10] * len(header_parts)),
+    ]
+    applicable = [r for r in records if r.applicable]
+    n_app = len(applicable)
+
+    def add_rows(categories: tuple[str, ...], kind: str) -> None:
+        for cat in categories:
+            row_cells = []
+            for conf in CONFERENCES:
+                for year in YEARS:
+                    row_cells.append(_cell(cells.get((conf, year), []), cat, kind))
+            flags = (
+                [r.design[cat] for r in applicable]
+                if kind == "design"
+                else [r.analysis[cat] for r in applicable]
+            )
+            total = sum(flags)
+            lines.append(
+                f"{_LABELS[cat]:{label_w}}  "
+                + " ".join(row_cells)
+                + f"  ({total}/{n_app})"
+            )
+
+    lines.append(f"{'Experimental Design':{label_w}}")
+    add_rows(DESIGN_CATEGORIES, "design")
+    lines.append(f"{'Data Analysis':{label_w}}")
+    add_rows(ANALYSIS_CATEGORIES, "analysis")
+    return "\n".join(lines)

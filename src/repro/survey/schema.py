@@ -1,0 +1,103 @@
+"""Data model of the literature survey (paper Section 2, Table 1).
+
+The survey covers a stratified random sample of 120 papers — 10 per year
+from three anonymized conferences (ConfA, ConfB, ConfC) over 2011–2014 —
+scored on nine experimental-design categories and four data-analysis
+categories.  Papers without real-world performance measurements are *not
+applicable* and excluded from category counts (25 of 120).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import SurveyError
+
+__all__ = [
+    "CONFERENCES",
+    "YEARS",
+    "DESIGN_CATEGORIES",
+    "ANALYSIS_CATEGORIES",
+    "PaperRecord",
+]
+
+CONFERENCES: tuple[str, ...] = ("ConfA", "ConfB", "ConfC")
+YEARS: tuple[int, ...] = (2011, 2012, 2013, 2014)
+
+#: The nine experimental-design categories of Table 1 (upper block).
+DESIGN_CATEGORIES: tuple[str, ...] = (
+    "processor",        # processor model / accelerator
+    "memory",           # RAM size / type / bus
+    "network",          # NIC model / network infos
+    "compiler",         # compiler version / flags
+    "runtime",          # kernel / libraries version
+    "filesystem",       # filesystem / storage
+    "input",            # software and input
+    "measurement",      # measurement setup
+    "code",             # code available online
+)
+
+#: The four data-analysis categories of Table 1 (lower block).
+ANALYSIS_CATEGORIES: tuple[str, ...] = (
+    "mean",             # reports some mean
+    "best_worst",       # best / worst performance
+    "rank_based",       # rank-based statistics (median, percentiles)
+    "variation",        # a measure of variation
+)
+
+
+@dataclass(frozen=True)
+class PaperRecord:
+    """One surveyed paper.
+
+    ``applicable`` is False for papers with no real-world performance
+    experiments (simulations, theory, error analyses); category marks of
+    non-applicable papers are ignored.
+
+    The ``extras`` flags capture the additional observations reported in
+    the running text (speedup reporting, summarization-method disclosure,
+    unit hygiene, CI usage).
+    """
+
+    conference: str
+    year: int
+    index: int
+    applicable: bool
+    design: Mapping[str, bool] = field(default_factory=dict)
+    analysis: Mapping[str, bool] = field(default_factory=dict)
+    extras: Mapping[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.conference not in CONFERENCES:
+            raise SurveyError(f"unknown conference {self.conference!r}")
+        if self.year not in YEARS:
+            raise SurveyError(f"year {self.year} outside surveyed range")
+        if not 0 <= self.index < 10:
+            raise SurveyError("paper index must be 0..9 (10 papers per venue-year)")
+        if self.applicable:
+            if set(self.design) != set(DESIGN_CATEGORIES):
+                raise SurveyError(
+                    f"applicable paper needs all design marks; missing "
+                    f"{set(DESIGN_CATEGORIES) - set(self.design)}"
+                )
+            if set(self.analysis) != set(ANALYSIS_CATEGORIES):
+                raise SurveyError(
+                    f"applicable paper needs all analysis marks; missing "
+                    f"{set(ANALYSIS_CATEGORIES) - set(self.analysis)}"
+                )
+        object.__setattr__(self, "design", dict(self.design))
+        object.__setattr__(self, "analysis", dict(self.analysis))
+        object.__setattr__(self, "extras", dict(self.extras))
+
+    @property
+    def design_score(self) -> int:
+        """Number of documented design categories (0–9), the box-plot metric."""
+        if not self.applicable:
+            raise SurveyError("design score undefined for non-applicable papers")
+        return sum(bool(v) for v in self.design.values())
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        """Unique (conference, year, index) identity."""
+        return (self.conference, self.year, self.index)

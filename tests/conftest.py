@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simsys import SimComm, piz_daint, piz_dora, pilatus, testbed
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh, identically-seeded generator per test.
+
+    Function-scoped on purpose: a shared generator would make test
+    outcomes depend on execution order.
+    """
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def normal_sample() -> np.ndarray:
+    return np.random.default_rng(101).normal(10.0, 2.0, 2000)
+
+
+@pytest.fixture(scope="session")
+def lognormal_sample() -> np.ndarray:
+    return np.random.default_rng(102).lognormal(0.5, 0.6, 2000) + 1.0
+
+
+@pytest.fixture(scope="session")
+def dora_latencies() -> np.ndarray:
+    """20k 64 B ping-pong latencies (us) on the Piz Dora model."""
+    comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=11)
+    return comm.ping_pong(64, 20_000) * 1e6
+
+
+@pytest.fixture(scope="session")
+def pilatus_latencies() -> np.ndarray:
+    """20k 64 B ping-pong latencies (us) on the Pilatus model."""
+    comm = SimComm(pilatus(), 2, placement="one_per_node", seed=12)
+    return comm.ping_pong(64, 20_000) * 1e6
+
+
+@pytest.fixture()
+def tiny_machine():
+    return testbed(4)
+
+
+@pytest.fixture()
+def quiet_machine():
+    return testbed(4, deterministic=True)

@@ -1,0 +1,122 @@
+"""Deeper tests of the measurement loop against simulated timers.
+
+Using :class:`SimTimer` the loop's behaviour is fully deterministic, so
+the warmup/batching/stopping mechanics can be verified exactly — something
+real clocks never allow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BudgetRule,
+    CIWidthRule,
+    EitherRule,
+    FixedCount,
+    SimTimer,
+    calibrate,
+    run_benchmark,
+)
+from repro.simsys import SimClock
+
+
+def make_timer(granularity=1e-9, read_overhead=2e-8):
+    return SimTimer(clock=SimClock(granularity=granularity, read_overhead=read_overhead))
+
+
+class TestLoopWithSimTimer:
+    def test_measured_time_matches_simulated_work(self):
+        timer = make_timer()
+        cal = calibrate(timer, samples=500)
+        work = 1e-3
+
+        ms = run_benchmark(
+            lambda: timer.advance(work),
+            stopping=FixedCount(10),
+            timer=timer,
+            calibration=cal,
+            warmup=2,
+        )
+        # Every interval is work + one timer read (the t1 read's overhead
+        # lands inside the interval).
+        assert np.allclose(ms.values, work, rtol=1e-3)
+
+    def test_batching_amortizes_timer_overhead(self):
+        # A coarse, expensive timer: per-event measurement inflates the
+        # reading, batching recovers the true per-event time.
+        timer = make_timer(granularity=1e-6, read_overhead=5e-6)
+        cal = calibrate(timer, samples=500)
+        work = 1e-6
+
+        single = run_benchmark(
+            lambda: timer.advance(work),
+            stopping=FixedCount(5),
+            timer=timer,
+            calibration=cal,
+            warmup=0,
+        )
+        batched = run_benchmark(
+            lambda: timer.advance(work),
+            stopping=FixedCount(5),
+            batch_k=1000,
+            timer=timer,
+            calibration=cal,
+            warmup=0,
+        )
+        true = work
+        err_single = abs(single.values.mean() - true) / true
+        err_batched = abs(batched.values.mean() - true) / true
+        assert err_batched < err_single / 10
+
+    def test_auto_batch_uses_pilot(self):
+        timer = make_timer(granularity=1e-6, read_overhead=1e-6)
+        cal = calibrate(timer, samples=500)
+        ms = run_benchmark(
+            lambda: timer.advance(5e-7),
+            stopping=FixedCount(3),
+            timer=timer,
+            calibration=cal,
+            auto_batch=True,
+            warmup=1,
+        )
+        assert ms.batch_k > 1  # a 0.5 us event on a 1 us clock needs batching
+
+    def test_warmup_not_measured(self):
+        timer = make_timer()
+        cal = calibrate(timer, samples=500)
+        durations = iter([1.0, 1.0, 1e-3, 1e-3, 1e-3])  # slow warmup runs
+
+        ms = run_benchmark(
+            lambda: timer.advance(next(durations)),
+            stopping=FixedCount(3),
+            timer=timer,
+            calibration=cal,
+            warmup=2,
+        )
+        assert np.all(ms.values < 0.1)  # the 1 s warmups never appear
+
+
+class TestRuleComposition:
+    def test_either_rule_reset_resets_both(self):
+        rule = EitherRule(FixedCount(2), BudgetRule(max_n=5))
+        assert not rule.update(1.0, 0.0)
+        assert rule.update(1.0, 0.0)
+        rule.reset()
+        assert not rule.update(1.0, 0.0)  # counters really were cleared
+
+    def test_nested_composition(self):
+        rule = FixedCount(100) | BudgetRule(max_n=50) | BudgetRule(max_seconds=1e9)
+        n = 0
+        while not rule.update(1.0, 0.0):
+            n += 1
+        assert n == 49  # innermost budget fires first
+
+    def test_ci_rule_checker_exposed_after_reset(self, rng):
+        rule = CIWidthRule(relative_error=0.5, statistic="mean")
+        for v in rng.normal(10, 0.1, 20):
+            rule.update(float(v), 0.0)
+        assert rule.checker.n == 20
+        rule.reset()
+        assert rule.checker.n == 0

@@ -1,0 +1,172 @@
+"""Tests for factorial design, adaptive refinement, and environment docs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveRefiner,
+    EnvironmentSpec,
+    Factor,
+    FactorialDesign,
+    capture_host,
+    from_machine,
+)
+from repro.core.environment import NOT_APPLICABLE
+from repro.errors import DesignError, ValidationError
+from repro.simsys import piz_daint
+
+
+class TestFactor:
+    def test_basic(self):
+        f = Factor("p", (1, 2, 4))
+        assert len(f.levels) == 3
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(DesignError):
+            Factor("p", ())
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(DesignError):
+            Factor("p", (1, 1, 2))
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(DesignError):
+            Factor("", (1,))
+
+
+class TestFactorialDesign:
+    def _design(self, reps=2):
+        return FactorialDesign(
+            (Factor("p", (1, 2, 4)), Factor("size", (64, 1024))),
+            replications=reps,
+        )
+
+    def test_counts(self):
+        d = self._design()
+        assert d.n_points == 6
+        assert d.n_runs == 12
+
+    def test_points_cartesian(self):
+        points = list(self._design().points())
+        assert len(points) == 6
+        assert {"p": 1, "size": 64} in points
+        assert {"p": 4, "size": 1024} in points
+
+    def test_run_order_complete(self):
+        d = self._design()
+        runs = d.run_order(seed=1)
+        assert len(runs) == 12
+        # Every (point, rep) combination exactly once.
+        keys = {(r["p"], r["size"], r["__rep__"]) for r in runs}
+        assert len(keys) == 12
+
+    def test_run_order_randomized_but_deterministic(self):
+        d = self._design()
+        a = d.run_order(seed=1)
+        b = d.run_order(seed=1)
+        c = d.run_order(seed=2)
+        assert a == b
+        assert a != c
+
+    def test_run_order_actually_shuffled(self):
+        d = FactorialDesign((Factor("p", tuple(range(30))),), replications=1)
+        runs = d.run_order(seed=0)
+        assert [r["p"] for r in runs] != list(range(30))
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(DesignError):
+            FactorialDesign((Factor("p", (1,)), Factor("p", (2,))))
+
+    def test_describe_lists_levels(self):
+        text = self._design().describe()
+        assert "p" in text and "size" in text and "full factorial" in text
+
+
+class TestAdaptiveRefiner:
+    def test_proposes_midpoint_of_steepest_gap(self):
+        r = AdaptiveRefiner(min_gap=1.0)
+        r.observe(1, 10.0)
+        r.observe(64, 100.0)
+        r.observe(32, 90.0)
+        # Largest change is between 1 and 32.
+        assert r.propose() == pytest.approx(16.0, abs=1.0)
+
+    def test_converges_on_smooth_function(self):
+        r = AdaptiveRefiner(tolerance=0.08, min_gap=1.0)
+        r.observe(1, 1.0)
+        r.observe(128, 128.0)
+        for _ in range(40):
+            nxt = r.propose()
+            if nxt is None:
+                break
+            r.observe(nxt, float(nxt))
+        assert len(r.refined_levels()) < 40
+
+    def test_flat_function_stops_immediately(self):
+        r = AdaptiveRefiner()
+        r.observe(1, 5.0)
+        r.observe(100, 5.0)
+        assert r.propose() is None
+
+    def test_respects_min_gap(self):
+        r = AdaptiveRefiner(min_gap=10.0)
+        r.observe(0, 0.0)
+        r.observe(10, 100.0)
+        assert r.propose() is None
+
+    def test_needs_two_observations(self):
+        r = AdaptiveRefiner()
+        r.observe(1, 1.0)
+        with pytest.raises(DesignError):
+            r.propose()
+
+    def test_ci_width_drives_refinement(self):
+        r = AdaptiveRefiner(tolerance=0.05, min_gap=1.0)
+        r.observe(1, 10.0, ci_width=0.0)
+        r.observe(10, 10.5, ci_width=9.0)  # uncertain segment
+        r.observe(100, 11.0, ci_width=0.0)
+        nxt = r.propose()
+        assert nxt is not None
+
+
+class TestEnvironment:
+    def test_empty_spec_incomplete(self):
+        spec = EnvironmentSpec()
+        done, total = spec.completeness()
+        assert (done, total) == (0, 9)
+        assert len(spec.missing()) == 9
+
+    def test_not_applicable_counts_as_documented(self):
+        spec = EnvironmentSpec(filesystem=NOT_APPLICABLE)
+        assert spec.documented("filesystem")
+
+    def test_full_spec(self):
+        spec = from_machine(piz_daint(), input_desc="N=314k", measurement_desc="50 runs")
+        done, total = spec.completeness()
+        assert done == total == 9
+        assert spec.missing() == []
+
+    def test_from_machine_contents(self):
+        spec = from_machine(piz_daint())
+        assert "E5-2670" in spec.processor
+        assert "dragonfly" in spec.network
+        assert "gcc" in spec.compiler
+
+    def test_checklist_renders_marks(self):
+        spec = EnvironmentSpec(processor="Xeon")
+        text = spec.checklist()
+        assert "[✓] processor" in text
+        assert "[✗] memory" in text
+        assert "completeness: 1/9" in text
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValidationError):
+            EnvironmentSpec().documented("gpu")
+
+    def test_capture_host_runs(self):
+        spec = capture_host()
+        assert spec.runtime  # Python version is always discoverable
+        done, _ = spec.completeness()
+        assert done >= 2

@@ -1,0 +1,87 @@
+"""Tests for experiment orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Experiment, Factor, FactorialDesign, from_machine
+from repro.errors import DesignError, ValidationError
+from repro.simsys import PiWorkload, piz_daint
+
+
+def make_experiment(reps=3):
+    pi = PiWorkload(piz_daint(), seed=5)
+    return Experiment(
+        name="pi-scaling",
+        design=FactorialDesign((Factor("p", (1, 2, 4)),), replications=reps),
+        measure=lambda point, rep: pi.run(point["p"], 4),
+        unit="s",
+        environment=from_machine(piz_daint(), input_desc="pi", measurement_desc="sim"),
+    )
+
+
+class TestExperiment:
+    def test_collects_all_points(self):
+        res = make_experiment().run()
+        assert len(res.datasets) == 3
+        assert {d["p"] for d in res.points()} == {1, 2, 4}
+
+    def test_replications_accumulate(self):
+        res = make_experiment(reps=3).run()
+        ms = res.get(p=1)
+        assert ms.n == 3 * 4  # replications x samples per call
+
+    def test_get_unknown_point(self):
+        res = make_experiment().run()
+        with pytest.raises(ValidationError):
+            res.get(p=64)
+
+    def test_series_ordering(self):
+        res = make_experiment().run()
+        levels, values = res.series("p")
+        assert levels == [1, 2, 4]
+        assert values[0] > values[1] > values[2]  # scaling reduces time
+
+    def test_series_requires_single_factor(self):
+        pi = PiWorkload(piz_daint())
+        exp = Experiment(
+            name="two-factor",
+            design=FactorialDesign(
+                (Factor("p", (1, 2)), Factor("size", (64, 128))),
+            ),
+            measure=lambda point, rep: 1.0,
+        )
+        res = exp.run()
+        with pytest.raises(ValidationError):
+            res.series("p")
+
+    def test_scalar_measure_accepted(self):
+        exp = Experiment(
+            name="scalar",
+            design=FactorialDesign((Factor("x", (1,)),)),
+            measure=lambda point, rep: 42.0,
+        )
+        res = exp.run()
+        assert res.get(x=1).values.tolist() == [42.0]
+
+    def test_empty_measure_rejected(self):
+        exp = Experiment(
+            name="empty",
+            design=FactorialDesign((Factor("x", (1,)),)),
+            measure=lambda point, rep: np.array([]),
+        )
+        with pytest.raises(DesignError):
+            exp.run()
+
+    def test_run_order_recorded_and_randomized(self):
+        res = make_experiment(reps=4).run()
+        assert len(res.run_order) == 12
+        # Not all replications of the same point adjacent (randomization).
+        firsts = [dict(k)["p"] for k in res.run_order]
+        assert firsts != sorted(firsts)
+
+    def test_describe_mentions_environment(self):
+        text = make_experiment().run().describe()
+        assert "environment documented: 9/9" in text
+        assert "pi-scaling" in text

@@ -1,0 +1,208 @@
+"""Tests for MeasurementSet, stopping rules, and the benchmark loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BudgetRule,
+    CIWidthRule,
+    FixedCount,
+    MeasurementSet,
+    measure_simulated,
+    run_benchmark,
+)
+from repro.errors import ValidationError
+
+
+class TestMeasurementSet:
+    def _ms(self, **kw):
+        defaults = dict(values=np.array([1.0, 2.0, 3.0, 4.0]), unit="s")
+        defaults.update(kw)
+        return MeasurementSet(**defaults)
+
+    def test_immutable_values(self):
+        ms = self._ms()
+        with pytest.raises(ValueError):
+            ms.values[0] = 99.0
+
+    def test_len_and_iter(self):
+        ms = self._ms()
+        assert len(ms) == 4
+        assert list(ms) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_summary(self):
+        s = self._ms().summary()
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+
+    def test_converted(self):
+        us = self._ms().converted(1e6, "us")
+        assert us.unit == "us"
+        assert us.values[0] == pytest.approx(1e6)
+
+    def test_with_metadata(self):
+        ms = self._ms(metadata={"a": 1}).with_metadata(b=2)
+        assert ms.metadata == {"a": 1, "b": 2}
+
+    def test_batched_set_refuses_rank_statistics(self):
+        ms = self._ms(batch_k=10)
+        with pytest.raises(ValidationError, match="per-event"):
+            ms.median_ci()
+        with pytest.raises(ValidationError):
+            ms.quantile_ci(0.9)
+
+    def test_batched_set_still_allows_mean_ci(self):
+        ms = self._ms(batch_k=10)
+        assert ms.mean_ci().estimate == pytest.approx(2.5)
+
+    def test_describe_mentions_determinism_and_batching(self):
+        ms = self._ms(batch_k=5, deterministic=False, warmup_dropped=2)
+        text = ms.describe()
+        assert "nondeterministic" in text
+        assert "k=5" in text
+        assert "2 warmup" in text
+
+    def test_normality_passthrough(self, rng):
+        ms = MeasurementSet(values=rng.normal(5, 1, 500), unit="s")
+        assert ms.normality().plausibly_normal
+
+
+class TestStoppingRules:
+    def test_fixed_count(self):
+        rule = FixedCount(3)
+        assert not rule.update(1.0, 0.0)
+        assert not rule.update(1.0, 0.0)
+        assert rule.update(1.0, 0.0)
+        rule.reset()
+        assert not rule.update(1.0, 0.0)
+
+    def test_budget_by_count(self):
+        rule = BudgetRule(max_n=2)
+        assert not rule.update(1.0, 0.0)
+        assert rule.update(1.0, 0.0)
+
+    def test_budget_by_time(self):
+        rule = BudgetRule(max_seconds=10.0)
+        assert not rule.update(1.0, 5.0)
+        assert rule.update(1.0, 11.0)
+
+    def test_budget_needs_some_limit(self):
+        with pytest.raises(ValueError):
+            BudgetRule()
+
+    def test_ci_width_rule(self, rng):
+        rule = CIWidthRule(relative_error=0.1, confidence=0.95, statistic="mean")
+        stopped = False
+        for v in rng.normal(100, 1, 1000):
+            if rule.update(float(v), 0.0):
+                stopped = True
+                break
+        assert stopped
+        assert rule.checker.current_ci.relative_width <= 0.1
+
+    def test_either_combinator(self, rng):
+        # Impossible precision, tiny budget: budget must fire.
+        rule = CIWidthRule(relative_error=0.0001) | BudgetRule(max_n=5)
+        n = 0
+        for v in rng.lognormal(0, 2, 100):
+            n += 1
+            if rule.update(float(v), 0.0):
+                break
+        assert n == 5
+        assert "at most 5" in rule.describe()
+
+    def test_describe_sentences(self):
+        assert "n=7" in FixedCount(7).describe()
+        assert "95%" in CIWidthRule(0.05, 0.95).describe()
+
+
+class TestRunBenchmark:
+    def test_returns_measurement_set(self):
+        ms = run_benchmark(lambda: None, stopping=FixedCount(10), warmup=2)
+        assert ms.n == 10
+        assert ms.unit == "s"
+        assert ms.warmup_dropped == 2
+        assert np.all(ms.values >= 0)
+
+    def test_stopping_metadata_recorded(self):
+        ms = run_benchmark(lambda: None, stopping=FixedCount(5))
+        assert "fixed repetition count" in ms.metadata["stopping"]
+        assert "timer" in ms.metadata
+
+    def test_batching_divides(self):
+        calls = []
+        ms = run_benchmark(
+            lambda: calls.append(1), stopping=FixedCount(4), batch_k=5, warmup=0
+        )
+        assert ms.batch_k == 5
+        assert len(calls) == 4 * 5
+
+    def test_warmup_excluded(self):
+        calls = []
+        run_benchmark(lambda: calls.append(1), stopping=FixedCount(3), warmup=4)
+        assert len(calls) == 3 + 4
+
+    def test_auto_batch_for_tiny_function(self):
+        ms = run_benchmark(
+            lambda: None, stopping=FixedCount(5), auto_batch=True, warmup=1
+        )
+        assert ms.batch_k >= 1  # usually > 1 for a no-op on CPython
+
+    def test_tiny_interval_warns(self):
+        with pytest.warns(UserWarning):
+            run_benchmark(lambda: None, stopping=FixedCount(5), warmup=0)
+
+    def test_max_measurements_cap_warns(self, rng):
+        with pytest.warns(UserWarning, match="unsatisfied"):
+            ms = run_benchmark(
+                lambda: None,
+                stopping=CIWidthRule(relative_error=1e-9),
+                max_measurements=20,
+            )
+        assert ms.n == 20
+
+
+class TestMeasureSimulated:
+    def test_fixed_count(self, rng):
+        ms = measure_simulated(
+            lambda n: rng.lognormal(0, 0.1, n),
+            name="sim",
+            stopping=FixedCount(40),
+        )
+        assert ms.n == 40
+        assert ms.metadata["simulated"] is True
+
+    def test_ci_stopping(self, rng):
+        ms = measure_simulated(
+            lambda n: rng.normal(100, 1, n),
+            name="sim",
+            stopping=CIWidthRule(relative_error=0.05, statistic="median"),
+        )
+        assert ms.median_ci().relative_width <= 0.05
+
+    def test_warmup_consumed(self):
+        calls = []
+
+        def sample(n):
+            calls.append(n)
+            return np.ones(n)
+
+        measure_simulated(sample, name="w", warmup=7, stopping=FixedCount(3), chunk=3)
+        assert calls[0] == 7
+
+    def test_empty_sampler_rejected(self):
+        with pytest.raises(ValidationError):
+            measure_simulated(
+                lambda n: np.array([]), name="bad", stopping=FixedCount(3)
+            )
+
+    def test_cap_warns(self, rng):
+        with pytest.warns(UserWarning):
+            measure_simulated(
+                lambda n: rng.lognormal(0, 3, n),
+                name="noisy",
+                stopping=CIWidthRule(relative_error=1e-6),
+                max_measurements=50,
+            )

@@ -1,0 +1,148 @@
+"""Tests for two-level (fractional) factorial screening designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import full_factorial_2k, half_fraction_2k
+from repro.errors import DesignError
+
+
+class TestFullFactorial:
+    def test_run_count(self):
+        d = full_factorial_2k(("a", "b", "c"))
+        assert d.n_runs == 8
+        assert d.k == 3
+        assert d.aliases == {}
+
+    def test_all_combinations_distinct(self):
+        d = full_factorial_2k(("a", "b", "c", "d"))
+        rows = {tuple(r) for r in d.matrix}
+        assert len(rows) == 16
+
+    def test_orthogonality(self):
+        assert full_factorial_2k(("a", "b", "c")).is_orthogonal()
+
+    def test_balanced_columns(self):
+        d = full_factorial_2k(("a", "b", "c"))
+        assert np.all(d.matrix.sum(axis=0) == 0)
+
+    def test_settings_with_levels(self):
+        d = full_factorial_2k(("p", "size"))
+        pts = d.settings({"p": (1, 64), "size": (8, 4096)})
+        assert {"p": 1, "size": 8} in pts
+        assert {"p": 64, "size": 4096} in pts
+
+    def test_settings_coded_default(self):
+        d = full_factorial_2k(("a",))
+        assert d.settings() == [{"a": -1}, {"a": 1}]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DesignError):
+            full_factorial_2k(("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            full_factorial_2k(())
+
+
+class TestHalfFraction:
+    def test_run_count_halved(self):
+        full = full_factorial_2k(("a", "b", "c", "d"))
+        half = half_fraction_2k(("a", "b", "c", "d"))
+        assert half.n_runs == full.n_runs // 2
+
+    def test_orthogonality(self):
+        assert half_fraction_2k(("a", "b", "c", "d")).is_orthogonal()
+
+    def test_generator_relation_holds(self):
+        """Every row satisfies last = product(others) (I = ABCD)."""
+        d = half_fraction_2k(("a", "b", "c", "d"))
+        for row in d.matrix:
+            assert row[-1] == np.prod(row[:-1])
+
+    def test_alias_table(self):
+        d = half_fraction_2k(("a", "b", "c"))
+        assert d.aliases["a"] == "b*c"
+        assert d.aliases["c"] == "a*b"
+
+    def test_needs_three_factors(self):
+        with pytest.raises(Exception):
+            half_fraction_2k(("a", "b"))
+
+    def test_rows_are_subset_of_full(self):
+        full_rows = {tuple(r) for r in full_factorial_2k(("a", "b", "c")).matrix}
+        half_rows = {tuple(r) for r in half_fraction_2k(("a", "b", "c")).matrix}
+        assert half_rows <= full_rows
+
+
+class TestEffectEstimation:
+    def test_recovers_planted_effects_full(self, rng):
+        d = full_factorial_2k(("a", "b", "c"))
+        true = {"a": 3.0, "b": -1.0, "c": 0.0}
+        y = np.zeros(d.n_runs)
+        for j, name in enumerate(d.factor_names):
+            y += true[name] / 2.0 * d.matrix[:, j]
+        y += 10.0 + rng.normal(0, 0.01, d.n_runs)
+        effects = {e.name: e.effect for e in d.estimate_effects(y)}
+        for name, want in true.items():
+            assert effects[name] == pytest.approx(want, abs=0.05)
+
+    def test_recovers_planted_effects_half(self, rng):
+        d = half_fraction_2k(("a", "b", "c", "d"))
+        y = 5.0 + 2.0 * d.matrix[:, 0] / 2 * 2 + rng.normal(0, 0.01, d.n_runs)
+        effects = {e.name: e.effect for e in d.estimate_effects(y)}
+        assert effects["a"] == pytest.approx(4.0, abs=0.05)
+        for other in ("b", "c", "d"):
+            assert abs(effects[other]) < 0.1
+
+    def test_half_effect_is_coefficient(self):
+        d = full_factorial_2k(("a", "b"))
+        y = 1.0 * d.matrix[:, 0]  # coefficient 1 -> effect 2
+        e = d.estimate_effects(y)[0]
+        assert e.effect == pytest.approx(2.0)
+        assert e.half_effect == pytest.approx(1.0)
+
+    def test_response_length_checked(self):
+        d = full_factorial_2k(("a", "b"))
+        with pytest.raises(DesignError):
+            d.estimate_effects([1.0, 2.0])
+
+    def test_aliased_interaction_leaks_into_main_effect(self, rng):
+        """The half-fraction trade-off, demonstrated: a pure b*c
+        interaction shows up as an 'a' effect because a is aliased with
+        b*c under I = ABC."""
+        d = half_fraction_2k(("a", "b", "c"))
+        y = 1.5 * d.matrix[:, 1] * d.matrix[:, 2]  # pure b*c interaction
+        effects = {e.name: e.effect for e in d.estimate_effects(y)}
+        assert effects["a"] == pytest.approx(3.0)
+
+    @given(st.integers(min_value=3, max_value=8))
+    @settings(max_examples=20)
+    def test_orthogonality_property(self, k):
+        names = tuple(f"f{i}" for i in range(k))
+        assert full_factorial_2k(names).is_orthogonal()
+        assert half_fraction_2k(names).is_orthogonal()
+
+
+class TestScreeningEndToEnd:
+    def test_screen_simulated_factors(self):
+        """Screen three candidate factors of reduce performance: process
+        count (dominant), message size (mild at these sizes), and seed
+        (noise, no effect)."""
+        from repro.simsys import SimComm, piz_daint
+
+        d = full_factorial_2k(("p", "size", "seed"))
+        levels = {"p": (8, 32), "size": (8, 1024), "seed": (1, 2)}
+        responses = []
+        for point in d.settings(levels):
+            comm = SimComm(piz_daint(), point["p"], seed=point["seed"])
+            responses.append(
+                float(np.median(comm.reduce(point["size"], 60).max(axis=1)))
+            )
+        effects = {e.name: abs(e.effect) for e in d.estimate_effects(responses)}
+        assert effects["p"] > effects["seed"] * 3     # p dominates noise
+        assert effects["p"] > effects["size"]         # and message size here

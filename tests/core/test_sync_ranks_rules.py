@@ -1,0 +1,298 @@
+"""Tests for sync schemes, cross-rank summarization, and the twelve rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClockEnsemble,
+    EnvironmentSpec,
+    ExperimentDeclaration,
+    PlotDeclaration,
+    SummaryDeclaration,
+    barrier_start,
+    check_all,
+    estimate_offsets,
+    per_rank_boxstats,
+    summarize_across_ranks,
+    window_start,
+)
+from repro.errors import RuleViolation, SimulationError, ValidationError
+from repro.simsys import LogNormalNoise, NoNoise, RngFactory, SimClock, realistic_clock
+
+
+def make_ensemble(n=8, *, noisy=True, seed=3):
+    rngs = RngFactory(seed)
+    clocks = [SimClock()] + [realistic_clock(rngs("clk", i)) for i in range(1, n)]
+    noise = LogNormalNoise(0.15e-6, 0.6) if noisy else NoNoise()
+    return ClockEnsemble(
+        clocks, base_latency=1.5e-6, latency_noise=noise, rng=rngs("net")
+    )
+
+
+class TestClockSync:
+    def test_offsets_estimate_accurate(self):
+        ens = make_ensemble()
+        offsets = estimate_offsets(ens, n_pings=30)
+        for r, clock in enumerate(ens.clocks):
+            assert offsets[r] == pytest.approx(clock.offset, abs=2e-6)
+        assert offsets[0] == 0.0
+
+    def test_noise_free_offsets_near_exact(self):
+        ens = make_ensemble(noisy=False)
+        offsets = estimate_offsets(ens, n_pings=3)
+        for r, clock in enumerate(ens.clocks):
+            # Residual error only from granularity quantization.
+            assert offsets[r] == pytest.approx(clock.offset, abs=5e-8)
+
+    def test_window_skew_beats_barrier(self):
+        """Rule 10's point: the window scheme starts ranks far closer
+        together than a barrier does."""
+        ens = make_ensemble(16)
+        offsets = estimate_offsets(ens, n_pings=30)
+        w = np.ptp(window_start(ens, offsets, window=0.01))
+        b = np.ptp(barrier_start(ens))
+        assert w < b / 3
+
+    def test_window_too_small_detected(self):
+        ens = make_ensemble()
+        offsets = estimate_offsets(ens, n_pings=10)
+        with pytest.raises(SimulationError, match="window"):
+            window_start(ens, offsets, window=1e-9)
+
+    def test_uncorrected_offsets_cause_skew(self):
+        ens = make_ensemble()
+        good = np.ptp(window_start(ens, estimate_offsets(ens), window=0.01))
+        bad = np.ptp(window_start(ens, np.zeros(ens.nprocs), window=0.01))
+        assert bad > good
+
+    def test_offsets_shape_validated(self):
+        ens = make_ensemble(4)
+        with pytest.raises(ValidationError):
+            window_start(ens, np.zeros(3), window=0.01)
+
+    def test_barrier_single_rank(self):
+        ens = make_ensemble(1)
+        assert np.ptp(barrier_start(ens)) == 0.0
+
+
+class TestSummarizeAcrossRanks:
+    def test_homogeneous_pooled(self, rng):
+        times = rng.normal(10, 0.5, size=(100, 8))
+        rs = summarize_across_ranks(times)
+        assert rs.homogeneous
+        assert rs.pooled is not None
+        assert rs.pooled.size == 800
+        assert "pool" in rs.recommendation()
+
+    def test_heterogeneous_not_pooled(self, rng):
+        times = rng.normal(10, 0.5, size=(100, 8))
+        times[:, 3] += 5.0  # one slow rank
+        rs = summarize_across_ranks(times)
+        assert not rs.homogeneous
+        assert rs.pooled is None
+        assert "per-rank" in rs.recommendation()
+
+    def test_per_rank_summaries_shape(self, rng):
+        times = rng.normal(10, 1, size=(50, 4))
+        rs = summarize_across_ranks(times)
+        assert rs.per_rank_median.shape == (4,)
+        assert rs.max_over_ranks.shape == (50,)
+        assert np.all(rs.max_over_ranks >= rs.median_over_ranks)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValidationError):
+            summarize_across_ranks(rng.normal(0, 1, 10))
+
+    def test_boxstats_fields(self, rng):
+        times = rng.lognormal(0, 0.3, size=(200, 4))
+        stats = per_rank_boxstats(times)
+        assert len(stats) == 4
+        for b in stats:
+            assert b["q1"] <= b["median"] <= b["q3"]
+            assert b["whisker_low"] <= b["q1"]
+            assert b["whisker_high"] >= b["q3"]
+
+    def test_boxstats_outlier_count(self, rng):
+        times = rng.normal(10, 0.1, size=(100, 2))
+        times[0, 0] = 99.0
+        stats = per_rank_boxstats(times)
+        # The injected spike must be classified as an outlier; the clean
+        # column may still have the odd natural one (~0.7% of normal data
+        # falls outside 1.5 IQR), so only compare relatively.
+        assert stats[0]["n_outliers"] >= 1
+        assert stats[0]["whisker_high"] < 99.0
+
+
+def _full_env():
+    return EnvironmentSpec(
+        processor="x", memory="x", network="x", compiler="x", runtime="x",
+        filesystem="x", input="x", measurement="x", code="x",
+    )
+
+
+def good_declaration(**overrides):
+    base = dict(
+        reports_speedup=True,
+        speedup_base_case="single_parallel_process",
+        base_absolute_performance=0.02,
+        summaries=[SummaryDeclaration("cost", "arithmetic")],
+        reports_confidence_intervals=True,
+        environment=_full_env(),
+        factors_documented=True,
+        is_parallel_measurement=True,
+        sync_method="window scheme",
+        rank_summary_method="max",
+        bounds_model_shown=True,
+        plots=[PlotDeclaration("scaling", shows_variability=True)],
+    )
+    base.update(overrides)
+    return ExperimentDeclaration(**base)
+
+
+class TestRules:
+    def test_good_declaration_passes(self):
+        card = check_all(good_declaration())
+        assert card.all_passed
+        assert card.n_passed == card.n_applicable
+
+    def test_rule1_missing_base_case(self):
+        card = check_all(good_declaration(speedup_base_case=None))
+        assert any(r.rule_id == 1 for r in card.failures)
+
+    def test_rule1_missing_absolute(self):
+        card = check_all(good_declaration(base_absolute_performance=None))
+        assert any(r.rule_id == 1 for r in card.failures)
+
+    def test_rule1_na_without_speedup(self):
+        card = check_all(good_declaration(reports_speedup=False,
+                                          speedup_base_case=None,
+                                          base_absolute_performance=None))
+        r1 = card.results[0]
+        assert r1.passed is None
+
+    def test_rule2_unjustified_subset(self):
+        card = check_all(good_declaration(uses_subset=True))
+        assert any(r.rule_id == 2 for r in card.failures)
+
+    def test_rule2_justified_subset(self):
+        card = check_all(
+            good_declaration(uses_subset=True, subset_reason="C-only transform")
+        )
+        assert not any(r.rule_id == 2 for r in card.failures)
+
+    def test_rule3_arithmetic_on_rates(self):
+        card = check_all(
+            good_declaration(summaries=[SummaryDeclaration("rate", "arithmetic")])
+        )
+        assert any(r.rule_id == 3 for r in card.failures)
+
+    def test_rule3_harmonic_on_rates_ok(self):
+        card = check_all(
+            good_declaration(summaries=[SummaryDeclaration("rate", "harmonic")])
+        )
+        assert not any(r.rule_id == 3 for r in card.failures)
+
+    def test_rule4_ratio_with_costs_available(self):
+        card = check_all(
+            good_declaration(summaries=[SummaryDeclaration("ratio", "geometric")])
+        )
+        assert any(r.rule_id == 4 for r in card.failures)
+
+    def test_rule4_geometric_last_resort_ok(self):
+        card = check_all(
+            good_declaration(
+                summaries=[
+                    SummaryDeclaration("ratio", "geometric", costs_available=False)
+                ]
+            )
+        )
+        assert not any(r.rule_id == 4 for r in card.failures)
+
+    def test_rule5_no_cis(self):
+        card = check_all(good_declaration(reports_confidence_intervals=False))
+        assert any(r.rule_id == 5 for r in card.failures)
+
+    def test_rule5_deterministic_ok(self):
+        card = check_all(
+            good_declaration(
+                data_deterministic=True, reports_confidence_intervals=False
+            )
+        )
+        assert not any(r.rule_id == 5 for r in card.failures)
+
+    def test_rule6_unchecked_normality(self):
+        card = check_all(
+            good_declaration(uses_parametric_statistics=True, normality_checked=False)
+        )
+        assert any(r.rule_id == 6 for r in card.failures)
+
+    def test_rule7_comparison_without_test(self):
+        card = check_all(
+            good_declaration(compares_alternatives=True, comparison_method="none")
+        )
+        assert any(r.rule_id == 7 for r in card.failures)
+
+    def test_rule8_tail_workload_without_percentiles(self):
+        card = check_all(good_declaration(tail_sensitive_workload=True))
+        assert any(r.rule_id == 8 for r in card.failures)
+
+    def test_rule9_incomplete_environment(self):
+        card = check_all(good_declaration(environment=EnvironmentSpec()))
+        assert any(r.rule_id == 9 for r in card.failures)
+
+    def test_rule10_missing_sync(self):
+        card = check_all(good_declaration(sync_method=""))
+        assert any(r.rule_id == 10 for r in card.failures)
+
+    def test_rule11_no_bounds_no_reason(self):
+        card = check_all(good_declaration(bounds_model_shown=False))
+        assert any(r.rule_id == 11 for r in card.failures)
+
+    def test_rule11_reason_accepted(self):
+        card = check_all(
+            good_declaration(
+                bounds_model_shown=False,
+                bounds_infeasible_reason="no analytic model for this black box",
+            )
+        )
+        assert not any(r.rule_id == 11 for r in card.failures)
+
+    def test_rule12_invalid_interpolation(self):
+        card = check_all(
+            good_declaration(
+                plots=[
+                    PlotDeclaration(
+                        "bars", connects_points=True, interpolation_valid=False,
+                        shows_variability=True,
+                    )
+                ]
+            )
+        )
+        assert any(r.rule_id == 12 for r in card.failures)
+
+    def test_rule12_variability_in_text_ok(self):
+        card = check_all(
+            good_declaration(
+                plots=[PlotDeclaration("x", variability_stated_in_text=True)]
+            )
+        )
+        assert not any(r.rule_id == 12 for r in card.failures)
+
+    def test_unit_warnings_collected(self):
+        card = check_all(
+            good_declaration(reported_unit_strings=("we hit 5 MFLOPs",))
+        )
+        assert card.unit_warnings
+        assert not card.all_passed
+
+    def test_strict_raises(self):
+        with pytest.raises(RuleViolation) as err:
+            check_all(good_declaration(speedup_base_case=None), strict=True)
+        assert err.value.rule_id == 1
+
+    def test_summary_renders_all_rules(self):
+        text = check_all(good_declaration()).summary()
+        for rid in range(1, 13):
+            assert f"rule {rid:>2}" in text

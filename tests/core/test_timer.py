@@ -1,0 +1,127 @@
+"""Tests for repro.core.timer (Section 4.2.1 calibration and criteria)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MIN_OVERHEAD_FRACTION,
+    MIN_RESOLUTION_MULTIPLE,
+    PerfTimer,
+    SimTimer,
+    TimerCalibration,
+    calibrate,
+    check_interval,
+)
+from repro.errors import TimerError, ValidationError
+from repro.simsys import SimClock
+
+
+class TestPerfTimer:
+    def test_monotone(self):
+        t = PerfTimer()
+        readings = [t.now() for _ in range(100)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+    def test_calibration_positive(self):
+        cal = calibrate(PerfTimer(), samples=2000)
+        assert cal.resolution > 0
+        assert cal.overhead >= 0
+        assert cal.timer_name == "perf_counter_ns"
+
+    def test_calibration_describe(self):
+        cal = calibrate(PerfTimer(), samples=1000)
+        text = cal.describe()
+        assert "resolution" in text and "overhead" in text
+
+
+class TestSimTimer:
+    def test_reads_advance_true_time(self):
+        timer = SimTimer(clock=SimClock(read_overhead=1e-6))
+        timer.now()
+        timer.now()
+        assert timer.true_time == pytest.approx(2e-6)
+
+    def test_advance_models_work(self):
+        timer = SimTimer(clock=SimClock())
+        t0 = timer.now()
+        timer.advance(0.5)
+        assert timer.now() - t0 == pytest.approx(0.5)
+
+    def test_negative_advance_rejected(self):
+        timer = SimTimer(clock=SimClock())
+        with pytest.raises(TimerError):
+            timer.advance(-1.0)
+
+    def test_granular_clock_quantizes(self):
+        timer = SimTimer(clock=SimClock(granularity=1e-3))
+        timer.advance(0.0015)
+        assert timer.now() == pytest.approx(1e-3)
+
+    def test_calibrate_sim_timer(self):
+        timer = SimTimer(clock=SimClock(granularity=1e-8, read_overhead=3e-8))
+        cal = calibrate(timer, samples=1000)
+        # Resolution can't be finer than the granularity.
+        assert cal.resolution >= 1e-8 * 0.99
+        assert cal.overhead == pytest.approx(3e-8, rel=0.2)
+
+    def test_frozen_clock_unusable(self):
+        # Zero read overhead + coarse granularity: the timer never advances.
+        timer = SimTimer(clock=SimClock(granularity=1e3))
+        with pytest.raises(TimerError):
+            calibrate(timer, samples=200)
+
+
+class TestIntervalCheck:
+    def _cal(self, resolution=1e-8, overhead=2e-8):
+        return TimerCalibration(
+            timer_name="test", resolution=resolution, overhead=overhead, samples=100
+        )
+
+    def test_long_interval_ok(self):
+        chk = check_interval(self._cal(), 1e-3)
+        assert chk.ok
+        assert chk.recommended_batch() == 1
+
+    def test_overhead_violation(self):
+        chk = check_interval(self._cal(overhead=1e-6), 1e-6)
+        assert not chk.ok
+        assert any("overhead" in w for w in chk.warnings)
+
+    def test_resolution_violation(self):
+        chk = check_interval(self._cal(resolution=1e-6, overhead=0.0), 2e-6)
+        assert not chk.ok
+        assert any("resolution" in w for w in chk.warnings)
+
+    def test_thresholds_exact(self):
+        cal = self._cal(resolution=1e-8, overhead=2e-8)
+        boundary = max(
+            cal.overhead / MIN_OVERHEAD_FRACTION,
+            MIN_RESOLUTION_MULTIPLE * cal.resolution,
+        )
+        assert check_interval(cal, boundary).ok
+        assert not check_interval(cal, boundary / 2).ok
+
+    def test_recommended_batch_fixes_interval(self):
+        cal = self._cal(resolution=1e-6, overhead=1e-6)
+        interval = 1e-6
+        chk = check_interval(cal, interval)
+        k = chk.recommended_batch()
+        assert k > 1
+        assert check_interval(cal, interval * k).ok
+
+    def test_smallest_measurable_interval(self):
+        cal = self._cal(resolution=1e-8, overhead=2e-8)
+        smallest = cal.smallest_measurable_interval()
+        assert check_interval(cal, smallest).ok
+        assert not check_interval(cal, smallest * 0.9).ok
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            check_interval(self._cal(), 0.0)
+
+    def test_zero_resolution_infinite_multiple(self):
+        chk = check_interval(self._cal(resolution=0.0, overhead=0.0), 1e-9)
+        assert chk.resolution_multiple == np.inf
+        assert chk.ok

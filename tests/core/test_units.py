@@ -1,0 +1,155 @@
+"""Tests for repro.core.units (Section 2.1.2 hygiene)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Quantity,
+    ambiguity_warnings,
+    format_quantity,
+    parse_quantity,
+)
+from repro.errors import UnitError
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "value,unit,expect",
+        [
+            (7.738e13, "flop/s", "77.38 Tflop/s"),
+            (2e9, "flop/s", "2 Gflop/s"),
+            (64, "B", "64 B"),
+            (0.0, "s", "0 s"),
+            (1.5e-6, "s", "1.5 us"),
+            (2.5e-9, "s", "2.5 ns"),
+            (1234, "flop", "1.234 kflop"),
+            (-3e6, "B/s", "-3 MB/s"),
+        ],
+    )
+    def test_si_cases(self, value, unit, expect):
+        assert format_quantity(value, unit) == expect
+
+    @pytest.mark.parametrize(
+        "value,expect",
+        [(2**25, "32 MiB"), (2**10, "1 KiB"), (2**41, "2 TiB"), (512, "512 B")],
+    )
+    def test_iec_cases(self, value, expect):
+        assert format_quantity(value, "B", binary=True) == expect
+
+    def test_iec_only_for_bytes_bits(self):
+        with pytest.raises(UnitError):
+            format_quantity(1e6, "flop", binary=True)
+
+    def test_unknown_unit(self):
+        with pytest.raises(UnitError):
+            format_quantity(1.0, "FLOPS")
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(UnitError):
+            format_quantity(float("inf"), "s")
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,value,unit",
+        [
+            ("77.38 Tflop/s", 7.738e13, "flop/s"),
+            ("64 B", 64.0, "B"),
+            ("32 MiB", 2**25, "B"),
+            ("1.5 us", 1.5e-6, "s"),
+            ("2 Gflop", 2e9, "flop"),
+            ("100 mW", 0.1, "W"),
+            ("3 b/s", 3.0, "b/s"),
+        ],
+    )
+    def test_cases(self, text, value, unit):
+        q = parse_quantity(text)
+        assert q.value == pytest.approx(value)
+        assert q.unit == unit
+
+    def test_rejects_ambiguous(self):
+        with pytest.raises(UnitError):
+            parse_quantity("5 MFLOPs")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UnitError):
+            parse_quantity("fast enough")
+
+    def test_iec_prefix_on_seconds_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity("3 Kis")
+
+    @given(st.floats(min_value=1e-6, max_value=1e15), st.sampled_from(["s", "flop", "B", "flop/s"]))
+    @settings(max_examples=100)
+    def test_format_parse_round_trip(self, value, unit):
+        q = parse_quantity(format_quantity(value, unit, precision=12))
+        assert q.value == pytest.approx(value, rel=1e-9)
+        assert q.unit == unit
+
+
+class TestQuantityArithmetic:
+    def test_add_same_unit(self):
+        q = Quantity(1.0, "s") + Quantity(2.0, "s")
+        assert q.value == 3.0
+
+    def test_add_mismatched_rejected(self):
+        with pytest.raises(UnitError):
+            Quantity(1.0, "s") + Quantity(1.0, "B")
+
+    def test_subtract(self):
+        assert (Quantity(3.0, "flop") - Quantity(1.0, "flop")).value == 2.0
+
+    def test_divide_to_rate(self):
+        rate = Quantity(100.0, "flop") / Quantity(50.0, "s")
+        assert rate.unit == "flop/s"
+        assert rate.value == 2.0
+
+    def test_divide_same_unit_dimensionless(self):
+        ratio = Quantity(4.0, "s") / Quantity(2.0, "s")
+        assert ratio == 2.0  # plain float
+
+    def test_divide_unsupported_rate(self):
+        with pytest.raises(UnitError):
+            Quantity(1.0, "s") / Quantity(1.0, "flop")
+
+    def test_scalar_ops(self):
+        assert (2 * Quantity(3.0, "B")).value == 6.0
+        assert (Quantity(3.0, "B") / 3).value == 1.0
+
+    def test_str_uses_format(self):
+        assert str(Quantity(7.738e13, "flop/s")) == "77.38 Tflop/s"
+
+
+class TestAmbiguityLinter:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "we achieved 500 MFLOPs",
+            "peak is 3.2 GFLOPS",
+            "message size 64 KB",
+            "sustained 12 flops per cycle",
+            "buffer of 2 GB",
+        ],
+    )
+    def test_flags_ambiguous(self, text):
+        assert ambiguity_warnings(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "achieved 77.38 Tflop/s on 64 nodes",
+            "the message is 64 B",
+            "32 GiB DDR3-1600 RAM",
+            "performed 100 Gflop of work",
+            "2 Gb/s of traffic",
+        ],
+    )
+    def test_accepts_unambiguous(self, text):
+        assert ambiguity_warnings(text) == []
+
+    def test_multiple_warnings(self):
+        out = ambiguity_warnings("5 MFLOPs over 64 KB messages")
+        assert len(out) == 2

@@ -1,0 +1,122 @@
+"""Tests for repro.models.bounds (Rule 11, Figure 7 models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.models import (
+    AmdahlBound,
+    IdealScaling,
+    ParallelOverheadBound,
+    piecewise_log_overhead,
+    superlinear_points,
+)
+
+ps = st.integers(min_value=1, max_value=4096)
+
+
+class TestIdealScaling:
+    def test_time_halves(self):
+        m = IdealScaling(10.0)
+        assert m.time_bound(2) == 5.0
+        assert m.speedup_bound(8) == 8.0
+
+    @given(ps)
+    @settings(max_examples=50)
+    def test_speedup_equals_p(self, p):
+        assert IdealScaling(1.0).speedup_bound(p) == p
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            IdealScaling(1.0).time_bound(0)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValidationError):
+            IdealScaling(-1.0)
+
+
+class TestAmdahl:
+    def test_paper_parameters(self):
+        """b=0.01, T1=20ms: t(p) = 20ms*(0.01 + 0.99/p)."""
+        m = AmdahlBound(20e-3, 0.01)
+        assert m.time_bound(1) == pytest.approx(20e-3)
+        assert m.time_bound(32) == pytest.approx(20e-3 * (0.01 + 0.99 / 32))
+
+    def test_max_speedup(self):
+        assert AmdahlBound(1.0, 0.01).max_speedup == pytest.approx(100.0)
+
+    @given(ps, st.floats(min_value=0.001, max_value=0.5))
+    @settings(max_examples=100)
+    def test_below_ideal(self, p, b):
+        """Amdahl can never beat ideal scaling."""
+        amdahl = AmdahlBound(1.0, b)
+        ideal = IdealScaling(1.0)
+        assert amdahl.speedup_bound(p) <= ideal.speedup_bound(p) + 1e-12
+        assert amdahl.time_bound(p) >= ideal.time_bound(p) - 1e-15
+
+    @given(st.floats(min_value=0.001, max_value=0.5))
+    @settings(max_examples=50)
+    def test_saturates(self, b):
+        m = AmdahlBound(1.0, b)
+        assert m.speedup_bound(10_000) <= 1.0 / b
+        assert m.speedup_bound(4096) > m.speedup_bound(2)
+
+
+class TestParallelOverheads:
+    def test_reduces_to_amdahl_with_zero_overhead(self):
+        over = ParallelOverheadBound(1.0, 0.1, lambda p: 0.0)
+        amdahl = AmdahlBound(1.0, 0.1)
+        for p in (1, 2, 16, 100):
+            assert over.time_bound(p) == pytest.approx(amdahl.time_bound(p))
+
+    def test_speedup_can_decrease(self):
+        """With growing f(p) the speedup curve rolls over — unlike Amdahl."""
+        over = ParallelOverheadBound(1e-3, 0.01, lambda p: 1e-4 * p)
+        speedups = [over.speedup_bound(p) for p in (1, 2, 4, 8, 16, 64, 256)]
+        assert max(speedups) > speedups[-1]
+
+    def test_p1_has_no_overhead(self):
+        over = ParallelOverheadBound(1.0, 0.01, lambda p: 99.0)
+        assert over.time_bound(1) == pytest.approx(1.0)
+
+    def test_negative_overhead_rejected(self):
+        over = ParallelOverheadBound(1.0, 0.01, lambda p: -1.0)
+        with pytest.raises(ValidationError):
+            over.time_bound(2)
+
+    @given(ps, st.floats(min_value=0.001, max_value=0.2))
+    @settings(max_examples=100)
+    def test_ordering_chain(self, p, b):
+        """ideal <= amdahl <= parallel-overheads in time, reversed in speedup."""
+        ideal = IdealScaling(1.0)
+        amdahl = AmdahlBound(1.0, b)
+        over = ParallelOverheadBound(1.0, b, piecewise_log_overhead)
+        assert ideal.time_bound(p) <= amdahl.time_bound(p) <= over.time_bound(p)
+        assert over.speedup_bound(p) <= amdahl.speedup_bound(p) <= ideal.speedup_bound(p)
+
+
+class TestPiecewiseOverhead:
+    def test_paper_pieces(self):
+        assert piecewise_log_overhead(2) == pytest.approx(10e-9)
+        assert piecewise_log_overhead(8) == pytest.approx(10e-9)
+        assert piecewise_log_overhead(9) == pytest.approx(0.1e-3 * np.log2(9))
+        assert piecewise_log_overhead(16) == pytest.approx(0.1e-3 * 4)
+        assert piecewise_log_overhead(17) == pytest.approx(0.17e-3 * np.log2(17))
+        assert piecewise_log_overhead(64) == pytest.approx(0.17e-3 * 6)
+
+
+class TestSuperlinear:
+    def test_detects_superlinear(self):
+        out = superlinear_points([1, 2, 4], [1.0, 2.5, 3.9])
+        assert out == [(2, 2.5)]
+
+    def test_empty_when_sublinear(self):
+        assert superlinear_points([1, 2, 4], [1.0, 1.9, 3.5]) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            superlinear_points([1, 2], [1.0])

@@ -1,0 +1,187 @@
+"""Tests for capability vectors, roofline, and scaling declarations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.models import (
+    ApplicationRequirement,
+    MachineCapability,
+    NormalizedPerformance,
+    ScalingSeries,
+    StrongScaling,
+    WeakScaling,
+    efficiency,
+    roofline,
+    speedup,
+)
+from repro.simsys import piz_daint
+
+
+class TestCapability:
+    def _cap(self):
+        return MachineCapability({"flops": 1e12, "mem_bw": 1e11})
+
+    def test_from_machine(self):
+        cap = MachineCapability.from_machine(piz_daint(64))
+        assert cap["flops"] == pytest.approx(94.5e12, rel=0.01)
+        assert "mem_bw" in cap.features and "net_bw" in cap.features
+
+    def test_normalized_fractions(self):
+        req = ApplicationRequirement({"flops": 5e11, "mem_bw": 9e10})
+        p = NormalizedPerformance.compute(self._cap(), req)
+        assert p.fractions["flops"] == pytest.approx(0.5)
+        assert p.fractions["mem_bw"] == pytest.approx(0.9)
+
+    def test_bottleneck(self):
+        req = ApplicationRequirement({"flops": 5e11, "mem_bw": 9e10})
+        name, frac = NormalizedPerformance.compute(self._cap(), req).bottleneck()
+        assert name == "mem_bw"
+        assert frac == pytest.approx(0.9)
+
+    def test_balance(self):
+        req = ApplicationRequirement({"flops": 5e11, "mem_bw": 1e11})
+        p = NormalizedPerformance.compute(self._cap(), req)
+        assert p.balance() == pytest.approx(0.5)
+
+    def test_feature_mismatch_rejected(self):
+        req = ApplicationRequirement({"flops": 1e11})
+        with pytest.raises(ValidationError):
+            NormalizedPerformance.compute(self._cap(), req)
+
+    def test_rate_exceeding_peak_rejected(self):
+        req = ApplicationRequirement({"flops": 2e12, "mem_bw": 1e10})
+        with pytest.raises(ValidationError):
+            NormalizedPerformance.compute(self._cap(), req)
+
+    def test_optimality_argument_positive(self):
+        req = ApplicationRequirement({"flops": 9.5e11, "mem_bw": 1e10})
+        p = NormalizedPerformance.compute(self._cap(), req)
+        assert "condition (1)" in p.optimality_argument("flops")
+
+    def test_optimality_argument_negative(self):
+        req = ApplicationRequirement({"flops": 1e11, "mem_bw": 1e10})
+        p = NormalizedPerformance.compute(self._cap(), req)
+        assert "headroom" in p.optimality_argument("flops")
+
+    def test_empty_capability_rejected(self):
+        with pytest.raises(ValidationError):
+            MachineCapability({})
+
+
+class TestRoofline:
+    def test_memory_bound_region(self):
+        pt = roofline(1e12, 1e11, intensity=0.5, achieved_flops=4e10)
+        assert pt.memory_bound
+        assert pt.bound == pytest.approx(5e10)
+        assert pt.fraction_of_bound == pytest.approx(0.8)
+
+    def test_compute_bound_region(self):
+        pt = roofline(1e12, 1e11, intensity=100.0)
+        assert not pt.memory_bound
+        assert pt.bound == pytest.approx(1e12)
+
+    def test_ridge_point(self):
+        # intensity = peak/bw: both limits coincide.
+        pt = roofline(1e12, 1e11, intensity=10.0)
+        assert pt.bound == pytest.approx(1e12)
+
+    def test_achieved_above_roofline_rejected(self):
+        with pytest.raises(ValidationError):
+            roofline(1e12, 1e11, intensity=0.5, achieved_flops=1e11)
+
+    def test_stream_triad_on_daint(self):
+        """Triad (1/12 flop/B) on a Daint node is memory bound."""
+        node = piz_daint().node
+        pt = roofline(node.cpu_flops, node.mem_bandwidth, intensity=1 / 12)
+        assert pt.memory_bound
+
+
+class TestScalingDeclarations:
+    def test_strong_constant(self):
+        s = StrongScaling(1000)
+        assert s.size_for(1) == s.size_for(64) == 1000
+        assert "strong" in s.describe()
+
+    def test_weak_linear_default(self):
+        w = WeakScaling(1000)
+        assert w.size_for(8) == 8000
+        assert "linear" in w.describe()
+
+    def test_weak_custom_growth(self):
+        w = WeakScaling(100, growth=lambda p: p**0.5, growth_name="sqrt")
+        assert w.size_for(16) == 400
+        assert "sqrt" in w.describe()
+
+    def test_weak_scaled_dims_documented(self):
+        w = WeakScaling(64, ndims=3, scaled_dims=(0, 1))
+        assert "dims [0, 1]" in w.describe()
+
+    def test_weak_invalid_dim(self):
+        with pytest.raises(ValidationError):
+            WeakScaling(64, ndims=2, scaled_dims=(5,))
+
+    def test_weak_nonpositive_growth_rejected(self):
+        w = WeakScaling(100, growth=lambda p: 0.0)
+        with pytest.raises(ValidationError):
+            w.size_for(2)
+
+
+class TestSpeedupHelpers:
+    def test_speedup_and_gain(self):
+        assert speedup(12.0, 6.0) == 2.0
+
+    def test_efficiency(self):
+        assert efficiency(12.0, 2.0, 8) == pytest.approx(0.75)
+
+    def test_positive_only(self):
+        with pytest.raises(ValidationError):
+            speedup(-1.0, 1.0)
+
+
+class TestScalingSeries:
+    def _series(self):
+        return ScalingSeries.from_measurements(
+            {1: [10.0, 10.2], 2: [5.2, 5.4], 4: [2.9, 3.1]},
+        )
+
+    def test_base_from_p1(self):
+        s = self._series()
+        assert s.base_time == pytest.approx(10.1)
+        assert s.base_case == "single_parallel_process"
+
+    def test_speedups_and_efficiencies(self):
+        s = self._series()
+        sp = s.speedups()
+        assert sp[0] == pytest.approx(1.0)
+        assert sp[1] == pytest.approx(10.1 / 5.3)
+        eff = s.efficiencies()
+        assert eff[2] == pytest.approx(sp[2] / 4)
+
+    def test_best_serial_requires_base_time(self):
+        with pytest.raises(ValidationError):
+            ScalingSeries.from_measurements(
+                {2: [5.0]}, base_case="best_serial"
+            )
+
+    def test_best_serial_with_base(self):
+        s = ScalingSeries.from_measurements(
+            {2: [5.0], 4: [2.5]}, base_case="best_serial", base_time=8.0
+        )
+        assert s.speedups()[0] == pytest.approx(1.6)
+        assert "best serial" in s.describe_base()
+
+    def test_rule1_sentence_has_absolute_base(self):
+        assert "10.1" in self._series().describe_base()
+
+    def test_custom_summary(self):
+        s = ScalingSeries.from_measurements(
+            {1: [10.0, 20.0], 2: [5.0, 5.0]}, summary=np.mean
+        )
+        assert s.base_time == pytest.approx(15.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ScalingSeries.from_measurements({})

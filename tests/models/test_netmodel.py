@@ -1,0 +1,90 @@
+"""Tests for postal-model fitting from message-size sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.models import PostalModel, fit_postal, sweep_to_arrays
+from repro.simsys import SimComm, piz_dora, testbed as make_testbed
+
+
+def synthetic_sweep(rng, alpha=2e-6, beta=5e9, sizes=(0, 64, 4096, 65536, 1 << 20), n=50):
+    m, t = [], []
+    for size in sizes:
+        base = alpha + size / beta
+        noise = rng.lognormal(np.log(0.05e-6), 0.5, n)
+        m += [size] * n
+        t += list(base + noise)
+    return np.array(m, dtype=float), np.array(t)
+
+
+class TestFitPostal:
+    def test_recovers_parameters(self, rng):
+        m, t = synthetic_sweep(rng)
+        model = fit_postal(m, t)
+        assert model.alpha == pytest.approx(2e-6, rel=0.1)
+        assert model.beta == pytest.approx(5e9, rel=0.05)
+
+    def test_predict_monotone(self, rng):
+        m, t = synthetic_sweep(rng)
+        model = fit_postal(m, t)
+        pred = model.predict([0, 1024, 1 << 20])
+        assert pred[0] < pred[1] < pred[2]
+
+    def test_half_bandwidth_point(self):
+        model = PostalModel(alpha=2e-6, beta=5e9, tau=0.5, n_observations=10)
+        n_half = model.half_bandwidth_size
+        # At n_1/2, the bandwidth term equals the latency term.
+        assert n_half / model.beta == pytest.approx(model.alpha)
+
+    def test_low_tau_fits_floor(self, rng):
+        m, t = synthetic_sweep(rng)
+        floor = fit_postal(m, t, tau=0.1)
+        typical = fit_postal(m, t, tau=0.5)
+        assert floor.alpha < typical.alpha
+
+    def test_on_simulated_machine(self):
+        """End to end: sweep the Piz Dora model and recover its configured
+        bandwidth (11 GB/s) and software latency floor."""
+        comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=5)
+        sweep = {}
+        for size in (0, 256, 4096, 65536, 1 << 19, 1 << 21):
+            sweep[size] = comm.ping_pong(size, 150)
+        m, t = sweep_to_arrays(sweep)
+        model = fit_postal(m, t, tau=0.25)
+        assert model.beta == pytest.approx(11.0e9, rel=0.1)
+        assert model.alpha == pytest.approx(1.7e-6, rel=0.15)
+        assert "GB/s" in model.describe()
+
+    def test_subsampling_large_sweeps(self, rng):
+        m, t = synthetic_sweep(rng, n=2000)
+        model = fit_postal(m, t, max_points_per_size=100)
+        assert model.n_observations <= 5 * 100
+        assert model.beta == pytest.approx(5e9, rel=0.1)
+
+    def test_single_size_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            fit_postal([64.0] * 20, rng.lognormal(0, 0.1, 20))
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_postal([0, 64, 128, 256], [1e-6, 0.0, 1e-6, 1e-6])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_postal([1, 2, 3], [1e-6, 2e-6])
+
+    def test_latency_only_sweep_rejected(self, rng):
+        """All-tiny messages: no bandwidth signal, slope may be degenerate."""
+        m = np.array([0.0, 1.0, 2.0, 3.0] * 25)
+        t = 1e-6 + rng.lognormal(np.log(1e-7), 0.3, 100)
+        with pytest.raises(ValidationError):
+            fit_postal(m, t)
+
+    def test_sweep_to_arrays_validation(self):
+        with pytest.raises(ValidationError):
+            sweep_to_arrays({})
+        with pytest.raises(ValidationError):
+            sweep_to_arrays({64: []})

@@ -1,0 +1,118 @@
+"""Tests for the auto-report generator and figure-builder edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Experiment,
+    ExperimentDeclaration,
+    Factor,
+    FactorialDesign,
+    PlotDeclaration,
+    from_machine,
+)
+from repro.errors import ValidationError
+from repro.models import AmdahlBound, IdealScaling
+from repro.report import (
+    fig1_hpl,
+    fig2_normalization,
+    fig5_reduce_scaling,
+    fig6_rank_variation,
+    report_experiment,
+)
+from repro.simsys import PiWorkload, piz_daint, testbed as make_testbed
+
+
+@pytest.fixture(scope="module")
+def pi_result():
+    pi = PiWorkload(piz_daint(), seed=5)
+    exp = Experiment(
+        "pi",
+        FactorialDesign((Factor("p", (1, 2, 4, 8)),), replications=2),
+        lambda pt, rep: pi.run(pt["p"], 6),
+        unit="s",
+        environment=from_machine(piz_daint(), input_desc="pi", measurement_desc="sim"),
+    )
+    return exp.run()
+
+
+class TestReportExperiment:
+    def test_contains_all_sections(self, pi_result):
+        decl = ExperimentDeclaration(
+            data_deterministic=False,
+            reports_confidence_intervals=True,
+            environment=pi_result.environment,
+            factors_documented=True,
+            bounds_model_shown=True,
+            plots=[PlotDeclaration("pi", shows_variability=True)],
+        )
+        doc = report_experiment(
+            pi_result,
+            decl,
+            scaling_factor="p",
+            bounds=[IdealScaling(0.02), AmdahlBound(0.02, 0.01)],
+        )
+        assert "## Experimental setup" in doc
+        assert "## Results" in doc
+        assert "## Figure: pi vs p" in doc
+        assert "Rule compliance" in doc
+        assert "ideal linear" in doc  # bounds series named in the legend
+
+    def test_without_declaration_no_rule_card(self, pi_result):
+        doc = report_experiment(pi_result)
+        assert "Rule compliance" not in doc
+        assert "## Results" in doc
+
+    def test_every_point_row_present(self, pi_result):
+        doc = report_experiment(pi_result)
+        for p in (1, 2, 4, 8):
+            assert f"{{'p': {p}}}" in doc
+
+    def test_invalid_scaling_factor(self, pi_result):
+        with pytest.raises(ValidationError):
+            report_experiment(pi_result, scaling_factor="nodes")
+
+
+class TestFigureEdgeCases:
+    def test_fig1_minimum_runs(self):
+        fig = fig1_hpl(6)
+        assert fig.times.size == 6
+
+    def test_fig1_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            fig1_hpl(2)
+
+    def test_fig2_unknown_variant(self):
+        fig = fig2_normalization(20_000)
+        with pytest.raises(KeyError):
+            fig.variant("block_k9999")
+
+    def test_fig2_rejects_tiny_sample(self):
+        with pytest.raises(ValidationError):
+            fig2_normalization(100)
+
+    def test_fig5_custom_machine_and_counts(self):
+        fig = fig5_reduce_scaling((2, 3, 4), 20, machine=make_testbed(4))
+        assert [pt.p for pt in fig.points] == [2, 3, 4]
+
+    def test_fig5_pof2_advantage_needs_pairs(self):
+        fig = fig5_reduce_scaling((3, 5, 7), 20, machine=make_testbed(4))
+        with pytest.raises(ValueError):
+            fig.pof2_advantage()
+
+    def test_fig6_custom_size(self):
+        fig = fig6_rank_variation(8, 50, machine=make_testbed(4))
+        assert fig.nprocs == 8
+        assert len(fig.boxstats) == 8
+
+    def test_fig6_slow_ranks_threshold(self):
+        fig = fig6_rank_variation(16, 100)
+        # Raising the factor can only shrink the slow set.
+        assert set(fig.slow_ranks(3.0)) <= set(fig.slow_ranks(1.5))
+
+    def test_seeded_figures_differ_across_seeds(self):
+        a = fig1_hpl(10, seed=1)
+        b = fig1_hpl(10, seed=2)
+        assert not np.array_equal(a.times, b.times)

@@ -1,0 +1,73 @@
+"""Tests for the report builder document assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExperimentDeclaration,
+    MeasurementSet,
+    PlotDeclaration,
+    check_all,
+    from_machine,
+)
+from repro.errors import ValidationError
+from repro.report import ReportBuilder
+from repro.simsys import piz_daint
+
+
+class TestReportBuilder:
+    def _ms(self, rng):
+        return MeasurementSet(values=rng.lognormal(0, 0.2, 100), unit="s", name="t")
+
+    def test_render_structure(self, rng):
+        doc = (
+            ReportBuilder("HPL on Piz Daint")
+            .add_section("Intro", "fifty runs")
+            .add_measurements(self._ms(rng))
+            .render()
+        )
+        assert doc.startswith("# HPL on Piz Daint")
+        assert "## Intro" in doc
+        assert "## Measurements: t" in doc
+        assert "median" in doc
+
+    def test_environment_section(self, rng):
+        env = from_machine(piz_daint(), input_desc="x", measurement_desc="y")
+        doc = ReportBuilder("r").add_environment(env).render()
+        assert "completeness: 9/9" in doc
+
+    def test_rule_card_section(self):
+        card = check_all(
+            ExperimentDeclaration(
+                data_deterministic=True,
+                environment=None,
+                plots=[PlotDeclaration("p")],
+            )
+        )
+        doc = ReportBuilder("r").add_rule_card(card).render()
+        assert "rule  9" in doc  # environment failure shows up
+
+    def test_measurement_cis_included(self, rng):
+        doc = ReportBuilder("r").add_measurements(self._ms(rng), confidence=0.99).render()
+        assert "99% CI" in doc
+
+    def test_deterministic_set_skips_cis(self, rng):
+        ms = MeasurementSet(
+            values=np.array([2.0, 2.0, 2.0]), unit="flop", deterministic=True
+        )
+        doc = ReportBuilder("r").add_measurements(ms).render()
+        assert "CI" not in doc.split("```")[1]
+
+    def test_figure_section(self):
+        doc = ReportBuilder("r").add_figure("latency", "###").render()
+        assert "## Figure: latency" in doc
+
+    def test_empty_heading_rejected(self):
+        with pytest.raises(ValidationError):
+            ReportBuilder("r").add_section("", "body")
+
+    def test_chaining_returns_self(self):
+        b = ReportBuilder("r")
+        assert b.add_section("a", "b") is b

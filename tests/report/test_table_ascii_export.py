@@ -1,0 +1,167 @@
+"""Tests for text tables, terminal plots, and export round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementSet
+from repro.errors import ValidationError
+from repro.report import (
+    bar_chart,
+    box_plot,
+    histogram_plot,
+    line_chart,
+    measurements_from_json,
+    measurements_to_json,
+    qq_plot,
+    read_csv,
+    render_table,
+    write_csv,
+)
+from repro.stats import qq_points
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_right_alignment_of_numbers(self):
+        out = render_table(["k", "v"], [["a", 1], ["b", 100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("  1".rstrip()) or "  1" in rows[0]
+        assert rows[1].endswith("100")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.23456789]])
+        assert "1.23457" in out
+
+
+class TestAsciiPlots:
+    def test_histogram_bars_scale(self, lognormal_sample):
+        out = histogram_plot(lognormal_sample, bins=10, width=40, label="lat")
+        assert "lat" in out
+        assert out.count("\n") >= 10
+        assert "#" in out
+
+    def test_box_plot_glyphs(self, rng):
+        out = box_plot({"dora": rng.normal(0, 1, 100), "pilatus": rng.normal(1, 1, 100)})
+        assert "M" in out and "=" in out
+        assert "dora" in out and "pilatus" in out
+
+    def test_box_plot_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            box_plot({})
+
+    def test_line_chart_series(self):
+        xs = [1, 2, 4, 8]
+        out = line_chart(xs, {"measured": [1, 2, 4, 8], "ideal": [1, 2, 4, 8]})
+        assert "measured" in out and "ideal" in out
+
+    def test_line_chart_logy_requires_positive(self):
+        with pytest.raises(ValidationError):
+            line_chart([1, 2], {"s": [0.0, 1.0]}, logy=True)
+
+    def test_line_chart_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_qq_plot_renders(self, normal_sample):
+        theo, samp = qq_points(normal_sample)
+        out = qq_plot(theo, samp)
+        assert "o" in out and "." in out
+
+    def test_bar_chart(self):
+        out = bar_chart(["processor", "code"], [79, 7], unit="/95")
+        assert "processor" in out
+        assert out.splitlines()[0].count("#") > out.splitlines()[1].count("#")
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["a", "b"], [[1, 2.5], [3, "x"]])
+        headers, rows = read_csv(path)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "2.5"], ["3", "x"]]
+
+    def test_width_checked(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_csv(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        with pytest.raises(ValidationError):
+            read_csv(p)
+
+
+class TestJSONRoundTrip:
+    def test_measurement_set(self, rng):
+        ms = MeasurementSet(
+            values=rng.lognormal(0, 0.3, 50),
+            unit="s",
+            name="latency",
+            warmup_dropped=3,
+            batch_k=2,
+            deterministic=False,
+            metadata={"machine": "piz_dora", "n_nodes": np.int64(64)},
+        )
+        back = measurements_from_json(measurements_to_json(ms))
+        assert np.allclose(back.values, ms.values)
+        assert back.unit == ms.unit
+        assert back.name == ms.name
+        assert back.warmup_dropped == 3
+        assert back.batch_k == 2
+        assert back.metadata["machine"] == "piz_dora"
+        assert back.metadata["n_nodes"] == 64
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValidationError):
+            measurements_from_json('{"values": [1.0]}')
+
+
+class TestViolinPlot:
+    def test_renders_density_glyphs(self, rng):
+        from repro.report import violin_plot
+
+        out = violin_plot(
+            {"dora": rng.lognormal(0, 0.3, 3000), "pilatus": rng.lognormal(0.2, 0.5, 3000)}
+        )
+        assert "M" in out           # median markers
+        assert "@" in out           # densest bin glyph
+        assert "dora" in out and "pilatus" in out
+
+    def test_median_marker_position(self):
+        from repro.report import violin_plot
+
+        data = np.concatenate([np.zeros(100), np.ones(1)])
+        out = violin_plot({"g": data}, width=20)
+        body = out.splitlines()[1]
+        # Median is 0 -> M at the left edge of the plot area.
+        assert body.strip().startswith("g  M") or "g  M" in body
+
+    def test_degenerate_rejected(self):
+        from repro.report import violin_plot
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            violin_plot({"g": np.ones(10)})
+
+    def test_empty_rejected(self):
+        from repro.report import violin_plot
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            violin_plot({})

@@ -1,0 +1,132 @@
+"""Tests for the allreduce and alltoall collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simsys import SimComm, piz_daint, testbed as make_testbed
+
+
+class TestAllreduce:
+    def test_shape(self):
+        out = SimComm(piz_daint(), 16, seed=1).allreduce(8, 20)
+        assert out.shape == (20, 16)
+
+    def test_all_ranks_finish_close_on_quiet_machine(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
+        out = comm.allreduce(8, 2)
+        # Recursive doubling: every rank participates in every round, so
+        # completion spread is at most one message time.
+        spread = np.ptp(out, axis=1).max()
+        assert spread <= 2 * comm.message_base(0, 15, 8)
+
+    def test_slower_than_reduce(self):
+        """Allreduce does log2(P) pairwise exchanges: at least as expensive
+        as the reduce's one-directional tree."""
+        m = piz_daint()
+        red = np.median(SimComm(m, 32, seed=2).reduce(8, 100).max(axis=1))
+        allred = np.median(SimComm(m, 32, seed=2).allreduce(8, 100).max(axis=1))
+        assert allred >= red * 0.9
+
+    def test_power_of_two_faster(self):
+        m = piz_daint()
+        t32 = np.median(SimComm(m, 32, seed=3).allreduce(8, 150).max(axis=1))
+        t33 = np.median(SimComm(m, 33, seed=3).allreduce(8, 150).max(axis=1))
+        assert t33 > t32
+
+    def test_grows_logarithmically(self):
+        m = piz_daint()
+        t4 = np.median(SimComm(m, 4, seed=4).allreduce(8, 100).max(axis=1))
+        t64 = np.median(SimComm(m, 64, seed=4).allreduce(8, 100).max(axis=1))
+        assert t4 < t64 < 12 * t4
+
+    def test_single_rank(self):
+        out = SimComm(make_testbed(1), 1, seed=0).allreduce(8, 3)
+        assert out.shape == (3, 1)
+
+
+class TestAlltoall:
+    def test_shape(self):
+        out = SimComm(piz_daint(), 8, seed=5).alltoall(1024, 10)
+        assert out.shape == (10, 8)
+
+    def test_single_rank_free(self):
+        out = SimComm(make_testbed(1), 1, seed=0).alltoall(8, 3)
+        assert np.all(out == 0.0)
+
+    def test_scales_linearly_with_p(self):
+        """P - 1 exchange rounds: doubling P roughly doubles the time
+        (bandwidth-bound, unlike the log-depth reduce)."""
+        m = piz_daint()
+        t8 = np.median(SimComm(m, 8, seed=6).alltoall(4096, 50).max(axis=1))
+        t32 = np.median(SimComm(m, 32, seed=6).alltoall(4096, 50).max(axis=1))
+        assert 2.0 < t32 / t8 < 14.0  # ~4x rounds plus straggler accumulation
+
+    def test_more_expensive_than_allreduce_for_large_messages(self):
+        m = piz_daint()
+        size = 1 << 16
+        a2a = np.median(SimComm(m, 16, seed=7).alltoall(size, 20).max(axis=1))
+        ar = np.median(SimComm(m, 16, seed=7).allreduce(size, 20).max(axis=1))
+        assert a2a > ar
+
+    def test_non_power_of_two_ring_schedule(self):
+        out = SimComm(piz_daint(), 6, seed=8).alltoall(1024, 10)
+        assert out.shape == (10, 6)
+        assert np.all(out > 0)
+
+
+class TestGather:
+    def test_shape_and_root_completion(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
+        out = comm.gather(1024, 3)
+        assert out.shape == (3, 16)
+        # The root receives everything: it completes last.
+        assert np.allclose(out[:, 0], out.max(axis=1))
+
+    def test_payload_growth_matters(self):
+        """Near the root, messages carry whole subtrees: gather of large
+        payloads is bandwidth-bound and much slower than reduce."""
+        m = piz_daint()
+        size = 1 << 16
+        g = np.median(SimComm(m, 32, seed=9).gather(size, 30).max(axis=1))
+        r = np.median(SimComm(m, 32, seed=9).reduce(size, 30).max(axis=1))
+        assert g > r
+
+    def test_non_power_of_two(self):
+        out = SimComm(piz_daint(), 7, seed=10).gather(64, 5)
+        assert out.shape == (5, 7)
+        assert np.all(np.isfinite(out))
+
+    def test_single_rank(self):
+        out = SimComm(make_testbed(1), 1, seed=0).gather(8, 2)
+        assert np.all(out == 0.0)
+
+
+class TestScatter:
+    def test_all_ranks_receive(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
+        out = comm.scatter(1024, 2)
+        assert np.all(out[:, 0] == 0.0)       # root starts with its data
+        assert np.all(out[:, 1:] > 0.0)       # everyone else receives
+
+    def test_log_depth(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
+        out = comm.scatter(0, 1)
+        # ceil(log2(16)) = 4 rounds of (at worst) inter-node messages.
+        inter = comm.message_base(0, 15, 0)
+        assert out.max() <= 4.5 * inter
+
+    def test_subtree_sized_messages(self):
+        """First-round sends carry half the data: scatter of big payloads
+        costs more than a same-size broadcastless point-to-point."""
+        m = piz_daint()
+        comm = SimComm(m, 32, seed=11)
+        big = comm.scatter(1 << 16, 30).max(axis=1)
+        single = comm.message_base(0, 31, 1 << 16)
+        assert np.median(big) > single
+
+    def test_non_power_of_two(self):
+        out = SimComm(piz_daint(), 6, seed=12).scatter(64, 4)
+        assert out.shape == (4, 6)
+        assert np.all(out[:, 1:] > 0)

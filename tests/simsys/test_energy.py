@@ -1,0 +1,75 @@
+"""Tests for the energy/power model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simsys import HPLModel, PowerModel, piz_daint
+from repro.stats import harmonic_mean, summarize_rates
+
+
+@pytest.fixture()
+def model():
+    return PowerModel(piz_daint(64), idle_watts=100.0, peak_watts=300.0, seed=1)
+
+
+class TestPowerModel:
+    def test_power_interpolates(self, model):
+        assert model.power(0.0) == 100.0
+        assert model.power(1.0) == 300.0
+        assert model.power(0.5) == 200.0
+
+    def test_utilization_bounds(self, model):
+        with pytest.raises(ValidationError):
+            model.power(1.5)
+
+    def test_peak_must_exceed_idle(self):
+        with pytest.raises(ValidationError):
+            PowerModel(piz_daint(), idle_watts=300.0, peak_watts=300.0)
+
+    def test_energy_scales_with_duration(self, model):
+        e = PowerModel(piz_daint(64), sensor_cov=0.0).measure_energy(
+            np.array([1.0, 2.0]), utilization=1.0
+        )
+        assert e[1] == pytest.approx(2 * e[0])
+
+    def test_energy_noise_free_value(self):
+        pm = PowerModel(piz_daint(64), idle_watts=100.0, peak_watts=300.0,
+                        sensor_cov=0.0)
+        e = pm.measure_energy(np.array([10.0]), utilization=0.5, n_nodes=2)
+        assert e[0] == pytest.approx(2 * 200.0 * 10.0)
+
+    def test_sensor_noise_applied(self, model):
+        e = model.measure_energy(np.full(1000, 100.0))
+        assert np.std(e) > 0
+        assert np.std(e) / np.mean(e) == pytest.approx(model.sensor_cov, rel=0.2)
+
+    def test_deterministic_per_seed(self):
+        a = PowerModel(piz_daint(64), seed=3).measure_energy(np.full(5, 10.0))
+        b = PowerModel(piz_daint(64), seed=3).measure_energy(np.full(5, 10.0))
+        assert np.array_equal(a, b)
+
+    def test_durations_validated(self, model):
+        with pytest.raises(ValidationError):
+            model.measure_energy(np.array([0.0]))
+
+    def test_flops_per_watt_is_a_rate(self, model):
+        """Rule 3 on energy: summarize flop/J with the harmonic mean, which
+        must match total-work-over-total-energy for equal work per run."""
+        hpl = HPLModel(piz_daint(64), seed=2)
+        times = hpl.run(20)
+        pm = PowerModel(piz_daint(64), sensor_cov=0.0)
+        rates = pm.flops_per_watt(hpl.flops, times, utilization=0.9)
+        energy = pm.measure_energy(times, utilization=0.9)
+        correct = summarize_rates(
+            numerators=np.full(20, hpl.flops), denominators=energy
+        )
+        assert harmonic_mean(rates) == pytest.approx(correct, rel=1e-9)
+
+    def test_hpl_energy_magnitude(self, model):
+        """64 nodes x ~300 s x a few hundred watts: order of a few GJ... MJ."""
+        hpl = HPLModel(piz_daint(64), seed=4)
+        e = model.measure_energy(hpl.run(10), utilization=0.9)
+        assert np.all((1e6 < e) & (e < 1e8))  # megajoule scale

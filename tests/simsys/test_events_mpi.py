@@ -1,0 +1,254 @@
+"""Tests for the event queue and the simulated MPI communicator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError, ValidationError
+from repro.simsys import EventQueue, SimComm, piz_daint, piz_dora, testbed as make_testbed
+from repro.simsys.mpi import reduce_schedule
+
+
+class TestEventQueue:
+    def test_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(3.0, lambda: order.append("c"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(2.0, lambda: order.append("b"))
+        assert q.run() == 3.0
+        assert order == ["a", "b", "c"]
+
+    def test_tie_break_by_insertion(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append("first"))
+        q.schedule(1.0, lambda: order.append("second"))
+        q.run()
+        assert order == ["first", "second"]
+
+    def test_self_scheduling(self):
+        q = EventQueue()
+        hits = []
+
+        def tick():
+            hits.append(q.now)
+            if len(hits) < 3:
+                q.after(1.0, tick)
+
+        q.schedule(0.0, tick)
+        q.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+    def test_causality_enforced(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: q.schedule(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            q.run()
+
+    def test_negative_delay(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        q = EventQueue()
+        out = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, lambda t=t: out.append(t))
+        q.run(until=2.5)
+        assert out == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.after(0.1, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)
+
+
+class TestReduceSchedule:
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=100)
+    def test_round_count(self, p):
+        """Binomial tree: ceil(log2 of the power-of-two group) rounds, plus
+        a pre-phase iff p is not a power of two."""
+        pre, rounds = reduce_schedule(p)
+        pof2 = 1 << (p.bit_length() - 1)
+        assert len(rounds) == max(pof2.bit_length() - 1, 0)
+        assert bool(pre) == (p != pof2)
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=100)
+    def test_every_rank_contributes(self, p):
+        """Every rank except the root sends exactly once; all data reaches 0."""
+        pre, rounds = reduce_schedule(p)
+        senders = [s for s, _ in pre] + [s for rnd in rounds for s, _ in rnd]
+        assert sorted(senders) == sorted(set(senders))  # each sends once
+        assert len(senders) == p - 1
+        assert 0 not in senders
+
+    def test_power_of_two_no_prephase(self):
+        pre, rounds = reduce_schedule(64)
+        assert pre == []
+        assert len(rounds) == 6
+
+    def test_non_power_of_two_prephase(self):
+        pre, rounds = reduce_schedule(9)
+        assert pre == [(1, 0)]
+        assert len(rounds) == 3
+
+    def test_single_process(self):
+        pre, rounds = reduce_schedule(1)
+        assert pre == [] and rounds == []
+
+
+class TestSimCommPlacement:
+    def test_packed(self):
+        comm = SimComm(make_testbed(4), 8, placement="packed")
+        assert comm.rank_node.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert comm.rank_core.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_scattered(self):
+        comm = SimComm(make_testbed(4), 8, placement="scattered")
+        assert comm.rank_node.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_one_per_node(self):
+        comm = SimComm(make_testbed(4), 4, placement="one_per_node")
+        assert comm.rank_node.tolist() == [0, 1, 2, 3]
+        assert np.all(comm.rank_core == 0)
+
+    def test_too_many_ranks(self):
+        with pytest.raises(SimulationError):
+            SimComm(make_testbed(2), 16, placement="packed")
+
+    def test_describe(self):
+        comm = SimComm(make_testbed(4), 4, placement="scattered")
+        assert "scattered" in comm.describe_placement()
+
+    def test_noisy_core_scaling(self):
+        comm = SimComm(make_testbed(4), 8, placement="packed")
+        # Core 0 of each node is the daemon core.
+        assert comm.rank_noise_scale[0] > 1.0
+        assert comm.rank_noise_scale[1] == 1.0
+        assert comm.rank_noise_scale[4] > 1.0
+
+
+class TestPingPong:
+    def test_shape_and_floor(self):
+        comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=1)
+        lat = comm.ping_pong(64, 5000)
+        assert lat.shape == (5000,)
+        base = comm.message_base(0, 1, 64)
+        assert np.all(lat >= base - 1e-12)
+
+    def test_right_skewed(self, dora_latencies):
+        assert dora_latencies.mean() > np.median(dora_latencies)
+
+    def test_paper_anchor_floor(self, dora_latencies):
+        """Piz Dora floor ~1.57 us (Figure 3)."""
+        assert dora_latencies.min() == pytest.approx(1.57, abs=0.05)
+
+    def test_pilatus_lower_floor_heavier_tail(self, dora_latencies, pilatus_latencies):
+        assert pilatus_latencies.min() < dora_latencies.min()
+        assert np.quantile(pilatus_latencies, 0.99) > np.quantile(dora_latencies, 0.99)
+
+    def test_larger_messages_slower(self):
+        comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=1)
+        small = comm.ping_pong(64, 2000).mean()
+        big = comm.ping_pong(1 << 20, 2000).mean()
+        assert big > small * 10
+
+    def test_same_rank_rejected(self):
+        comm = SimComm(make_testbed(2), 2)
+        with pytest.raises(ValidationError):
+            comm.ping_pong(64, 10, ranks=(1, 1))
+
+    def test_rank_out_of_range(self):
+        comm = SimComm(make_testbed(2), 2)
+        with pytest.raises(ValidationError):
+            comm.ping_pong(64, 10, ranks=(0, 5))
+
+    def test_deterministic_per_seed_and_op(self):
+        a = SimComm(piz_dora(), 2, placement="one_per_node", seed=3).ping_pong(64, 100)
+        b = SimComm(piz_dora(), 2, placement="one_per_node", seed=3).ping_pong(64, 100)
+        assert np.array_equal(a, b)
+
+    def test_successive_calls_differ(self):
+        comm = SimComm(piz_dora(), 2, placement="one_per_node", seed=3)
+        assert not np.array_equal(comm.ping_pong(64, 100), comm.ping_pong(64, 100))
+
+
+class TestReduce:
+    def test_shape(self):
+        comm = SimComm(piz_daint(), 16, seed=2)
+        out = comm.reduce(8, 50)
+        assert out.shape == (50, 16)
+
+    def test_root_completes_last_on_quiet_machine(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
+        out = comm.reduce(8, 3)
+        assert np.allclose(out[:, 0], out.max(axis=1))
+
+    def test_power_of_two_faster(self):
+        """Figure 5's effect: 2^k ranks beat 2^k + 1 ranks."""
+        m = piz_daint()
+        for p in (8, 16, 32):
+            t_pof2 = np.median(SimComm(m, p, seed=4).reduce_root_times(8, 300))
+            t_odd = np.median(SimComm(m, p + 1, seed=4).reduce_root_times(8, 300))
+            assert t_odd > t_pof2
+
+    def test_grows_with_process_count(self):
+        m = piz_daint()
+        t4 = np.median(SimComm(m, 4, seed=5).reduce_root_times(8, 200))
+        t64 = np.median(SimComm(m, 64, seed=5).reduce_root_times(8, 200))
+        assert t64 > t4
+
+    def test_logarithmic_not_linear(self):
+        """Doubling p adds ~one round, not double the time."""
+        m = piz_daint()
+        t16 = np.median(SimComm(m, 16, seed=6).reduce_root_times(8, 200))
+        t32 = np.median(SimComm(m, 32, seed=6).reduce_root_times(8, 200))
+        assert t32 < 1.6 * t16
+
+    def test_skew_increases_completion(self):
+        m = make_testbed(4, deterministic=True)
+        base = SimComm(m, 8, seed=7).reduce(8, 20).max(axis=1).mean()
+        skewed = SimComm(m, 8, seed=7).reduce(8, 20, skew=1e-4).max(axis=1).mean()
+        assert skewed > base
+
+    def test_single_process(self):
+        out = SimComm(make_testbed(1), 1, seed=0).reduce(8, 5)
+        assert out.shape == (5, 1)
+
+
+class TestBcastBarrier:
+    def test_bcast_root_first(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 8, seed=0)
+        out = comm.bcast(8, 4)
+        assert np.all(out[:, 0] == 0.0)
+        assert np.all(out[:, 1:] > 0.0)
+
+    def test_bcast_log_depth(self):
+        comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
+        out = comm.bcast(0, 1)
+        inter_node = comm.message_base(0, 15, 0)  # slowest single message
+        assert out.max() <= 4.5 * inter_node  # ceil(log2(16)) = 4 rounds
+
+    def test_barrier_exit_spread_small_vs_mean(self):
+        comm = SimComm(piz_daint(), 16, seed=8)
+        out = comm.barrier(100)
+        assert out.shape == (100, 16)
+        spread = np.ptp(out, axis=1).mean()
+        assert spread < out.mean()
+
+    def test_barrier_single_rank(self):
+        out = SimComm(make_testbed(1), 1).barrier(3)
+        assert np.all(out == 0.0)

@@ -1,0 +1,151 @@
+"""Tests for the FWQ noise benchmark and the cache-state model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simsys import (
+    CacheModel,
+    CachedKernel,
+    ExponentialSpikes,
+    detour_spectrum,
+    dominant_period,
+    fixed_work_quantum,
+    piz_daint,
+    testbed as make_testbed,
+)
+
+
+class TestFWQ:
+    def test_detours_nonnegative_floor(self):
+        fwq = fixed_work_quantum(piz_daint(), quantum=1e-3, iterations=500, seed=1)
+        assert np.all(fwq.durations >= fwq.quantum * 0.999)
+        assert fwq.noise_fraction >= 0.0
+
+    def test_deterministic_machine_zero_noise(self):
+        m = make_testbed(1, deterministic=True)
+        fwq = fixed_work_quantum(m, quantum=1e-3, iterations=100, seed=0)
+        assert fwq.noise_fraction == pytest.approx(0.0)
+
+    def test_extra_noise_increases_fraction(self):
+        m = make_testbed(1, deterministic=True)
+        spikes = ExponentialSpikes(prob=0.05, mean=1e-4)
+        noisy = fixed_work_quantum(
+            m, quantum=1e-3, iterations=2000, extra_noise=spikes, seed=2
+        )
+        assert noisy.noise_fraction > 0.001
+
+    def test_tick_train_periodicity_detected(self):
+        fwq = fixed_work_quantum(
+            piz_daint(), quantum=1e-3, iterations=8192,
+            tick_period=4.4e-3, tick_duration=60e-6, seed=1,
+        )
+        period = dominant_period(fwq)
+        assert period is not None
+        # The fundamental or a low harmonic of the injected 4.4 ms train.
+        ratio = 4.4e-3 / period
+        assert any(abs(ratio - k) < 0.1 for k in (0.5, 1.0, 2.0, 4.0))
+
+    def test_aperiodic_noise_no_period(self):
+        fwq = fixed_work_quantum(piz_daint(), quantum=1e-3, iterations=4096, seed=3)
+        assert dominant_period(fwq) is None
+
+    def test_spectrum_shapes(self):
+        fwq = fixed_work_quantum(piz_daint(), quantum=1e-3, iterations=256, seed=4)
+        freqs, amp = detour_spectrum(fwq)
+        assert freqs.shape == amp.shape
+        assert np.all(freqs > 0)
+
+    def test_spectrum_needs_enough_samples(self):
+        fwq = fixed_work_quantum(piz_daint(), quantum=1e-3, iterations=10, seed=5)
+        with pytest.raises(ValidationError):
+            detour_spectrum(fwq)
+
+    def test_collective_slowdown_grows_with_p(self):
+        fwq = fixed_work_quantum(piz_daint(), quantum=1e-3, iterations=5000, seed=6)
+        assert fwq.slowdown_bound_for_collectives(4096) >= (
+            fwq.slowdown_bound_for_collectives(16)
+        )
+
+    def test_tick_accounting_exact_on_quiet_machine(self):
+        m = make_testbed(1, deterministic=True)
+        fwq = fixed_work_quantum(
+            m, quantum=1e-3, iterations=1000,
+            tick_period=1e-3, tick_duration=10e-6, seed=7,
+        )
+        # Ticks fire once per millisecond of machine time; over ~1s of
+        # machine time we must absorb ~1000 ticks.
+        total_tick_time = fwq.detours.sum()
+        assert total_tick_time == pytest.approx(1000 * 10e-6, rel=0.05)
+
+
+class TestCacheModel:
+    def test_residency(self):
+        cache = CacheModel(capacity=100)
+        assert cache.steady_residency(50) == 1.0
+        assert cache.steady_residency(400) == 0.25
+
+    def test_sweep_time_bounds(self):
+        cache = CacheModel(capacity=100)
+        cold = cache.sweep_time(1000, 0.0)
+        warm = cache.sweep_time(1000, 1.0)
+        mixed = cache.sweep_time(1000, 0.5)
+        assert warm < mixed < cold
+
+    def test_misses_cost_more_enforced(self):
+        with pytest.raises(ValidationError):
+            CacheModel(capacity=10, hit_time_per_byte=1e-9, miss_time_per_byte=1e-10)
+
+    def test_residency_bounds(self):
+        cache = CacheModel(capacity=10)
+        with pytest.raises(ValidationError):
+            cache.sweep_time(10, 1.5)
+
+
+class TestCachedKernel:
+    def _kernel(self, working=8 << 20, cap=32 << 20, **kw):
+        return CachedKernel(CacheModel(capacity=cap), working_set=working, **kw)
+
+    def test_first_iteration_cold(self):
+        k = self._kernel(noise_cov=0.0)
+        times = k.run(10)
+        assert times[0] > times[1]
+        assert np.allclose(times[1:], times[1])
+
+    def test_flush_between_keeps_everything_cold(self):
+        k = self._kernel(noise_cov=0.0)
+        times = k.run(10, flush_between=True)
+        assert np.allclose(times, times[0])
+
+    def test_warm_cold_ratio_in_cache(self):
+        k = self._kernel()
+        ratio = k.warm_cold_ratio()
+        # Fully cache-resident working set: ratio = miss/hit cost ratio.
+        assert ratio == pytest.approx(
+            k.cache.miss_time_per_byte / k.cache.hit_time_per_byte
+        )
+
+    def test_warm_cold_ratio_shrinks_beyond_capacity(self):
+        small = self._kernel(working=8 << 20)
+        big = self._kernel(working=512 << 20)
+        assert big.warm_cold_ratio() < small.warm_cold_ratio()
+
+    def test_noise_applied(self):
+        k = self._kernel(noise_cov=0.05, seed=9)
+        times = k.run(50)
+        assert np.std(times[1:]) > 0
+
+    def test_deterministic_per_seed(self):
+        a = self._kernel(seed=4).run(20)
+        b = self._kernel(seed=4).run(20)
+        assert np.array_equal(a, b)
+
+    def test_misleading_warm_report(self):
+        """The Section 4.1.2 trap, quantified: the warm-loop mean wildly
+        understates the cold (first-use) cost for cache-resident kernels."""
+        k = self._kernel(noise_cov=0.0)
+        warm_mean = k.run(100)[1:].mean()
+        cold_mean = k.run(100, flush_between=True).mean()
+        assert cold_mean > 5 * warm_mean

@@ -1,0 +1,62 @@
+"""Property-based tests of process placement and communicator invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.simsys import SimComm, piz_daint, testbed as make_testbed
+
+
+placements = st.sampled_from(["packed", "scattered", "one_per_node"])
+
+
+class TestPlacementProperties:
+    @given(st.integers(min_value=1, max_value=16), placements)
+    @settings(max_examples=80, deadline=None)
+    def test_every_rank_gets_valid_slot(self, nprocs, placement):
+        machine = make_testbed(16)
+        assume(not (placement == "one_per_node" and nprocs > machine.n_nodes))
+        comm = SimComm(machine, nprocs, placement=placement)
+        assert comm.rank_node.shape == (nprocs,)
+        assert np.all((0 <= comm.rank_node) & (comm.rank_node < machine.n_nodes))
+        assert np.all((0 <= comm.rank_core) & (comm.rank_core < machine.node.cores))
+
+    @given(st.integers(min_value=2, max_value=64), placements)
+    @settings(max_examples=80, deadline=None)
+    def test_no_two_ranks_share_a_core(self, nprocs, placement):
+        machine = piz_daint()
+        assume(not (placement == "one_per_node" and nprocs > machine.n_nodes))
+        comm = SimComm(machine, nprocs, placement=placement)
+        slots = set(zip(comm.rank_node.tolist(), comm.rank_core.tolist()))
+        assert len(slots) == nprocs
+
+    @given(st.integers(min_value=2, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_scattered_spreads_over_more_nodes_than_packed(self, nprocs):
+        machine = piz_daint()
+        packed = SimComm(machine, nprocs, placement="packed")
+        scattered = SimComm(machine, nprocs, placement="scattered")
+        assert (
+            np.unique(scattered.rank_node).size >= np.unique(packed.rank_node).size
+        )
+
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_message_base_symmetric_in_node_distance(self, nprocs):
+        comm = SimComm(piz_daint(), max(nprocs, 2), placement="packed")
+        a, b = 0, max(nprocs, 2) - 1
+        assert comm.message_base(a, b, 64) == pytest.approx(
+            comm.message_base(b, a, 64)
+        )
+
+    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_collectives_nonnegative_and_finite(self, nprocs, which):
+        comm = SimComm(piz_daint(), nprocs, seed=7)
+        op = (comm.reduce, comm.bcast, comm.barrier, comm.allreduce)[which]
+        out = op(8, 3) if which != 2 else op(3)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0.0)

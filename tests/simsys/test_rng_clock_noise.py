@@ -1,0 +1,192 @@
+"""Tests for repro.simsys rng streams, clocks, and noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.simsys import (
+    CompositeNoise,
+    ExponentialSpikes,
+    GaussianNoise,
+    LogNormalNoise,
+    MixtureNoise,
+    NoNoise,
+    PeriodicInterrupts,
+    RngFactory,
+    SimClock,
+    perfect_clock,
+    realistic_clock,
+    scaled,
+    stream,
+)
+
+
+class TestRngStreams:
+    def test_same_keys_same_stream(self):
+        a = stream(1, "x", 3).random(5)
+        b = stream(1, "x", 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = stream(1, "x", 3).random(5)
+        b = stream(1, "x", 4).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(stream(1, "x").random(5), stream(2, "x").random(5))
+
+    def test_string_vs_int_keys_distinct(self):
+        assert not np.array_equal(stream(1, "3").random(3), stream(1, 3).random(3))
+
+    def test_factory_child_prefix(self):
+        f = RngFactory(42)
+        child = f.child("node", 3)
+        assert np.array_equal(child("noise").random(4), f("node", 3, "noise").random(4))
+
+    def test_factory_independence(self):
+        f = RngFactory(42)
+        a = f("rank", 0).random(100)
+        b = f("rank", 1).random(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+
+class TestSimClock:
+    def test_perfect_clock_identity(self):
+        c = perfect_clock()
+        assert c.observe(1.234) == 1.234
+        assert c.interval(1.0, 3.5) == pytest.approx(2.5)
+
+    def test_offset_and_drift(self):
+        c = SimClock(offset=10.0, drift=1e-3)
+        assert c.observe(100.0) == pytest.approx(10.0 + 100.1)
+
+    def test_granularity_floors(self):
+        c = SimClock(granularity=0.5)
+        assert c.observe(1.3) == 1.0
+        assert c.observe(1.7) == 1.5
+
+    def test_read_costs_time(self):
+        c = SimClock(read_overhead=0.1)
+        _, t = c.read(0.0)
+        assert t == pytest.approx(0.1)
+        assert c.reads == 1
+
+    def test_invert_round_trip(self):
+        c = SimClock(offset=3.0, drift=2e-6)
+        for t in (0.0, 1.0, 1e6):
+            assert c.invert(c.offset + (1 + c.drift) * t) == pytest.approx(t)
+
+    def test_interval_unaffected_by_offset(self):
+        a = SimClock(offset=100.0)
+        assert a.interval(2.0, 5.0) == pytest.approx(3.0)
+
+    def test_drift_stretches_intervals(self):
+        c = SimClock(drift=1e-3)
+        assert c.interval(0.0, 1000.0) == pytest.approx(1001.0)
+
+    def test_realistic_clock_randomized(self, rng):
+        c1 = realistic_clock(np.random.default_rng(1))
+        c2 = realistic_clock(np.random.default_rng(2))
+        assert c1.offset != c2.offset
+        assert c1.granularity > 0
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            SimClock(jitter=1e-9)
+
+
+NOISE_MODELS = [
+    NoNoise(),
+    GaussianNoise(sigma=1e-7),
+    LogNormalNoise(median=1e-7, sigma=0.5),
+    ExponentialSpikes(prob=0.1, mean=1e-6),
+    PeriodicInterrupts(period=1e-3, duration=1e-5, op_length=2e-3),
+    CompositeNoise((GaussianNoise(sigma=1e-8), LogNormalNoise(median=1e-7, sigma=0.3))),
+    MixtureNoise(((0.7, NoNoise()), (0.3, GaussianNoise(sigma=1e-7)))),
+    scaled(2.0, LogNormalNoise(median=1e-7, sigma=0.5)),
+]
+
+
+class TestNoiseModels:
+    @pytest.mark.parametrize("model", NOISE_MODELS, ids=lambda m: type(m).__name__)
+    def test_nonnegative_and_shaped(self, model, rng):
+        out = model.sample(rng, 1000)
+        assert out.shape == (1000,)
+        assert np.all(out >= 0.0)
+
+    def test_no_noise_zero(self, rng):
+        assert np.all(NoNoise().sample(rng, 10) == 0.0)
+
+    def test_lognormal_median(self, rng):
+        out = LogNormalNoise(median=2e-6, sigma=0.5).sample(rng, 200_000)
+        assert np.median(out) == pytest.approx(2e-6, rel=0.02)
+
+    def test_lognormal_right_skew(self, rng):
+        out = LogNormalNoise(median=1e-6, sigma=1.0).sample(rng, 100_000)
+        assert out.mean() > np.median(out)
+
+    def test_zero_median_lognormal(self, rng):
+        assert np.all(LogNormalNoise(median=0.0, sigma=1.0).sample(rng, 10) == 0.0)
+
+    def test_spike_probability(self, rng):
+        out = ExponentialSpikes(prob=0.05, mean=1.0).sample(rng, 100_000)
+        assert np.mean(out > 0) == pytest.approx(0.05, abs=0.005)
+
+    def test_spike_prob_bounds(self):
+        with pytest.raises(ValidationError):
+            ExponentialSpikes(prob=1.5, mean=1.0)
+
+    def test_periodic_interrupt_count(self, rng):
+        # 5.5 ms op, 1 ms period: 5 or 6 interrupts depending on phase.
+        model = PeriodicInterrupts(period=1e-3, duration=1e-5, op_length=5.5e-3)
+        out = model.sample(rng, 10_000)
+        counts = np.unique(np.round(out / 1e-5).astype(int))
+        assert set(counts) == {5, 6}
+
+    def test_periodic_exact_multiple_is_constant(self, rng):
+        # An op spanning an exact multiple of the period always overlaps
+        # the same number of interrupts regardless of phase.
+        model = PeriodicInterrupts(period=1e-3, duration=1e-5, op_length=5e-3)
+        out = model.sample(rng, 1000)
+        assert np.ptp(out) == 0.0
+
+    def test_periodic_mean_matches_rate(self, rng):
+        model = PeriodicInterrupts(period=1e-3, duration=1e-5, op_length=10.5e-3)
+        out = model.sample(rng, 50_000)
+        # floor(10.5 + phase) is 10 or 11 with equal probability: mean 10.5.
+        assert out.mean() == pytest.approx(10.5e-5, rel=0.02)
+
+    def test_composite_is_sum_of_means(self, rng):
+        g = GaussianNoise(sigma=0.0, mean=0.0)
+        l = LogNormalNoise(median=1e-6, sigma=0.5)
+        comp = CompositeNoise((l, l))
+        single = l.sample(np.random.default_rng(0), 100_000).mean()
+        double = comp.sample(np.random.default_rng(0), 100_000).mean()
+        assert double == pytest.approx(2 * single, rel=0.05)
+
+    def test_mixture_weights_validated(self):
+        with pytest.raises(ValidationError):
+            MixtureNoise(((0.5, NoNoise()), (0.4, NoNoise())))
+
+    def test_mixture_component_fractions(self, rng):
+        m = MixtureNoise(((0.8, NoNoise()), (0.2, GaussianNoise(sigma=0, mean=1.0))))
+        out = m.sample(rng, 50_000)
+        assert np.mean(out > 0.5) == pytest.approx(0.2, abs=0.01)
+
+    def test_scaled_factor(self, rng):
+        base = LogNormalNoise(median=1e-6, sigma=0.5)
+        s = scaled(3.0, base)
+        a = base.sample(np.random.default_rng(1), 1000)
+        b = s.sample(np.random.default_rng(1), 1000)
+        assert np.allclose(b, 3.0 * a)
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30)
+    def test_sample_count_contract(self, n):
+        rng = np.random.default_rng(0)
+        for model in NOISE_MODELS:
+            assert model.sample(rng, n).shape == (n,)

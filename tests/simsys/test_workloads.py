@@ -1,0 +1,156 @@
+"""Tests for the HPL, Pi, and STREAM workload models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simsys import (
+    HPLModel,
+    PiWorkload,
+    StreamWorkload,
+    hpl_flops,
+    piz_daint,
+    reduction_overhead_piz_daint,
+    testbed as make_testbed,
+)
+
+
+class TestHPLFlops:
+    def test_formula(self):
+        n = 1000
+        assert hpl_flops(n) == pytest.approx(2 / 3 * n**3 + 2 * n**2)
+
+    def test_paper_problem_size(self):
+        """N=314k is ~20.6 Pflop of work."""
+        assert hpl_flops(314_000) == pytest.approx(2.064e16, rel=0.01)
+
+
+class TestHPLModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return HPLModel(piz_daint(64))
+
+    def test_best_time_anchor(self, model):
+        """Best run at 81.8% of 94.5 Tflop/s peak takes ~267 s (Figure 1)."""
+        assert model.best_time == pytest.approx(267.0, rel=0.01)
+
+    def test_run_count_and_floor(self, model):
+        t = model.run(50)
+        assert t.shape == (50,)
+        assert np.all(t >= model.best_time)
+
+    def test_figure1_shape(self, model):
+        """Right-skewed spread of roughly 20% with the slowest run near
+        61-65 Tflop/s (the paper's min label)."""
+        t = model.run(50)
+        r = model.rates(t) / 1e12
+        assert 75.0 <= r.max() <= 78.0
+        assert 60.0 <= r.min() <= 67.0
+        assert (t.max() - t.min()) / t.min() > 0.10
+
+    def test_rates_inverse_of_times(self, model):
+        t = model.run(10)
+        assert np.allclose(model.rates(t) * t, model.flops)
+
+    def test_efficiency_below_one(self, model):
+        t = model.run(20)
+        eff = model.efficiency(t)
+        assert np.all((eff > 0.5) & (eff <= model.peak_efficiency + 1e-9))
+
+    def test_deterministic_per_seed(self):
+        a = HPLModel(piz_daint(64), seed=1).run(10)
+        b = HPLModel(piz_daint(64), seed=1).run(10)
+        assert np.array_equal(a, b)
+
+    def test_rates_reject_nonpositive(self, model):
+        with pytest.raises(ValidationError):
+            model.rates(np.array([0.0]))
+
+
+class TestReductionOverhead:
+    def test_piecewise_values(self):
+        assert reduction_overhead_piz_daint(4) == pytest.approx(10e-9)
+        assert reduction_overhead_piz_daint(8) == pytest.approx(10e-9)
+        assert reduction_overhead_piz_daint(16) == pytest.approx(0.1e-3 * 4)
+        assert reduction_overhead_piz_daint(32) == pytest.approx(0.17e-3 * 5)
+
+    def test_monotone_after_node_boundary(self):
+        vals = [reduction_overhead_piz_daint(p) for p in range(9, 65)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+class TestPiWorkload:
+    @pytest.fixture(scope="class")
+    def pi(self):
+        return PiWorkload(piz_daint())
+
+    def test_base_case_anchor(self, pi):
+        """20 ms base with 0.2 ms serial part (b = 0.01), Section 5.1."""
+        assert pi.ideal_time(1) == pytest.approx(20e-3)
+        assert pi.serial_fraction * pi.base_time == pytest.approx(0.2e-3)
+
+    def test_amdahl_shape(self, pi):
+        t1, t32 = pi.ideal_time(1), pi.ideal_time(32)
+        speedup = t1 / t32
+        assert 10 < speedup < 32  # sublinear but substantial
+
+    def test_overhead_kicks_in_above_eight(self, pi):
+        # Ratio t(8)/t(16) is worse than 2x improvement due to f(p).
+        gain_small = pi.ideal_time(4) / pi.ideal_time(8)
+        gain_large = pi.ideal_time(16) / pi.ideal_time(32)
+        assert gain_large < gain_small
+
+    def test_measured_above_ideal(self, pi):
+        for p in (1, 8, 32):
+            t = pi.run(p, 20)
+            assert np.all(t >= pi.ideal_time(p) * 0.999)
+
+    def test_straggler_noise_grows_with_p(self):
+        pi = PiWorkload(piz_daint(), noise_cov=0.05)
+        med1 = np.median(pi.run(1, 200) / pi.ideal_time(1))
+        med32 = np.median(pi.run(32, 200) / pi.ideal_time(32))
+        assert med32 > med1
+
+    def test_zero_noise_deterministic(self):
+        pi = PiWorkload(make_testbed(4, deterministic=True), noise_cov=0.0)
+        t = pi.run(4, 5)
+        assert np.ptp(t) == 0.0
+
+    def test_speedups_require_base(self, pi):
+        with pytest.raises(ValidationError):
+            pi.speedups({2: np.array([1.0])})
+
+    def test_speedups_rule1(self, pi):
+        times = {p: pi.run(p, 10) for p in (1, 2, 4)}
+        s = pi.speedups(times)
+        assert s[1] == pytest.approx(1.0)
+        assert 1.5 < s[2] <= 2.1
+        assert s[4] > s[2]
+
+    def test_custom_overhead_function(self):
+        pi = PiWorkload(piz_daint(), overhead=lambda p: 1e-3 * p)
+        assert pi.ideal_time(10) > pi.ideal_time(1) / 10 + 9e-3
+
+
+class TestStream:
+    def test_bandwidth_bound(self):
+        w = StreamWorkload(make_testbed(1, deterministic=True), n_elements=1_000_000)
+        assert w.ideal_time() == pytest.approx(24e6 / 25.6e9)
+        t = w.run(5)
+        assert np.allclose(t, w.ideal_time())
+
+    def test_flops_and_bytes(self):
+        w = StreamWorkload(make_testbed(1), n_elements=100)
+        assert w.flops == 200
+        assert w.bytes_moved == 2400
+
+    def test_arithmetic_intensity_low(self):
+        """Triad is memory bound: flop/B = 1/12 << machine balance."""
+        w = StreamWorkload(piz_daint(), n_elements=1000)
+        intensity = w.flops / w.bytes_moved
+        machine_balance = (
+            piz_daint().node.cpu_flops / piz_daint().node.mem_bandwidth
+        )
+        assert intensity < machine_balance

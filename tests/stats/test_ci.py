@@ -1,0 +1,169 @@
+"""Tests for repro.stats.ci: t-intervals and nonparametric rank intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import (
+    ConfidenceInterval,
+    intervals_overlap,
+    mean_ci,
+    median_ci,
+    quantile_ci,
+)
+from repro.stats.ci import quantile_ci_ranks
+
+
+class TestMeanCI:
+    def test_contains_sample_mean(self, normal_sample):
+        ci = mean_ci(normal_sample, 0.95)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(normal_sample.mean())
+
+    def test_symmetric_around_mean(self, normal_sample):
+        ci = mean_ci(normal_sample)
+        assert ci.estimate - ci.low == pytest.approx(ci.high - ci.estimate)
+
+    def test_width_shrinks_with_n(self, rng):
+        data = rng.normal(0, 1, 4000)
+        w_small = mean_ci(data[:100]).width
+        w_large = mean_ci(data).width
+        assert w_large < w_small
+
+    def test_width_grows_with_confidence(self, normal_sample):
+        assert mean_ci(normal_sample, 0.99).width > mean_ci(normal_sample, 0.90).width
+
+    def test_known_value_small_sample(self):
+        # n=4, mean 2.5, s = 1.2909..., t(3, 0.025) = 3.1824
+        data = [1.0, 2.0, 3.0, 4.0]
+        ci = mean_ci(data, 0.95)
+        half = 3.182446 * np.std(data, ddof=1) / 2.0
+        assert ci.high - ci.estimate == pytest.approx(half, rel=1e-5)
+
+    def test_coverage_simulation(self, rng):
+        """~95% of 95% CIs must contain the true mean (frequentist check)."""
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            data = rng.normal(5.0, 2.0, 25)
+            if mean_ci(data, 0.95).contains(5.0):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_requires_two_points(self):
+        with pytest.raises(InsufficientDataError):
+            mean_ci([1.0])
+
+    def test_invalid_confidence(self, normal_sample):
+        with pytest.raises(ValidationError):
+            mean_ci(normal_sample, 1.0)
+
+
+class TestQuantileRanks:
+    def test_paper_median_formula(self):
+        """Ranks match the paper's floor/ceil construction for the median."""
+        n, z = 100, 1.959964
+        lo, hi = quantile_ci_ranks(n, 0.5, 0.95)
+        want_lo_1based = int(np.floor((n - z * np.sqrt(n)) / 2))
+        want_hi_1based = int(np.ceil(1 + (n + z * np.sqrt(n)) / 2))
+        assert lo == want_lo_1based - 1
+        assert hi == want_hi_1based - 1
+
+    def test_ranks_clipped_to_sample(self):
+        lo, hi = quantile_ci_ranks(6, 0.99, 0.99)
+        assert 0 <= lo <= hi <= 5
+
+    def test_minimum_n_enforced(self):
+        with pytest.raises(InsufficientDataError):
+            quantile_ci_ranks(5, 0.5, 0.95)
+
+    @given(
+        st.integers(min_value=6, max_value=5000),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=200)
+    def test_ranks_always_valid(self, n, q):
+        lo, hi = quantile_ci_ranks(n, q, 0.95)
+        assert 0 <= lo <= hi <= n - 1
+
+
+class TestMedianCI:
+    def test_contains_median(self, lognormal_sample):
+        ci = median_ci(lognormal_sample, 0.99)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_endpoints_are_observations(self, lognormal_sample):
+        ci = median_ci(lognormal_sample)
+        assert ci.low in lognormal_sample
+        assert ci.high in lognormal_sample
+
+    def test_asymmetric_for_skewed_data(self, rng):
+        """Rank CIs may be asymmetric (the paper notes this explicitly)."""
+        data = rng.lognormal(0.0, 1.5, 49)
+        ci = median_ci(data, 0.99)
+        left = ci.estimate - ci.low
+        right = ci.high - ci.estimate
+        assert left != pytest.approx(right, rel=1e-3)
+
+    def test_coverage_simulation(self, rng):
+        """Rank CI must cover the true median at about its nominal rate."""
+        true_median = float(np.exp(0.3))
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            data = rng.lognormal(0.3, 0.8, 60)
+            if median_ci(data, 0.95).contains(true_median):
+                hits += 1
+        assert hits / trials >= 0.90
+
+    def test_distribution_free_no_normality_needed(self, rng):
+        """Multi-modal data: the interval still brackets the estimate."""
+        data = np.concatenate([rng.normal(1, 0.05, 300), rng.normal(5, 0.05, 200)])
+        ci = median_ci(rng.permutation(data))
+        assert ci.low <= ci.estimate <= ci.high
+
+
+class TestQuantileCI:
+    def test_p99_interpretation(self, dora_latencies):
+        ci = quantile_ci(dora_latencies, 0.99, 0.95)
+        frac_below = np.mean(dora_latencies <= ci.estimate)
+        assert frac_below == pytest.approx(0.99, abs=0.005)
+
+    def test_statistic_label(self, lognormal_sample):
+        assert quantile_ci(lognormal_sample, 0.75).statistic == "quantile(0.75)"
+
+    def test_invalid_q(self, lognormal_sample):
+        with pytest.raises(ValidationError):
+            quantile_ci(lognormal_sample, 1.5)
+
+
+class TestIntervalUtilities:
+    def _ci(self, lo, hi, conf=0.95):
+        return ConfidenceInterval(
+            estimate=(lo + hi) / 2, low=lo, high=hi, confidence=conf,
+            statistic="x", n=10,
+        )
+
+    def test_overlap_true(self):
+        assert intervals_overlap(self._ci(0, 2), self._ci(1, 3))
+
+    def test_overlap_false(self):
+        assert not intervals_overlap(self._ci(0, 1), self._ci(2, 3))
+
+    def test_overlap_touching(self):
+        assert intervals_overlap(self._ci(0, 1), self._ci(1, 2))
+
+    def test_relative_width(self):
+        ci = self._ci(9, 11)
+        assert ci.relative_width == pytest.approx(0.2)
+
+    def test_relative_width_zero_estimate(self):
+        ci = self._ci(-1, 1)
+        assert ci.relative_width == np.inf
+
+    def test_str_contains_confidence(self):
+        assert "95" in str(self._ci(0.0, 1.0))

@@ -1,0 +1,179 @@
+"""Tests for two-way ANOVA and the extra nonparametric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import (
+    mann_whitney,
+    rank_biserial,
+    sign_test,
+    two_way_anova,
+)
+
+
+def make_data(rng, a=3, b=4, n=8, effect_a=0.0, effect_b=0.0, interaction=0.0):
+    """Cell data with controllable main effects and interaction."""
+    data = rng.normal(0.0, 1.0, (a, b, n))
+    data += effect_a * np.arange(a)[:, None, None]
+    data += effect_b * np.arange(b)[None, :, None]
+    data += interaction * np.outer(np.arange(a), np.arange(b))[:, :, None]
+    return data
+
+
+class TestTwoWayAnova:
+    def test_detects_main_effect_a(self, rng):
+        out = two_way_anova(make_data(rng, effect_a=1.5))
+        assert out.factor_a.significant(0.01)
+        assert not out.factor_b.significant(0.01)
+        assert not out.interaction.significant(0.01)
+
+    def test_detects_main_effect_b(self, rng):
+        out = two_way_anova(make_data(rng, effect_b=1.5))
+        assert out.factor_b.significant(0.01)
+        assert not out.factor_a.significant(0.01)
+
+    def test_detects_interaction(self, rng):
+        out = two_way_anova(make_data(rng, interaction=1.0))
+        assert out.interaction.significant(0.01)
+        assert "interaction" in out.significant_effects(0.01)
+
+    def test_null_data_nothing_significant(self, rng):
+        out = two_way_anova(make_data(rng))
+        assert out.significant_effects(0.01) == []
+
+    def test_ss_decomposition_adds_up(self, rng):
+        out = two_way_anova(make_data(rng, effect_a=0.5, interaction=0.3))
+        total = (
+            out.ss["a"] + out.ss["b"] + out.ss["interaction"] + out.ss["error"]
+        )
+        assert total == pytest.approx(out.ss["total"], rel=1e-9)
+
+    def test_main_effect_matches_one_way_on_collapsed_data(self, rng):
+        """Factor A's F must match scipy's one-way ANOVA run on the data
+        with factor B treated as replication, up to the error-term change
+        — verify via direct SS comparison instead."""
+        data = make_data(rng, a=2, b=2, n=20, effect_a=1.0)
+        out = two_way_anova(data)
+        # Cross-check the A sum of squares against the definition.
+        grand = data.mean()
+        ss_a = sum(
+            data.shape[1] * data.shape[2] * (data[i].mean() - grand) ** 2
+            for i in range(2)
+        )
+        assert out.ss["a"] == pytest.approx(ss_a, rel=1e-9)
+
+    def test_cell_means_shape(self, rng):
+        out = two_way_anova(make_data(rng, a=3, b=5))
+        assert out.cell_means.shape == (3, 5)
+
+    def test_requires_replication(self, rng):
+        with pytest.raises(InsufficientDataError):
+            two_way_anova(rng.normal(0, 1, (3, 3, 1)))
+
+    def test_requires_two_levels(self, rng):
+        with pytest.raises(ValidationError):
+            two_way_anova(rng.normal(0, 1, (1, 3, 5)))
+
+    def test_requires_3d(self, rng):
+        with pytest.raises(ValidationError):
+            two_way_anova(rng.normal(0, 1, (3, 5)))
+
+    def test_constant_data_degenerate(self):
+        out = two_way_anova(np.ones((2, 2, 3)))
+        assert out.factor_a.p_value == 1.0
+
+    def test_summary_renders(self, rng):
+        text = two_way_anova(make_data(rng, effect_a=1.0)).summary()
+        assert "factor A" in text and "A x B" in text and "total" in text
+
+    def test_system_vs_application_scenario(self, rng):
+        """The paper's use case: system x application runtimes, where an
+        optimization helps one system only (an interaction)."""
+        runtimes = np.empty((2, 3, 10))
+        base = np.array([[1.0, 2.0, 3.0], [1.0, 2.0, 3.0]])
+        base[1, 0] *= 0.5  # optimization helps app 0 on system 1 only
+        for i in range(2):
+            for j in range(3):
+                runtimes[i, j] = base[i, j] * rng.lognormal(0, 0.05, 10)
+        out = two_way_anova(runtimes)
+        assert out.interaction.significant(0.01)
+
+
+class TestMannWhitney:
+    def test_matches_scipy(self, rng):
+        a, b = rng.normal(0, 1, 60), rng.normal(0.5, 1, 60)
+        ours = mann_whitney(a, b)
+        ref = sps.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic")
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+
+    def test_detects_shift_on_skewed_data(self, rng):
+        a = rng.lognormal(0, 0.8, 200)
+        b = rng.lognormal(0.4, 0.8, 200)
+        assert mann_whitney(a, b).significant(0.01)
+
+    def test_identical_distributions(self, rng):
+        a, b = rng.normal(0, 1, 100), rng.normal(0, 1, 100)
+        assert not mann_whitney(a, b).significant(0.01)
+
+    def test_small_sample_note(self):
+        out = mann_whitney([1.0, 2.0], [3.0, 4.0])
+        assert "small groups" in out.note
+
+
+class TestRankBiserial:
+    def test_complete_separation(self):
+        assert rank_biserial([4.0, 5.0, 6.0], [1.0, 2.0, 3.0]) == 1.0
+        assert rank_biserial([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]) == -1.0
+
+    def test_no_effect_near_zero(self, rng):
+        a, b = rng.normal(0, 1, 500), rng.normal(0, 1, 500)
+        assert abs(rank_biserial(a, b)) < 0.1
+
+    def test_ties_split(self):
+        assert rank_biserial([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_antisymmetric(self, rng):
+        a, b = rng.normal(0, 1, 30), rng.normal(1, 1, 30)
+        assert rank_biserial(a, b) == pytest.approx(-rank_biserial(b, a))
+
+
+class TestSignTest:
+    def test_paired_shift_detected(self, rng):
+        a = rng.lognormal(0, 0.3, 100)
+        b = a * 1.1  # B always slower
+        out = sign_test(a, b)
+        assert out.wins_a == 100
+        assert out.significant(0.01)
+
+    def test_symmetric_no_significance(self, rng):
+        a = rng.normal(0, 1, 100)
+        b = rng.normal(0, 1, 100)
+        assert not sign_test(a, b).significant(0.01)
+
+    def test_ties_discarded(self):
+        out = sign_test([1.0, 2.0, 3.0], [1.0, 5.0, 0.0])
+        assert out.ties == 1
+        assert out.n_effective == 2
+
+    def test_all_ties(self):
+        out = sign_test([1.0, 1.0], [1.0, 1.0])
+        assert out.p_value == 1.0
+
+    def test_exact_binomial_value(self):
+        # 8 wins of 8: p = 2 * 0.5^8 = 1/128.
+        a = np.zeros(8)
+        b = np.ones(8)
+        assert sign_test(a, b).p_value == pytest.approx(2 * 0.5**8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            sign_test([1.0, 2.0], [1.0])
+
+    def test_summary_counts(self, rng):
+        text = sign_test([1.0, 5.0], [2.0, 4.0]).summary()
+        assert "A faster in 1" in text and "B faster in 1" in text

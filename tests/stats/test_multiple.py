@@ -1,0 +1,106 @@
+"""Tests for multiple-comparison corrections and post-hoc pairwise tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.stats import holm_bonferroni, pairwise_comparisons
+
+
+class TestHolmBonferroni:
+    def test_known_values(self):
+        # Classic example: (0.01, 0.04, 0.03) -> (0.03, 0.06, 0.06).
+        out = holm_bonferroni([0.01, 0.04, 0.03])
+        assert np.allclose(out, [0.03, 0.06, 0.06])
+
+    def test_single_p_unchanged(self):
+        assert holm_bonferroni([0.04])[0] == pytest.approx(0.04)
+
+    def test_order_preserved(self):
+        p = [0.5, 0.001, 0.2]
+        out = holm_bonferroni(p)
+        assert out[1] == out.min()
+
+    def test_clipped_at_one(self):
+        out = holm_bonferroni([0.6, 0.7, 0.8])
+        assert np.all(out <= 1.0)
+
+    def test_less_conservative_than_bonferroni(self):
+        p = np.array([0.001, 0.01, 0.02, 0.04])
+        holm = holm_bonferroni(p)
+        bonf = np.minimum(p * p.size, 1.0)
+        assert np.all(holm <= bonf + 1e-12)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_properties(self, ps):
+        out = holm_bonferroni(ps)
+        # Adjusted values never decrease below raw and stay in [0, 1].
+        assert np.all(out >= np.asarray(ps) - 1e-12)
+        assert np.all((0 <= out) & (out <= 1))
+        # Monotone: a smaller raw p never gets a larger adjusted p.
+        order = np.argsort(ps)
+        assert np.all(np.diff(out[order]) >= -1e-12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            holm_bonferroni([])
+        with pytest.raises(ValidationError):
+            holm_bonferroni([1.5])
+
+    def test_fwer_simulation(self, rng):
+        """Under the global null, the family-wise error rate stays ~alpha."""
+        false_rejections = 0
+        trials = 300
+        for _ in range(trials):
+            ps = [
+                float(
+                    __import__("scipy.stats", fromlist=["stats"]).ttest_ind(
+                        rng.normal(0, 1, 20), rng.normal(0, 1, 20)
+                    ).pvalue
+                )
+                for _ in range(5)
+            ]
+            if np.any(holm_bonferroni(ps) < 0.05):
+                false_rejections += 1
+        assert false_rejections / trials < 0.10
+
+
+class TestPairwise:
+    def test_localizes_the_difference(self, rng):
+        groups = [
+            rng.normal(0, 1, 80),
+            rng.normal(0, 1, 80),
+            rng.normal(1.2, 1, 80),
+        ]
+        results = pairwise_comparisons(groups)
+        verdicts = {r.pair: r.significant(0.05) for r in results}
+        assert not verdicts[(0, 1)]
+        assert verdicts[(0, 2)]
+        assert verdicts[(1, 2)]
+
+    def test_adjusted_at_least_raw(self, rng):
+        groups = [rng.normal(i * 0.2, 1, 40) for i in range(4)]
+        for r in pairwise_comparisons(groups):
+            assert r.p_adjusted >= r.p_raw - 1e-12
+
+    def test_welch_variant(self, rng):
+        groups = [rng.normal(0, 1, 50), rng.normal(2, 1, 50)]
+        results = pairwise_comparisons(groups, method="welch_t")
+        assert results[0].significant(0.01)
+
+    def test_pair_count(self, rng):
+        groups = [rng.normal(0, 1, 10) for _ in range(5)]
+        assert len(pairwise_comparisons(groups)) == 10
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValidationError):
+            pairwise_comparisons([rng.normal(0, 1, 10)] * 2, method="anova")
+
+    def test_needs_two_groups(self, rng):
+        with pytest.raises(ValidationError):
+            pairwise_comparisons([rng.normal(0, 1, 10)])

@@ -1,0 +1,132 @@
+"""Tests for repro.stats.normality (Rule 6 diagnostics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats import (
+    anderson_darling,
+    diagnose,
+    excess_kurtosis,
+    is_plausibly_normal,
+    kolmogorov_smirnov,
+    qq_correlation,
+    qq_points,
+    shapiro_wilk,
+    skewness,
+)
+from repro.stats.normality import SHAPIRO_MAX_N
+
+
+class TestShapiroWilk:
+    def test_accepts_normal(self, normal_sample):
+        assert shapiro_wilk(normal_sample).p_value > 0.01
+
+    def test_rejects_lognormal(self, lognormal_sample):
+        assert shapiro_wilk(lognormal_sample).rejects_normality()
+
+    def test_subsamples_large_input(self, rng):
+        data = rng.normal(0, 1, SHAPIRO_MAX_N + 500)
+        res = shapiro_wilk(data)
+        assert "subsampled" in res.note
+        assert res.n == SHAPIRO_MAX_N
+
+    def test_subsample_deterministic(self, rng):
+        data = rng.normal(0, 1, SHAPIRO_MAX_N + 500)
+        assert shapiro_wilk(data).statistic == shapiro_wilk(data).statistic
+
+    def test_constant_data(self):
+        res = shapiro_wilk(np.full(20, 3.0))
+        assert res.rejects_normality()
+
+    def test_minimum_size(self):
+        with pytest.raises(InsufficientDataError):
+            shapiro_wilk([1.0, 2.0])
+
+
+class TestAndersonDarling:
+    def test_accepts_normal(self, normal_sample):
+        assert anderson_darling(normal_sample).p_value > 0.01
+
+    def test_rejects_lognormal(self, lognormal_sample):
+        assert anderson_darling(lognormal_sample).p_value < 0.01
+
+    def test_extreme_statistic_no_overflow(self, rng):
+        """Very non-normal data must give p=0, not an OverflowError."""
+        data = np.concatenate([np.full(5000, 1.0), rng.lognormal(3, 2, 5000)])
+        res = anderson_darling(data)
+        assert res.p_value == 0.0
+
+    def test_p_value_in_unit_interval(self, rng):
+        for sigma in (0.1, 0.5, 1.0):
+            res = anderson_darling(rng.lognormal(0, sigma, 300))
+            assert 0.0 <= res.p_value <= 1.0
+
+
+class TestKS:
+    def test_notes_estimated_parameters(self, normal_sample):
+        assert "estimated" in kolmogorov_smirnov(normal_sample).note
+
+    def test_rejects_bimodal(self, rng):
+        data = np.concatenate([rng.normal(0, 0.1, 500), rng.normal(5, 0.1, 500)])
+        assert kolmogorov_smirnov(data).p_value < 0.01
+
+
+class TestQQ:
+    def test_points_shapes(self, normal_sample):
+        theo, samp = qq_points(normal_sample)
+        assert theo.shape == samp.shape == normal_sample.shape
+        assert np.all(np.diff(samp) >= 0)  # sorted
+        assert np.all(np.diff(theo) > 0)   # strictly increasing
+
+    def test_correlation_high_for_normal(self, normal_sample):
+        assert qq_correlation(normal_sample) > 0.999
+
+    def test_correlation_lower_for_skewed(self, lognormal_sample):
+        assert qq_correlation(lognormal_sample) < qq_correlation(
+            np.log(lognormal_sample - 0.9)
+        )
+
+    def test_correlation_constant_data(self):
+        assert qq_correlation(np.full(50, 2.0)) == 0.0
+
+
+class TestMoments:
+    def test_skewness_sign(self, lognormal_sample, rng):
+        assert skewness(lognormal_sample) > 0.5
+        assert abs(skewness(rng.normal(0, 1, 5000))) < 0.15
+
+    def test_kurtosis_heavy_tail(self, rng):
+        heavy = rng.standard_t(3, 5000)
+        assert excess_kurtosis(heavy) > 1.0
+
+
+class TestDiagnose:
+    def test_normal_verdict(self, normal_sample):
+        rep = diagnose(normal_sample)
+        assert rep.plausibly_normal
+        assert "plausibly normal" in rep.summary()
+
+    def test_lognormal_verdict(self, lognormal_sample):
+        rep = diagnose(lognormal_sample)
+        assert not rep.plausibly_normal
+        assert "NOT" in rep.summary()
+
+    def test_latency_data_not_normal(self, dora_latencies):
+        """The paper's core observation: runtimes are not normal (Rule 6)."""
+        assert not is_plausibly_normal(dora_latencies)
+
+    def test_large_normal_sample_accepted_by_shape(self, rng):
+        """Huge normal samples: formal tests may flinch at tiny deviations,
+        but the shape criterion keeps the verdict sensible."""
+        data = rng.normal(100, 5, 200_000)
+        assert is_plausibly_normal(data)
+
+    def test_report_carries_tests(self, normal_sample):
+        rep = diagnose(normal_sample)
+        assert rep.shapiro.name == "shapiro-wilk"
+        assert rep.ks is not None
+        assert rep.anderson is not None
+        assert rep.n == normal_sample.size

@@ -1,0 +1,103 @@
+"""Tests for repro.stats.normalize (Figure 2 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import (
+    auto_normalize,
+    block_means,
+    geometric_mean,
+    log_back_transform,
+    log_transform,
+)
+
+
+class TestLogTransform:
+    def test_round_trip_is_geometric_mean(self, lognormal_sample):
+        """exp(mean(log x)) == geometric mean — the paper's log-average."""
+        back = log_back_transform(float(np.mean(log_transform(lognormal_sample))))
+        assert back == pytest.approx(geometric_mean(lognormal_sample))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            log_transform([1.0, 0.0, 2.0])
+
+    def test_lognormal_becomes_normal(self, rng):
+        data = rng.lognormal(1.0, 0.7, 3000)
+        from repro.stats import is_plausibly_normal
+
+        assert not is_plausibly_normal(data)
+        assert is_plausibly_normal(log_transform(data))
+
+
+class TestBlockMeans:
+    def test_exact_blocks(self):
+        out = block_means(np.arange(12, dtype=float), 3)
+        assert out.tolist() == [1.0, 4.0, 7.0, 10.0]
+
+    def test_partial_block_dropped(self):
+        out = block_means(np.arange(10, dtype=float), 3)
+        assert out.size == 3
+
+    def test_k_one_is_identity(self, normal_sample):
+        assert np.array_equal(block_means(normal_sample, 1), normal_sample)
+
+    def test_requires_one_full_block(self):
+        with pytest.raises(InsufficientDataError):
+            block_means([1.0, 2.0], 5)
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50)
+    def test_mean_preserved_on_divisible_input(self, k):
+        data = np.arange(k * 7, dtype=float)
+        assert block_means(data, k).mean() == pytest.approx(data.mean())
+
+    def test_variance_shrinks_with_k(self, rng):
+        """CLT: block means have variance ~ sigma^2/k."""
+        data = rng.exponential(1.0, 100_000)
+        v10 = block_means(data, 10).var()
+        v100 = block_means(data, 100).var()
+        assert v100 < v10 / 5
+
+    def test_clt_normalizes_skewed_data(self, rng):
+        from repro.stats import skewness
+
+        data = rng.exponential(1.0, 200_000)
+        assert abs(skewness(block_means(data, 500))) < 0.5
+        assert abs(skewness(block_means(data, 500))) < abs(skewness(data))
+
+
+class TestAutoNormalize:
+    def test_identity_for_normal(self, normal_sample):
+        res = auto_normalize(normal_sample)
+        assert res.method == "identity"
+        assert res.normal
+
+    def test_log_for_lognormal(self, rng):
+        data = rng.lognormal(0.5, 0.8, 5000)
+        res = auto_normalize(data)
+        assert res.method == "log"
+        assert res.normal
+
+    def test_block_for_shifted_heavy_data(self, rng):
+        # Shifted + spiky: log does not normalize, blocks eventually do.
+        data = 5.0 + rng.exponential(0.1, 200_000)
+        data += (rng.random(200_000) < 0.01) * rng.exponential(2.0, 200_000)
+        res = auto_normalize(data, candidate_ks=(100, 1000))
+        assert res.method == "block"
+
+    def test_no_feasible_k_raises(self, rng):
+        with pytest.raises(ValidationError):
+            auto_normalize(rng.lognormal(0, 2, 200) + 5, candidate_ks=(1000,))
+
+    def test_failure_reported_not_hidden(self, rng):
+        """When no k suffices, normal=False is returned (paper's caveat)."""
+        data = 5.0 + rng.pareto(1.3, 50_000)  # brutally heavy tail
+        res = auto_normalize(data, candidate_ks=(10,), min_blocks=100)
+        assert res.method == "block"
+        assert not res.normal

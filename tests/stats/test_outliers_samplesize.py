@@ -1,0 +1,163 @@
+"""Tests for repro.stats.outliers and repro.stats.samplesize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import (
+    SequentialChecker,
+    remove_outliers,
+    required_n_normal,
+    tukey_fences,
+)
+
+
+class TestTukey:
+    def test_fences_formula(self):
+        data = np.arange(1.0, 101.0)
+        lo, hi = tukey_fences(data)
+        q1, q3 = np.quantile(data, [0.25, 0.75])
+        iqr = q3 - q1
+        assert lo == pytest.approx(q1 - 1.5 * iqr)
+        assert hi == pytest.approx(q3 + 1.5 * iqr)
+
+    def test_larger_constant_is_more_conservative(self, lognormal_sample):
+        r15 = remove_outliers(lognormal_sample, 1.5)
+        r30 = remove_outliers(lognormal_sample, 3.0)
+        assert r30.n_removed <= r15.n_removed
+
+    def test_clean_data_untouched(self, rng):
+        data = rng.uniform(0, 1, 200)
+        rep = remove_outliers(data, 3.0)
+        assert rep.n_removed == 0
+        assert np.array_equal(rep.kept, data)
+
+    def test_spike_removed(self, rng):
+        data = np.concatenate([rng.normal(10, 0.1, 100), [50.0]])
+        rep = remove_outliers(data)
+        assert 50.0 in rep.removed
+        assert rep.n_removed == 1
+
+    def test_partition_is_complete(self, lognormal_sample):
+        rep = remove_outliers(lognormal_sample)
+        assert rep.kept.size + rep.removed.size == lognormal_sample.size
+
+    def test_summary_mentions_count(self, rng):
+        data = np.concatenate([rng.normal(0, 1, 50), [100.0, -100.0]])
+        s = remove_outliers(data).summary()
+        assert "2 outlier" in s
+
+    def test_order_preserved(self):
+        data = np.array([5.0, 1.0, 100.0, 3.0])
+        rep = remove_outliers(data)
+        kept = [v for v in data if v in rep.kept]
+        assert np.array_equal(rep.kept, kept)
+
+    def test_minimum_size(self):
+        with pytest.raises(InsufficientDataError):
+            tukey_fences([1.0, 2.0])
+
+
+class TestRequiredN:
+    def test_more_precision_needs_more_samples(self):
+        loose = required_n_normal(10, 2, relative_error=0.10)
+        tight = required_n_normal(10, 2, relative_error=0.01)
+        assert tight > loose
+
+    def test_more_confidence_needs_more_samples(self):
+        lo = required_n_normal(10, 2, relative_error=0.05, confidence=0.90)
+        hi = required_n_normal(10, 2, relative_error=0.05, confidence=0.99)
+        assert hi > lo
+
+    def test_formula_fixed_point(self):
+        """The returned n satisfies the paper's equation within one unit."""
+        from scipy import stats as sps
+
+        mean, std, e, conf = 10.0, 2.0, 0.05, 0.95
+        n = required_n_normal(mean, std, relative_error=e, confidence=conf)
+        t = sps.t.ppf(0.5 + conf / 2, df=n - 1)
+        implied = (std * t / (e * mean)) ** 2
+        assert n >= implied - 1
+
+    def test_achieved_ci_width_simulation(self, rng):
+        """Sampling the computed n actually achieves the error target."""
+        n = required_n_normal(10, 2, relative_error=0.05, confidence=0.95)
+        from repro.stats import mean_ci
+
+        ok = 0
+        for _ in range(50):
+            data = rng.normal(10, 2, n)
+            ci = mean_ci(data, 0.95)
+            half = (ci.high - ci.low) / 2
+            if half <= 0.05 * 10 * 1.2:  # 20% slack for s-variation
+                ok += 1
+        assert ok >= 45
+
+    def test_zero_std_minimal(self):
+        assert required_n_normal(10, 0, relative_error=0.05) == 2
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            required_n_normal(0, 1, relative_error=0.05)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValidationError):
+            required_n_normal(1e-9, 1e3, relative_error=0.01, max_n=1000)
+
+
+class TestSequentialChecker:
+    def test_stops_for_tight_data(self, rng):
+        chk = SequentialChecker(relative_error=0.05, confidence=0.95)
+        data = rng.normal(100, 1, 10_000)
+        for i, v in enumerate(data):
+            if chk.add(v):
+                break
+        assert chk.satisfied
+        assert chk.n < 500
+        assert chk.current_ci.relative_width <= 0.05
+
+    def test_does_not_stop_for_noisy_data(self, rng):
+        chk = SequentialChecker(relative_error=0.01, confidence=0.99)
+        stopped = chk.add_many(rng.lognormal(0, 2.0, 50))
+        assert not stopped
+
+    def test_mean_statistic(self, rng):
+        chk = SequentialChecker(relative_error=0.05, statistic="mean")
+        chk.add_many(rng.normal(50, 1, 200))
+        assert chk.satisfied
+        assert chk.current_ci.statistic == "mean"
+
+    def test_quantile_statistic(self, rng):
+        chk = SequentialChecker(relative_error=0.2, statistic=0.9)
+        chk.add_many(rng.normal(10, 1, 2000))
+        assert chk.satisfied
+        assert "0.9" in chk.current_ci.statistic
+
+    def test_check_every_stride(self, rng):
+        chk = SequentialChecker(relative_error=0.05, check_every=50)
+        data = rng.normal(100, 1, 49)
+        chk.add_many(data)
+        with pytest.raises(InsufficientDataError):
+            _ = chk.current_ci  # no check has happened yet
+
+    def test_invalid_statistic(self):
+        with pytest.raises(ValidationError):
+            SequentialChecker(relative_error=0.05, statistic="mode")
+
+    def test_describe_is_rule5_sentence(self):
+        chk = SequentialChecker(relative_error=0.05, confidence=0.99)
+        text = chk.describe()
+        assert "99%" in text and "5%" in text and "median" in text
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=20)
+    def test_satisfied_iff_ci_tight(self, rel_err):
+        rng = np.random.default_rng(42)
+        chk = SequentialChecker(relative_error=rel_err, confidence=0.95)
+        chk.add_many(rng.normal(100, 5, 500))
+        if chk.satisfied:
+            assert chk.current_ci.relative_width <= rel_err

@@ -1,0 +1,72 @@
+"""Tests for statistical power analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats import required_n_for_power, t_test, t_test_power
+
+
+class TestPower:
+    def test_cohen_reference_values(self):
+        """Classic power-table anchors (Cohen 1988)."""
+        assert t_test_power(20, 0.8) == pytest.approx(0.693, abs=0.01)
+        assert t_test_power(64, 0.5) == pytest.approx(0.80, abs=0.01)
+        assert t_test_power(26, 0.8) == pytest.approx(0.80, abs=0.01)
+
+    def test_monotone_in_n(self):
+        powers = [t_test_power(n, 0.5) for n in (5, 10, 50, 200)]
+        assert powers == sorted(powers)
+
+    def test_monotone_in_effect(self):
+        powers = [t_test_power(30, d) for d in (0.1, 0.3, 0.8, 1.5)]
+        assert powers == sorted(powers)
+
+    def test_alpha_raises_power(self):
+        assert t_test_power(30, 0.5, alpha=0.10) > t_test_power(30, 0.5, alpha=0.01)
+
+    def test_sign_irrelevant(self):
+        assert t_test_power(30, -0.5) == t_test_power(30, 0.5)
+
+    def test_simulation_agreement(self, rng):
+        """Analytic power must match a Monte-Carlo rejection rate."""
+        n, d = 30, 0.7
+        analytic = t_test_power(n, d)
+        hits = sum(
+            t_test(rng.normal(0, 1, n), rng.normal(d, 1, n)).significant(0.05)
+            for _ in range(400)
+        )
+        assert hits / 400 == pytest.approx(analytic, abs=0.07)
+
+
+class TestRequiredN:
+    def test_cohen_reference_values(self):
+        assert required_n_for_power(0.5, power=0.8) == 64
+        assert required_n_for_power(0.2, power=0.8) in range(392, 396)
+        assert required_n_for_power(0.8, power=0.8) in range(25, 28)
+
+    def test_achieves_target(self):
+        for d in (0.3, 0.6, 1.0):
+            n = required_n_for_power(d, power=0.9)
+            assert t_test_power(n, d) >= 0.9
+            assert t_test_power(n - 1, d) < 0.9
+
+    def test_small_effects_need_more(self):
+        assert required_n_for_power(0.1) > required_n_for_power(0.5)
+
+    def test_zero_effect_rejected(self):
+        with pytest.raises(ValidationError):
+            required_n_for_power(0.0)
+
+    def test_max_n_cap(self):
+        with pytest.raises(ValidationError):
+            required_n_for_power(0.001, max_n=1000)
+
+    def test_underpowered_study_story(self, rng):
+        """The Rule 7 trap: 10 runs/system cannot see a 0.5-sigma effect
+        (~18% power), so 'no significant difference' means nothing."""
+        assert t_test_power(10, 0.5) < 0.25
+        needed = required_n_for_power(0.5, power=0.8)
+        assert needed > 5 * 10

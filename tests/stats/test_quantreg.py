@@ -1,0 +1,141 @@
+"""Tests for repro.stats.quantreg (Rule 8, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.stats import (
+    compare_quantiles,
+    fit_group_quantiles,
+    fit_quantile_lp,
+    pinball_loss,
+)
+
+
+class TestPinballLoss:
+    def test_median_symmetric(self):
+        y = np.array([1.0, 3.0])
+        assert pinball_loss(y, [2.0, 2.0], 0.5) == pytest.approx(0.5)
+
+    def test_asymmetric_weights(self):
+        # tau=0.9: under-prediction is 9x costlier than over-prediction.
+        y = np.array([10.0])
+        under = pinball_loss(y, [9.0], 0.9)
+        over = pinball_loss(y, [11.0], 0.9)
+        assert under == pytest.approx(9 * over)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            pinball_loss([1.0, 2.0], [1.0], 0.5)
+
+
+class TestLPFit:
+    def test_intercept_only_is_quantile(self, rng):
+        y = rng.lognormal(0, 0.5, 80)
+        for tau in (0.25, 0.5, 0.9):
+            beta = fit_quantile_lp(np.ones((y.size, 1)), y, tau)
+            # The LP optimum is an order statistic near the empirical quantile.
+            assert beta[0] == pytest.approx(np.quantile(y, tau, method="lower"), rel=0.05)
+
+    def test_lp_minimizes_pinball(self, rng):
+        """No constant shift of the LP solution may reduce the loss."""
+        y = rng.normal(0, 1, 60)
+        X = np.ones((60, 1))
+        beta = fit_quantile_lp(X, y, 0.7)
+        base = pinball_loss(y, X @ beta, 0.7)
+        for delta in (-0.1, 0.1):
+            assert base <= pinball_loss(y, X @ (beta + delta), 0.7) + 1e-12
+
+    def test_linear_trend_recovered(self, rng):
+        x = np.linspace(0, 10, 120)
+        y = 2.0 + 0.5 * x + rng.normal(0, 0.1, 120)
+        X = np.column_stack([np.ones_like(x), x])
+        beta = fit_quantile_lp(X, y, 0.5)
+        assert beta[0] == pytest.approx(2.0, abs=0.15)
+        assert beta[1] == pytest.approx(0.5, abs=0.05)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValidationError):
+            fit_quantile_lp(np.ones((5, 2)), rng.normal(0, 1, 6), 0.5)
+
+    def test_needs_more_rows_than_cols(self):
+        with pytest.raises(ValidationError):
+            fit_quantile_lp(np.ones((2, 2)), [1.0, 2.0], 0.5)
+
+
+class TestGroupQuantiles:
+    def test_matches_lp_on_two_groups(self, rng):
+        a = rng.lognormal(0, 0.4, 40)
+        b = rng.lognormal(0.3, 0.4, 40)
+        fast = fit_group_quantiles([a, b], 0.5)
+        X = np.column_stack(
+            [np.ones(80), np.concatenate([np.zeros(40), np.ones(40)])]
+        )
+        slow = fit_quantile_lp(X, np.concatenate([a, b]), 0.5)
+        assert fast[0] == pytest.approx(slow[0], rel=0.02)
+        assert fast[1] == pytest.approx(slow[1], abs=0.05)
+
+    def test_difference_semantics(self, rng):
+        a = rng.normal(0, 1, 500)
+        b = a + 2.0
+        out = fit_group_quantiles([a, b], 0.5)
+        assert out[1] == pytest.approx(2.0, abs=1e-9)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50)
+    def test_single_group_is_quantile(self, tau):
+        data = np.arange(1.0, 101.0)
+        out = fit_group_quantiles([data], tau)
+        assert out[0] == pytest.approx(np.quantile(data, tau))
+
+
+class TestCompareQuantiles:
+    def test_constant_shift_detected_everywhere(self, rng):
+        a = rng.lognormal(0, 0.3, 4000)
+        b = a + 0.5
+        cmp = compare_quantiles(a, b, n_boot=100)
+        for d in cmp.difference:
+            assert d.coef[0] == pytest.approx(0.5, abs=1e-6)
+            assert d.low[0] <= 0.5 <= d.high[0]
+        assert cmp.mean_difference == pytest.approx(0.5)
+        assert cmp.crossover_taus() == []
+
+    def test_crossover_detected(self, rng):
+        """One dataset with lower floor but heavier tail: Figure 4's shape."""
+        a = 1.5 + rng.lognormal(np.log(0.2), 0.3, 30_000)       # tight
+        b = 1.3 + rng.lognormal(np.log(0.25), 1.0, 30_000)      # low floor, long tail
+        cmp = compare_quantiles(a, b, n_boot=50, seed=3)
+        diffs = [d.coef[0] for d in cmp.difference]
+        assert diffs[0] < 0       # b faster at low quantiles
+        assert diffs[-1] > 0      # b slower at high quantiles
+        assert len(cmp.crossover_taus()) >= 1
+
+    def test_intercept_tracks_base_quantiles(self, dora_latencies):
+        cmp = compare_quantiles(dora_latencies, dora_latencies + 0.1, n_boot=50)
+        for res in cmp.intercept:
+            assert res.coef[0] == pytest.approx(
+                np.quantile(dora_latencies, res.tau), rel=1e-9
+            )
+
+    def test_ci_confidence_recorded(self, rng):
+        cmp = compare_quantiles(
+            rng.normal(0, 1, 200), rng.normal(0, 1, 200),
+            taus=(0.5,), confidence=0.9, n_boot=50,
+        )
+        assert cmp.intercept[0].confidence == 0.9
+
+    def test_invalid_taus_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            compare_quantiles(
+                rng.normal(0, 1, 50), rng.normal(0, 1, 50), taus=(0.0, 0.5)
+            )
+
+    def test_bootstrap_deterministic(self, rng):
+        a, b = rng.normal(0, 1, 300), rng.normal(1, 1, 300)
+        c1 = compare_quantiles(a, b, taus=(0.5,), n_boot=60, seed=9)
+        c2 = compare_quantiles(a, b, taus=(0.5,), n_boot=60, seed=9)
+        assert c1.difference[0].low[0] == c2.difference[0].low[0]

@@ -1,0 +1,264 @@
+"""Tests for repro.stats.summaries (Rules 3-4 semantics and estimators)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import (
+    RunningMoments,
+    arithmetic_mean,
+    coefficient_of_variation,
+    geometric_mean,
+    harmonic_mean,
+    iqr,
+    median,
+    quantile,
+    quartiles,
+    rate_from_costs,
+    sample_std,
+    sample_var,
+    summarize,
+    summarize_costs,
+    summarize_rates,
+    summarize_ratios,
+)
+
+positive_samples = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False), min_size=2, max_size=60
+)
+
+
+class TestMeans:
+    def test_arithmetic_basic(self):
+        assert arithmetic_mean([10, 100, 40]) == pytest.approx(50.0)
+
+    def test_arithmetic_weighted(self):
+        assert arithmetic_mean([1, 3], weights=[3, 1]) == pytest.approx(1.5)
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            arithmetic_mean([1, 2, 3], weights=[1, 2])
+
+    def test_weights_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            arithmetic_mean([1, 2], weights=[-1, 2])
+
+    def test_harmonic_paper_example(self):
+        # HPL example: 100 Gflop runs at (10, 1, 2.5) Gflop/s -> 2 Gflop/s.
+        assert harmonic_mean([10.0, 1.0, 2.5]) == pytest.approx(2.0)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_harmonic_weighted(self):
+        # Two legs of equal distance at 30 and 60: harmonic = 40.
+        assert harmonic_mean([30, 60], weights=[1, 1]) == pytest.approx(40.0)
+
+    def test_geometric_paper_example(self):
+        # Relative rates (1, 0.1, 0.25) -> geometric mean ~ 0.2924.
+        assert geometric_mean([1.0, 0.1, 0.25]) == pytest.approx(0.2924, abs=1e-4)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([1.0, -2.0])
+
+    @given(positive_samples)
+    @settings(max_examples=100)
+    def test_hm_gm_am_inequality(self, xs):
+        """The classic HM <= GM <= AM chain the paper cites (Gwanyama)."""
+        hm = harmonic_mean(xs)
+        gm = geometric_mean(xs)
+        am = arithmetic_mean(xs)
+        assert hm <= gm * (1 + 1e-9)
+        assert gm <= am * (1 + 1e-9)
+
+    @given(positive_samples, st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=50)
+    def test_means_scale_equivariant(self, xs, c):
+        """All three means commute with positive scaling."""
+        assert arithmetic_mean([c * x for x in xs]) == pytest.approx(
+            c * arithmetic_mean(xs), rel=1e-9
+        )
+        assert harmonic_mean([c * x for x in xs]) == pytest.approx(
+            c * harmonic_mean(xs), rel=1e-9
+        )
+        assert geometric_mean([c * x for x in xs]) == pytest.approx(
+            c * geometric_mean(xs), rel=1e-9
+        )
+
+    def test_constant_data_all_means_equal(self):
+        for mean in (arithmetic_mean, harmonic_mean, geometric_mean):
+            assert mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+
+class TestRuleSemantics:
+    def test_summarize_costs_is_arithmetic(self):
+        assert summarize_costs([10, 100, 40]) == pytest.approx(50.0)
+
+    def test_summarize_rates_harmonic_fallback(self):
+        assert summarize_rates([10.0, 1.0, 2.5]) == pytest.approx(2.0)
+
+    def test_summarize_rates_from_cost_pairs(self):
+        # flops (100, 100, 100) over seconds (10, 100, 40): 300/150 = 2.
+        got = summarize_rates(numerators=[100, 100, 100], denominators=[10, 100, 40])
+        assert got == pytest.approx(2.0)
+
+    def test_summarize_rates_pairs_match_harmonic_for_equal_work(self):
+        times = [3.0, 5.0, 9.0]
+        rates = [100.0 / t for t in times]
+        assert summarize_rates(rates) == pytest.approx(
+            summarize_rates(numerators=[100] * 3, denominators=times)
+        )
+
+    def test_summarize_rates_rejects_both_forms(self):
+        with pytest.raises(ValidationError):
+            summarize_rates([1.0], numerators=[1], denominators=[1])
+
+    def test_summarize_rates_requires_some_data(self):
+        with pytest.raises(ValidationError):
+            summarize_rates()
+
+    def test_summarize_ratios_requires_acknowledgement(self):
+        with pytest.raises(ValidationError, match="Rule 4"):
+            summarize_ratios([1.2, 0.9])
+
+    def test_summarize_ratios_geometric_when_acknowledged(self):
+        got = summarize_ratios([1.0, 0.1, 0.25], acknowledge_incorrect=True)
+        assert got == pytest.approx(geometric_mean([1.0, 0.1, 0.25]))
+
+    def test_rate_from_costs_paper_example(self):
+        # 100 Gflop per run, times (10, 100, 40) s -> 2 Gflop/s.
+        assert rate_from_costs(100e9, [10, 100, 40]) == pytest.approx(2e9)
+
+    def test_rate_from_costs_rejects_nonpositive_work(self):
+        with pytest.raises(ValidationError):
+            rate_from_costs(0.0, [1.0])
+
+
+class TestRankStatistics:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2.0
+
+    def test_quantile_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            quantile([1, 2, 3], 0.0)
+        with pytest.raises(ValidationError):
+            quantile([1, 2, 3], 1.0)
+
+    def test_quantile_vector(self):
+        out = quantile(np.arange(101, dtype=float), [0.25, 0.75])
+        assert out[0] == pytest.approx(25.0)
+        assert out[1] == pytest.approx(75.0)
+
+    def test_quartiles_ordering(self, lognormal_sample):
+        q1, q2, q3 = quartiles(lognormal_sample)
+        assert q1 <= q2 <= q3
+
+    def test_iqr_positive(self, lognormal_sample):
+        assert iqr(lognormal_sample) > 0
+
+    def test_quantile_lower_method_returns_observed_value(self):
+        data = [1.0, 5.0, 9.0, 11.0, 30.0]
+        got = quantile(data, 0.99, method="lower")
+        assert got in data
+
+
+class TestSpread:
+    def test_sample_var_matches_numpy(self, normal_sample):
+        assert sample_var(normal_sample) == pytest.approx(
+            float(np.var(normal_sample, ddof=1))
+        )
+
+    def test_sample_std_needs_two(self):
+        with pytest.raises(InsufficientDataError):
+            sample_std([1.0])
+
+    def test_cov_dimensionless_scaling(self, normal_sample):
+        c1 = coefficient_of_variation(normal_sample)
+        c2 = coefficient_of_variation(normal_sample * 7.0)
+        assert c1 == pytest.approx(c2)
+
+    def test_cov_zero_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            coefficient_of_variation([-1.0, 1.0])
+
+
+class TestRunningMoments:
+    def test_matches_batch(self, normal_sample):
+        rm = RunningMoments()
+        for x in normal_sample:
+            rm.update(x)
+        assert rm.n == normal_sample.size
+        assert rm.mean == pytest.approx(normal_sample.mean(), rel=1e-12)
+        assert rm.variance == pytest.approx(np.var(normal_sample, ddof=1), rel=1e-9)
+
+    def test_update_many_matches_single_updates(self, normal_sample):
+        a, b = RunningMoments(), RunningMoments()
+        for x in normal_sample:
+            a.update(x)
+        b.update_many(normal_sample)
+        assert b.mean == pytest.approx(a.mean, rel=1e-12)
+        assert b.variance == pytest.approx(a.variance, rel=1e-9)
+
+    @given(
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=40),
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_merge_equals_concatenation(self, xs, ys):
+        """Parallel merge must agree exactly with serial accumulation."""
+        left, right, whole = RunningMoments(), RunningMoments(), RunningMoments()
+        left.update_many(xs)
+        right.update_many(ys)
+        whole.update_many(xs + ys)
+        merged = left.merge(right)
+        assert merged.n == whole.n
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        a = RunningMoments()
+        a.update_many([1.0, 2.0, 3.0])
+        merged = a.merge(RunningMoments())
+        assert merged.mean == pytest.approx(2.0)
+        merged2 = RunningMoments().merge(a)
+        assert merged2.n == 3
+
+    def test_variance_needs_two(self):
+        rm = RunningMoments()
+        rm.update(1.0)
+        with pytest.raises(InsufficientDataError):
+            _ = rm.variance
+
+    def test_numerical_stability_large_offset(self):
+        """Welford handles mean >> std without catastrophic cancellation."""
+        rng = np.random.default_rng(0)
+        data = 1e9 + rng.normal(0, 1e-3, 5000)
+        rm = RunningMoments()
+        rm.update_many(data)
+        assert rm.std == pytest.approx(data.std(ddof=1), rel=1e-3)
+
+
+class TestSummary:
+    def test_fields_consistent(self, lognormal_sample):
+        s = summarize(lognormal_sample)
+        assert s.minimum <= s.q25 <= s.median <= s.q75 <= s.q95 <= s.maximum
+        assert s.n == lognormal_sample.size
+        assert s.cov == pytest.approx(s.std / s.mean)
+
+    def test_as_dict_round_trip(self, normal_sample):
+        d = summarize(normal_sample).as_dict()
+        assert set(d) == {
+            "n", "mean", "std", "cov", "min", "q25", "median", "q75", "q95", "max",
+        }
+
+    def test_right_skew_detected_by_mean_vs_median(self, lognormal_sample):
+        s = summarize(lognormal_sample)
+        assert s.mean > s.median  # the paper's typical runtime shape

@@ -1,0 +1,143 @@
+"""Tests for the Mann-Kendall trend test and rolling statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import mann_kendall, rolling_cov, rolling_median
+
+
+class TestMannKendall:
+    def test_perfect_increasing(self):
+        out = mann_kendall(np.arange(12.0))
+        assert out.direction == "increasing"
+        assert out.tau == 1.0
+        assert out.significant(0.01)
+
+    def test_perfect_decreasing(self):
+        out = mann_kendall(np.arange(12.0)[::-1])
+        assert out.direction == "decreasing"
+        assert out.tau == -1.0
+        assert out.significant(0.01)
+
+    def test_no_trend_in_noise(self, rng):
+        hits = sum(
+            mann_kendall(rng.normal(0, 1, 25)).significant(0.05)
+            for _ in range(200)
+        )
+        assert hits / 200 < 0.10  # false-positive rate near alpha
+
+    def test_detects_weak_trend_in_noise(self, rng):
+        x = np.arange(100.0) * 0.1 + rng.normal(0, 1, 100)
+        assert mann_kendall(x).significant(0.01)
+
+    def test_constant_series(self):
+        out = mann_kendall(np.full(10, 3.0))
+        assert out.p_value == 1.0
+        assert out.direction == "none"
+
+    def test_ties_handled(self):
+        out = mann_kendall([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        assert out.direction == "increasing"
+        assert 0 < out.p_value < 1
+
+    def test_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            mann_kendall([1.0, 2.0, 3.0])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=4, max_size=40))
+    @settings(max_examples=100)
+    def test_properties(self, xs):
+        out = mann_kendall(xs)
+        assert -1.0 <= out.tau <= 1.0
+        assert 0.0 <= out.p_value <= 1.0
+        rev = mann_kendall(xs[::-1])
+        assert rev.s == -out.s
+
+    def test_survey_scores_no_trend(self):
+        """Cross-check the paper's Section 2 claim with Mann-Kendall on
+        per-year median scores."""
+        from repro.survey import CONFERENCES, load_survey, score_boxes
+
+        boxes = score_boxes(load_survey())
+        for conf in CONFERENCES:
+            medians = [b.median for b in boxes if b.conference == conf]
+            # Only 4 points: MK is weak here, but must not scream trend.
+            assert not mann_kendall(medians).significant(0.05)
+
+
+class TestRolling:
+    def test_rolling_cov_constant_zero(self):
+        out = rolling_cov(np.full(20, 5.0), 5)
+        assert np.allclose(out, 0.0)
+
+    def test_rolling_cov_shape(self, rng):
+        out = rolling_cov(rng.normal(10, 1, 100), 10)
+        assert out.shape == (91,)
+
+    def test_rolling_cov_detects_incident(self, rng):
+        quiet = rng.normal(100, 1, 200)
+        quiet[100:120] *= 1.5  # degradation window
+        out = rolling_cov(quiet, 20)
+        assert np.argmax(out) in range(80, 125)
+
+    def test_rolling_cov_zero_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            rolling_cov([1.0, -1.0, 1.0, -1.0], 2)
+
+    def test_rolling_median_robust(self, rng):
+        data = rng.normal(10, 0.1, 50)
+        data[25] = 1000.0
+        out = rolling_median(data, 5)
+        assert out.max() < 20.0  # single spike cannot move a 5-median
+
+    def test_rolling_median_window_one_is_identity(self, rng):
+        data = rng.normal(0, 1, 30)
+        assert np.array_equal(rolling_median(data, 1), data)
+
+    def test_window_larger_than_data(self):
+        with pytest.raises(InsufficientDataError):
+            rolling_cov([1.0, 2.0], 5)
+
+
+class TestVariabilityTimeline:
+    def test_trace_properties(self):
+        from repro.simsys import VariabilityTimeline, piz_daint
+
+        tl = VariabilityTimeline(piz_daint(), seed=7)
+        hours, rt = tl.sample(7, 24)
+        assert hours.shape == rt.shape == (168,)
+        assert np.all(rt >= tl.base_runtime * 0.99)
+
+    def test_deterministic(self):
+        from repro.simsys import VariabilityTimeline, piz_daint
+
+        a = VariabilityTimeline(piz_daint(), seed=3).sample(3, 12)[1]
+        b = VariabilityTimeline(piz_daint(), seed=3).sample(3, 12)[1]
+        assert np.array_equal(a, b)
+
+    def test_incidents_raise_rolling_cov(self):
+        from repro.simsys import VariabilityTimeline, piz_daint
+
+        tl = VariabilityTimeline(
+            piz_daint(), incident_rate=1.0, incident_slowdown=0.5, seed=11
+        )
+        _, rt = tl.sample(14, 24)
+        rc = rolling_cov(rt, 24)
+        assert rc.max() > 3 * tl.expected_quiet_cov()
+
+    def test_diurnal_cycle_visible(self):
+        from repro.simsys import VariabilityTimeline, piz_daint
+
+        tl = VariabilityTimeline(
+            piz_daint(), diurnal_amplitude=0.2, incident_rate=0.0, seed=13
+        )
+        hours, rt = tl.sample(10, 24)
+        # Busiest hour (15:00) slower than quietest (03:00) on average.
+        busy = rt[np.isclose(hours % 24, 15.0)].mean()
+        quiet = rt[np.isclose(hours % 24, 3.0)].mean()
+        assert busy > 1.1 * quiet

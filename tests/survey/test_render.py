@@ -1,0 +1,54 @@
+"""Tests for the Table 1 grid rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SurveyError
+from repro.survey import load_survey, render_table1_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return render_table1_grid(load_survey())
+
+
+class TestTable1Grid:
+    def test_all_category_labels_present(self, grid):
+        for label in (
+            "Processor Model / Accelerator",
+            "Code Available Online",
+            "Rank Based Statistics",
+            "Measure of Variation",
+        ):
+            assert label in grid
+
+    def test_totals_in_margin(self, grid):
+        for total in ("(79/95)", "(26/95)", "(7/95)", "(51/95)", "(9/95)"):
+            assert total in grid
+
+    def test_checkmark_counts_match_totals(self, grid):
+        """Counting ✓ glyphs per row must equal the printed total."""
+        for line in grid.splitlines():
+            if "(" in line and "/95)" in line:
+                printed = int(line.rsplit("(", 1)[1].split("/")[0])
+                assert line.count("✓") == printed
+
+    def test_na_papers_marked_everywhere(self, grid):
+        """25 not-applicable papers appear as · in every category row."""
+        rows = [l for l in grid.splitlines() if "/95)" in l]
+        for line in rows:
+            assert line.count("·") == 25
+
+    def test_twelve_venue_year_columns(self, grid):
+        header = grid.splitlines()[0]
+        for tag in ("A11", "A14", "B12", "C13"):
+            assert tag in header
+
+    def test_section_headers(self, grid):
+        assert "Experimental Design" in grid
+        assert "Data Analysis" in grid
+
+    def test_empty_rejected(self):
+        with pytest.raises(SurveyError):
+            render_table1_grid([])

@@ -1,0 +1,139 @@
+"""Tests for the literature-survey substrate (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SurveyError
+from repro.survey import (
+    ANALYSIS_CATEGORIES,
+    CONFERENCES,
+    DESIGN_CATEGORIES,
+    EXTRA_MARGINALS,
+    PUBLISHED_MARGINALS,
+    YEARS,
+    PaperRecord,
+    category_totals,
+    extras_totals,
+    load_survey,
+    not_applicable_count,
+    score_boxes,
+    trend_test,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return load_survey()
+
+
+class TestDataset:
+    def test_population_structure(self, records):
+        assert len(records) == 120
+        for conf in CONFERENCES:
+            for year in YEARS:
+                cell = [r for r in records if r.conference == conf and r.year == year]
+                assert len(cell) == 10
+
+    def test_not_applicable_total(self, records):
+        assert not_applicable_count(records) == (25, 120)
+
+    def test_every_published_marginal_exact(self, records):
+        totals = category_totals(records)
+        for cat, want in PUBLISHED_MARGINALS.items():
+            assert totals[cat] == (want, 95), cat
+
+    def test_extra_marginals_exact(self, records):
+        extras = extras_totals(records)
+        for flag, want in EXTRA_MARGINALS.items():
+            assert extras[flag] == want, flag
+
+    def test_deterministic_across_calls(self):
+        load_survey.cache_clear()
+        a = load_survey()
+        load_survey.cache_clear()
+        b = load_survey()
+        assert a == b
+
+    def test_subset_constraints(self, records):
+        apps = [r for r in records if r.applicable]
+        for r in apps:
+            if r.extras["speedup_without_base"]:
+                assert r.extras["reports_speedup"]
+            if r.extras["specifies_summary_method"]:
+                assert r.analysis["mean"]
+            if r.extras["harmonic_mean_correct"] or r.extras["geometric_mean_used"]:
+                assert r.extras["specifies_summary_method"]
+            if r.extras["reports_mean_ci"]:
+                assert r.analysis["mean"]
+
+    def test_design_scores_in_range(self, records):
+        for r in records:
+            if r.applicable:
+                assert 0 <= r.design_score <= 9
+
+    def test_na_papers_have_no_score(self, records):
+        na = next(r for r in records if not r.applicable)
+        with pytest.raises(SurveyError):
+            _ = na.design_score
+
+    def test_diligence_correlation_present(self, records):
+        """Careful-about-hardware papers are more careful about software
+        too (induced correlation, matching the table's visual pattern)."""
+        apps = [r for r in records if r.applicable]
+        proc = np.array([r.design["processor"] for r in apps], dtype=float)
+        comp = np.array([r.design["compiler"] for r in apps], dtype=float)
+        assert np.corrcoef(proc, comp)[0, 1] > 0.0
+
+
+class TestSchemaValidation:
+    def test_applicable_requires_all_marks(self):
+        with pytest.raises(SurveyError):
+            PaperRecord(
+                conference="ConfA", year=2011, index=0, applicable=True,
+                design={"processor": True}, analysis={},
+            )
+
+    def test_unknown_conference(self):
+        with pytest.raises(SurveyError):
+            PaperRecord(conference="ConfX", year=2011, index=0, applicable=False)
+
+    def test_year_range(self):
+        with pytest.raises(SurveyError):
+            PaperRecord(conference="ConfA", year=2020, index=0, applicable=False)
+
+    def test_key_unique(self):
+        recs = load_survey()
+        assert len({r.key for r in recs}) == 120
+
+
+class TestAnalysis:
+    def test_score_boxes_cover_all_cells(self, records):
+        boxes = score_boxes(records)
+        # Every conference-year with >= 1 applicable paper gets a box.
+        assert len(boxes) == 12
+        for b in boxes:
+            assert 0 <= b.minimum <= b.q1 <= b.median <= b.q3 <= b.maximum <= 9
+
+    def test_trend_not_significant(self, records):
+        """The paper: 'no statistically significant evidence' that scores
+        improve over the years, for any conference."""
+        for conf in CONFERENCES:
+            assert not trend_test(records, conf).significant(0.05)
+
+    def test_trend_unknown_conference(self, records):
+        with pytest.raises(SurveyError):
+            trend_test(records, "ConfX")
+
+    def test_category_groups_complete(self, records):
+        totals = category_totals(records)
+        assert set(totals) == set(DESIGN_CATEGORIES) | set(ANALYSIS_CATEGORIES)
+
+    def test_hardware_better_documented_than_software(self, records):
+        """The paper's qualitative finding: 'most papers report details
+        about the hardware but fail to describe the software environment'."""
+        totals = category_totals(records)
+        hw = totals["processor"][0] + totals["network"][0]
+        sw = totals["runtime"][0] + totals["filesystem"][0]
+        assert hw > 2 * sw

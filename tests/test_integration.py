@@ -1,0 +1,177 @@
+"""Integration tests: full pipelines across modules.
+
+Each test walks one of the paper's workflows end to end — simulate,
+measure, analyze, check rules, report — the way a library user would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core, models, report, simsys, stats
+from repro.core import (
+    CIWidthRule,
+    Experiment,
+    ExperimentDeclaration,
+    Factor,
+    FactorialDesign,
+    PlotDeclaration,
+    SummaryDeclaration,
+    check_all,
+    from_machine,
+    measure_simulated,
+)
+from repro.report import ReportBuilder
+
+
+class TestLatencyStudyPipeline:
+    """Measure ping-pong latency with a CI stopping rule, analyze it the
+    paper's way, and assemble a rule-compliant report."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        comm = simsys.SimComm(
+            simsys.piz_dora(), 2, placement="one_per_node", seed=21
+        )
+        return measure_simulated(
+            lambda n: comm.ping_pong(64, n) * 1e6,
+            name="64B ping-pong latency",
+            unit="us",
+            warmup=10,
+            stopping=CIWidthRule(relative_error=0.01, confidence=0.99),
+        )
+
+    def test_stopping_rule_honored(self, dataset):
+        assert dataset.median_ci(0.99).relative_width <= 0.01
+
+    def test_nonparametric_path_chosen(self, dataset):
+        """Rule 6: the data fails normality, so rank statistics apply."""
+        assert not dataset.normality().plausibly_normal
+        ci = dataset.median_ci(0.99)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_report_card_passes(self, dataset):
+        decl = ExperimentDeclaration(
+            summaries=[SummaryDeclaration("cost", "median")],
+            reports_confidence_intervals=True,
+            environment=from_machine(
+                simsys.piz_dora(), input_desc="64 B", measurement_desc="ping-pong"
+            ),
+            factors_documented=True,
+            is_parallel_measurement=True,
+            sync_method="ping-pong (intrinsic)",
+            rank_summary_method="single pair",
+            bounds_model_shown=True,
+            plots=[PlotDeclaration("density", shows_variability=True)],
+        )
+        assert check_all(decl).all_passed
+
+    def test_full_document_renders(self, dataset):
+        doc = (
+            ReportBuilder("Latency study")
+            .add_environment(from_machine(simsys.piz_dora(), input_desc="64 B", measurement_desc="cf. test"))
+            .add_measurements(dataset, confidence=0.99)
+            .add_figure(
+                "latency histogram",
+                report.histogram_plot(dataset.values, bins=20, label="latency"),
+            )
+            .render()
+        )
+        assert "Latency study" in doc and "#" in doc
+
+
+class TestScalingStudyPipeline:
+    """Figure 7 as a user workflow: experiment -> series -> bounds -> rules."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        pi = simsys.PiWorkload(simsys.piz_daint(), seed=31)
+        exp = Experiment(
+            name="pi",
+            design=FactorialDesign(
+                (Factor("p", (1, 2, 4, 8, 16, 32)),), replications=2
+            ),
+            measure=lambda point, rep: pi.run(point["p"], 5),
+            unit="s",
+            environment=from_machine(simsys.piz_daint(), input_desc="pi digits", measurement_desc="10 runs per p"),
+        )
+        return exp.run()
+
+    def test_series_monotone(self, result):
+        ps, times = result.series("p")
+        assert times == sorted(times, reverse=True)
+
+    def test_scaling_series_and_bounds(self, result):
+        ps, times = result.series("p")
+        series = models.ScalingSeries.from_measurements(
+            {p: result.get(p=p).values for p in ps}
+        )
+        amdahl = models.AmdahlBound(series.base_time, 0.01)
+        for p, s in zip(series.ps, series.speedups()):
+            assert s <= amdahl.speedup_bound(p) * 1.02
+        assert models.superlinear_points(series.ps, series.speedups()) == []
+
+    def test_rank_summary_on_collective(self):
+        comm = simsys.SimComm(simsys.piz_daint(), 32, seed=33)
+        times = comm.reduce(8, 100)
+        rs = core.summarize_across_ranks(times)
+        assert not rs.homogeneous  # daemon cores differ
+        assert rs.per_rank_median.shape == (32,)
+
+
+class TestHPLAnalysisPipeline:
+    """Figure 1 as a workflow, including the Rule 3 rate computation."""
+
+    def test_rates_summarized_correctly(self):
+        model = simsys.HPLModel(simsys.piz_daint(64), seed=41)
+        times = model.run(50)
+        # Rule 3: never average the rates arithmetically.
+        rate_correct = stats.summarize_rates(
+            numerators=np.full(50, model.flops), denominators=times
+        )
+        rate_wrong = stats.arithmetic_mean(model.rates(times))
+        assert rate_wrong > rate_correct  # the classic overestimate
+        harmonic = stats.harmonic_mean(model.rates(times))
+        assert harmonic == pytest.approx(rate_correct, rel=1e-9)
+
+    def test_outlier_policy(self):
+        model = simsys.HPLModel(simsys.piz_daint(64), seed=42)
+        times = model.run(50)
+        rep = stats.remove_outliers(times)
+        assert rep.n_removed < 10
+        assert "outlier" in rep.summary()
+
+
+class TestSurveyToReportPipeline:
+    def test_table1_rendering(self):
+        from repro import survey
+
+        recs = survey.load_survey()
+        totals = survey.category_totals(recs)
+        rows = [[cat, f"{got}/{n}"] for cat, (got, n) in totals.items()]
+        text = report.render_table(["category", "documented"], rows, title="Table 1")
+        assert "processor" in text and "79/95" in text
+
+
+class TestSeededReproducibility:
+    """The library's own Rule 9 claim: seeds make everything repeatable."""
+
+    def test_figures_deterministic(self):
+        a = report.fig1_hpl(20, seed=7)
+        b = report.fig1_hpl(20, seed=7)
+        assert np.array_equal(a.times, b.times)
+
+    def test_experiment_deterministic(self):
+        def run_once():
+            pi = simsys.PiWorkload(simsys.piz_daint(), seed=55)
+            exp = Experiment(
+                name="d",
+                design=FactorialDesign((Factor("p", (1, 4)),), replications=2),
+                measure=lambda point, rep: pi.run(point["p"], 3),
+            )
+            return exp.run()
+
+        r1, r2 = run_once(), run_once()
+        for key in r1.datasets:
+            assert np.array_equal(r1.datasets[key].values, r2.datasets[key].values)

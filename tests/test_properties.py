@@ -1,0 +1,186 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold across modules, regardless of the concrete data:
+estimator orderings and equivariances, confidence-interval structure,
+schedule correctness, model monotonicity, and serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MeasurementSet, format_quantity, parse_quantity
+from repro.models import AmdahlBound, IdealScaling, ParallelOverheadBound
+from repro.report import measurements_from_json, measurements_to_json
+from repro.simsys import reduce_schedule
+from repro.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    holm_bonferroni,
+    mean_ci,
+    median_ci,
+    quantile,
+    rank_biserial,
+    sign_test,
+    summarize,
+)
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+positive_floats = st.floats(min_value=1e-6, max_value=1e9, allow_nan=False)
+samples = st.lists(finite_floats, min_size=2, max_size=100)
+positive_samples = st.lists(positive_floats, min_size=2, max_size=100)
+
+
+class TestEstimatorProperties:
+    @given(samples, finite_floats)
+    @settings(max_examples=100)
+    def test_arithmetic_mean_translation_equivariant(self, xs, c):
+        shifted = arithmetic_mean([x + c for x in xs])
+        assert shifted == pytest.approx(arithmetic_mean(xs) + c, rel=1e-6, abs=1e-6)
+
+    @given(positive_samples)
+    @settings(max_examples=100)
+    def test_means_bounded_by_extremes(self, xs):
+        lo, hi = min(xs), max(xs)
+        for mean in (arithmetic_mean, harmonic_mean, geometric_mean):
+            value = mean(xs)
+            # Relative tolerance: exp(mean(log x)) rounds in the last ulp.
+            assert lo * (1 - 1e-9) <= value <= hi * (1 + 1e-9)
+
+    @given(samples)
+    @settings(max_examples=100)
+    def test_summary_quantile_ordering(self, xs):
+        s = summarize(xs)
+        assert (
+            s.minimum <= s.q25 <= s.median <= s.q75 <= s.q95 <= s.maximum
+        )
+
+    @given(samples, st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=100)
+    def test_quantile_within_range(self, xs, q):
+        v = quantile(xs, q)
+        assert min(xs) <= v <= max(xs)
+
+
+class TestCIProperties:
+    @given(st.lists(finite_floats, min_size=3, max_size=60))
+    @settings(max_examples=100)
+    def test_mean_ci_brackets_estimate(self, xs):
+        ci = mean_ci(xs, 0.95)
+        assert ci.low <= ci.estimate <= ci.high
+
+    @given(st.lists(finite_floats, min_size=6, max_size=80))
+    @settings(max_examples=100)
+    def test_median_ci_endpoints_are_observations(self, xs):
+        ci = median_ci(xs, 0.95)
+        assert ci.low in np.asarray(xs)
+        assert ci.high in np.asarray(xs)
+
+    @given(st.lists(finite_floats, min_size=6, max_size=60))
+    @settings(max_examples=100)
+    def test_ci_nested_in_confidence(self, xs):
+        assume(np.std(xs) > 0)
+        narrow = mean_ci(xs, 0.90)
+        wide = mean_ci(xs, 0.99)
+        assert wide.low <= narrow.low <= narrow.high <= wide.high
+
+
+class TestNonparametricProperties:
+    @given(samples, samples)
+    @settings(max_examples=100)
+    def test_rank_biserial_bounded(self, xs, ys):
+        assert -1.0 <= rank_biserial(xs, ys) <= 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_sign_test_symmetric(self, xs):
+        ys = [x + 1.0 for x in xs]
+        forward = sign_test(xs, ys)
+        backward = sign_test(ys, xs)
+        assert forward.p_value == pytest.approx(backward.p_value)
+        assert forward.wins_a == backward.wins_b
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=15))
+    @settings(max_examples=100)
+    def test_holm_idempotent_on_zeros_and_ones(self, ps):
+        out = holm_bonferroni(ps)
+        for raw, adj in zip(ps, out):
+            if raw == 0.0:
+                assert adj == 0.0
+            if raw == 1.0:
+                assert adj == 1.0
+
+
+class TestScheduleProperties:
+    @given(st.integers(min_value=1, max_value=1024))
+    @settings(max_examples=200)
+    def test_reduce_schedule_is_a_forest_to_root(self, p):
+        """Following each rank's send must eventually reach rank 0."""
+        pre, rounds = reduce_schedule(p)
+        parent = {}
+        for src, dst in pre + [m for rnd in rounds for m in rnd]:
+            parent[src] = dst
+        for r in range(1, p):
+            seen = set()
+            node = r
+            while node != 0:
+                assert node not in seen, "cycle in reduce schedule"
+                seen.add(node)
+                node = parent[node]
+
+
+class TestBoundsProperties:
+    @given(
+        st.integers(min_value=1, max_value=2048),
+        st.floats(min_value=1e-4, max_value=10.0),
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=150)
+    def test_speedup_time_duality(self, p, base, b):
+        for model in (
+            IdealScaling(base),
+            AmdahlBound(base, b),
+            ParallelOverheadBound(base, b, lambda q: 1e-6 * q),
+        ):
+            # speedup = T(1)/T(p) must equal the advertised speedup bound
+            # whenever T(1) equals the base time.
+            t1 = model.time_bound(1)
+            tp = model.time_bound(p)
+            assert model.speedup_bound(p) == pytest.approx(
+                t1 / tp * (base / t1), rel=1e-9
+            )
+
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=100)
+    def test_time_bounds_monotone_in_p_for_amdahl(self, p):
+        m = AmdahlBound(1.0, 0.05)
+        assert m.time_bound(p + 1) <= m.time_bound(p) + 1e-15
+
+
+class TestRoundTripProperties:
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_measurement_set_json_round_trip(self, values, k):
+        ms = MeasurementSet(
+            values=np.asarray(values), unit="s", batch_k=k, metadata={"x": 1}
+        )
+        back = measurements_from_json(measurements_to_json(ms))
+        assert np.allclose(back.values, ms.values)
+        assert back.batch_k == k
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e12),
+        st.sampled_from(["s", "flop", "flop/s", "W"]),
+    )
+    @settings(max_examples=150)
+    def test_quantity_format_parse_round_trip(self, value, unit):
+        q = parse_quantity(format_quantity(value, unit, precision=12))
+        assert q.value == pytest.approx(value, rel=1e-9)
+        assert q.unit == unit
