@@ -15,7 +15,7 @@ from repro.report import fig2_normalization, qq_plot, render_table
 
 
 def build_fig2():
-    return fig2_normalization(n_samples=fidelity(1_000_000, 120_000), seed=0)
+    return fig2_normalization(samples=fidelity(1_000_000, 120_000), seed=0)
 
 
 def render(fig) -> str:

@@ -15,7 +15,7 @@ from repro.report import box_plot, fig3_significance, render_table
 
 
 def build_fig3():
-    return fig3_significance(n_samples=fidelity(1_000_000, 120_000), seed=0)
+    return fig3_significance(samples=fidelity(1_000_000, 120_000), seed=0)
 
 
 def render(fig) -> str:

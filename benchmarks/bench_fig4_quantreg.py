@@ -16,7 +16,7 @@ from repro.report import fig4_quantile_regression, render_table
 
 
 def build_fig4():
-    return fig4_quantile_regression(n_samples=fidelity(1_000_000, 120_000), seed=0)
+    return fig4_quantile_regression(samples=fidelity(1_000_000, 120_000), seed=0)
 
 
 def render(cmp) -> str:

@@ -13,7 +13,7 @@ from repro.report import box_plot, fig7c_distribution, render_table, violin_plot
 
 
 def build_fig7c():
-    return fig7c_distribution(n_samples=fidelity(1_000_000, 120_000), seed=0)
+    return fig7c_distribution(samples=fidelity(1_000_000, 120_000), seed=0)
 
 
 def render(fig) -> str:

@@ -18,7 +18,7 @@ Quick start::
     print(ms.median_ci(0.99))
 """
 
-from . import core, models, report, simsys, stats, survey
+from . import core, exec, models, report, simsys, stats, survey
 from .errors import (
     ReproError,
     ValidationError,
@@ -27,6 +27,7 @@ from .errors import (
     TimerError,
     DesignError,
     SimulationError,
+    ExecutionError,
     RuleViolation,
     SurveyError,
 )
@@ -35,6 +36,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "exec",
     "stats",
     "simsys",
     "models",
@@ -47,6 +49,7 @@ __all__ = [
     "TimerError",
     "DesignError",
     "SimulationError",
+    "ExecutionError",
     "RuleViolation",
     "SurveyError",
     "__version__",

@@ -31,30 +31,33 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 
-def _cmd_figures(args: argparse.Namespace) -> int:
+_FIGURE_IDS = ("1", "2", "3", "4", "5", "6", "7")
+
+
+def _figure_sections(spec: dict) -> list[tuple[str, str]]:
+    """Build the text sections for one figure id.
+
+    Module-level (and fed plain dicts) so it can cross the pickle boundary
+    into :class:`~repro.exec.ProcessExecutor` workers when the ``figures``
+    command runs with ``--workers > 1``.
+    """
     from . import report as rpt
 
-    n = args.samples
-    wanted = args.fig
-    out = sys.stdout
-
-    def emit(title: str, body: str) -> None:
-        out.write(f"\n=== {title} ===\n{body}\n")
-
-    if wanted in ("1", "all"):
-        fig = rpt.fig1_hpl(50, seed=args.seed)
+    fig_id, n, seed = spec["fig"], spec["samples"], spec["seed"]
+    if fig_id == "1":
+        fig = rpt.fig1_hpl(50, seed=seed)
         rows = "\n".join(f"{k:<16} {v:8.2f} Tflop/s" for k, v in fig.annotation_rows())
-        emit("Figure 1: HPL annotations", rows)
-    if wanted in ("2", "all"):
-        fig = rpt.fig2_normalization(max(n, 10_000), seed=args.seed)
+        return [("Figure 1: HPL annotations", rows)]
+    if fig_id == "2":
+        fig = rpt.fig2_normalization(max(n, 10_000), seed=seed)
         rows = "\n".join(
             f"{v.name:<12} k={v.k:<5} QQ={v.report.qq_corr:.4f} "
             f"normal={v.report.plausibly_normal}"
             for v in fig.variants
         )
-        emit("Figure 2: normalization ladder", rows)
-    if wanted in ("3", "all"):
-        fig = rpt.fig3_significance(max(n, 1000), seed=args.seed)
+        return [("Figure 2: normalization ladder", rows)]
+    if fig_id == "3":
+        fig = rpt.fig3_significance(max(n, 1000), seed=seed)
         rows = []
         for s in (fig.dora, fig.pilatus):
             rows.append(
@@ -63,49 +66,83 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 f"range [{s.summary.minimum:.2f}, {s.summary.maximum:.2f}]"
             )
         rows.append(f"medians differ: {fig.medians_differ_significantly}")
-        emit("Figure 3: two-system significance", "\n".join(rows))
-    if wanted in ("4", "all"):
-        cmp = rpt.fig4_quantile_regression(max(n, 1000), seed=args.seed)
+        return [("Figure 3: two-system significance", "\n".join(rows))]
+    if fig_id == "4":
+        cmp = rpt.fig4_quantile_regression(max(n, 1000), seed=seed)
         rows = [
             f"tau={t:.1f}  Dora {i.coef[0]:.3f} us  diff {d.coef[0]:+.3f} us"
             for t, i, d in zip(cmp.taus, cmp.intercept, cmp.difference)
         ]
         rows.append(f"mean difference {cmp.mean_difference:+.3f} us; "
                     f"crossover at {cmp.crossover_taus()}")
-        emit("Figure 4: quantile regression", "\n".join(rows))
-    if wanted in ("5", "all"):
+        return [("Figure 4: quantile regression", "\n".join(rows))]
+    if fig_id == "5":
         fig = rpt.fig5_reduce_scaling(tuple(range(2, 33)), max(n // 1000, 100),
-                                      seed=args.seed)
+                                      seed=seed)
         rows = [
             f"P={pt.p:<3} {'2^k' if pt.power_of_two else '   '} "
             f"median {pt.median_us:6.2f} us"
             for pt in fig.points
         ]
         rows.append(f"power-of-two advantage: {fig.pof2_advantage():.3f}x")
-        emit("Figure 5: reduce scaling", "\n".join(rows))
-    if wanted in ("6", "all"):
-        fig = rpt.fig6_rank_variation(32, max(n // 1000, 100), seed=args.seed)
-        emit(
+        return [("Figure 5: reduce scaling", "\n".join(rows))]
+    if fig_id == "6":
+        fig = rpt.fig6_rank_variation(32, max(n // 1000, 100), seed=seed)
+        return [(
             "Figure 6: rank variation",
             f"heterogeneous ranks: {not fig.rank_summary.homogeneous}; "
             f"slow ranks {fig.slow_ranks()}",
-        )
-    if wanted in ("7", "all"):
-        fig = rpt.fig7ab_bounds(seed=args.seed)
+        )]
+    if fig_id == "7":
+        fig = rpt.fig7ab_bounds(seed=seed)
         err = fig.model_error()
-        emit(
-            "Figure 7(a)/(b): bounds models",
-            "median relative error: "
-            + ", ".join(f"{k}={v:.3f}" for k, v in err.items()),
-        )
-        c = rpt.fig7c_distribution(max(n, 1000), seed=args.seed)
-        emit(
-            "Figure 7(c): latency distribution",
-            f"median {c.summary.median:.3f} us, mean {c.summary.mean:.3f}, "
-            f"geometric {c.geometric_mean:.3f}, whiskers "
-            f"[{c.whisker_low:.3f}, {c.whisker_high:.3f}]",
-        )
-    return 0
+        c = rpt.fig7c_distribution(max(n, 1000), seed=seed)
+        return [
+            (
+                "Figure 7(a)/(b): bounds models",
+                "median relative error: "
+                + ", ".join(f"{k}={v:.3f}" for k, v in err.items()),
+            ),
+            (
+                "Figure 7(c): latency distribution",
+                f"median {c.summary.median:.3f} us, mean {c.summary.mean:.3f}, "
+                f"geometric {c.geometric_mean:.3f}, whiskers "
+                f"[{c.whisker_low:.3f}, {c.whisker_high:.3f}]",
+            ),
+        ]
+    raise ValueError(f"unknown figure id {fig_id!r}")
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .exec import ProcessExecutor, SerialExecutor
+
+    wanted = _FIGURE_IDS if args.fig == "all" else (args.fig,)
+    specs = [
+        {"fig": fig_id, "samples": args.samples, "seed": args.seed}
+        for fig_id in wanted
+    ]
+    # One executor seam for serial and parallel regeneration: each figure
+    # is an independent task, so --workers N overlaps their simulations.
+    if args.workers > 1:
+        executor = ProcessExecutor(max_workers=args.workers)
+    else:
+        executor = SerialExecutor(retries=0)
+    outcomes = executor.run(
+        _figure_sections, specs, labels=[f"figure {s['fig']}" for s in specs]
+    )
+    status = 0
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.ok:
+            for title, body in outcome.value:
+                sys.stdout.write(f"\n=== {title} ===\n{body}\n")
+        else:
+            print(
+                f"error: figure {spec['fig']} failed after "
+                f"{outcome.attempts} attempt(s): {outcome.error}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -221,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=100_000,
                    help="ping-pong sample count (paper: 1000000)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="regenerate figures in parallel over N worker "
+                        "processes (default: serial)")
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("table1", help="regenerate the survey table")

@@ -30,7 +30,13 @@ from .timer import (
 )
 from .measurement import MeasurementSet
 from .stopping import StoppingRule, FixedCount, CIWidthRule, BudgetRule, EitherRule
-from .benchmark import run_benchmark, measure_simulated
+from .benchmark import (
+    MeasurementConfig,
+    measure_callable,
+    measure_sampler,
+    run_benchmark,
+    measure_simulated,
+)
 from .design import Factor, FactorialDesign, AdaptiveRefiner
 from .environment import CATEGORIES, EnvironmentSpec, capture_host, from_machine
 from .sync import ClockEnsemble, estimate_offsets, window_start, barrier_start
@@ -50,8 +56,10 @@ from .hostnoise import HostNoiseReport, measure_host_noise
 from .screening import (
     TwoLevelDesign,
     EffectEstimate,
+    ScreeningResult,
     full_factorial_2k,
     half_fraction_2k,
+    run_screening,
 )
 
 __all__ = [
@@ -78,6 +86,9 @@ __all__ = [
     "CIWidthRule",
     "BudgetRule",
     "EitherRule",
+    "MeasurementConfig",
+    "measure_callable",
+    "measure_sampler",
     "run_benchmark",
     "measure_simulated",
     "Factor",
@@ -108,6 +119,8 @@ __all__ = [
     "measure_host_noise",
     "TwoLevelDesign",
     "EffectEstimate",
+    "ScreeningResult",
     "full_factorial_2k",
     "half_fraction_2k",
+    "run_screening",
 ]

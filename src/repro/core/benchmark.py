@@ -1,9 +1,15 @@
 """The measurement loop: warmup, batching, repetitions (Sections 4.1–4.2).
 
-:func:`run_benchmark` is the LibSciBench-style entry point for measuring a
-Python callable; :func:`measure_simulated` is the equivalent for simulated
-workloads that return their own durations.  Both encode the paper's
-experimental-design rules:
+:func:`measure_callable` is the LibSciBench-style entry point for measuring
+a Python callable; :func:`measure_sampler` is the equivalent for simulated
+workloads that return their own durations.  Both consume one
+:class:`MeasurementConfig` — the single declaration of the methodology
+knobs (warmup, batching, stopping, timer, calibration, caps) — so the real
+and simulated paths cannot drift apart.  The original entry points
+:func:`run_benchmark` and :func:`measure_simulated` remain as thin wrappers
+that build the config, so existing call sites migrate incrementally.
+
+The config encodes the paper's experimental-design rules:
 
 * the first iteration(s) are *warmup* and excluded (communication systems
   "establish their working state on demand", Section 4.1.2);
@@ -16,6 +22,7 @@ experimental-design rules:
 from __future__ import annotations
 
 import warnings as _warnings
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -26,65 +33,107 @@ from .measurement import MeasurementSet
 from .stopping import FixedCount, StoppingRule
 from .timer import PerfTimer, Timer, TimerCalibration, calibrate, check_interval
 
-__all__ = ["run_benchmark", "measure_simulated"]
+__all__ = [
+    "MeasurementConfig",
+    "measure_callable",
+    "measure_sampler",
+    "run_benchmark",
+    "measure_simulated",
+]
 
 
-def run_benchmark(
-    fn: Callable[[], Any],
-    *,
-    name: str = "benchmark",
-    warmup: int = 1,
-    batch_k: int = 1,
-    stopping: StoppingRule | None = None,
-    timer: Timer | None = None,
-    calibration: TimerCalibration | None = None,
-    auto_batch: bool = False,
-    max_measurements: int = 1_000_000,
-    metadata: Mapping[str, Any] | None = None,
-) -> MeasurementSet:
-    """Measure the execution time of *fn* with sound methodology.
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """The methodology knobs shared by every measurement entry point.
 
     Parameters
     ----------
-    fn:
-        The operation under test (no arguments; close over inputs).
     warmup:
         Iterations run and *discarded* before measuring.
     batch_k:
-        Events per measured interval.  k > 1 divides each interval by k
-        (sample means) and taints the result set for rank statistics.
+        Events per measured interval (timed path only).  k > 1 divides
+        each interval by k (sample means) and taints the result set for
+        rank statistics.
     stopping:
-        When to stop; default ``FixedCount(30)``.
+        When to stop; ``None`` means ``FixedCount(30)``.  The rule
+        instance is reset at the start of every measurement.
     timer, calibration:
         The clock and (optionally pre-computed) calibration; calibrating
         takes ~10k timer reads, so pass one in when measuring many
-        benchmarks.
+        benchmarks.  Timed path only.
     auto_batch:
         If True, a pilot measurement picks ``batch_k`` automatically so
         the interval satisfies the paper's overhead/resolution criteria.
     max_measurements:
         Hard safety cap on repetitions.
-
-    Returns
-    -------
-    MeasurementSet
-        Per-interval times (seconds), possibly k-batched means, with the
-        methodology recorded in metadata (timer, calibration, stopping
-        rule).
+    chunk:
+        Values drawn per vectorized block (simulated path only); the
+        stopping rule still sees them one at a time.
+    unit:
+        Unit of the collected values (the timed path always measures
+        seconds).
     """
-    check_int(warmup, "warmup", minimum=0)
-    check_int(batch_k, "batch_k", minimum=1)
-    check_int(max_measurements, "max_measurements", minimum=1)
-    timer = timer or PerfTimer()
-    stopping = stopping or FixedCount(30)
+
+    warmup: int = 1
+    batch_k: int = 1
+    stopping: StoppingRule | None = None
+    timer: Timer | None = None
+    calibration: TimerCalibration | None = None
+    auto_batch: bool = False
+    max_measurements: int = 1_000_000
+    chunk: int = 64
+    unit: str = "s"
+
+    def __post_init__(self) -> None:
+        check_int(self.warmup, "warmup", minimum=0)
+        check_int(self.batch_k, "batch_k", minimum=1)
+        check_int(self.max_measurements, "max_measurements", minimum=1)
+        check_int(self.chunk, "chunk", minimum=1)
+        if not self.unit:
+            raise ValidationError("unit must be a non-empty string")
+
+    def replace(self, **overrides: Any) -> "MeasurementConfig":
+        """A copy with the given fields overridden (validated again)."""
+        return _dc_replace(self, **overrides)
+
+    def describe(self) -> str:
+        """The methodology disclosure sentence (Rule 5/9)."""
+        stopping = self.stopping or FixedCount(30)
+        parts = [
+            f"warmup={self.warmup}",
+            f"batch_k={self.batch_k}" + ("(auto)" if self.auto_batch else ""),
+            stopping.describe(),
+            f"cap {self.max_measurements} measurements",
+        ]
+        return "; ".join(parts)
+
+
+def measure_callable(
+    fn: Callable[[], Any],
+    *,
+    name: str = "benchmark",
+    config: MeasurementConfig | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> MeasurementSet:
+    """Measure the execution time of *fn* under *config*'s methodology.
+
+    Returns per-interval times (seconds), possibly k-batched means, with
+    the methodology recorded in metadata (timer, calibration, stopping
+    rule).
+    """
+    config = config or MeasurementConfig()
+    timer = config.timer or PerfTimer()
+    stopping = config.stopping or FixedCount(30)
     stopping.reset()
+    calibration = config.calibration
     if calibration is None:
         calibration = calibrate(timer, samples=2000)
 
-    for _ in range(warmup):
+    for _ in range(config.warmup):
         fn()
 
-    if auto_batch:
+    batch_k = config.batch_k
+    if config.auto_batch:
         t0 = timer.now()
         fn()
         pilot = max(timer.now() - t0, 0.0)
@@ -104,11 +153,11 @@ def run_benchmark(
         elapsed = t1 - total_start
         if stopping.update(per_event, elapsed):
             break
-        if len(values) >= max_measurements:
+        if len(values) >= config.max_measurements:
             _warnings.warn(
                 f"{name}: stopping rule unsatisfied after "
-                f"{max_measurements} measurements; results may not meet the "
-                "requested precision",
+                f"{config.max_measurements} measurements; results may not "
+                "meet the requested precision",
                 stacklevel=2,
             )
             break
@@ -129,11 +178,98 @@ def run_benchmark(
         values=np.asarray(values),
         unit="s",
         name=name,
-        warmup_dropped=warmup,
+        warmup_dropped=config.warmup,
         batch_k=batch_k,
         deterministic=False,
         metadata=md,
     )
+
+
+def measure_sampler(
+    sample_fn: Callable[[int], np.ndarray],
+    *,
+    name: str,
+    config: MeasurementConfig | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> MeasurementSet:
+    """Collect measurements from a simulated workload under *config*.
+
+    ``sample_fn(n)`` must return *n* fresh measurement values (the
+    simulator equivalents of timed runs).  Values are drawn in
+    ``config.chunk``-sized blocks for vectorization; the stopping rule
+    still sees them one at a time, so the sequential-CI semantics match
+    the real loop.
+    """
+    config = config or MeasurementConfig(warmup=0, max_measurements=10_000_000)
+    stopping = config.stopping or FixedCount(30)
+    stopping.reset()
+    if config.warmup:
+        sample_fn(config.warmup)  # discarded
+    values: list[float] = []
+    elapsed = 0.0
+    done = False
+    while not done:
+        block = np.asarray(sample_fn(config.chunk), dtype=np.float64).ravel()
+        if block.size == 0:
+            raise ValidationError("sample_fn returned no values")
+        for v in block:
+            values.append(float(v))
+            elapsed += float(v)
+            if stopping.update(float(v), elapsed):
+                done = True
+                break
+            if len(values) >= config.max_measurements:
+                _warnings.warn(
+                    f"{name}: stopping rule unsatisfied after "
+                    f"{config.max_measurements} simulated measurements",
+                    stacklevel=2,
+                )
+                done = True
+                break
+    md = dict(metadata or {})
+    md.update(stopping=stopping.describe(), simulated=True)
+    return MeasurementSet(
+        values=np.asarray(values),
+        unit=config.unit,
+        name=name,
+        warmup_dropped=config.warmup,
+        batch_k=1,
+        deterministic=False,
+        metadata=md,
+    )
+
+
+# --------------------------------------------------------------------------
+# Historical entry points: thin wrappers building a MeasurementConfig
+# --------------------------------------------------------------------------
+
+
+def run_benchmark(
+    fn: Callable[[], Any],
+    *,
+    name: str = "benchmark",
+    warmup: int = 1,
+    batch_k: int = 1,
+    stopping: StoppingRule | None = None,
+    timer: Timer | None = None,
+    calibration: TimerCalibration | None = None,
+    auto_batch: bool = False,
+    max_measurements: int = 1_000_000,
+    metadata: Mapping[str, Any] | None = None,
+) -> MeasurementSet:
+    """Measure *fn* with sound methodology (wrapper over
+    :func:`measure_callable`; see :class:`MeasurementConfig` for the
+    parameter semantics)."""
+    config = MeasurementConfig(
+        warmup=warmup,
+        batch_k=batch_k,
+        stopping=stopping,
+        timer=timer,
+        calibration=calibration,
+        auto_batch=auto_batch,
+        max_measurements=max_measurements,
+    )
+    return measure_callable(fn, name=name, config=config, metadata=metadata)
 
 
 def measure_simulated(
@@ -147,48 +283,14 @@ def measure_simulated(
     max_measurements: int = 10_000_000,
     metadata: Mapping[str, Any] | None = None,
 ) -> MeasurementSet:
-    """Collect measurements from a simulated workload under a stopping rule.
-
-    ``sample_fn(n)`` must return *n* fresh measurement values (the
-    simulator equivalents of timed runs).  Values are drawn in chunks for
-    vectorization; the stopping rule still sees them one at a time, so the
-    sequential-CI semantics match the real loop.
-    """
-    check_int(warmup, "warmup", minimum=0)
-    check_int(chunk, "chunk", minimum=1)
-    stopping = stopping or FixedCount(30)
-    stopping.reset()
-    if warmup:
-        sample_fn(warmup)  # discarded
-    values: list[float] = []
-    elapsed = 0.0
-    done = False
-    while not done:
-        block = np.asarray(sample_fn(chunk), dtype=np.float64).ravel()
-        if block.size == 0:
-            raise ValidationError("sample_fn returned no values")
-        for v in block:
-            values.append(float(v))
-            elapsed += float(v)
-            if stopping.update(float(v), elapsed):
-                done = True
-                break
-            if len(values) >= max_measurements:
-                _warnings.warn(
-                    f"{name}: stopping rule unsatisfied after "
-                    f"{max_measurements} simulated measurements",
-                    stacklevel=2,
-                )
-                done = True
-                break
-    md = dict(metadata or {})
-    md.update(stopping=stopping.describe(), simulated=True)
-    return MeasurementSet(
-        values=np.asarray(values),
+    """Collect simulated measurements under a stopping rule (wrapper over
+    :func:`measure_sampler`; see :class:`MeasurementConfig` for the
+    parameter semantics)."""
+    config = MeasurementConfig(
+        warmup=warmup,
+        stopping=stopping,
+        chunk=chunk,
+        max_measurements=max_measurements,
         unit=unit,
-        name=name,
-        warmup_dropped=warmup,
-        batch_k=1,
-        deterministic=False,
-        metadata=md,
     )
+    return measure_sampler(sample_fn, name=name, config=config, metadata=metadata)

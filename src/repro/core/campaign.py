@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import ValidationError
+from ..exec import ExecHooks, Executor, ResultCache
 from ..stats.compare import TestOutcome
 from ..stats.nonparametric import mann_whitney
 from .environment import EnvironmentSpec
@@ -152,6 +153,44 @@ class Campaign:
         spec = EnvironmentSpec(**fields) if fields else EnvironmentSpec()
         spec.extra.update(extra)
         return spec
+
+    # -- execution --------------------------------------------------------
+
+    def result_cache(self) -> ResultCache:
+        """The campaign's content-addressed task-result cache.
+
+        Lives under ``<campaign>/cache/`` so re-running a campaign in the
+        same directory only measures new or changed design points.
+        """
+        return ResultCache(self.path / "cache")
+
+    def run(
+        self,
+        experiment,
+        *,
+        executor: Executor | None = None,
+        hooks: ExecHooks | None = None,
+        use_cache: bool = True,
+        record: bool = True,
+        overwrite: bool = False,
+    ):
+        """Run *experiment* through the execution engine into this campaign.
+
+        Fans the experiment's tasks out over *executor* (serial by
+        default), answering previously measured (workload, point, seed,
+        methodology) combinations from :meth:`result_cache` — the
+        continuous-benchmarking workflow where a second run of the same
+        campaign performs zero new measurements.  With ``record=True``
+        every per-point dataset is persisted via :meth:`record`.
+
+        Returns the :class:`~repro.core.experiment.ExperimentResult`.
+        """
+        cache = self.result_cache() if use_cache else None
+        result = experiment.run(executor=executor, cache=cache, hooks=hooks)
+        if record:
+            for ms in result.datasets.values():
+                self.record(ms, overwrite=overwrite)
+        return result
 
     # -- analysis ---------------------------------------------------------
 

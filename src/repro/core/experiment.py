@@ -6,16 +6,28 @@ point, runs execute in randomized order (Section 4.1.1), and results land in
 per-point :class:`~repro.core.measurement.MeasurementSet` objects together
 with the environment description — everything a Rule 9-compliant report
 needs, in one object.
+
+Execution goes through the :mod:`repro.exec` engine: pass ``executor=`` to
+fan replications out over worker processes, ``cache=`` to reuse previously
+measured points, and ``hooks=`` to observe progress.  Tasks are seeded
+deterministically from ``Experiment.seed`` via
+:meth:`numpy.random.SeedSequence.spawn` in *canonical* design order, so the
+same experiment produces bit-identical datasets under any executor.  A
+measurement function may accept the derived generator as a third argument
+(``measure(point, rep, rng)``); two-argument callables keep the legacy
+contract.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from ..errors import DesignError, ValidationError
+from ..errors import ExecutionError, ReproError, ValidationError
+from ..exec import ExecHooks, Executor, ResultCache, SerialExecutor
+from ..exec.engine import make_tasks, run_measurement_tasks
 from .design import FactorialDesign
 from .environment import EnvironmentSpec
 from .measurement import MeasurementSet
@@ -26,8 +38,28 @@ PointKey = tuple[tuple[str, Any], ...]
 
 
 def _point_key(point: Mapping[str, Any]) -> PointKey:
-    """Canonical hashable key of a design point (replication stripped)."""
-    return tuple(sorted((k, v) for k, v in point.items() if k != "__rep__"))
+    """Canonical hashable key of a design point (replication stripped).
+
+    Factor values must be hashable (they become dict keys downstream);
+    an unhashable value is reported early, with the offending factor
+    named, instead of surfacing as a bare ``TypeError`` deep in the
+    machinery.  Sorting is by factor *name* only, so mixed-type values
+    (say ``p=4`` next to ``placement="packed"``) never get compared.
+    """
+    items = []
+    for name, value in point.items():
+        if name == "__rep__":
+            continue
+        try:
+            hash(value)
+        except TypeError as exc:
+            raise ValidationError(
+                f"factor {name!r} has unhashable value {value!r} "
+                f"({type(value).__name__}); design-point factor values must "
+                "be hashable"
+            ) from exc
+        items.append((str(name), value))
+    return tuple(sorted(items, key=lambda kv: kv[0]))
 
 
 @dataclass(frozen=True)
@@ -95,51 +127,142 @@ class Experiment:
     Parameters
     ----------
     name:
-        Experiment identifier.
+        Experiment identifier (also the cache's workload id).
     design:
         The factorial design (factors, levels, replications).
     measure:
         ``measure(point, rep) -> float | ndarray`` producing one or more
-        measurement values for a design point.  It receives the replication
-        index so simulated workloads can derive per-replication seeds.
+        measurement values for a design point, or ``measure(point, rep,
+        rng)`` to receive the task's deterministically derived
+        :class:`numpy.random.Generator` as well.  Must be picklable
+        (module-level, not a lambda) to run under a
+        :class:`~repro.exec.ProcessExecutor`.
     unit:
         Unit of the returned values.
     environment:
         Setup documentation attached to the result (Rule 9).
     order_seed:
         Seed of the randomized run order.
+    seed:
+        Master seed of the per-task RNG derivation (defaults to
+        ``order_seed`` so a single seed drives the whole experiment).
+    executor:
+        Default execution engine for :meth:`run`; ``None`` means a
+        fail-fast :class:`~repro.exec.SerialExecutor`.
     """
 
     name: str
     design: FactorialDesign
-    measure: Callable[[dict[str, Any], int], float | np.ndarray]
+    measure: Callable[..., float | np.ndarray]
     unit: str = "s"
     environment: EnvironmentSpec | None = None
     order_seed: int = 0
+    seed: int | None = None
+    executor: Executor | None = None
 
-    def run(self) -> ExperimentResult:
-        """Execute all runs in randomized order and collect datasets."""
+    def _tasks(self):
+        """Seeded tasks in canonical design order (the seeding contract)."""
+        master = self.order_seed if self.seed is None else self.seed
+        canonical = [
+            (point, rep)
+            for point in self.design.points()
+            for rep in range(self.design.replications)
+        ]
+        methodology = {"design": self.design.describe(), "unit": self.unit}
+        return (
+            make_tasks(
+                self.name,
+                canonical,
+                self.measure,
+                master_seed=master,
+                methodology=methodology,
+            ),
+            {
+                (_point_key(point), rep): i
+                for i, (point, rep) in enumerate(canonical)
+            },
+        )
+
+    def run(
+        self,
+        *,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        hooks: ExecHooks | None = None,
+    ) -> ExperimentResult:
+        """Execute all runs and collect datasets (randomized run order).
+
+        Measurement happens through the execution engine; values are
+        assembled into per-point datasets following the randomized run
+        order, exactly as the historical serial loop did, so results are
+        identical whichever executor did the work.  A task that fails
+        permanently is recorded in its dataset's metadata; a design point
+        left with *no* values raises (:class:`ExecutionError`, or the
+        original library error when there is one).
+        """
+        executor = executor or self.executor or SerialExecutor(retries=0)
+        tasks, index_of = self._tasks()
+        results = run_measurement_tasks(
+            tasks, executor=executor, cache=cache, hooks=hooks
+        )
+
         buckets: dict[PointKey, list[float]] = {}
+        failures: dict[PointKey, list[tuple[int, str]]] = {}
+        cached_counts: dict[PointKey, int] = {}
+        attempts: dict[PointKey, int] = {}
         order: list[PointKey] = []
         for run in self.design.run_order(self.order_seed):
             rep = run["__rep__"]
             point = {k: v for k, v in run.items() if k != "__rep__"}
             key = _point_key(point)
-            out = self.measure(point, rep)
-            values = np.atleast_1d(np.asarray(out, dtype=np.float64)).ravel()
-            if values.size == 0:
-                raise DesignError(f"measure() returned no values for {point!r}")
-            buckets.setdefault(key, []).extend(float(v) for v in values)
+            res = results[index_of[(key, rep)]]
             order.append(key)
-        datasets = {
-            key: MeasurementSet(
+            bucket = buckets.setdefault(key, [])
+            if res.ok:
+                bucket.extend(float(v) for v in res.values)
+            else:
+                failures.setdefault(key, []).append((rep, res.error or "failed"))
+            if res.cached:
+                cached_counts[key] = cached_counts.get(key, 0) + 1
+            attempts[key] = attempts.get(key, 0) + res.attempts
+
+        for key, fails in failures.items():
+            if not buckets.get(key):
+                # Every replication of this point failed: surface the
+                # original error when the engine preserved one.
+                for res in results:
+                    if res.task.point == key and isinstance(res.exception, ReproError):
+                        raise res.exception
+                raise ExecutionError(
+                    f"design point {dict(key)!r} produced no values; "
+                    f"failures: {fails}"
+                )
+
+        datasets = {}
+        for key, vals in buckets.items():
+            md: dict[str, Any] = {"design": self.design.describe()}
+            reps_here = self.design.replications
+            exec_md: dict[str, Any] = {}
+            if cached_counts.get(key):
+                exec_md["cached_tasks"] = cached_counts[key]
+            # Every executed (non-cached) task spends one non-retry attempt;
+            # anything beyond that was a retry.
+            executed = reps_here - cached_counts.get(key, 0)
+            extra_attempts = attempts.get(key, 0) - executed
+            if key in failures:
+                exec_md["failed_reps"] = [
+                    {"rep": rep, "error": err} for rep, err in failures[key]
+                ]
+            if extra_attempts > 0:
+                exec_md["retried_attempts"] = extra_attempts
+            if exec_md:
+                md["exec"] = exec_md
+            datasets[key] = MeasurementSet(
                 values=np.asarray(vals),
                 unit=self.unit,
                 name=f"{self.name} @ {dict(key)!r}",
-                metadata={"design": self.design.describe()},
+                metadata=md,
             )
-            for key, vals in buckets.items()
-        }
         return ExperimentResult(
             name=self.name,
             unit=self.unit,

@@ -17,14 +17,23 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from .._validation import check_int
-from ..errors import DesignError
+from ..errors import DesignError, ExecutionError, ReproError
+from ..exec import ExecHooks, Executor, ResultCache
+from ..exec.engine import make_tasks, run_measurement_tasks
 
-__all__ = ["TwoLevelDesign", "full_factorial_2k", "half_fraction_2k", "EffectEstimate"]
+__all__ = [
+    "TwoLevelDesign",
+    "full_factorial_2k",
+    "half_fraction_2k",
+    "EffectEstimate",
+    "ScreeningResult",
+    "run_screening",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +125,100 @@ class TwoLevelDesign:
             effect = float(y[col > 0].mean() - y[col < 0].mean())
             out.append(EffectEstimate(name=name, effect=effect))
         return out
+
+
+@dataclass(frozen=True)
+class ScreeningResult:
+    """A measured two-level screening: responses and effect estimates.
+
+    ``responses`` holds one summarized response per design row (the
+    per-row mean over replications, by default); ``row_values`` the raw
+    values each response was summarized from, for variability checks.
+    """
+
+    design: TwoLevelDesign
+    settings: tuple[dict[str, Any], ...]
+    responses: np.ndarray
+    row_values: tuple[np.ndarray, ...]
+    effects: tuple[EffectEstimate, ...]
+
+    def effect(self, name: str) -> float:
+        """The estimated main effect of factor *name*."""
+        for e in self.effects:
+            if e.name == name:
+                return e.effect
+        raise DesignError(f"no factor {name!r} in {self.design.factor_names}")
+
+    def ranked(self) -> list[EffectEstimate]:
+        """Effects sorted by absolute magnitude, largest first."""
+        return sorted(self.effects, key=lambda e: abs(e.effect), reverse=True)
+
+
+def run_screening(
+    design: TwoLevelDesign,
+    measure: Callable[..., float | np.ndarray],
+    *,
+    levels: dict[str, tuple] | None = None,
+    replications: int = 1,
+    seed: int = 0,
+    summary: Callable[[np.ndarray], float] = np.mean,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+    hooks: ExecHooks | None = None,
+    workload: str = "screening",
+) -> ScreeningResult:
+    """Measure a two-level design through the execution engine.
+
+    Each design row (with actual *levels* substituted) becomes
+    ``replications`` tasks; ``measure(point, rep)`` — or ``measure(point,
+    rep, rng)`` to receive the deterministically derived per-task
+    generator — produces the response values.  Tasks fan out over
+    *executor* with the engine's caching and fault tolerance, then per-row
+    responses are summarized (*summary*, default mean — the classic
+    effects-from-row-means analysis) and main effects estimated by
+    orthogonal contrasts.
+    """
+    check_int(replications, "replications", minimum=1)
+    settings = tuple(design.settings(levels))
+    runs = [(row, rep) for row in settings for rep in range(replications)]
+    methodology = {
+        "screening": f"two-level, {design.n_runs} runs x {design.k} factors",
+        "replications": replications,
+    }
+    tasks = make_tasks(
+        workload, runs, measure, master_seed=seed, methodology=methodology
+    )
+    results = run_measurement_tasks(
+        tasks, executor=executor, cache=cache, hooks=hooks
+    )
+    row_values = []
+    for r, row in enumerate(settings):
+        vals: list[float] = []
+        for rep in range(replications):
+            res = results[r * replications + rep]
+            if res.ok:
+                vals.extend(float(v) for v in res.values)
+        if not vals:
+            for rep in range(replications):
+                res = results[r * replications + rep]
+                if isinstance(res.exception, ReproError):
+                    raise res.exception
+            errors = [
+                results[r * replications + rep].error
+                for rep in range(replications)
+            ]
+            raise ExecutionError(
+                f"screening row {row!r} produced no values; failures: {errors}"
+            )
+        row_values.append(np.asarray(vals))
+    responses = np.array([float(summary(v)) for v in row_values])
+    return ScreeningResult(
+        design=design,
+        settings=settings,
+        responses=responses,
+        row_values=tuple(row_values),
+        effects=tuple(design.estimate_effects(responses)),
+    )
 
 
 def full_factorial_2k(factor_names: Sequence[str]) -> TwoLevelDesign:

@@ -15,6 +15,7 @@ __all__ = [
     "TimerError",
     "DesignError",
     "SimulationError",
+    "ExecutionError",
     "RuleViolation",
     "SurveyError",
 ]
@@ -59,6 +60,12 @@ class DesignError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulated machine was asked to do something unphysical."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A campaign task failed permanently (retries exhausted) or the
+    engine was asked to assemble results from a point with no surviving
+    measurements."""
 
 
 class RuleViolation(ReproError):

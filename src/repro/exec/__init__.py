@@ -1,0 +1,41 @@
+"""The campaign execution engine (:mod:`repro.exec`).
+
+Fans experiment design points and replications out across worker
+processes with deterministic per-task seeding
+(:meth:`numpy.random.SeedSequence.spawn`), a content-addressed on-disk
+result cache, bounded-backoff fault tolerance, and progress/metrics
+hooks.  :class:`SerialExecutor` and :class:`ProcessExecutor` are
+interchangeable behind the library-wide ``executor=`` seam
+(:class:`repro.core.Experiment`, :class:`repro.core.Campaign`,
+:func:`repro.core.run_screening`, and the ``figures`` CLI command).
+"""
+
+from .cache import ResultCache, task_fingerprint
+from .engine import (
+    Executor,
+    MeasurementTask,
+    Outcome,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskResult,
+    make_tasks,
+    run_measurement_tasks,
+)
+from .hooks import ExecHooks
+from .seeding import spawn_task_seeds, task_seed_id
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "MeasurementTask",
+    "TaskResult",
+    "Outcome",
+    "make_tasks",
+    "run_measurement_tasks",
+    "ResultCache",
+    "task_fingerprint",
+    "ExecHooks",
+    "spawn_task_seeds",
+    "task_seed_id",
+]

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk cache of task results.
+
+Vogelsang et al. ("Continuous benchmarking") observe that sustained
+benchmarking campaigns only stay affordable when re-execution is
+incremental: results that already exist are looked up, not re-measured.
+
+A cache entry is keyed by the BLAKE2 digest of the task's *identity*:
+
+``(workload id, design point, seed id, methodology metadata)``
+
+serialized canonically (sorted keys, ``repr`` for factor values so mixed
+types hash stably).  Anything that would change the measured values —
+a different workload, point, master seed, or methodology knob — changes
+the fingerprint and misses; cosmetic changes (executor choice, worker
+count, run order) do not appear in the key at all, by design, because the
+seeding contract makes them observationally irrelevant.
+
+Entries are one JSON file each under a two-level fan-out directory
+(``ab/abcdef....json``), written atomically via rename, so concurrent
+campaigns sharing a cache directory at worst duplicate work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ResultCache", "task_fingerprint"]
+
+
+def _canonical(obj: Any) -> Any:
+    """Make *obj* JSON-serializable with a stable textual form."""
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def task_fingerprint(
+    workload: str,
+    point: Mapping[str, Any],
+    seed_id: tuple[int, int],
+    methodology: Mapping[str, Any] | None = None,
+) -> str:
+    """The cache key of one measurement task.
+
+    ``seed_id`` is the ``(master_seed, canonical_index)`` pair from
+    :func:`repro.exec.seeding.task_seed_id`; ``methodology`` carries
+    whatever knobs change the measured values (stopping rule, warmup,
+    replication index, ...).
+    """
+    payload = {
+        "workload": str(workload),
+        "point": [[k, repr(point[k])] for k in sorted(point, key=str)],
+        "seed": [int(seed_id[0]), int(seed_id[1])],
+        "methodology": _canonical(dict(methodology or {})),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed measurement results."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, fingerprint: str) -> Path:
+        if len(fingerprint) < 8 or not all(c in "0123456789abcdef" for c in fingerprint):
+            raise ValidationError(f"malformed cache fingerprint {fingerprint!r}")
+        return self.path / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> tuple[np.ndarray, dict[str, Any]] | None:
+        """The cached ``(values, metadata)`` for *fingerprint*, or None."""
+        entry = self._entry(fingerprint)
+        if not entry.exists():
+            return None
+        try:
+            payload = json.loads(entry.read_text())
+            values = np.asarray(payload["values"], dtype=np.float64)
+            metadata = dict(payload.get("metadata", {}))
+        except (KeyError, ValueError, json.JSONDecodeError):
+            # A torn or hand-edited entry is treated as a miss, not a crash.
+            return None
+        return values, metadata
+
+    def put(
+        self,
+        fingerprint: str,
+        values: np.ndarray,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Store ``(values, metadata)`` under *fingerprint* atomically."""
+        entry = self._entry(fingerprint)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": fingerprint,
+            "values": [float(v) for v in np.asarray(values, dtype=np.float64).ravel()],
+            "metadata": _canonical(dict(metadata or {})),
+        }
+        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.path.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

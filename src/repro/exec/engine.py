@@ -1,0 +1,521 @@
+"""The campaign execution engine: fan tasks out, retry faults, keep order.
+
+The paper's methodology multiplies measurement counts fast — randomized
+run order x replications x CI-driven stopping — so the execution core is
+an engine, not a for-loop.  Two executors share one contract:
+
+* :class:`SerialExecutor` runs tasks in-process, in order — the debugging
+  and single-core baseline;
+* :class:`ProcessExecutor` fans tasks out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, with bounded-backoff
+  retries, per-attempt timeouts, and pool recreation after a worker
+  crash, so one bad task is recorded rather than fatal.
+
+Determinism is *not* the executor's job: every task carries a
+pre-spawned :class:`numpy.random.SeedSequence`
+(:mod:`repro.exec.seeding`), so results are bit-identical across
+executors and worker counts.  The measurement layer
+(:func:`run_measurement_tasks`) adds the content-addressed result cache
+(:mod:`repro.exec.cache`) and the metrics hooks
+(:mod:`repro.exec.hooks`) on top of either executor.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_int, check_nonneg
+from ..errors import DesignError, ValidationError
+from .cache import ResultCache, task_fingerprint
+from .hooks import ExecHooks
+from .seeding import spawn_task_seeds, task_seed_id
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "MeasurementTask",
+    "TaskResult",
+    "Outcome",
+    "make_tasks",
+    "run_measurement_tasks",
+]
+
+
+# --------------------------------------------------------------------------
+# Generic task execution (any picklable worker/items)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Outcome:
+    """What happened to one item handed to an executor.
+
+    ``exception`` holds the final attempt's exception object when one is
+    available in the parent process (worker exceptions cross the process
+    boundary via the future); ``error`` is always a string.
+    """
+
+    index: int
+    value: Any = None
+    ok: bool = False
+    attempts: int = 0
+    wall_time: float = 0.0
+    error: str | None = None
+    exception: BaseException | None = None
+
+
+class Executor:
+    """Common retry bookkeeping shared by the concrete executors.
+
+    ``retries`` is the number of *re*-attempts after the first failure;
+    backoff between attempt k and k+1 is ``min(backoff * 2**(k-1),
+    max_backoff)`` seconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> None:
+        self.retries = check_int(retries, "retries", minimum=0)
+        self.backoff = check_nonneg(backoff, "backoff")
+        self.max_backoff = check_nonneg(max_backoff, "max_backoff")
+
+    def _delay(self, attempt: int) -> float:
+        """Backoff before re-running a task that failed *attempt* times."""
+        if self.backoff == 0.0:
+            return 0.0
+        return min(self.backoff * (2.0 ** max(attempt - 1, 0)), self.max_backoff)
+
+    def run(
+        self,
+        worker: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        labels: Sequence[str] | None = None,
+        hooks: ExecHooks | None = None,
+    ) -> list[Outcome]:
+        """Run ``worker(item)`` for every item; never raises for task faults."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _labels(items: Sequence[Any], labels: Sequence[str] | None) -> list[str]:
+        if labels is None:
+            return [f"task[{i}]" for i in range(len(items))]
+        if len(labels) != len(items):
+            raise ValidationError(
+                f"got {len(labels)} labels for {len(items)} items"
+            )
+        return [str(l) for l in labels]
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the reference and debugging engine."""
+
+    def run(
+        self,
+        worker: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        labels: Sequence[str] | None = None,
+        hooks: ExecHooks | None = None,
+    ) -> list[Outcome]:
+        hooks = hooks or ExecHooks()
+        names = self._labels(items, labels)
+        outcomes: list[Outcome] = []
+        for i, item in enumerate(items):
+            hooks.record("submitted", names[i])
+            out = Outcome(index=i)
+            while True:
+                out.attempts += 1
+                start = time.monotonic()
+                try:
+                    out.value = worker(item)
+                except Exception as exc:  # noqa: BLE001 - fault boundary
+                    out.wall_time += time.monotonic() - start
+                    out.error = f"{type(exc).__name__}: {exc}"
+                    out.exception = exc
+                    if out.attempts <= self.retries:
+                        hooks.record("retried", names[i])
+                        time.sleep(self._delay(out.attempts))
+                        continue
+                    hooks.record("failed", names[i])
+                else:
+                    out.wall_time += time.monotonic() - start
+                    out.ok = True
+                    out.error = None
+                    out.exception = None
+                    hooks.record("completed", names[i], seconds=out.wall_time)
+                break
+            outcomes.append(out)
+        return outcomes
+
+
+class ProcessExecutor(Executor):
+    """Process-pool fan-out with crash/timeout fault tolerance.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (default: ``os.cpu_count()``).
+    timeout:
+        Per-attempt wall-clock limit in seconds.  A timed-out attempt
+        counts as a failure (retried with backoff); the pool is torn down
+        and recreated because a stuck worker cannot be reclaimed, and
+        innocent in-flight tasks are resubmitted without burning one of
+        their attempts.
+    retries, backoff, max_backoff:
+        As for :class:`Executor`.
+
+    Workers receive tasks by pickling: the worker callable and every item
+    must be picklable (module-level functions, not lambdas or closures).
+    """
+
+    _TICK = 0.05  # seconds between scheduler wake-ups
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> None:
+        super().__init__(retries=retries, backoff=backoff, max_backoff=max_backoff)
+        if max_workers is not None:
+            check_int(max_workers, "max_workers", minimum=1)
+        self.max_workers = max_workers
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ValidationError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard (used after a timeout or crash)."""
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+        except Exception:  # pragma: no cover - interpreter-version defensive
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run(
+        self,
+        worker: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        labels: Sequence[str] | None = None,
+        hooks: ExecHooks | None = None,
+    ) -> list[Outcome]:
+        hooks = hooks or ExecHooks()
+        names = self._labels(items, labels)
+        outcomes = [Outcome(index=i) for i in range(len(items))]
+        # Scheduler state: (index, attempt_number, not_before_monotonic).
+        pending: deque[tuple[int, int, float]] = deque(
+            (i, 1, 0.0) for i in range(len(items))
+        )
+        inflight: dict[Any, tuple[int, int, float]] = {}
+        pool = self._new_pool()
+        width = self.max_workers or (pool._max_workers)
+
+        def fail(
+            i: int, attempt: int, message: str, exc: BaseException | None = None
+        ) -> None:
+            out = outcomes[i]
+            out.attempts = attempt
+            out.error = message
+            out.exception = exc
+            if attempt <= self.retries:
+                hooks.record("retried", names[i])
+                pending.append((i, attempt + 1, time.monotonic() + self._delay(attempt)))
+            else:
+                out.ok = False
+                hooks.record("failed", names[i])
+
+        def requeue_inflight(except_future: Any) -> None:
+            """Resubmit innocent in-flight tasks after a pool teardown."""
+            for fut, (oi, oattempt, _) in inflight.items():
+                if fut is not except_future:
+                    # Not the task's fault: same attempt number, no backoff.
+                    pending.appendleft((oi, oattempt, 0.0))
+            inflight.clear()
+
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                while pending and len(inflight) < width:
+                    i, attempt, ready_at = pending[0]
+                    if ready_at > now:
+                        break
+                    pending.popleft()
+                    future = pool.submit(worker, items[i])
+                    inflight[future] = (i, attempt, time.monotonic())
+                    if attempt == 1:
+                        hooks.record("submitted", names[i])
+                if not inflight:
+                    # Nothing running: sleep until the earliest retry is due.
+                    next_ready = min(entry[2] for entry in pending)
+                    time.sleep(max(min(next_ready - time.monotonic(), self._TICK), 0.0))
+                    continue
+                done, _ = wait(set(inflight), timeout=self._TICK,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    i, attempt, started = inflight.pop(future)
+                    elapsed = time.monotonic() - started
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        # The pool died under this task; rebuild and retry.
+                        outcomes[i].wall_time += elapsed
+                        fail(i, attempt, "worker process crashed (pool broken)")
+                        requeue_inflight(future)
+                        self._kill_pool(pool)
+                        pool = self._new_pool()
+                        broken = True
+                        break
+                    except Exception as exc:  # noqa: BLE001 - fault boundary
+                        outcomes[i].wall_time += elapsed
+                        fail(i, attempt, f"{type(exc).__name__}: {exc}", exc)
+                    else:
+                        out = outcomes[i]
+                        out.value = value
+                        out.ok = True
+                        out.error = None
+                        out.attempts = attempt
+                        out.wall_time += elapsed
+                        hooks.record("completed", names[i], seconds=elapsed)
+                if broken:
+                    continue
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    stuck = next(
+                        (
+                            (fut, i, attempt, started)
+                            for fut, (i, attempt, started) in inflight.items()
+                            if now - started > self.timeout
+                        ),
+                        None,
+                    )
+                    if stuck is not None:
+                        future, i, attempt, started = stuck
+                        del inflight[future]
+                        outcomes[i].wall_time += now - started
+                        fail(i, attempt, f"task exceeded timeout of {self.timeout:g} s")
+                        requeue_inflight(None)
+                        self._kill_pool(pool)
+                        pool = self._new_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes
+
+
+# --------------------------------------------------------------------------
+# Measurement tasks: seeding + caching on top of the generic executors
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """One unit of measurement work: a design point x replication.
+
+    ``index`` is the task's position in the *canonical* enumeration of the
+    campaign (the seed-derivation order), ``seed`` the pre-spawned
+    sequence for this task, and ``seed_id`` its stable ``(master, index)``
+    identity used in cache fingerprints.  ``methodology`` holds whatever
+    metadata changes measured values and must therefore invalidate the
+    cache.
+    """
+
+    workload: str
+    point: tuple[tuple[str, Any], ...]
+    rep: int
+    index: int
+    seed: np.random.SeedSequence | None
+    seed_id: tuple[int, int]
+    measure: Callable[..., Any]
+    pass_rng: bool
+    methodology: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload} @ {dict(self.point)!r} rep={self.rep}"
+
+    def fingerprint(self) -> str:
+        """The content-addressed cache key of this task."""
+        methodology = dict(self.methodology)
+        methodology["__rep__"] = self.rep
+        return task_fingerprint(
+            self.workload, dict(self.point), self.seed_id, methodology
+        )
+
+
+@dataclass
+class TaskResult:
+    """The outcome of one measurement task, cached or fresh."""
+
+    task: MeasurementTask
+    values: np.ndarray | None
+    ok: bool
+    cached: bool = False
+    attempts: int = 0
+    wall_time: float = 0.0
+    error: str | None = None
+    exception: BaseException | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def _accepts_rng(measure: Callable[..., Any]) -> bool:
+    """Does ``measure`` take a third (rng) argument?
+
+    Two-argument callables keep the legacy ``measure(point, rep)``
+    contract; three-argument callables opt into the engine's deterministic
+    per-task generator as ``measure(point, rep, rng)``.
+    """
+    try:
+        sig = inspect.signature(measure)
+    except (TypeError, ValueError):  # builtins without introspection
+        return False
+    positional = 0
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 3
+
+
+def make_tasks(
+    workload: str,
+    runs: Sequence[tuple[Mapping[str, Any], int]],
+    measure: Callable[..., Any],
+    *,
+    master_seed: int = 0,
+    methodology: Mapping[str, Any] | None = None,
+) -> list[MeasurementTask]:
+    """Build seeded tasks from ``(point, rep)`` pairs in canonical order.
+
+    The order of *runs* defines seed assignment: call this with the
+    design's canonical enumeration (not the randomized run order) so the
+    same campaign always derives the same seeds.
+    """
+    seeds = spawn_task_seeds(master_seed, len(runs))
+    pass_rng = _accepts_rng(measure)
+    methodology_items = tuple(sorted((dict(methodology or {})).items()))
+    tasks = []
+    for index, (point, rep) in enumerate(runs):
+        tasks.append(
+            MeasurementTask(
+                workload=workload,
+                point=tuple(sorted(point.items(), key=lambda kv: kv[0])),
+                rep=check_int(rep, "rep", minimum=0),
+                index=index,
+                seed=seeds[index],
+                seed_id=task_seed_id(master_seed, index),
+                measure=measure,
+                pass_rng=pass_rng,
+                methodology=methodology_items,
+            )
+        )
+    return tasks
+
+
+def _measure_worker(task: MeasurementTask) -> np.ndarray:
+    """Execute one task (runs inside a worker process for ProcessExecutor)."""
+    point = dict(task.point)
+    if task.pass_rng:
+        rng = np.random.default_rng(task.seed)
+        out = task.measure(point, task.rep, rng)
+    else:
+        out = task.measure(point, task.rep)
+    values = np.atleast_1d(np.asarray(out, dtype=np.float64)).ravel()
+    if values.size == 0:
+        raise DesignError(f"measure() returned no values for {point!r}")
+    return values
+
+
+def run_measurement_tasks(
+    tasks: Sequence[MeasurementTask],
+    *,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+    hooks: ExecHooks | None = None,
+) -> list[TaskResult]:
+    """Run measurement tasks through an executor, with caching and metrics.
+
+    Cache hits are answered without touching the executor; misses are
+    executed (with the executor's fault tolerance) and stored.  The
+    returned list is ordered like *tasks*.  Task failures are *returned*
+    (``ok=False``, error recorded), not raised — campaign-level policy
+    decides whether a hole is fatal.
+    """
+    executor = executor or SerialExecutor()
+    hooks = hooks or ExecHooks()
+    results: list[TaskResult | None] = [None] * len(tasks)
+    misses: list[int] = []
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(task.fingerprint())
+            if hit is not None:
+                values, metadata = hit
+                hooks.record("cached", task.label)
+                results[i] = TaskResult(
+                    task=task,
+                    values=values,
+                    ok=True,
+                    cached=True,
+                    attempts=0,
+                    wall_time=0.0,
+                    metadata=metadata,
+                )
+                continue
+        misses.append(i)
+    if misses:
+        outcomes = executor.run(
+            _measure_worker,
+            [tasks[i] for i in misses],
+            labels=[tasks[i].label for i in misses],
+            hooks=hooks,
+        )
+        for slot, outcome in zip(misses, outcomes):
+            task = tasks[slot]
+            metadata = {
+                "attempts": outcome.attempts,
+                "wall_time_s": outcome.wall_time,
+            }
+            if outcome.error is not None:
+                metadata["error"] = outcome.error
+            results[slot] = TaskResult(
+                task=task,
+                values=outcome.value if outcome.ok else None,
+                ok=outcome.ok,
+                cached=False,
+                attempts=outcome.attempts,
+                wall_time=outcome.wall_time,
+                error=outcome.error,
+                exception=outcome.exception,
+                metadata=metadata,
+            )
+            if outcome.ok and cache is not None:
+                cache.put(task.fingerprint(), outcome.value, metadata)
+    return [r for r in results if r is not None]

@@ -11,6 +11,7 @@ defaults are full fidelity, tests use smaller n.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -56,6 +57,23 @@ def _pingpong(machine: MachineSpec, n: int, seed: int) -> np.ndarray:
     """64 B ping-pong latencies (µs) between two nodes, the paper's setup."""
     comm = SimComm(machine, 2, placement="one_per_node", seed=seed)
     return comm.ping_pong(64, n) * 1e6
+
+
+def _resolve_samples(samples: int, n_samples: int | None) -> int:
+    """Support the deprecated ``n_samples`` spelling of ``samples``.
+
+    The library settled on ``samples`` (matching the CLI's ``--samples``);
+    ``n_samples=`` keeps working with a :class:`DeprecationWarning` so call
+    sites migrate incrementally.
+    """
+    if n_samples is not None:
+        warnings.warn(
+            "the n_samples= keyword is deprecated; use samples=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return n_samples
+    return samples
 
 
 # ---------------------------------------------------------------- Figure 1
@@ -151,13 +169,14 @@ class Fig2Normalization:
 
 
 def fig2_normalization(
-    n_samples: int = 1_000_000, *, machine: MachineSpec | None = None, seed: int = 0,
-    qq_points_n: int = 512,
+    samples: int = 1_000_000, *, machine: MachineSpec | None = None, seed: int = 0,
+    qq_points_n: int = 512, n_samples: int | None = None,
 ) -> Fig2Normalization:
     """Reproduce Figure 2: normalizing 1M ping-pong samples on Piz Dora."""
-    check_int(n_samples, "n_samples", minimum=10_000)
+    samples = _resolve_samples(samples, n_samples)
+    check_int(samples, "samples", minimum=10_000)
     machine = machine or piz_dora()
-    lat = _pingpong(machine, n_samples, seed)
+    lat = _pingpong(machine, samples, seed)
 
     def make(name: str, k: int, data: np.ndarray) -> Fig2Variant:
         theo, samp = qq_points(data)
@@ -211,13 +230,14 @@ class Fig3Significance:
 
 
 def fig3_significance(
-    n_samples: int = 1_000_000, *, seed: int = 0
+    samples: int = 1_000_000, *, seed: int = 0, n_samples: int | None = None
 ) -> Fig3Significance:
     """Reproduce Figure 3: significance of latency results on two systems."""
-    check_int(n_samples, "n_samples", minimum=1_000)
+    samples = _resolve_samples(samples, n_samples)
+    check_int(samples, "samples", minimum=1_000)
 
     def system(name: str, machine: MachineSpec, s: int) -> Fig3System:
-        lat = _pingpong(machine, n_samples, s)
+        lat = _pingpong(machine, samples, s)
         kde = GaussianKDE.from_sample(lat, max_points=20_000)
         # Evaluate the density over the bulk of the data (the long tail
         # would compress the interesting region, as in the paper's x-range).
@@ -250,10 +270,11 @@ def fig3_significance(
 
 
 def fig4_quantile_regression(
-    n_samples: int = 1_000_000,
+    samples: int = 1_000_000,
     taus: Sequence[float] = tuple(np.round(np.arange(0.1, 0.91, 0.1), 2)),
     *,
     seed: int = 0,
+    n_samples: int | None = None,
 ) -> QuantileComparison:
     """Reproduce Figure 4: quantile regression of Pilatus vs Piz Dora.
 
@@ -263,9 +284,10 @@ def fig4_quantile_regression(
     quantiles (Pilatus' heavier tail), while the mean difference is a
     single ≈ +0.1 µs number that hides it.
     """
-    check_int(n_samples, "n_samples", minimum=1_000)
-    dora = _pingpong(piz_dora(), n_samples, seed)
-    pil = _pingpong(pilatus(), n_samples, seed + 1)
+    samples = _resolve_samples(samples, n_samples)
+    check_int(samples, "samples", minimum=1_000)
+    dora = _pingpong(piz_dora(), samples, seed)
+    pil = _pingpong(pilatus(), samples, seed + 1)
     return compare_quantiles(dora, pil, taus, seed=seed)
 
 
@@ -472,12 +494,14 @@ class Fig7cPlots:
 
 
 def fig7c_distribution(
-    n_samples: int = 1_000_000, *, machine: MachineSpec | None = None, seed: int = 0
+    samples: int = 1_000_000, *, machine: MachineSpec | None = None, seed: int = 0,
+    n_samples: int | None = None,
 ) -> Fig7cPlots:
     """Reproduce Figure 7(c): the latency distribution's box/violin data."""
-    check_int(n_samples, "n_samples", minimum=1_000)
+    samples = _resolve_samples(samples, n_samples)
+    check_int(samples, "samples", minimum=1_000)
     machine = machine or piz_dora()
-    lat = _pingpong(machine, n_samples, seed)
+    lat = _pingpong(machine, samples, seed)
     s = summarize(lat)
     iqr = s.q75 - s.q25
     inside = lat[(lat >= s.q25 - 1.5 * iqr) & (lat <= s.q75 + 1.5 * iqr)]

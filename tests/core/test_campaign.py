@@ -110,6 +110,76 @@ class TestCampaignCompare:
             camp.compare("64B ping-pong", wrong)
 
 
+def campaign_measure(point, rep, rng):
+    """Module-level (picklable) stochastic measure for Campaign.run tests."""
+    return rng.lognormal(mean=float(point["p"]) * 0.1, sigma=0.2, size=5)
+
+
+def make_engine_experiment(seed=11):
+    from repro.core import Experiment, Factor, FactorialDesign
+
+    return Experiment(
+        name="camp-run",
+        design=FactorialDesign((Factor("p", (1, 2)),), replications=2),
+        measure=campaign_measure,
+        unit="us",
+        seed=seed,
+    )
+
+
+class TestCampaignRun:
+    def test_run_records_datasets(self, tmp_path):
+        camp = Campaign.create(tmp_path / "c", name="s")
+        res = camp.run(make_engine_experiment())
+        assert len(camp.names()) == 2
+        for key, ms in res.datasets.items():
+            back = camp.load(ms.name)
+            assert np.array_equal(back.values, ms.values)
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        """The continuous-benchmarking property: a warm cache means the
+        second run of the same campaign performs zero new measurements."""
+        from repro.exec import ExecHooks
+
+        camp = Campaign.create(tmp_path / "c", name="s")
+        cold = ExecHooks()
+        res1 = camp.run(make_engine_experiment(), hooks=cold)
+        assert cold.completed == 4 and cold.cached == 0
+        warm = ExecHooks()
+        res2 = camp.run(make_engine_experiment(), hooks=warm, overwrite=True)
+        assert warm.submitted == 0 and warm.completed == 0
+        assert warm.cached == 4
+        for key, ms in res1.datasets.items():
+            assert np.array_equal(ms.values, res2.datasets[key].values)
+
+    def test_changed_seed_misses_cache(self, tmp_path):
+        from repro.exec import ExecHooks
+
+        camp = Campaign.create(tmp_path / "c", name="s")
+        camp.run(make_engine_experiment(seed=11))
+        hooks = ExecHooks()
+        camp.run(make_engine_experiment(seed=12), hooks=hooks, overwrite=True)
+        assert hooks.cached == 0 and hooks.completed == 4
+
+    def test_use_cache_false_always_measures(self, tmp_path):
+        from repro.exec import ExecHooks
+
+        camp = Campaign.create(tmp_path / "c", name="s")
+        camp.run(make_engine_experiment(), use_cache=False)
+        hooks = ExecHooks()
+        camp.run(
+            make_engine_experiment(), use_cache=False, hooks=hooks, overwrite=True
+        )
+        assert hooks.cached == 0 and hooks.completed == 4
+        assert len(camp.result_cache()) == 0
+
+    def test_record_false_leaves_store_empty(self, tmp_path):
+        camp = Campaign.create(tmp_path / "c", name="s")
+        res = camp.run(make_engine_experiment(), record=False)
+        assert camp.names() == []
+        assert len(res.datasets) == 2
+
+
 class TestHostNoise:
     def test_measure_host_noise_basic(self):
         from repro.core import measure_host_noise

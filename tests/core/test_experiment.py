@@ -85,3 +85,64 @@ class TestExperiment:
         text = make_experiment().run().describe()
         assert "environment documented: 9/9" in text
         assert "pi-scaling" in text
+
+
+def seeded_measure(point, rep, rng):
+    return rng.normal(loc=float(point["p"]), size=4)
+
+
+class TestExperimentEngineSeam:
+    def test_unhashable_factor_value_names_factor(self):
+        res = make_experiment().run()
+        with pytest.raises(ValidationError, match="factor 'p'"):
+            res.get(p=[1, 2])
+
+    def test_unhashable_value_in_second_factor(self):
+        from repro.core.experiment import _point_key
+
+        with pytest.raises(ValidationError, match="factor 'placement'"):
+            _point_key({"p": 4, "placement": {"packed"}})
+
+    def test_executor_field_is_default_engine(self):
+        from repro.exec import ExecHooks, SerialExecutor
+
+        hooks = ExecHooks()
+        exp = Experiment(
+            name="seeded",
+            design=FactorialDesign((Factor("p", (1, 2)),), replications=2),
+            measure=seeded_measure,
+            executor=SerialExecutor(retries=0),
+            seed=7,
+        )
+        res = exp.run(hooks=hooks)
+        assert hooks.completed == 4
+        assert res.get(p=1).n == 8
+
+    def test_run_executor_overrides_field(self):
+        from repro.exec import ExecHooks, SerialExecutor
+
+        exp = Experiment(
+            name="seeded",
+            design=FactorialDesign((Factor("p", (1, 2)),)),
+            measure=seeded_measure,
+            executor=SerialExecutor(retries=0),
+        )
+        hooks = ExecHooks()
+        exp.run(executor=SerialExecutor(retries=5), hooks=hooks)
+        assert hooks.completed == 2
+
+    def test_master_seed_defaults_to_order_seed(self):
+        def exp(**kw):
+            return Experiment(
+                name="seeded",
+                design=FactorialDesign((Factor("p", (1, 2)),)),
+                measure=seeded_measure,
+                **kw,
+            )
+
+        a = exp(order_seed=3).run()
+        b = exp(order_seed=3, seed=3).run()
+        c = exp(order_seed=3, seed=4).run()
+        key = next(iter(a.datasets))
+        assert np.array_equal(a.datasets[key].values, b.datasets[key].values)
+        assert not np.array_equal(a.datasets[key].values, c.datasets[key].values)

@@ -1,0 +1,135 @@
+"""Tests for the unified measurement configuration (satellite of the
+execution-engine PR): one :class:`MeasurementConfig` drives both the timed
+and the simulated measurement loops, and the historical entry points are
+thin wrappers over it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FixedCount,
+    MeasurementConfig,
+    SimTimer,
+    calibrate,
+    measure_callable,
+    measure_sampler,
+    measure_simulated,
+    run_benchmark,
+)
+from repro.errors import ValidationError
+from repro.simsys import SimClock
+
+
+class TestMeasurementConfigValidation:
+    def test_defaults_are_valid(self):
+        config = MeasurementConfig()
+        assert config.warmup == 1 and config.batch_k == 1
+        assert config.unit == "s"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            MeasurementConfig(warmup=-1)
+        with pytest.raises(ValidationError):
+            MeasurementConfig(batch_k=0)
+        with pytest.raises(ValidationError):
+            MeasurementConfig(max_measurements=0)
+        with pytest.raises(ValidationError):
+            MeasurementConfig(chunk=0)
+        with pytest.raises(ValidationError):
+            MeasurementConfig(unit="")
+
+    def test_replace_revalidates(self):
+        config = MeasurementConfig(warmup=3)
+        assert config.replace(warmup=0).warmup == 0
+        assert config.warmup == 3  # original untouched (frozen)
+        with pytest.raises(ValidationError):
+            config.replace(batch_k=-2)
+
+    def test_describe_discloses_methodology(self):
+        text = MeasurementConfig(
+            warmup=2, batch_k=4, stopping=FixedCount(50)
+        ).describe()
+        assert "warmup=2" in text
+        assert "batch_k=4" in text
+        assert "50" in text
+
+
+def sim_timer():
+    return SimTimer(clock=SimClock(granularity=0.0, read_overhead=1e-9))
+
+
+class TestWrapperEquivalence:
+    def test_run_benchmark_is_measure_callable(self):
+        """The legacy signature and the config path do the same thing."""
+        timer = sim_timer()
+        cal = calibrate(timer, samples=200)
+
+        def fn():
+            timer.advance(1e-3)
+
+        legacy = run_benchmark(
+            fn, name="x", warmup=2, stopping=FixedCount(20),
+            timer=timer, calibration=cal,
+        )
+        config = MeasurementConfig(
+            warmup=2, stopping=FixedCount(20), timer=timer, calibration=cal
+        )
+        unified = measure_callable(fn, name="x", config=config)
+        assert legacy.n == unified.n == 20
+        assert np.allclose(legacy.values, unified.values)
+        assert legacy.warmup_dropped == unified.warmup_dropped == 2
+
+    def test_measure_simulated_is_measure_sampler(self):
+        def sampler(n, state=np.random.default_rng(3)):
+            return state.lognormal(0.0, 0.1, n)
+
+        legacy = measure_simulated(
+            lambda n: np.full(n, 2.0), name="sim", unit="us",
+            stopping=FixedCount(10),
+        )
+        unified = measure_sampler(
+            lambda n: np.full(n, 2.0),
+            name="sim",
+            config=MeasurementConfig(
+                warmup=0, stopping=FixedCount(10), unit="us",
+                max_measurements=10_000_000,
+            ),
+        )
+        assert legacy.n == unified.n == 10
+        assert np.array_equal(legacy.values, unified.values)
+        assert legacy.unit == unified.unit == "us"
+
+    def test_sampler_unit_comes_from_config(self):
+        ms = measure_sampler(
+            lambda n: np.ones(n),
+            name="sim",
+            config=MeasurementConfig(
+                warmup=0, stopping=FixedCount(5), unit="GB/s",
+                max_measurements=10_000_000,
+            ),
+        )
+        assert ms.unit == "GB/s"
+
+    def test_sampler_rejects_empty_block(self):
+        with pytest.raises(ValidationError):
+            measure_sampler(lambda n: np.array([]), name="bad")
+
+    def test_batching_marks_set(self):
+        timer = sim_timer()
+        cal = calibrate(timer, samples=200)
+
+        def fn():
+            timer.advance(1e-6)
+
+        ms = measure_callable(
+            fn,
+            name="batched",
+            config=MeasurementConfig(
+                batch_k=8, stopping=FixedCount(6), timer=timer, calibration=cal
+            ),
+        )
+        assert ms.batch_k == 8
+        assert ms.n == 6
+        assert np.allclose(ms.values, 1e-6)

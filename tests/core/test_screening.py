@@ -128,6 +128,87 @@ class TestEffectEstimation:
         assert half_fraction_2k(names).is_orthogonal()
 
 
+def planted_measure(point, rep, rng):
+    """Response with a planted 'a' effect of 4.0 plus small rng noise."""
+    return 10.0 + 2.0 * point["a"] + rng.normal(0.0, 0.01)
+
+
+def failing_row_measure(point, rep, rng):
+    if point["a"] > 0 and point["b"] > 0:
+        raise RuntimeError("row exploded")
+    return 1.0
+
+
+class TestRunScreening:
+    def test_recovers_planted_effect(self):
+        from repro.core import run_screening
+
+        d = full_factorial_2k(("a", "b"))
+        result = run_screening(d, planted_measure, replications=3, seed=5)
+        assert result.effect("a") == pytest.approx(4.0, abs=0.1)
+        assert abs(result.effect("b")) < 0.1
+        assert result.ranked()[0].name == "a"
+        assert result.responses.shape == (4,)
+        assert all(v.size == 3 for v in result.row_values)
+
+    def test_deterministic_across_executors(self):
+        from repro.core import run_screening
+        from repro.exec import ProcessExecutor, SerialExecutor
+
+        d = full_factorial_2k(("a", "b"))
+        serial = run_screening(
+            d, planted_measure, replications=2, seed=9,
+            executor=SerialExecutor(),
+        )
+        parallel = run_screening(
+            d, planted_measure, replications=2, seed=9,
+            executor=ProcessExecutor(max_workers=2),
+        )
+        assert np.array_equal(serial.responses, parallel.responses)
+
+    def test_levels_substituted_into_points(self):
+        from repro.core import run_screening
+
+        d = full_factorial_2k(("p",))
+        result = run_screening(
+            d, lambda point, rep: float(point["p"]), levels={"p": (8, 32)}
+        )
+        assert {s["p"] for s in result.settings} == {8, 32}
+        assert sorted(result.responses) == [8.0, 32.0]
+
+    def test_cache_answers_second_screening(self, tmp_path):
+        from repro.core import run_screening
+        from repro.exec import ExecHooks, ResultCache
+
+        d = full_factorial_2k(("a", "b"))
+        cache = ResultCache(tmp_path)
+        first = ExecHooks()
+        r1 = run_screening(d, planted_measure, seed=2, cache=cache, hooks=first)
+        second = ExecHooks()
+        r2 = run_screening(d, planted_measure, seed=2, cache=cache, hooks=second)
+        assert first.completed == 4 and second.completed == 0
+        assert second.cached == 4
+        assert np.array_equal(r1.responses, r2.responses)
+
+    def test_failed_row_surfaces_error(self):
+        from repro.core import run_screening
+        from repro.errors import ExecutionError
+        from repro.exec import SerialExecutor
+
+        d = full_factorial_2k(("a", "b"))
+        with pytest.raises(ExecutionError, match="row exploded"):
+            run_screening(
+                d, failing_row_measure, executor=SerialExecutor(retries=0)
+            )
+
+    def test_effect_lookup_unknown_factor(self):
+        from repro.core import run_screening
+
+        result = run_screening(full_factorial_2k(("a",)), planted_measure)
+        with pytest.raises(DesignError):
+            result.effect("missing")
+
+
 class TestScreeningEndToEnd:
     def test_screen_simulated_factors(self):
         """Screen three candidate factors of reduce performance: process

@@ -1,0 +1,85 @@
+"""Tests for the content-addressed result cache (:mod:`repro.exec.cache`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec import ResultCache, task_fingerprint
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = task_fingerprint("w", {"p": 2, "size": 64}, (0, 0), {"warmup": 1})
+        b = task_fingerprint("w", {"size": 64, "p": 2}, (0, 0), {"warmup": 1})
+        assert a == b
+
+    def test_every_identity_component_matters(self):
+        base = task_fingerprint("w", {"p": 2}, (1, 0), {"warmup": 1})
+        assert base != task_fingerprint("other", {"p": 2}, (1, 0), {"warmup": 1})
+        assert base != task_fingerprint("w", {"p": 4}, (1, 0), {"warmup": 1})
+        assert base != task_fingerprint("w", {"p": 2}, (2, 0), {"warmup": 1})
+        assert base != task_fingerprint("w", {"p": 2}, (1, 1), {"warmup": 1})
+        assert base != task_fingerprint("w", {"p": 2}, (1, 0), {"warmup": 2})
+
+    def test_value_types_distinguished(self):
+        # repr-based canonicalization: int 1 and str "1" are different points.
+        assert task_fingerprint("w", {"p": 1}, (0, 0)) != task_fingerprint(
+            "w", {"p": "1"}, (0, 0)
+        )
+
+    def test_non_json_values_hash_stably(self):
+        fp1 = task_fingerprint("w", {"mode": ("a", "b")}, (0, 0))
+        fp2 = task_fingerprint("w", {"mode": ("a", "b")}, (0, 0))
+        assert fp1 == fp2
+
+    def test_hex_digest_shape(self):
+        fp = task_fingerprint("w", {"p": 1}, (0, 0))
+        assert len(fp) == 32 and all(c in "0123456789abcdef" for c in fp)
+
+
+class TestResultCache:
+    def test_roundtrip_values_and_metadata(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = task_fingerprint("w", {"p": 1}, (0, 0))
+        values = np.array([1.5, 2.5, 3.5])
+        cache.put(fp, values, {"attempts": 1, "stopping": "n=30"})
+        got_values, got_md = cache.get(fp)
+        assert np.array_equal(got_values, values)
+        assert got_md == {"attempts": 1, "stopping": "n=30"}
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(task_fingerprint("w", {"p": 1}, (0, 0))) is None
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = task_fingerprint("w", {"p": 1}, (0, 0))
+        entry = cache.put(fp, np.array([1.0]))
+        assert entry.parent.name == fp[:2]
+        assert entry.name == f"{fp}.json"
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for p in range(4):
+            cache.put(task_fingerprint("w", {"p": p}, (0, p)), np.array([float(p)]))
+        assert len(cache) == 4
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+    def test_overwrite_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = task_fingerprint("w", {"p": 1}, (0, 0))
+        cache.put(fp, np.array([1.0]))
+        cache.put(fp, np.array([2.0]))
+        values, _ = cache.get(fp)
+        assert np.array_equal(values, [2.0])
+        assert len(cache) == 1
+
+    def test_malformed_fingerprint_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValidationError):
+            cache.get("../escape")
+        with pytest.raises(ValidationError):
+            cache.put("XYZ", np.array([1.0]))

@@ -1,0 +1,287 @@
+"""Tests for the campaign execution engine (:mod:`repro.exec`).
+
+The measurement callables used with :class:`ProcessExecutor` are
+module-level on purpose: tasks cross the process boundary by pickling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Experiment, Factor, FactorialDesign
+from repro.errors import ValidationError
+from repro.exec import (
+    ExecHooks,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    make_tasks,
+    run_measurement_tasks,
+    spawn_task_seeds,
+    task_fingerprint,
+)
+
+
+# -- module-level measure functions (picklable) ----------------------------
+
+
+def seeded_measure(point, rep, rng):
+    """Stochastic measurement driven entirely by the engine-derived rng."""
+    return rng.normal(loc=float(point["x"]), scale=0.1, size=5)
+
+
+def legacy_measure(point, rep):
+    """Two-argument callable: the pre-engine contract."""
+    return float(point["x"]) + rep
+
+
+def failing_measure(point, rep, rng):
+    """Fails permanently for one design point, succeeds elsewhere."""
+    if point["x"] == 2:
+        raise RuntimeError("sensor unplugged")
+    return rng.normal(size=3)
+
+
+def crashing_measure(point, rep, rng):
+    """Kills the worker process outright (simulates a segfault)."""
+    if point["x"] == 1:
+        os._exit(13)
+    return rng.normal(size=3)
+
+
+def sleepy_measure(point, rep, rng):
+    """Never finishes within any reasonable timeout."""
+    time.sleep(60.0)
+    return np.zeros(1)
+
+
+def make_exp(measure=seeded_measure, levels=(0, 1, 2, 3), reps=2, **kw):
+    return Experiment(
+        name="engine-test",
+        design=FactorialDesign((Factor("x", tuple(levels)),), replications=reps),
+        measure=measure,
+        **kw,
+    )
+
+
+class FlakyMeasure:
+    """Raises on its first *fail_times* calls, then succeeds (serial only)."""
+
+    def __init__(self, fail_times: int) -> None:
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def __call__(self, point, rep, rng):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise OSError("transient glitch")
+        return rng.normal(size=4)
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        a = spawn_task_seeds(42, 5)
+        b = spawn_task_seeds(42, 5)
+        for sa, sb in zip(a, b):
+            va = np.random.default_rng(sa).random(8)
+            vb = np.random.default_rng(sb).random(8)
+            assert np.array_equal(va, vb)
+
+    def test_distinct_tasks_distinct_streams(self):
+        seeds = spawn_task_seeds(42, 3)
+        draws = [np.random.default_rng(s).random(8) for s in seeds]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+
+class TestSerialVsParallelIdentity:
+    def test_bit_identical_measurement_sets(self):
+        serial = make_exp(seed=123).run(executor=SerialExecutor())
+        parallel = make_exp(seed=123).run(executor=ProcessExecutor(max_workers=2))
+        assert serial.run_order == parallel.run_order
+        for key, ms in serial.datasets.items():
+            other = parallel.datasets[key]
+            assert np.array_equal(ms.values, other.values)
+            assert ms.unit == other.unit
+
+    def test_different_master_seed_changes_values(self):
+        a = make_exp(seed=1).run()
+        b = make_exp(seed=2).run()
+        key = next(iter(a.datasets))
+        assert not np.array_equal(a.datasets[key].values, b.datasets[key].values)
+
+    def test_run_order_seed_does_not_change_values(self):
+        # The seeding contract: seeds attach to canonical (point, rep)
+        # identity, not to the randomized execution order.
+        a = make_exp(seed=9, order_seed=1).run()
+        b = make_exp(seed=9, order_seed=2).run()
+        for key, ms in a.datasets.items():
+            assert np.array_equal(np.sort(ms.values), np.sort(b.datasets[key].values))
+
+    def test_legacy_two_arg_measure_still_works(self):
+        res = make_exp(measure=legacy_measure, reps=2).run(
+            executor=ProcessExecutor(max_workers=2)
+        )
+        assert np.array_equal(np.sort(res.get(x=3).values), [3.0, 4.0])
+
+
+class TestCaching:
+    def test_cache_hits_skip_measurement(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = ExecHooks()
+        res1 = make_exp(seed=5).run(cache=cache, hooks=first)
+        assert first.completed == 8 and first.cached == 0
+        second = ExecHooks()
+        res2 = make_exp(seed=5).run(cache=cache, hooks=second)
+        assert second.completed == 0 and second.submitted == 0
+        assert second.cached == 8
+        for key, ms in res1.datasets.items():
+            assert np.array_equal(ms.values, res2.datasets[key].values)
+        # Cached runs are flagged in the dataset provenance.
+        md = next(iter(res2.datasets.values())).metadata
+        assert md["exec"]["cached_tasks"] == 2
+
+    def test_cache_preserves_task_metadata(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = make_tasks("w", [({"x": 1}, 0)], seeded_measure, master_seed=3)
+        fresh = run_measurement_tasks(tasks, cache=cache)[0]
+        again = run_measurement_tasks(tasks, cache=cache)[0]
+        assert again.cached and not fresh.cached
+        assert again.metadata["attempts"] == fresh.metadata["attempts"] == 1
+        assert "wall_time_s" in again.metadata
+        assert np.array_equal(fresh.values, again.values)
+
+    def test_seed_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hooks = ExecHooks()
+        run_measurement_tasks(
+            make_tasks("w", [({"x": 1}, 0)], seeded_measure, master_seed=3),
+            cache=cache, hooks=hooks,
+        )
+        run_measurement_tasks(
+            make_tasks("w", [({"x": 1}, 0)], seeded_measure, master_seed=4),
+            cache=cache, hooks=hooks,
+        )
+        assert hooks.cached == 0 and hooks.completed == 2
+        assert len(cache) == 2
+
+    def test_methodology_change_invalidates(self):
+        fp1 = task_fingerprint("w", {"x": 1}, (0, 0), {"stopping": "n=30"})
+        fp2 = task_fingerprint("w", {"x": 1}, (0, 0), {"stopping": "n=50"})
+        fp3 = task_fingerprint("w", {"x": 2}, (0, 0), {"stopping": "n=30"})
+        assert len({fp1, fp2, fp3}) == 3
+        assert fp1 == task_fingerprint("w", {"x": 1}, (0, 0), {"stopping": "n=30"})
+
+    def test_torn_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = task_fingerprint("w", {"x": 1}, (0, 0), {})
+        path = cache.put(fp, np.array([1.0]), {})
+        path.write_text("{not json")
+        assert cache.get(fp) is None
+
+
+class TestFaultTolerance:
+    def test_flaky_task_is_retried_then_succeeds(self):
+        measure = FlakyMeasure(fail_times=1)
+        hooks = ExecHooks()
+        tasks = make_tasks("w", [({"x": 1}, 0)], measure, master_seed=0)
+        res = run_measurement_tasks(
+            tasks, executor=SerialExecutor(retries=2, backoff=0.0), hooks=hooks
+        )[0]
+        assert res.ok and res.attempts == 2
+        assert hooks.retried == 1 and hooks.failed == 0
+        assert res.metadata["attempts"] == 2
+
+    def test_permanent_failure_is_surfaced_not_raised(self):
+        hooks = ExecHooks()
+        tasks = make_tasks("w", [({"x": 2}, 0)], failing_measure, master_seed=0)
+        res = run_measurement_tasks(
+            tasks, executor=SerialExecutor(retries=1, backoff=0.0), hooks=hooks
+        )[0]
+        assert not res.ok and res.values is None
+        assert "sensor unplugged" in res.error
+        assert res.attempts == 2  # first try + one retry
+        assert hooks.failed == 1 and hooks.retried == 1
+
+    def test_partial_point_failure_recorded_in_metadata(self):
+        # x=2 fails every rep; the other points survive.  With zero
+        # surviving values for x=2 the run must raise, so give x=2 one
+        # succeeding rep via a measure that fails only on rep 0.
+        def half_failing(point, rep, rng):
+            if point["x"] == 2 and rep == 0:
+                raise RuntimeError("boom")
+            return rng.normal(size=3)
+
+        exp = make_exp(measure=half_failing, reps=2)
+        res = exp.run(executor=SerialExecutor(retries=0))
+        ms = res.get(x=2)
+        assert ms.n == 3  # one rep's worth of values survived
+        failed = ms.metadata["exec"]["failed_reps"]
+        assert failed[0]["rep"] == 0 and "boom" in failed[0]["error"]
+        assert res.get(x=1).n == 6
+
+    def test_all_reps_failing_raises(self):
+        exp = make_exp(measure=failing_measure, levels=(1, 2), reps=1)
+        with pytest.raises(Exception, match="sensor unplugged|no values"):
+            exp.run(executor=SerialExecutor(retries=0))
+
+    def test_worker_crash_is_retried_and_recorded(self):
+        hooks = ExecHooks()
+        tasks = make_tasks(
+            "w", [({"x": 0}, 0), ({"x": 1}, 0)], crashing_measure, master_seed=0
+        )
+        results = run_measurement_tasks(
+            tasks,
+            executor=ProcessExecutor(max_workers=1, retries=1, backoff=0.0),
+            hooks=hooks,
+        )
+        ok = {dict(r.task.point)["x"]: r for r in results}
+        assert ok[0].ok
+        assert not ok[1].ok and "crashed" in ok[1].error
+        assert ok[1].attempts == 2
+        assert hooks.failed == 1
+
+    def test_timeout_is_enforced_and_surfaced(self):
+        tasks = make_tasks("w", [({"x": 0}, 0)], sleepy_measure, master_seed=0)
+        start = time.monotonic()
+        res = run_measurement_tasks(
+            tasks,
+            executor=ProcessExecutor(
+                max_workers=1, timeout=0.5, retries=0, backoff=0.0
+            ),
+        )[0]
+        assert time.monotonic() - start < 30.0
+        assert not res.ok and "timeout" in res.error
+
+
+class TestHooksAndValidation:
+    def test_hooks_event_stream(self):
+        events = []
+        hooks = ExecHooks(on_event=lambda event, label: events.append(event))
+        make_exp(reps=1, levels=(0, 1)).run(hooks=hooks)
+        assert events.count("submitted") == 2
+        assert events.count("completed") == 2
+        assert hooks.snapshot()["completed"] == 2
+        assert sum(hooks.task_seconds.values()) >= 0.0
+        assert "completed 2" in hooks.describe()
+
+    def test_unknown_hook_event_rejected(self):
+        with pytest.raises(ValueError):
+            ExecHooks().record("exploded")
+
+    def test_unhashable_factor_value_named_in_error(self):
+        res = make_exp(reps=1).run()
+        with pytest.raises(ValidationError, match="factor 'x'.*unhashable"):
+            res.get(x=[1, 2])
+
+    def test_executor_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            ProcessExecutor(max_workers=0)
+        with pytest.raises(ValidationError):
+            ProcessExecutor(timeout=-1.0)
+        with pytest.raises(ValidationError):
+            SerialExecutor(retries=-1)

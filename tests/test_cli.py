@@ -43,6 +43,24 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "power-of-two advantage" in out
 
+    def test_workers_output_matches_serial(self, capsys):
+        assert main(["figures", "--fig", "1", "--samples", "10000"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["figures", "--fig", "1", "--samples", "10000", "--workers", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_workers_preserve_figure_order(self, capsys):
+        code = main(
+            ["figures", "--fig", "all", "--samples", "10000", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        positions = [out.index(f"Figure {i}") for i in ("1", "2", "3")]
+        assert positions == sorted(positions)
+        assert "Figure 7(c)" in out
+
 
 class TestCalibrate:
     def test_reports_resolution(self, capsys):
