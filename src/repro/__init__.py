@@ -18,7 +18,7 @@ Quick start::
     print(ms.median_ci(0.99))
 """
 
-from . import core, exec, models, report, simsys, stats, survey
+from . import core, exec, models, obs, report, simsys, stats, survey
 from .errors import (
     ReproError,
     ValidationError,
@@ -30,6 +30,7 @@ from .errors import (
     ExecutionError,
     RuleViolation,
     SurveyError,
+    CoverageWarning,
 )
 
 __version__ = "1.0.0"
@@ -37,6 +38,7 @@ __version__ = "1.0.0"
 __all__ = [
     "core",
     "exec",
+    "obs",
     "stats",
     "simsys",
     "models",
@@ -52,5 +54,6 @@ __all__ = [
     "ExecutionError",
     "RuleViolation",
     "SurveyError",
+    "CoverageWarning",
     "__version__",
 ]

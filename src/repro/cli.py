@@ -18,6 +18,12 @@ Commands
 ``check``
     Run the twelve-rules checker on an experiment declaration stored as
     JSON (see ``--template`` for the schema).
+``campaign``
+    Run a small synthetic measurement campaign into a directory —
+    datasets, result cache, provenance, span trace, and (with
+    ``--emit-metrics``) a metrics export.
+``trace``
+    Render the span tree of a recorded campaign run.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import argparse
 import json
 import sys
 from dataclasses import asdict
+from pathlib import Path
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
@@ -113,6 +120,25 @@ def _figure_sections(spec: dict) -> list[tuple[str, str]]:
     raise ValueError(f"unknown figure id {fig_id!r}")
 
 
+def _make_metrics_hooks(emit_metrics: str | None):
+    """(hooks, registry) — registry is None without ``--emit-metrics``."""
+    from .exec import ExecHooks
+
+    hooks = ExecHooks()
+    if not emit_metrics:
+        return hooks, None
+    from .obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.bind_exec_hooks(hooks)
+    return hooks, registry
+
+
+def _write_metrics(registry, path: str) -> None:
+    registry.write(path)
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .exec import ProcessExecutor, SerialExecutor
 
@@ -127,8 +153,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         executor = ProcessExecutor(max_workers=args.workers)
     else:
         executor = SerialExecutor(retries=0)
+    hooks, registry = _make_metrics_hooks(args.emit_metrics)
     outcomes = executor.run(
-        _figure_sections, specs, labels=[f"figure {s['fig']}" for s in specs]
+        _figure_sections, specs,
+        labels=[f"figure {s['fig']}" for s in specs], hooks=hooks,
     )
     status = 0
     for spec, outcome in zip(specs, outcomes):
@@ -142,7 +170,72 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             status = 1
+    if registry is not None:
+        _write_metrics(registry, args.emit_metrics)
     return status
+
+
+def _demo_measure(point, rep, rng):
+    """Synthetic message-latency workload for the ``campaign`` command.
+
+    Module-level so it pickles into :class:`~repro.exec.ProcessExecutor`
+    workers; lognormal spread mimics real network latency tails.
+    """
+    base = 1e-6 + 2e-10 * float(point["size"])
+    return base * rng.lognormal(mean=0.0, sigma=0.25, size=int(point["batch"]))
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .core import Campaign, Experiment, Factor, FactorialDesign
+    from .exec import ProcessExecutor, SerialExecutor
+    from .obs import JsonlSpanSink, Tracer
+
+    camp_dir = Path(args.dir)
+    if (camp_dir / "campaign.json").exists():
+        camp = Campaign.open(camp_dir)
+    else:
+        camp = Campaign.create(camp_dir, name="demo-campaign")
+    exp = Experiment(
+        name="synthetic-latency",
+        design=FactorialDesign(
+            (Factor("size", (64, 4096)), Factor("batch", (args.samples,))),
+            replications=args.reps,
+        ),
+        measure=_demo_measure,
+        unit="s",
+        seed=args.seed,
+    )
+    hooks, registry = _make_metrics_hooks(args.emit_metrics)
+    tracer = Tracer(sink=JsonlSpanSink(camp_dir / "trace.jsonl"))
+    if args.workers > 1:
+        executor = ProcessExecutor(max_workers=args.workers)
+    else:
+        executor = SerialExecutor(retries=0)
+    result = camp.run(
+        exp, executor=executor, hooks=hooks, tracer=tracer, overwrite=True
+    )
+    print(result.describe())
+    print(hooks.describe())
+    print(f"trace {tracer.trace_id} -> {camp_dir / 'trace.jsonl'}")
+    if registry is not None:
+        _write_metrics(registry, args.emit_metrics)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .errors import ValidationError
+    from .obs import read_trace, render_span_tree
+
+    path = Path(args.run)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    try:
+        spans = read_trace(path)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_span_tree(spans))
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -261,7 +354,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="regenerate figures in parallel over N worker "
                         "processes (default: serial)")
+    p.add_argument("--emit-metrics", metavar="PATH",
+                   help="write execution metrics to PATH (.json for JSON, "
+                        "anything else for Prometheus text format)")
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a small synthetic campaign (datasets + cache + trace)",
+    )
+    p.add_argument("--dir", required=True,
+                   help="campaign directory (created if needed; rerunning "
+                        "answers repeated points from the result cache)")
+    p.add_argument("--samples", type=int, default=100,
+                   help="measurement values per task (default 100)")
+    p.add_argument("--reps", type=int, default=3,
+                   help="replications per design point (default 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--emit-metrics", metavar="PATH",
+                   help="write execution metrics to PATH (.json for JSON, "
+                        "anything else for Prometheus text format)")
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("trace", help="render a recorded span trace")
+    p.add_argument("run", help="trace.jsonl file, or a campaign directory "
+                               "containing one")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("table1", help="regenerate the survey table")
     p.set_defaults(func=_cmd_table1)

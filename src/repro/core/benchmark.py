@@ -29,6 +29,7 @@ import numpy as np
 
 from .._validation import check_int
 from ..errors import ValidationError
+from ..obs import Provenance
 from .measurement import MeasurementSet
 from .stopping import FixedCount, StoppingRule
 from .timer import PerfTimer, Timer, TimerCalibration, calibrate, check_interval
@@ -174,6 +175,12 @@ def measure_callable(
         stopping=stopping.describe(),
         interval_check_ok=chk.ok,
     )
+    md.setdefault(
+        "provenance",
+        Provenance.capture(
+            methodology={"config": config.describe(), "unit": "s"}
+        ).to_dict(),
+    )
     return MeasurementSet(
         values=np.asarray(values),
         unit="s",
@@ -228,6 +235,12 @@ def measure_sampler(
                 break
     md = dict(metadata or {})
     md.update(stopping=stopping.describe(), simulated=True)
+    md.setdefault(
+        "provenance",
+        Provenance.capture(
+            methodology={"config": config.describe(), "unit": config.unit}
+        ).to_dict(),
+    )
     return MeasurementSet(
         values=np.asarray(values),
         unit=config.unit,

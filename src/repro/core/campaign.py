@@ -170,6 +170,7 @@ class Campaign:
         *,
         executor: Executor | None = None,
         hooks: ExecHooks | None = None,
+        tracer=None,
         use_cache: bool = True,
         record: bool = True,
         overwrite: bool = False,
@@ -183,10 +184,22 @@ class Campaign:
         campaign performs zero new measurements.  With ``record=True``
         every per-point dataset is persisted via :meth:`record`.
 
+        Passing a :class:`repro.obs.Tracer` records a ``campaign`` span
+        enclosing the experiment's spans (and, through the engine, the
+        per-task ``measurement-batch`` spans).
+
         Returns the :class:`~repro.core.experiment.ExperimentResult`.
         """
         cache = self.result_cache() if use_cache else None
-        result = experiment.run(executor=executor, cache=cache, hooks=hooks)
+        if tracer is not None:
+            with tracer.span(
+                "campaign", label=self.name, experiment=experiment.name
+            ):
+                result = experiment.run(
+                    executor=executor, cache=cache, hooks=hooks, tracer=tracer
+                )
+        else:
+            result = experiment.run(executor=executor, cache=cache, hooks=hooks)
         if record:
             for ms in result.datasets.values():
                 self.record(ms, overwrite=overwrite)

@@ -20,7 +20,8 @@ contract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from ..errors import ExecutionError, ReproError, ValidationError
 from ..exec import ExecHooks, Executor, ResultCache, SerialExecutor
 from ..exec.engine import make_tasks, run_measurement_tasks
+from ..obs import Provenance, Tracer
 from .design import FactorialDesign
 from .environment import EnvironmentSpec
 from .measurement import MeasurementSet
@@ -189,6 +191,7 @@ class Experiment:
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         hooks: ExecHooks | None = None,
+        tracer: Tracer | None = None,
     ) -> ExperimentResult:
         """Execute all runs and collect datasets (randomized run order).
 
@@ -199,12 +202,73 @@ class Experiment:
         permanently is recorded in its dataset's metadata; a design point
         left with *no* values raises (:class:`ExecutionError`, or the
         original library error when there is one).
+
+        Every dataset's metadata carries a :class:`~repro.obs.Provenance`
+        manifest (environment, package versions, master seed, methodology,
+        exec/cache statistics), and passing ``tracer=`` records an
+        ``experiment`` span with per-design-point child spans on top of
+        the engine's ``measurement-batch`` spans.
         """
         executor = executor or self.executor or SerialExecutor(retries=0)
-        tasks, index_of = self._tasks()
-        results = run_measurement_tasks(
-            tasks, executor=executor, cache=cache, hooks=hooks
+        hooks = hooks if hooks is not None else ExecHooks()
+        master = self.order_seed if self.seed is None else self.seed
+        provenance = Provenance.capture(
+            environment=self.environment,
+            master_seed=master,
+            methodology={"design": self.design.describe(), "unit": self.unit},
+            trace_id=tracer.trace_id if tracer is not None else None,
         )
+        tasks, index_of = self._tasks()
+        span_cm = (
+            tracer.span("experiment", label=self.name, tasks=len(tasks))
+            if tracer is not None
+            else nullcontext(None)
+        )
+        with span_cm as exp_span_id:
+            point_span_ids: dict[PointKey, str] = {}
+            if tracer is not None:
+                # Reserve one design-point span id per point up front so the
+                # workers' measurement-batch spans nest under it; the span
+                # itself is emitted after the fact with the summed wall time.
+                from ..obs import JsonlSpanSink
+
+                for task in tasks:
+                    point_span_ids.setdefault(task.point, tracer.new_span_id())
+                if isinstance(tracer.sink, JsonlSpanSink):
+                    sink_path = str(tracer.sink.path)
+                    tasks = [
+                        _dc_replace(
+                            t,
+                            trace_ctx=(
+                                sink_path,
+                                tracer.trace_id,
+                                point_span_ids[t.point],
+                            ),
+                        )
+                        for t in tasks
+                    ]
+            results = run_measurement_tasks(
+                tasks,
+                executor=executor,
+                cache=cache,
+                hooks=hooks,
+                tracer=tracer,
+                provenance=provenance,
+            )
+            if tracer is not None:
+                wall_by_point: dict[PointKey, float] = {}
+                for res in results:
+                    wall_by_point[res.task.point] = (
+                        wall_by_point.get(res.task.point, 0.0) + res.wall_time
+                    )
+                for point_key, wall in wall_by_point.items():
+                    tracer.emit_logical(
+                        "design-point",
+                        wall_s=wall,
+                        span_id=point_span_ids[point_key],
+                        parent_id=exp_span_id,
+                        point=repr(dict(point_key)),
+                    )
 
         buckets: dict[PointKey, list[float]] = {}
         failures: dict[PointKey, list[tuple[int, str]]] = {}
@@ -238,9 +302,23 @@ class Experiment:
                     f"failures: {fails}"
                 )
 
+        cache_stats: dict[str, Any] = {}
+        if cache is not None:
+            cache_stats = {
+                "entries": len(cache),
+                "hits": hooks.cached,
+                "path": str(cache.path),
+            }
+        provenance = _dc_replace(
+            provenance, exec_stats=hooks.snapshot(), cache_stats=cache_stats
+        )
+
         datasets = {}
         for key, vals in buckets.items():
-            md: dict[str, Any] = {"design": self.design.describe()}
+            md: dict[str, Any] = {
+                "design": self.design.describe(),
+                "provenance": provenance.to_dict(),
+            }
             reps_here = self.design.replications
             exec_md: dict[str, Any] = {}
             if cached_counts.get(key):

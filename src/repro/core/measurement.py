@@ -88,6 +88,31 @@ class MeasurementSet:
         md = {**self.metadata, **extra}
         return replace(self, metadata=md)
 
+    def with_provenance(self, provenance: Any) -> "MeasurementSet":
+        """A copy carrying a :class:`repro.obs.Provenance` manifest.
+
+        Accepts a manifest object or an already serialized dict; stored
+        under the ``"provenance"`` metadata key so it survives every JSON
+        round-trip (campaign records, cache entries, figure exports).
+        """
+        payload = (
+            provenance.to_dict() if hasattr(provenance, "to_dict") else dict(provenance)
+        )
+        return self.with_metadata(provenance=payload)
+
+    def provenance(self):
+        """The attached :class:`repro.obs.Provenance`, or ``None``.
+
+        Deserialized on access, so sets loaded from JSON behave exactly
+        like freshly measured ones.
+        """
+        payload = self.metadata.get("provenance")
+        if payload is None:
+            return None
+        from ..obs import Provenance  # lazy: core must not import obs eagerly
+
+        return payload if isinstance(payload, Provenance) else Provenance.from_dict(payload)
+
     def converted(self, factor: float, unit: str) -> "MeasurementSet":
         """Unit conversion by a multiplicative factor (e.g. s -> us)."""
         if factor <= 0:

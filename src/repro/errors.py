@@ -18,6 +18,7 @@ __all__ = [
     "ExecutionError",
     "RuleViolation",
     "SurveyError",
+    "CoverageWarning",
 ]
 
 
@@ -78,3 +79,14 @@ class RuleViolation(ReproError):
 
 class SurveyError(ReproError, ValueError):
     """Inconsistent literature-survey data."""
+
+
+class CoverageWarning(ReproError, UserWarning):
+    """A confidence interval cannot achieve the requested coverage.
+
+    Nonparametric rank intervals are built from order statistics; at small
+    *n* the construction's ranks fall outside the sample and are clipped
+    to the extremes, so the returned interval covers *less* than requested
+    (the paper's "n > 5" caveat, Section 4.2.2).  The interval is still
+    returned — widest available — but the shortfall must be disclosed.
+    """

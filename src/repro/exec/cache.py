@@ -8,8 +8,11 @@ A cache entry is keyed by the BLAKE2 digest of the task's *identity*:
 
 ``(workload id, design point, seed id, methodology metadata)``
 
-serialized canonically (sorted keys, ``repr`` for factor values so mixed
-types hash stably).  Anything that would change the measured values —
+serialized canonically: sorted keys, numpy scalars normalized to the
+equivalent Python scalar (so ``np.int64(4)`` and ``4`` hash identically,
+independent of numpy's ``repr`` conventions), then ``repr`` for factor
+values so mixed types hash stably.  Anything that would change the
+measured values —
 a different workload, point, master seed, or methodology knob — changes
 the fingerprint and misses; cosmetic changes (executor choice, worker
 count, run order) do not appear in the key at all, by design, because the
@@ -35,8 +38,27 @@ from ..errors import ValidationError
 __all__ = ["ResultCache", "task_fingerprint"]
 
 
+def _normalize_scalar(obj: Any) -> Any:
+    """Collapse numpy scalars onto the equivalent Python scalar.
+
+    Fingerprints must be stable across numpy versions and across how a
+    value was produced: ``np.int64(4)`` (from ``np.arange``) and ``4``
+    measure the same thing, but ``repr(np.int64(4))`` is ``'4'`` on
+    numpy 1.x and ``'np.int64(4)'`` on 2.x — falling through to ``repr``
+    would both split the cache and break it on upgrade.
+    """
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
 def _canonical(obj: Any) -> Any:
     """Make *obj* JSON-serializable with a stable textual form."""
+    obj = _normalize_scalar(obj)
     if isinstance(obj, Mapping):
         return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
     if isinstance(obj, (list, tuple)):
@@ -61,7 +83,9 @@ def task_fingerprint(
     """
     payload = {
         "workload": str(workload),
-        "point": [[k, repr(point[k])] for k in sorted(point, key=str)],
+        "point": [
+            [k, repr(_normalize_scalar(point[k]))] for k in sorted(point, key=str)
+        ],
         "seed": [int(seed_id[0]), int(seed_id[1])],
         "methodology": _canonical(dict(methodology or {})),
     }

@@ -27,13 +27,14 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from .._validation import check_int, check_nonneg
 from ..errors import DesignError, ValidationError
+from ..obs.tracing import JsonlSpanSink, Tracer, file_span
 from .cache import ResultCache, task_fingerprint
 from .hooks import ExecHooks
 from .seeding import spawn_task_seeds, task_seed_id
@@ -257,14 +258,29 @@ class ProcessExecutor(Executor):
                     pending.appendleft((oi, oattempt, 0.0))
             inflight.clear()
 
+        def pop_ready(now: float) -> tuple[int, int] | None:
+            """Pop the first *ready* pending entry, scanning past backoffs.
+
+            Retry deadlines are appended in failure order, not deadline
+            order, so the head of the queue can sit in a long backoff while
+            entries behind it are ready now.  Scanning (rather than only
+            inspecting ``pending[0]``) keeps one long-backoff task from
+            stalling ready work.
+            """
+            for pos, (i, attempt, ready_at) in enumerate(pending):
+                if ready_at <= now:
+                    del pending[pos]
+                    return i, attempt
+            return None
+
         try:
             while pending or inflight:
                 now = time.monotonic()
                 while pending and len(inflight) < width:
-                    i, attempt, ready_at = pending[0]
-                    if ready_at > now:
+                    entry = pop_ready(now)
+                    if entry is None:
                         break
-                    pending.popleft()
+                    i, attempt = entry
                     future = pool.submit(worker, items[i])
                     inflight[future] = (i, attempt, time.monotonic())
                     if attempt == 1:
@@ -353,6 +369,10 @@ class MeasurementTask:
     measure: Callable[..., Any]
     pass_rng: bool
     methodology: tuple[tuple[str, Any], ...] = ()
+    #: ``(sink_path, trace_id, parent_span_id)`` — when set, the worker
+    #: (possibly in another process) appends a ``measurement-batch`` span
+    #: for this task to the JSONL sink.  Picklable by construction.
+    trace_ctx: tuple[str, str, str | None] | None = None
 
     @property
     def label(self) -> str:
@@ -442,6 +462,18 @@ def make_tasks(
 
 def _measure_worker(task: MeasurementTask) -> np.ndarray:
     """Execute one task (runs inside a worker process for ProcessExecutor)."""
+    if task.trace_ctx is not None:
+        sink_path, trace_id, parent_id = task.trace_ctx
+        with file_span(
+            sink_path, trace_id, parent_id, "measurement-batch",
+            workload=task.workload, point=repr(dict(task.point)),
+            rep=task.rep, index=task.index,
+        ):
+            return _measure_values(task)
+    return _measure_values(task)
+
+
+def _measure_values(task: MeasurementTask) -> np.ndarray:
     point = dict(task.point)
     if task.pass_rng:
         rng = np.random.default_rng(task.seed)
@@ -460,6 +492,8 @@ def run_measurement_tasks(
     executor: Executor | None = None,
     cache: ResultCache | None = None,
     hooks: ExecHooks | None = None,
+    tracer: Tracer | None = None,
+    provenance: Any | None = None,
 ) -> list[TaskResult]:
     """Run measurement tasks through an executor, with caching and metrics.
 
@@ -468,9 +502,24 @@ def run_measurement_tasks(
     returned list is ordered like *tasks*.  Task failures are *returned*
     (``ok=False``, error recorded), not raised — campaign-level policy
     decides whether a hole is fatal.
+
+    When *tracer* writes to a file-backed sink, every executed task emits
+    a ``measurement-batch`` span (from whichever process ran it) parented
+    under the tracer's current span.  When *provenance* (a
+    :class:`repro.obs.Provenance`) is given, its manifest is stored in the
+    cache entry of every fresh result, so cached values return with the
+    provenance of the run that measured them.
     """
     executor = executor or SerialExecutor()
     hooks = hooks or ExecHooks()
+    if tracer is not None and isinstance(tracer.sink, JsonlSpanSink):
+        ctx = (str(tracer.sink.path), tracer.trace_id, tracer.current_span_id)
+        # Tasks carrying a pre-assigned context (e.g. parented under a
+        # reserved design-point span) keep it.
+        tasks = [
+            t if t.trace_ctx is not None else _dc_replace(t, trace_ctx=ctx)
+            for t in tasks
+        ]
     results: list[TaskResult | None] = [None] * len(tasks)
     misses: list[int] = []
     for i, task in enumerate(tasks):
@@ -503,6 +552,8 @@ def run_measurement_tasks(
                 "attempts": outcome.attempts,
                 "wall_time_s": outcome.wall_time,
             }
+            if provenance is not None:
+                metadata["provenance"] = provenance.to_dict()
             if outcome.error is not None:
                 metadata["error"] = outcome.error
             results[slot] = TaskResult(
@@ -518,4 +569,12 @@ def run_measurement_tasks(
             )
             if outcome.ok and cache is not None:
                 cache.put(task.fingerprint(), outcome.value, metadata)
-    return [r for r in results if r is not None]
+    final = [r for r in results if r is not None]
+    if hooks.metrics is not None:
+        measured = sum(
+            int(r.values.size) for r in final if r.ok and not r.cached and r.values is not None
+        )
+        wall = sum(r.wall_time for r in final if not r.cached)
+        if wall > 0:
+            hooks.metrics.gauge("repro_measurements_per_second").set(measured / wall)
+    return final

@@ -6,6 +6,12 @@ plus per-task wall time, so "how much did the cache save us" and "which
 design point is the expensive one" are answerable without instrumenting
 user code.  All updates happen in the parent process (the engine reports
 events as it harvests results), so no locking is needed.
+
+Attach a :class:`repro.obs.MetricsRegistry` (most conveniently via
+:meth:`~repro.obs.MetricsRegistry.bind_exec_hooks`) and every counter bump
+is bridged into the registry's ``repro_tasks_*_total`` counters, the
+``repro_task_latency_seconds`` histogram, and the
+``repro_cache_hit_ratio`` gauge — exportable as JSON or Prometheus text.
 """
 
 from __future__ import annotations
@@ -38,6 +44,10 @@ class ExecHooks:
         Optional ``callback(event, label)`` invoked for every counter
         bump, with ``event`` one of ``submitted / completed / cached /
         retried / failed`` — the progress-bar seam.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; when set, every
+        event is mirrored into the registry's engine metrics
+        (:data:`repro.obs.EXEC_METRICS`).
     """
 
     submitted: int = 0
@@ -47,6 +57,7 @@ class ExecHooks:
     failed: int = 0
     task_seconds: dict[str, float] = field(default_factory=dict)
     on_event: Callable[[str, str], None] | None = None
+    metrics: Any = None
 
     def record(self, event: str, label: str = "", seconds: float | None = None) -> None:
         """Bump the counter for *event* and note wall time when given."""
@@ -55,6 +66,15 @@ class ExecHooks:
         setattr(self, event, getattr(self, event) + 1)
         if seconds is not None and label:
             self.task_seconds[label] = self.task_seconds.get(label, 0.0) + float(seconds)
+        if self.metrics is not None:
+            self.metrics.counter(f"repro_tasks_{event}_total").inc()
+            if event == "completed" and seconds is not None:
+                self.metrics.histogram("repro_task_latency_seconds").observe(seconds)
+            if event in ("submitted", "cached"):
+                seen = self.cached + self.submitted
+                self.metrics.gauge("repro_cache_hit_ratio").set(
+                    self.cached / seen if seen else 0.0
+                )
         if self.on_event is not None:
             self.on_event(event, label)
 

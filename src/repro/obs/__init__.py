@@ -1,0 +1,53 @@
+"""Observability for measurement campaigns (:mod:`repro.obs`).
+
+Three layers, all dependency-free and engine-agnostic:
+
+* :mod:`repro.obs.tracing` — spans (name, attrs, wall/CPU time, parent)
+  emitted around campaign → experiment → design-point →
+  measurement-batch, with a process-safe JSONL sink so
+  :class:`~repro.exec.ProcessExecutor` workers contribute to the same
+  trace;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms bridged from
+  :class:`~repro.exec.ExecHooks`, exportable as JSON and Prometheus
+  text format;
+* :mod:`repro.obs.provenance` — :class:`Provenance` manifests (host
+  environment, package versions, master seed, methodology, cache and
+  execution statistics) attached to every measured dataset and embedded
+  in report exports.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    EXEC_METRICS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .provenance import PROVENANCE_VERSION, Provenance, package_versions
+from .tracing import (
+    JsonlSpanSink,
+    Span,
+    Tracer,
+    file_span,
+    read_trace,
+    render_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "EXEC_METRICS",
+    "Provenance",
+    "PROVENANCE_VERSION",
+    "package_versions",
+    "Span",
+    "Tracer",
+    "JsonlSpanSink",
+    "file_span",
+    "read_trace",
+    "render_span_tree",
+]

@@ -27,6 +27,7 @@ from .export import (
     read_csv,
     measurements_to_json,
     measurements_from_json,
+    figure_to_json,
 )
 from .document import ReportBuilder
 from .autoreport import report_experiment
@@ -61,6 +62,7 @@ __all__ = [
     "read_csv",
     "measurements_to_json",
     "measurements_from_json",
+    "figure_to_json",
     "ReportBuilder",
     "report_experiment",
 ]

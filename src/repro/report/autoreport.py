@@ -51,6 +51,12 @@ def report_experiment(
     builder = ReportBuilder(f"Experiment report: {result.name}")
     if result.environment is not None:
         builder.add_environment(result.environment)
+    for ms in result.datasets.values():
+        prov = ms.provenance()
+        if prov is not None:
+            # One manifest covers the whole experiment run (Rule 9).
+            builder.add_provenance(prov)
+            break
 
     # Per-point statistics.
     rows = []

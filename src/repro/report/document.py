@@ -52,6 +52,18 @@ class ReportBuilder:
         body.append("```")
         return self.add_section(f"Measurements: {ms.name}", "\n".join(body))
 
+    def add_provenance(self, provenance) -> "ReportBuilder":
+        """Append the provenance manifest (how these results were made).
+
+        Accepts a :class:`repro.obs.Provenance` or its serialized dict
+        (e.g. straight out of ``MeasurementSet.metadata["provenance"]``).
+        """
+        if not hasattr(provenance, "describe"):
+            from ..obs import Provenance  # lazy: keep report importable alone
+
+            provenance = Provenance.from_dict(provenance)
+        return self.add_section("Provenance", "```\n" + provenance.describe() + "\n```")
+
     def add_rule_card(self, card: ReportCard) -> "ReportBuilder":
         """Append the twelve-rules compliance card."""
         return self.add_section(

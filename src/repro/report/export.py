@@ -9,9 +9,10 @@ provenance-preserving round-trips of :class:`MeasurementSet`).
 from __future__ import annotations
 
 import csv
+import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -23,6 +24,7 @@ __all__ = [
     "read_csv",
     "measurements_to_json",
     "measurements_from_json",
+    "figure_to_json",
 ]
 
 
@@ -87,7 +89,38 @@ def measurements_from_json(text: str) -> MeasurementSet:
         raise ValidationError(f"missing field in serialized set: {exc}") from exc
 
 
+def figure_to_json(figure: Any, *, provenance: Any = None, indent: int | None = None) -> str:
+    """Serialize a figure dataclass with an embedded provenance manifest.
+
+    Works for any of the :mod:`repro.report.figures` result objects (or
+    any dataclass of JSON-able fields, arrays included).  Every export
+    carries a :class:`repro.obs.Provenance` manifest — pass the run's own
+    (object or dict) to preserve it, or omit it to capture the exporting
+    host (Rule 9: the figure file alone says how it was produced).
+    """
+    if not dataclasses.is_dataclass(figure) or isinstance(figure, type):
+        raise ValidationError(
+            f"figure_to_json needs a figure dataclass instance, got "
+            f"{type(figure).__name__}"
+        )
+    if provenance is None:
+        from ..obs import Provenance  # lazy: keep report importable alone
+
+        provenance = Provenance.capture()
+    prov_dict = (
+        provenance.to_dict() if hasattr(provenance, "to_dict") else dict(provenance)
+    )
+    payload = {
+        "figure": type(figure).__name__,
+        "data": _deep_jsonable(dataclasses.asdict(figure)),
+        "provenance": _deep_jsonable(prov_dict),
+    }
+    return json.dumps(payload, indent=indent)
+
+
 def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
@@ -95,3 +128,12 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         return value.tolist()
     return value
+
+
+def _deep_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays inside containers."""
+    if isinstance(value, Mapping):
+        return {str(k): _deep_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_deep_jsonable(v) for v in value]
+    return _jsonable(value)

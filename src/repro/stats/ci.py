@@ -14,6 +14,7 @@ Both return a :class:`ConfidenceInterval`, which also powers the simple
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -21,7 +22,7 @@ import numpy as np
 from scipy import stats as _sps
 
 from .._validation import as_sample, check_prob
-from ..errors import InsufficientDataError
+from ..errors import CoverageWarning, InsufficientDataError
 
 __all__ = [
     "ConfidenceInterval",
@@ -29,6 +30,7 @@ __all__ = [
     "median_ci",
     "quantile_ci",
     "quantile_ci_ranks",
+    "ranks_coverage_limited",
     "intervals_overlap",
 ]
 
@@ -57,6 +59,12 @@ class ConfidenceInterval:
         ``"quantile(0.99)"``, ...).
     n:
         Number of observations the interval is based on.
+    coverage_limited:
+        True when the nonparametric construction's ranks had to be
+        clipped into the sample, so the interval's actual coverage is
+        *below* the requested ``confidence`` (Section 4.2.2's "n > 5"
+        caveat).  A :class:`~repro.errors.CoverageWarning` is emitted
+        alongside.
     """
 
     estimate: float
@@ -65,6 +73,7 @@ class ConfidenceInterval:
     confidence: float
     statistic: str
     n: int
+    coverage_limited: bool = False
 
     @property
     def width(self) -> float:
@@ -118,6 +127,29 @@ def mean_ci(data: Iterable[float], confidence: float = 0.95) -> ConfidenceInterv
     )
 
 
+def _rank_bounds_1based(n: int, q: float, confidence: float) -> tuple[int, int]:
+    """Le Boudec's construction, 1-based and *unclipped* (may exceed [1, n])."""
+    alpha = 1.0 - confidence
+    z = float(_sps.norm.ppf(1.0 - alpha / 2.0))
+    center = n * q
+    spread = z * math.sqrt(n * q * (1.0 - q))
+    lo_rank_1based = math.floor(center - spread)
+    hi_rank_1based = math.ceil(center + spread) + 1
+    return lo_rank_1based, hi_rank_1based
+
+
+def ranks_coverage_limited(n: int, q: float, confidence: float) -> bool:
+    """True when the rank construction exceeds the sample and must clip.
+
+    A clipped interval (e.g. ``n=6, q=0.5, 95%`` → the whole sample) has
+    actual coverage *below* the requested confidence; at such small *n*
+    the disclosure duty of Rule 5 applies (Section 4.2.2: "n > 5
+    measurements are needed").
+    """
+    lo1, hi1 = _rank_bounds_1based(n, q, confidence)
+    return lo1 < 1 or hi1 > n
+
+
 def quantile_ci_ranks(n: int, q: float, confidence: float) -> tuple[int, int]:
     """Zero-based order-statistic ranks bounding a nonparametric quantile CI.
 
@@ -129,17 +161,27 @@ def quantile_ci_ranks(n: int, q: float, confidence: float) -> tuple[int, int]:
     the general-quantile version replaces ``n/2`` by ``nq`` and ``√n/2`` by
     ``√(nq(1−q))``.  Returned ranks are clipped into ``[0, n−1]`` and
     converted to 0-based indexing for direct use on a sorted array.
+
+    When clipping is required (small *n*, extreme *q*, or high
+    confidence), the widest-available interval is returned and a
+    :class:`~repro.errors.CoverageWarning` is emitted: the achievable
+    confidence is below the requested level.
     """
     check_prob(q, "q")
     check_prob(confidence, "confidence")
     if n < MIN_NONPARAMETRIC_N:
         raise InsufficientDataError(MIN_NONPARAMETRIC_N, n, "nonparametric CI")
-    alpha = 1.0 - confidence
-    z = float(_sps.norm.ppf(1.0 - alpha / 2.0))
-    center = n * q
-    spread = z * math.sqrt(n * q * (1.0 - q))
-    lo_rank_1based = math.floor(center - spread)
-    hi_rank_1based = math.ceil(center + spread) + 1
+    lo_rank_1based, hi_rank_1based = _rank_bounds_1based(n, q, confidence)
+    if lo_rank_1based < 1 or hi_rank_1based > n:
+        warnings.warn(
+            f"quantile({q:g}) rank CI at n={n} cannot achieve "
+            f"{100 * confidence:g}% coverage: construction ranks "
+            f"[{lo_rank_1based}, {hi_rank_1based}] exceed the sample and were "
+            "clipped to its extremes; collect more measurements "
+            "(Section 4.2.2) or report the reduced coverage",
+            CoverageWarning,
+            stacklevel=2,
+        )
     lo = max(0, lo_rank_1based - 1)
     hi = min(n - 1, hi_rank_1based - 1)
     return lo, hi
@@ -166,6 +208,7 @@ def quantile_ci(
         confidence=confidence,
         statistic=f"quantile({q:g})",
         n=int(x.size),
+        coverage_limited=ranks_coverage_limited(int(x.size), q, confidence),
     )
 
 
@@ -179,6 +222,7 @@ def median_ci(data: Iterable[float], confidence: float = 0.95) -> ConfidenceInte
         confidence=ci.confidence,
         statistic="median",
         n=ci.n,
+        coverage_limited=ci.coverage_limited,
     )
 
 

@@ -39,6 +39,63 @@ class TestFingerprint:
         assert len(fp) == 32 and all(c in "0123456789abcdef" for c in fp)
 
 
+class TestNumpyScalarNormalization:
+    """Regression: numpy scalar reprs differ between numpy 1.x and 2.x
+    (``repr(np.int64(4))`` is ``"4"`` vs ``"np.int64(4)"``), so fingerprints
+    built from numpy-typed factor values silently changed across upgrades
+    and invalidated every cache entry."""
+
+    def test_numpy_int_matches_python_int(self):
+        s = (0, 1)
+        assert task_fingerprint("w", {"n": np.int64(4)}, s) == task_fingerprint(
+            "w", {"n": 4}, s
+        )
+        assert task_fingerprint("w", {"n": np.int32(4)}, s) == task_fingerprint(
+            "w", {"n": 4}, s
+        )
+
+    def test_numpy_float_matches_python_float(self):
+        s = (0, 1)
+        assert task_fingerprint(
+            "w", {"f": np.float64(0.5)}, s
+        ) == task_fingerprint("w", {"f": 0.5}, s)
+
+    def test_numpy_bool_matches_python_bool(self):
+        s = (0, 1)
+        assert task_fingerprint(
+            "w", {"flag": np.bool_(True)}, s
+        ) == task_fingerprint("w", {"flag": True}, s)
+
+    def test_int_and_float_remain_distinct(self):
+        s = (0, 1)
+        assert task_fingerprint("w", {"n": 4}, s) != task_fingerprint(
+            "w", {"n": 4.0}, s
+        )
+
+    def test_numpy_values_in_methodology_normalized(self):
+        s = (0, 1)
+        assert task_fingerprint(
+            "w", {"p": 1}, s, {"k": np.int64(30)}
+        ) == task_fingerprint("w", {"p": 1}, s, {"k": 30})
+
+    def test_golden_digests(self):
+        """Pin the digest values so any canonicalization change is loud —
+        an accidental change silently orphans every existing cache."""
+        assert (
+            task_fingerprint("w", {"n": 4}, (0, 1))
+            == "0fc2da12a935c2089e02fcf999f6385e"
+        )
+        assert (
+            task_fingerprint(
+                "wl",
+                {"p": 8, "placement": "packed", "f": 0.5, "flag": True},
+                (123, 7),
+                {"stopping": "n=30", "unit": "s"},
+            )
+            == "5f370c91f1f5325f3b6cf284c3b89276"
+        )
+
+
 class TestResultCache:
     def test_roundtrip_values_and_metadata(self, tmp_path):
         cache = ResultCache(tmp_path)

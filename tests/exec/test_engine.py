@@ -59,6 +59,23 @@ def sleepy_measure(point, rep, rng):
     return np.zeros(1)
 
 
+def hol_worker(item):
+    """Head-of-line scenario worker (generic executor contract).
+
+    ``always-fail`` items fail instantly on every attempt; ``slow-once``
+    items sleep, fail their first attempt, and succeed on the second
+    (the sentinel file crosses the process boundary).
+    """
+    if item["kind"] == "always-fail":
+        raise RuntimeError("boom")
+    if os.path.exists(item["sentinel"]):
+        return "ok"
+    with open(item["sentinel"], "w") as fh:
+        fh.write("x")
+    time.sleep(2.0)
+    raise RuntimeError("slow first attempt")
+
+
 def make_exp(measure=seeded_measure, levels=(0, 1, 2, 3), reps=2, **kw):
     return Experiment(
         name="engine-test",
@@ -285,3 +302,39 @@ class TestHooksAndValidation:
             ProcessExecutor(timeout=-1.0)
         with pytest.raises(ValidationError):
             SerialExecutor(retries=-1)
+
+
+class TestSchedulerFairness:
+    def test_long_backoff_head_does_not_stall_ready_retries(self, tmp_path):
+        """Regression: the submit loop only inspected ``pending[0]``, so a
+        task sitting in a long retry backoff at the head of the queue
+        stalled *ready* retries queued behind it.
+
+        Task A fails instantly on every attempt, so after two failures it
+        sits at the queue head with a long (2x'd) backoff.  Task B fails
+        once after sleeping, lands *behind* A with a shorter backoff, and
+        must be rerun as soon as its own deadline passes — not A's.
+        """
+        executor = ProcessExecutor(
+            max_workers=2, retries=2, backoff=1.5, max_backoff=10.0
+        )
+        t0 = time.monotonic()
+        seen: dict[tuple[str, str], float] = {}
+        hooks = ExecHooks(
+            on_event=lambda ev, label: seen.setdefault(
+                (ev, label), time.monotonic() - t0
+            )
+        )
+        items = [
+            {"kind": "always-fail"},
+            {"kind": "slow-once", "sentinel": str(tmp_path / "sentinel")},
+        ]
+        outcomes = executor.run(hol_worker, items, labels=["A", "B"], hooks=hooks)
+        assert not outcomes[0].ok and outcomes[0].attempts == 3
+        assert outcomes[1].ok and outcomes[1].attempts == 2
+        # B's retry deadline is backoff (1.5 s) after its failure; A's
+        # second backoff is 3.0 s and ends later.  With the head-of-line
+        # bug, B's rerun waited for A's deadline (2.6+ s after B's retry
+        # was recorded); with the scan it starts at B's own deadline.
+        waited = seen[("completed", "B")] - seen[("retried", "B")]
+        assert waited < 2.4, f"ready retry stalled behind backoff head ({waited:.2f}s)"

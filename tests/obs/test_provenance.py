@@ -1,0 +1,173 @@
+"""Tests for provenance manifests and their round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Campaign,
+    EnvironmentSpec,
+    Experiment,
+    Factor,
+    FactorialDesign,
+    measure_simulated,
+    run_benchmark,
+)
+from repro.errors import ValidationError
+from repro.exec import ExecHooks, ResultCache
+from repro.exec.engine import make_tasks, run_measurement_tasks
+from repro.obs import PROVENANCE_VERSION, Provenance, package_versions
+
+
+def _measure(point, rep, rng):
+    return rng.normal(10.0, 1.0, size=4)
+
+
+def _experiment(seed: int = 5) -> Experiment:
+    return Experiment(
+        name="prov-exp",
+        design=FactorialDesign((Factor("p", (1, 2)),), replications=2),
+        measure=_measure,
+        seed=seed,
+    )
+
+
+class TestManifest:
+    def test_capture_records_stack_versions(self):
+        prov = Provenance.capture()
+        assert prov.packages["numpy"] == np.__version__
+        assert "python" in prov.packages
+        assert prov.created_at  # ISO timestamp
+
+    def test_package_versions_has_repro(self):
+        assert "repro" in package_versions()
+
+    def test_capture_auto_documents_host(self):
+        prov = Provenance.capture()
+        assert prov.environment.get("runtime")  # capture_host fills this
+
+    def test_capture_accepts_environment_spec(self):
+        env = EnvironmentSpec(processor="test-cpu")
+        prov = Provenance.capture(environment=env)
+        assert prov.environment["processor"] == "test-cpu"
+
+    def test_capture_takes_hooks_snapshot(self):
+        hooks = ExecHooks()
+        hooks.record("submitted", "x")
+        prov = Provenance.capture(hooks=hooks)
+        assert prov.exec_stats["submitted"] == 1
+
+    def test_dict_round_trip(self):
+        prov = Provenance.capture(
+            master_seed=42, methodology={"unit": "s"}, trace_id="abc"
+        )
+        payload = json.loads(json.dumps(prov.to_dict()))
+        assert payload["version"] == PROVENANCE_VERSION
+        back = Provenance.from_dict(payload)
+        assert back == prov
+
+    def test_from_dict_requires_created_at(self):
+        with pytest.raises(ValidationError):
+            Provenance.from_dict({"packages": {}})
+
+    def test_describe_mentions_seed_and_trace(self):
+        prov = Provenance.capture(master_seed=7, trace_id="deadbeef")
+        text = prov.describe()
+        assert "master seed: 7" in text and "deadbeef" in text
+
+
+class TestAttachment:
+    def test_experiment_datasets_carry_provenance(self):
+        result = _experiment().run()
+        for ms in result.datasets.values():
+            prov = ms.provenance()
+            assert prov is not None
+            assert prov.master_seed == 5
+            assert "design" in prov.methodology
+            assert prov.exec_stats["completed"] == 4
+
+    def test_benchmark_producers_stamp_provenance(self):
+        ms = run_benchmark(lambda: None)
+        assert ms.provenance() is not None
+        ms = measure_simulated(
+            lambda n: np.full(n, 2.0), name="sim", unit="s"
+        )
+        assert ms.provenance().methodology["unit"] == "s"
+
+    def test_with_provenance_and_accessor(self):
+        from repro.core import MeasurementSet
+
+        ms = MeasurementSet(values=np.ones(3), unit="s")
+        assert ms.provenance() is None
+        stamped = ms.with_provenance(Provenance.capture(master_seed=1))
+        assert stamped.provenance().master_seed == 1
+
+
+class TestCacheRoundTrip:
+    def test_cached_results_return_measuring_runs_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        prov = Provenance.capture(master_seed=3, trace_id="originaltrace")
+        tasks = make_tasks("wl", [({"p": 1}, 0)], _measure, master_seed=3)
+        first = run_measurement_tasks(tasks, cache=cache, provenance=prov)
+        assert not first[0].cached
+        # A later run (different provenance) gets the *measuring* run's
+        # manifest back from the cache, values untouched.
+        tasks2 = make_tasks("wl", [({"p": 1}, 0)], _measure, master_seed=3)
+        later = run_measurement_tasks(
+            tasks2, cache=cache, provenance=Provenance.capture(master_seed=3)
+        )
+        assert later[0].cached
+        back = Provenance.from_dict(later[0].metadata["provenance"])
+        assert back.trace_id == "originaltrace"
+        np.testing.assert_array_equal(later[0].values, first[0].values)
+
+    def test_campaign_record_preserves_provenance(self, tmp_path):
+        camp = Campaign.create(tmp_path / "camp", name="c")
+        result = camp.run(_experiment())
+        name = next(iter(result.datasets.values())).name
+        loaded = camp.load(name)
+        prov = loaded.provenance()
+        assert prov is not None and prov.master_seed == 5
+        assert prov.cache_stats["entries"] == 4
+
+
+class TestReportEmbedding:
+    def test_figure_export_embeds_provenance(self):
+        from repro.report import fig1_hpl, figure_to_json
+
+        payload = json.loads(figure_to_json(fig1_hpl(8)))
+        assert payload["figure"] == "Fig1HPL"
+        assert payload["provenance"]["packages"]["numpy"] == np.__version__
+        assert len(payload["data"]["times"]) == 8
+
+    def test_figure_export_accepts_run_provenance(self):
+        from repro.report import fig1_hpl, figure_to_json
+
+        prov = Provenance.capture(master_seed=99)
+        payload = json.loads(figure_to_json(fig1_hpl(8), provenance=prov))
+        assert payload["provenance"]["master_seed"] == 99
+
+    def test_figure_export_rejects_non_dataclass(self):
+        from repro.report import figure_to_json
+
+        with pytest.raises(ValidationError):
+            figure_to_json({"not": "a dataclass"})
+
+    def test_autoreport_includes_provenance_section(self):
+        from repro.report import report_experiment
+
+        text = report_experiment(_experiment().run())
+        assert "## Provenance" in text
+        assert "master seed: 5" in text
+
+    def test_report_builder_accepts_dict(self):
+        from repro.report import ReportBuilder
+
+        prov = Provenance.capture(master_seed=11)
+        text = (
+            ReportBuilder("t").add_provenance(prov.to_dict()).render()
+        )
+        assert "master seed: 11" in text

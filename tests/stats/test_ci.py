@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import InsufficientDataError, ValidationError
+from repro.errors import CoverageWarning, InsufficientDataError, ValidationError
 from repro.stats import (
     ConfidenceInterval,
     intervals_overlap,
@@ -15,7 +17,7 @@ from repro.stats import (
     median_ci,
     quantile_ci,
 )
-from repro.stats.ci import quantile_ci_ranks
+from repro.stats.ci import quantile_ci_ranks, ranks_coverage_limited
 
 
 class TestMeanCI:
@@ -87,8 +89,48 @@ class TestQuantileRanks:
     )
     @settings(max_examples=200)
     def test_ranks_always_valid(self, n, q):
-        lo, hi = quantile_ci_ranks(n, q, 0.95)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CoverageWarning)
+            lo, hi = quantile_ci_ranks(n, q, 0.95)
         assert 0 <= lo <= hi <= n - 1
+
+
+class TestCoverageDisclosure:
+    """Regression: clipped rank intervals were returned silently, claiming
+    more coverage than the sample can deliver (Section 4.2.2)."""
+
+    def test_clipping_emits_coverage_warning(self):
+        with pytest.warns(CoverageWarning, match="cannot achieve"):
+            quantile_ci_ranks(6, 0.5, 0.95)
+
+    def test_no_warning_when_coverage_achievable(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CoverageWarning)
+            quantile_ci_ranks(100, 0.5, 0.95)
+
+    def test_extreme_quantile_warns_even_at_large_n(self):
+        with pytest.warns(CoverageWarning):
+            quantile_ci_ranks(50, 0.999, 0.95)
+
+    def test_ranks_coverage_limited_predicate(self):
+        assert ranks_coverage_limited(6, 0.5, 0.95)
+        assert not ranks_coverage_limited(100, 0.5, 0.95)
+
+    def test_interval_flag_set_when_clipped(self, rng):
+        data = rng.lognormal(size=6)
+        with pytest.warns(CoverageWarning):
+            ci = median_ci(data, 0.95)
+        assert ci.coverage_limited
+
+    def test_interval_flag_clear_when_achievable(self, lognormal_sample):
+        ci = median_ci(lognormal_sample, 0.95)
+        assert not ci.coverage_limited
+
+    def test_quantile_ci_propagates_flag(self, rng):
+        data = rng.lognormal(size=8)
+        with pytest.warns(CoverageWarning):
+            ci = quantile_ci(data, 0.99, 0.95)
+        assert ci.coverage_limited
 
 
 class TestMedianCI:

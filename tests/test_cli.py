@@ -120,3 +120,82 @@ class TestNoise:
         out = capsys.readouterr().out
         assert "noise fraction" in out
         assert "detours" in out
+
+
+class TestCampaignCommand:
+    def test_campaign_produces_datasets_trace_and_metrics(self, tmp_path, capsys):
+        d = tmp_path / "camp"
+        metrics = d / "metrics.prom"
+        code = main([
+            "campaign", "--dir", str(d), "--samples", "20", "--reps", "2",
+            "--seed", "3", "--emit-metrics", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design point(s)" in out
+        assert (d / "campaign.json").exists()
+        assert (d / "trace.jsonl").exists()
+        assert metrics.read_text().startswith("# HELP")
+        assert "repro_tasks_completed_total 4" in metrics.read_text()
+
+    def test_rerun_served_from_cache(self, tmp_path, capsys):
+        d = tmp_path / "camp"
+        args = ["campaign", "--dir", str(d), "--samples", "10", "--seed", "1"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cached 6" in capsys.readouterr().out
+
+    def test_json_metrics_suffix(self, tmp_path):
+        d = tmp_path / "camp"
+        metrics = d / "metrics.json"
+        assert main([
+            "campaign", "--dir", str(d), "--samples", "10",
+            "--emit-metrics", str(metrics),
+        ]) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["repro_tasks_completed_total"]["value"] == 6
+
+    def test_recorded_datasets_carry_provenance(self, tmp_path):
+        from repro.core import Campaign
+
+        d = tmp_path / "camp"
+        assert main(["campaign", "--dir", str(d), "--samples", "10"]) == 0
+        camp = Campaign.open(d)
+        ms = camp.load(camp.names()[0])
+        assert ms.provenance() is not None
+
+
+class TestTraceCommand:
+    def test_renders_span_tree(self, tmp_path, capsys):
+        d = tmp_path / "camp"
+        assert main(["campaign", "--dir", str(d), "--samples", "10"]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "experiment" in out
+        assert "design-point" in out and "measurement-batch" in out
+        assert "└─" in out  # tree connectors
+
+    def test_accepts_direct_file_path(self, tmp_path, capsys):
+        d = tmp_path / "camp"
+        assert main(["campaign", "--dir", str(d), "--samples", "10"]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(d / "trace.jsonl")]) == 0
+        assert "measurement-batch" in capsys.readouterr().out
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFiguresMetrics:
+    def test_emit_metrics_flag(self, tmp_path, capsys):
+        metrics = tmp_path / "figures.prom"
+        assert main([
+            "figures", "--fig", "1", "--samples", "1000",
+            "--emit-metrics", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "repro_tasks_completed_total 1" in text
+        assert "# TYPE repro_task_latency_seconds histogram" in text
