@@ -1,18 +1,76 @@
-"""Fidelity switch shared by the benchmark modules.
+"""Fidelity switch and result recording shared by the benchmark modules.
 
 Set ``REPRO_BENCH_FULL=1`` to run at the paper's full sample sizes
 (10⁶ ping-pong samples, 1000-run collectives); the default is a reduced
 fidelity that keeps the whole harness under a few minutes.
+
+:func:`record_bench_json` accumulates machine-readable benchmark rows in
+``BENCH_simsys.json`` at the repository root, so the performance trajectory
+is tracked across PRs instead of living only in the text files under
+``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 #: Full paper fidelity (1M ping-pong samples etc.) vs quick harness run.
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+#: Machine-readable benchmark results, merged across runs (repo root).
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simsys.json"
 
 
 def fidelity(full_n: int, quick_n: int) -> int:
     """Pick the sample count for the current fidelity mode."""
     return full_n if FULL else quick_n
+
+
+def record_bench_json(
+    op: str,
+    nprocs: int,
+    n: int,
+    *,
+    wall_s: float,
+    reference_wall_s: float | None = None,
+    kernel: str = "vectorized",
+    machine: str = "piz_daint",
+    path: Path | None = None,
+) -> dict:
+    """Merge one benchmark row into ``BENCH_simsys.json``.
+
+    Rows are keyed by ``op[machine=..,P=..,n=..,kernel=..]`` so re-running a
+    benchmark overwrites its own row and leaves the rest of the file intact.
+    The write is atomic (tmp file + rename) so a crashed run can't leave a
+    half-written JSON behind.  Returns the row that was stored.
+    """
+    target = path or BENCH_JSON
+    payload: dict = {"schema": 1, "results": {}}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+            if isinstance(existing.get("results"), dict):
+                payload = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt file: start a fresh one
+    row = {
+        "op": op,
+        "machine": machine,
+        "P": int(nprocs),
+        "n": int(n),
+        "kernel": kernel,
+        "wall_s": float(wall_s),
+    }
+    if reference_wall_s is not None:
+        row["reference_wall_s"] = float(reference_wall_s)
+        row["speedup_vs_reference"] = (
+            float(reference_wall_s) / float(wall_s) if wall_s > 0 else float("inf")
+        )
+    key = f"{op}[machine={machine},P={nprocs},n={n},kernel={kernel}]"
+    payload["results"][key] = row
+    tmp = target.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, target)
+    return row

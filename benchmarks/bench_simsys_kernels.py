@@ -1,0 +1,148 @@
+"""Vectorized vs reference collective kernels: wall-time comparison.
+
+Times the round-batched numpy kernels against the scalar ``kernel=
+"reference"`` path and records the speedups in ``BENCH_simsys.json`` at
+the repo root (machine-readable, merged across runs) plus a human-readable
+table in ``benchmarks/results/``.
+
+Two machines separate the two cost regimes (see docs/PERFORMANCE.md):
+
+* ``piz_daint`` — the paper's noisy machine.  Per-element noise sampling
+  is a shared floor for both kernels, so the honest speedup here is
+  modest (~1.5-2x at P=1024);
+* ``testbed_det`` — a deterministic (noise-free) machine where Python
+  dispatch and column-strided access are the reference path's whole cost.
+  This is the regime vectorization targets, and where the >= 5x gate for
+  ``reduce`` at P=1024, n=1000 applies.
+
+Runs two ways:
+
+* under the pytest benchmark harness (``pytest benchmarks/``), at the
+  fidelity chosen by ``REPRO_BENCH_FULL``;
+* standalone, as the CI smoke gate::
+
+      PYTHONPATH=src python benchmarks/bench_simsys_kernels.py --quick
+
+  which exits non-zero if the vectorized kernel is ever slower than the
+  reference path at P >= 256 (and, without ``--quick``, if the reduce
+  speedup at P=1024, n=1000 on the deterministic machine falls below 5x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+from _bench_utils import fidelity, record_bench_json
+
+from repro.simsys import SimComm, piz_daint, testbed
+
+#: (label, factory) pairs: 128 XC30 nodes x 8 cores and 256 testbed
+#: nodes x 4 cores both give 1024 packed ranks at the largest sweep point.
+MACHINES = (
+    ("piz_daint", lambda: piz_daint(128)),
+    ("testbed_det", lambda: testbed(256, deterministic=True)),
+)
+
+OPS = ("reduce", "bcast", "allreduce")
+
+
+def _time_op(machine, op: str, nprocs: int, n: int, kernel: str, seed: int = 0) -> float:
+    comm = SimComm(machine, nprocs, placement="packed", seed=seed, kernel=kernel)
+    args = (8, n)
+    start = time.perf_counter()
+    out = getattr(comm, op)(*args)
+    elapsed = time.perf_counter() - start
+    assert out.shape == (n, nprocs) and np.isfinite(out).all()
+    return elapsed
+
+
+def run_suite(process_counts, n: int, ops=OPS):
+    """Time every (machine, op, P) triple under both kernels; returns rows."""
+    rows = []
+    for label, factory in MACHINES:
+        machine = factory()
+        for op in ops:
+            for nprocs in process_counts:
+                ref = _time_op(machine, op, nprocs, n, "reference")
+                vec = _time_op(machine, op, nprocs, n, "vectorized")
+                row = record_bench_json(
+                    op, nprocs, n, wall_s=vec, reference_wall_s=ref, machine=label
+                )
+                rows.append(row)
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        f"{'machine':<12} {'op':<10} {'P':>5} {'n':>6} {'reference (s)':>14} "
+        f"{'vectorized (s)':>15} {'speedup':>8}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['machine']:<12} {r['op']:<10} {r['P']:>5} {r['n']:>6} "
+            f"{r['reference_wall_s']:>14.4f} {r['wall_s']:>15.4f} "
+            f"{r['speedup_vs_reference']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def check_gates(rows, *, require_5x_at_1024: bool) -> list[str]:
+    """The CI pass/fail conditions; returns a list of failure messages."""
+    failures = []
+    for r in rows:
+        if r["P"] >= 256 and r["speedup_vs_reference"] < 1.0:
+            failures.append(
+                f"{r['op']} on {r['machine']} at P={r['P']}: vectorized slower "
+                f"than reference ({r['wall_s']:.4f}s vs {r['reference_wall_s']:.4f}s)"
+            )
+    if require_5x_at_1024:
+        for r in rows:
+            if (
+                r["machine"] == "testbed_det"
+                and r["op"] == "reduce"
+                and r["P"] == 1024
+                and r["speedup_vs_reference"] < 5.0
+            ):
+                failures.append(
+                    f"reduce on testbed_det at P=1024: speedup "
+                    f"{r['speedup_vs_reference']:.1f}x < 5x"
+                )
+    return failures
+
+
+def test_simsys_kernel_speedup(benchmark, record_result):
+    n = fidelity(1000, 100)
+    rows = benchmark.pedantic(
+        lambda: run_suite((64, 256, 1024), n), rounds=1, iterations=1
+    )
+    record_result("simsys_kernel_speedup", render(rows))
+    assert not check_gates(rows, require_5x_at_1024=(n >= 1000))
+    # Even at reduced fidelity the batched kernels should win big where
+    # dispatch dominates.
+    by_key = {(r["machine"], r["op"], r["P"]): r for r in rows}
+    assert by_key[("testbed_det", "reduce", 1024)]["speedup_vs_reference"] > 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke fidelity (n=100) and skip the 5x-at-P=1024 requirement",
+    )
+    args = parser.parse_args(argv)
+    n = 100 if args.quick else 1000
+    rows = run_suite((64, 256, 1024), n)
+    print(render(rows))
+    failures = check_gates(rows, require_5x_at_1024=not args.quick)
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    print(f"results merged into BENCH_simsys.json ({len(rows)} rows)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -123,14 +123,19 @@ def _figure_sections(spec: dict) -> list[tuple[str, str]]:
 def _make_metrics_hooks(emit_metrics: str | None):
     """(hooks, registry) — registry is None without ``--emit-metrics``."""
     from .exec import ExecHooks
+    from .simsys.mpi import bind_kernel_metrics
 
     hooks = ExecHooks()
     if not emit_metrics:
+        bind_kernel_metrics(None)
         return hooks, None
     from .obs import MetricsRegistry
 
     registry = MetricsRegistry()
     registry.bind_exec_hooks(hooks)
+    # Simulation collectives running in this process report kernel cost
+    # into the same registry (worker processes record into their own).
+    bind_kernel_metrics(registry)
     return hooks, registry
 
 
@@ -176,13 +181,22 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _demo_measure(point, rep, rng):
-    """Synthetic message-latency workload for the ``campaign`` command.
+    """Simulated reduce-latency workload for the ``campaign`` command.
 
     Module-level so it pickles into :class:`~repro.exec.ProcessExecutor`
-    workers; lognormal spread mimics real network latency tails.
+    workers.  Runs the actual collective simulator (so ``--emit-metrics``
+    shows real kernel cost), seeded from the task's derived generator for
+    executor-independent determinism.
     """
-    base = 1e-6 + 2e-10 * float(point["size"])
-    return base * rng.lognormal(mean=0.0, sigma=0.25, size=int(point["batch"]))
+    from .simsys import SimComm, testbed
+
+    comm = SimComm(
+        testbed(2),
+        nprocs=8,
+        placement="packed",
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    return comm.reduce_root_times(int(point["size"]), int(point["batch"]))
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:

@@ -30,6 +30,7 @@ from ..errors import ExecutionError, ReproError, ValidationError
 from ..exec import ExecHooks, Executor, ResultCache, SerialExecutor
 from ..exec.engine import make_tasks, run_measurement_tasks
 from ..obs import Provenance, Tracer
+from ..simsys.schedules import KERNEL_VERSION
 from .design import FactorialDesign
 from .environment import EnvironmentSpec
 from .measurement import MeasurementSet
@@ -170,7 +171,14 @@ class Experiment:
             for point in self.design.points()
             for rep in range(self.design.replications)
         ]
-        methodology = {"design": self.design.describe(), "unit": self.unit}
+        # simsys_kernel keys the RNG stream-consumption layout of the
+        # simulated collectives into every task fingerprint, so cached
+        # results from an older kernel layout are never reused.
+        methodology = {
+            "design": self.design.describe(),
+            "unit": self.unit,
+            "simsys_kernel": KERNEL_VERSION,
+        }
         return (
             make_tasks(
                 self.name,
@@ -215,7 +223,11 @@ class Experiment:
         provenance = Provenance.capture(
             environment=self.environment,
             master_seed=master,
-            methodology={"design": self.design.describe(), "unit": self.unit},
+            methodology={
+                "design": self.design.describe(),
+                "unit": self.unit,
+                "simsys_kernel": KERNEL_VERSION,
+            },
             trace_id=tracer.trace_id if tracer is not None else None,
         )
         tasks, index_of = self._tasks()

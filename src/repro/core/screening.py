@@ -25,6 +25,7 @@ from .._validation import check_int
 from ..errors import DesignError, ExecutionError, ReproError
 from ..exec import ExecHooks, Executor, ResultCache
 from ..exec.engine import make_tasks, run_measurement_tasks
+from ..simsys.schedules import KERNEL_VERSION
 
 __all__ = [
     "TwoLevelDesign",
@@ -184,6 +185,7 @@ def run_screening(
     methodology = {
         "screening": f"two-level, {design.n_runs} runs x {design.k} factors",
         "replications": replications,
+        "simsys_kernel": KERNEL_VERSION,
     }
     tasks = make_tasks(
         workload, runs, measure, master_seed=seed, methodology=methodology

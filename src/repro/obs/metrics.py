@@ -34,6 +34,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "EXEC_METRICS",
+    "SIMSYS_METRICS",
+    "SIMSYS_KERNEL_BUCKETS",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -54,6 +56,20 @@ EXEC_METRICS: dict[str, str] = {
     "repro_cache_hit_ratio": "Cached tasks over all tasks seen so far.",
     "repro_measurements_per_second": "Measured values per second of task wall time.",
 }
+
+#: Simulation-kernel metric names (recorded by repro.simsys.mpi when a
+#: registry is bound via ``bind_kernel_metrics``), in export order.
+SIMSYS_METRICS: dict[str, str] = {
+    "repro_simsys_kernel_ops_total": "Collective evaluations run by the simulator.",
+    "repro_simsys_kernel_messages_total": "Simulated messages across all evaluations.",
+    "repro_simsys_kernel_seconds": "Wall-clock seconds per collective evaluation.",
+}
+
+#: Kernel-evaluation latency buckets — collectives evaluate in
+#: microseconds-to-seconds, far below the engine's task-level spread.
+SIMSYS_KERNEL_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 2.5, 10.0,
+)
 
 
 def _check_name(name: str) -> str:

@@ -54,6 +54,15 @@ def package_versions() -> dict[str, str]:
         versions["repro"] = repro_version
     except ImportError:  # pragma: no cover - partial-init edge
         pass
+    try:
+        from ..simsys.schedules import KERNEL_VERSION
+
+        # RNG stream-consumption layout of the simulated collectives:
+        # results produced under different layouts are not comparable
+        # sample-for-sample, so manifests must record which one ran.
+        versions["simsys_kernel"] = str(KERNEL_VERSION)
+    except ImportError:  # pragma: no cover - partial-init edge
+        pass
     return versions
 
 

@@ -20,6 +20,7 @@ from .noise import (
     MixtureNoise,
     CompositeNoise,
     scaled,
+    sample_block,
 )
 from .machine import (
     NodeSpec,
@@ -33,7 +34,17 @@ from .machine import (
 )
 from .network import Topology, dragonfly, fat_tree, single_switch, NetworkModel
 from .events import EventQueue
-from .mpi import SimComm, reduce_schedule
+from .schedules import (
+    KERNEL_VERSION,
+    CompiledSchedule,
+    Round,
+    compile_allreduce,
+    compile_alltoall,
+    compile_barrier,
+    compile_bcast,
+    compile_reduce,
+)
+from .mpi import SimComm, reduce_schedule, bind_kernel_metrics
 from .energy import PowerModel
 from .noisebench import FWQResult, fixed_work_quantum, detour_spectrum, dominant_period
 from .cache import CacheModel, CachedKernel
@@ -61,6 +72,7 @@ __all__ = [
     "MixtureNoise",
     "CompositeNoise",
     "scaled",
+    "sample_block",
     "NodeSpec",
     "MachineSpec",
     "piz_daint",
@@ -77,6 +89,15 @@ __all__ = [
     "EventQueue",
     "SimComm",
     "reduce_schedule",
+    "bind_kernel_metrics",
+    "KERNEL_VERSION",
+    "CompiledSchedule",
+    "Round",
+    "compile_reduce",
+    "compile_bcast",
+    "compile_allreduce",
+    "compile_alltoall",
+    "compile_barrier",
     "hpl_flops",
     "HPLModel",
     "reduction_overhead_piz_daint",

@@ -16,11 +16,29 @@ algorithms*, and the machine's noise profile:
 Collectives are evaluated *vectorized over repetitions*: one call computes
 ``n`` independent repetitions of the operation and returns an ``(n, P)``
 array of per-rank completion times, which is what the analysis layer wants.
+
+Two kernel implementations exist, selected by the ``kernel`` field:
+
+``"vectorized"`` (default)
+    round-batched numpy kernels: the message schedule is compiled once
+    (:mod:`repro.simsys.schedules`), per-round message costs come from one
+    vectorized network-model lookup, state is held transposed (one
+    contiguous row per rank) so each round is a handful of row-block
+    operations, and all of a collective's noise is drawn as one
+    ``(noise slots, repetitions)`` block — O(log P) numpy calls per
+    collective instead of O(P) Python iterations.
+``"reference"``
+    the original scalar per-message path, kept for cross-validation; on a
+    noiseless machine both kernels are bit-identical, on a noisy machine
+    they are statistically equivalent but consume the RNG stream in a
+    different order (see docs/PERFORMANCE.md and
+    :data:`~repro.simsys.schedules.KERNEL_VERSION`).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Literal
 
@@ -29,55 +47,63 @@ import numpy as np
 from .._validation import check_in, check_int
 from ..errors import SimulationError, ValidationError
 from .machine import MachineSpec
+from .noise import NoNoise, sample_block
 from .rng import RngFactory
+from .schedules import (
+    KERNEL_VERSION,
+    CompiledSchedule,
+    compile_allreduce,
+    compile_alltoall,
+    compile_barrier,
+    compile_bcast,
+    compile_reduce,
+    reduce_schedule,
+)
 
-__all__ = ["SimComm", "reduce_schedule", "Placement"]
+__all__ = [
+    "SimComm",
+    "reduce_schedule",
+    "Placement",
+    "Kernel",
+    "KERNEL_VERSION",
+    "bind_kernel_metrics",
+]
 
 Placement = Literal["packed", "scattered", "one_per_node"]
+Kernel = Literal["vectorized", "reference"]
 
 #: Fixed software cost of executing the reduction operator on one message
 #: worth of data, relative to node compute speed; small vs. network costs.
 _OP_FLOPS_PER_BYTE = 0.25
 
 
-def reduce_schedule(nprocs: int) -> tuple[list[tuple[int, int]], list[list[tuple[int, int]]]]:
-    """The message schedule of a binomial-tree reduce to root 0.
+# -- kernel metrics ----------------------------------------------------------
 
-    Returns ``(pre_phase, rounds)`` where *pre_phase* is the list of
-    ``(src, dst)`` messages folding the ``rem = P − 2^⌊log2 P⌋`` extra
-    processes into a power-of-two group (MPICH algorithm: the first
-    ``2·rem`` ranks pair up, odd sends to even), and *rounds* is the list
-    of per-round ``(src, dst)`` message lists of the binomial tree over the
-    surviving group.  For powers of two the pre-phase is empty — one fewer
-    communication step, the Figure 5 effect.
+#: The registry (if any) receiving simulation-kernel timings; process-local.
+_kernel_metrics = None
 
-    Rank identifiers in *rounds* refer to original ranks; the surviving
-    group after the pre-phase is ranks ``{0, 2, 4, …, 2·rem−2} ∪
-    {2·rem, …, P−1}`` relabelled consecutively.
+
+def bind_kernel_metrics(registry) -> None:
+    """Route simulation-kernel timings into an obs metrics registry.
+
+    Pre-registers the ``repro_simsys_kernel_*`` series (see
+    :data:`repro.obs.metrics.SIMSYS_METRICS`) so an export taken before
+    any collective runs still shows them, then installs *registry* as the
+    process-global sink; pass ``None`` to unbind.  Binding is per process:
+    collectives evaluated inside :class:`~repro.exec.ProcessExecutor`
+    workers record into those workers' (unbound) registries, not the
+    parent's.
     """
-    nprocs = check_int(nprocs, "nprocs", minimum=1)
-    pof2 = 1 << (nprocs.bit_length() - 1)
-    rem = nprocs - pof2
-    pre_phase: list[tuple[int, int]] = []
-    if rem:
-        for r in range(rem):
-            pre_phase.append((2 * r + 1, 2 * r))
-    # Surviving ranks, relabelled 0..pof2-1 in order.
-    if rem:
-        survivors = list(range(0, 2 * rem, 2)) + list(range(2 * rem, nprocs))
-    else:
-        survivors = list(range(nprocs))
-    assert len(survivors) == pof2
-    rounds: list[list[tuple[int, int]]] = []
-    k = 1
-    while k < pof2:
-        this_round = [
-            (survivors[j], survivors[j - k])
-            for j in range(k, pof2, 2 * k)
-        ]
-        rounds.append(this_round)
-        k *= 2
-    return pre_phase, rounds
+    global _kernel_metrics
+    if registry is not None:
+        from ..obs.metrics import SIMSYS_KERNEL_BUCKETS, SIMSYS_METRICS
+
+        for name, help_text in SIMSYS_METRICS.items():
+            if name.endswith("_total"):
+                registry.counter(name, help_text)
+            else:
+                registry.histogram(name, help_text, buckets=SIMSYS_KERNEL_BUCKETS)
+    _kernel_metrics = registry
 
 
 @dataclass
@@ -98,16 +124,24 @@ class SimComm:
         play an important role") because intra-node messages are cheaper.
     seed:
         Root seed for all noise streams.
+    kernel:
+        ``"vectorized"`` (default) evaluates collectives as round-batched
+        numpy kernels; ``"reference"`` uses the scalar per-message path
+        for cross-validation.  Same seed, same statistics — but different
+        RNG stream-consumption layouts, so individual samples differ
+        between kernels on noisy machines.
     """
 
     machine: MachineSpec
     nprocs: int
     placement: Placement = "packed"
     seed: int = 0
+    kernel: Kernel = "vectorized"
 
     def __post_init__(self) -> None:
         check_int(self.nprocs, "nprocs", minimum=1)
         check_in(self.placement, ("packed", "scattered", "one_per_node"), "placement")
+        check_in(self.kernel, ("vectorized", "reference"), "kernel")
         self._rngs = RngFactory(self.seed).child("simcomm", self.machine.name)
         self.rank_node, self.rank_core = self._place()
         # Core 0 of every node hosts OS daemons / service threads: its
@@ -115,6 +149,10 @@ class SimComm:
         self.rank_noise_scale = np.where(
             self.rank_core == 0, self.machine.noisy_rank_factor, 1.0
         )
+        # NoNoise consumes no RNG and samples exact zeros, so the
+        # vectorized kernels skip its (all-zero) noise blocks outright —
+        # same results, same stream state, none of the memory traffic.
+        self._quiet = isinstance(self.machine.network_noise, NoNoise)
         self._op_count = 0
 
     # -- placement -----------------------------------------------------
@@ -152,8 +190,19 @@ class SimComm:
             int(self.rank_node[src]), int(self.rank_node[dst]), size_bytes
         )
 
+    def _edge_base(self, src: np.ndarray, dst: np.ndarray, size_bytes: int) -> np.ndarray:
+        """Deterministic message times for a whole round of edges at once."""
+        return self.machine.network.message_time_array(
+            self.rank_node[src], self.rank_node[dst], size_bytes
+        )
+
     def _net_noise(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return self.machine.network_noise.sample(rng, n)
+
+    def _net_noise_block(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        return sample_block(self.machine.network_noise, rng, shape)
 
     def _op_cost(self, size_bytes: int) -> float:
         """Local reduction-operator cost for one message of data (s)."""
@@ -163,6 +212,15 @@ class SimComm:
     def _fresh_stream(self, *keys) -> np.random.Generator:
         self._op_count += 1
         return self._rngs("op", self._op_count, *keys)
+
+    def _record_kernel(self, seconds: float, n_messages: int) -> None:
+        """Feed one collective evaluation into the bound metrics registry."""
+        registry = _kernel_metrics
+        if registry is None:
+            return
+        registry.counter("repro_simsys_kernel_ops_total").inc()
+        registry.counter("repro_simsys_kernel_messages_total").inc(float(n_messages))
+        registry.histogram("repro_simsys_kernel_seconds").observe(seconds)
 
     # -- point-to-point -------------------------------------------------
 
@@ -181,6 +239,10 @@ class SimComm:
         delivers only when the node has one rank — use ``"one_per_node"``
         or ``"scattered"`` to match the paper's setup.
         """
+        # Zero-byte probes are the standard latency microbenchmark (the
+        # postal-model fit sweeps from size 0), so unlike the collectives
+        # ping-pong accepts an empty payload.
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=0)
         check_int(n, "n", minimum=1)
         a, b = ranks
         if a == b:
@@ -188,12 +250,14 @@ class SimComm:
         for r in (a, b):
             if not 0 <= r < self.nprocs:
                 raise ValidationError(f"rank {r} out of range")
+        start = time.perf_counter()
         base_fwd = self.message_base(a, b, size_bytes)
         base_bwd = self.message_base(b, a, size_bytes)
         rng = self._fresh_stream("pingpong")
         noise_fwd = self._net_noise(rng, n)
         noise_bwd = self._net_noise(rng, n)
         rtt = base_fwd + base_bwd + noise_fwd + noise_bwd
+        self._record_kernel(time.perf_counter() - start, 2 * n)
         return rtt / 2.0
 
     # -- collectives ----------------------------------------------------
@@ -212,19 +276,88 @@ class SimComm:
         ``[0, skew]``, modelling imperfect synchronization (used by the
         Rule 10 synchronization ablation).
         """
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=1)
         check_int(n, "n", minimum=1)
-        pre, rounds = reduce_schedule(self.nprocs)
         rng = self._fresh_stream("reduce")
+        sched = compile_reduce(self.nprocs)
+        start = time.perf_counter()
+        if self.kernel == "vectorized":
+            out = self._reduce_vectorized(rng, sched, size_bytes, n, skew)
+        else:
+            out = self._reduce_reference(rng, size_bytes, n, skew)
+        self._record_kernel(time.perf_counter() - start, sched.n_messages * n)
+        return out
+
+    def _reduce_vectorized(
+        self,
+        rng: np.random.Generator,
+        sched: CompiledSchedule,
+        size_bytes: int,
+        n: int,
+        skew: float | None,
+    ) -> np.ndarray:
         P = self.nprocs
         op_cost = self._op_cost(size_bytes)
-        # ready[i, r]: time rank r is ready to participate.
+        # State is held transposed — (P, n), one contiguous row per rank —
+        # so gathering a round's senders copies whole cache lines instead
+        # of stride-P columns.  All noise for the op is drawn as a single
+        # (P + 2·messages, n) block (the v2 stream layout): rows 0..P-1
+        # are the per-rank local noise, then each round contributes its
+        # send rows followed by its receive rows.
+        quiet = self._quiet
+        blk = None if quiet else self._net_noise_block(rng, (P + 2 * sched.n_messages, n))
+        if skew:
+            # Same draw as the reference path (an (n, P) uniform block),
+            # transposed into the row-major state.
+            ready = np.ascontiguousarray(rng.uniform(0.0, skew, size=(n, P)).T)
+        else:
+            ready = np.zeros((P, n))
+        if not quiet:
+            scale = self.rank_noise_scale[:, None]
+            ready += 0.2 * blk[:P] * scale
+        if quiet and not skew:
+            # ready is all zeros: fresh zero arrays beat 8 MB memcpys.
+            done = np.zeros((P, n))
+            completion = np.zeros((P, n))
+        else:
+            done = ready.copy()
+            completion = ready.copy()
+        off = P
+        for rnd in sched.rounds:
+            src, dst, m = rnd.src, rnd.dst, rnd.n_messages
+            base = self._edge_base(src, dst, size_bytes)
+            send_done = done[src]
+            send_done += base[:, None]
+            if not quiet:
+                send_done += blk[off : off + m]
+                # Receiver-side daemon-core delays slow message absorption.
+                recv_extra = blk[off + m : off + 2 * m] * (0.15 * scale[dst])
+            off += 2 * m
+            arrived = np.maximum(done[dst], send_done)
+            if not quiet:
+                arrived += recv_extra
+            arrived += op_cost
+            done[dst] = arrived
+            # Senders are finished once their messages are on the wire.
+            completion[src] = np.maximum(completion[src], send_done)
+            completion[dst] = np.maximum(completion[dst], arrived)
+        return np.ascontiguousarray(completion.T)
+
+    def _reduce_reference(
+        self,
+        rng: np.random.Generator,
+        size_bytes: int,
+        n: int,
+        skew: float | None,
+    ) -> np.ndarray:
+        pre, rounds = reduce_schedule(self.nprocs)
+        P = self.nprocs
+        op_cost = self._op_cost(size_bytes)
         if skew:
             ready = rng.uniform(0.0, skew, size=(n, P))
         else:
             ready = np.zeros((n, P))
-        # Per-rank local noise entering the operation (OS jitter on the
-        # compute part), scaled on daemon cores.
-        local = self.machine.network_noise.sample(rng, n * P).reshape(n, P)
+        local = self._net_noise(rng, n * P).reshape(n, P)
         ready = ready + 0.2 * local * self.rank_noise_scale[None, :]
         done = ready.copy()
         completion = ready.copy()
@@ -233,10 +366,9 @@ class SimComm:
             base = self.message_base(src, dst, size_bytes)
             noise = self._net_noise(rng, n)
             send_done = done[:, src] + base + noise
-            # Receiver-side daemon-core delays slow message absorption.
             recv_extra = (
                 0.15
-                * self.machine.network_noise.sample(rng, n)
+                * self._net_noise(rng, n)
                 * self.rank_noise_scale[dst]
             )
             arrived = np.maximum(done[:, dst], send_done) + recv_extra
@@ -258,8 +390,43 @@ class SimComm:
 
     def bcast(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
         """Binomial-tree broadcast from root 0; ``(n, P)`` receive times."""
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=1)
         check_int(n, "n", minimum=1)
         rng = self._fresh_stream("bcast")
+        sched = compile_bcast(self.nprocs)
+        start = time.perf_counter()
+        if self.kernel == "vectorized":
+            out = self._bcast_vectorized(rng, sched, size_bytes, n)
+        else:
+            out = self._bcast_reference(rng, size_bytes, n)
+        self._record_kernel(time.perf_counter() - start, sched.n_messages * n)
+        return out
+
+    def _bcast_vectorized(
+        self,
+        rng: np.random.Generator,
+        sched: CompiledSchedule,
+        size_bytes: int,
+        n: int,
+    ) -> np.ndarray:
+        quiet = self._quiet
+        blk = None if quiet else self._net_noise_block(rng, (sched.n_messages, n))
+        done = np.zeros((self.nprocs, n))
+        off = 0
+        for rnd in sched.rounds:
+            src, dst, m = rnd.src, rnd.dst, rnd.n_messages
+            base = self._edge_base(src, dst, size_bytes)
+            incoming = done[src]
+            incoming += base[:, None]
+            if not quiet:
+                incoming += blk[off : off + m]
+            off += m
+            done[dst] = np.maximum(done[dst], incoming)
+        return np.ascontiguousarray(done.T)
+
+    def _bcast_reference(
+        self, rng: np.random.Generator, size_bytes: int, n: int
+    ) -> np.ndarray:
         P = self.nprocs
         done = np.zeros((n, P))
         # Binomial tree: in round k, every rank that already has the data
@@ -282,12 +449,57 @@ class SimComm:
         (extra ranks send to a partner first and receive the result last),
         so the Figure 5 penalty applies here too.
         """
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=1)
         check_int(n, "n", minimum=1)
         rng = self._fresh_stream("allreduce")
+        sched = compile_allreduce(self.nprocs)
+        start = time.perf_counter()
+        if self.kernel == "vectorized":
+            out = self._allreduce_vectorized(rng, sched, size_bytes, n)
+        else:
+            out = self._allreduce_reference(rng, size_bytes, n)
+        self._record_kernel(time.perf_counter() - start, sched.n_messages * n)
+        return out
+
+    def _allreduce_vectorized(
+        self,
+        rng: np.random.Generator,
+        sched: CompiledSchedule,
+        size_bytes: int,
+        n: int,
+    ) -> np.ndarray:
+        P = self.nprocs
+        op_cost = self._op_cost(size_bytes)
+        quiet = self._quiet
+        blk = None if quiet else self._net_noise_block(rng, (P + sched.n_messages, n))
+        t = np.zeros((P, n))
+        if not quiet:
+            t += 0.2 * blk[:P] * self.rank_noise_scale[:, None]
+        off = P
+        for rnd in sched.rounds:
+            src, dst, m = rnd.src, rnd.dst, rnd.n_messages
+            base = self._edge_base(src, dst, size_bytes)
+            # Fancy indexing snapshots the incoming rows, so "exchange"
+            # rounds (every rank sends and receives simultaneously) stay
+            # consistent even though dst covers all participants.
+            incoming = t[src]
+            incoming += base[:, None]
+            if not quiet:
+                incoming += blk[off : off + m]
+            off += m
+            merged = np.maximum(t[dst], incoming)
+            if rnd.kind != "fold_out":
+                merged += op_cost
+            t[dst] = merged
+        return np.ascontiguousarray(t.T)
+
+    def _allreduce_reference(
+        self, rng: np.random.Generator, size_bytes: int, n: int
+    ) -> np.ndarray:
         P = self.nprocs
         op_cost = self._op_cost(size_bytes)
         t = np.zeros((n, P))
-        local = self.machine.network_noise.sample(rng, n * P).reshape(n, P)
+        local = self._net_noise(rng, n * P).reshape(n, P)
         t += 0.2 * local * self.rank_noise_scale[None, :]
         pof2 = 1 << (P.bit_length() - 1)
         rem = P - pof2
@@ -327,12 +539,47 @@ class SimComm:
         (for power-of-two P) or ``(r + k) mod P`` otherwise.  Completion is
         bandwidth-dominated: every rank moves (P − 1)·size bytes.
         """
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=1)
         check_int(n, "n", minimum=1)
         rng = self._fresh_stream("alltoall")
+        if self.nprocs == 1:
+            return np.zeros((n, 1))
+        sched = compile_alltoall(self.nprocs)
+        start = time.perf_counter()
+        if self.kernel == "vectorized":
+            out = self._alltoall_vectorized(rng, sched, size_bytes, n)
+        else:
+            out = self._alltoall_reference(rng, size_bytes, n)
+        self._record_kernel(time.perf_counter() - start, sched.n_messages * n)
+        return out
+
+    def _alltoall_vectorized(
+        self,
+        rng: np.random.Generator,
+        sched: CompiledSchedule,
+        size_bytes: int,
+        n: int,
+    ) -> np.ndarray:
+        quiet = self._quiet
+        blk = None if quiet else self._net_noise_block(rng, (sched.n_messages, n))
+        t = np.zeros((self.nprocs, n))
+        off = 0
+        for rnd in sched.rounds:
+            src, dst, m = rnd.src, rnd.dst, rnd.n_messages
+            base = self._edge_base(src, dst, size_bytes)
+            incoming = t[src]
+            incoming += base[:, None]
+            if not quiet:
+                incoming += blk[off : off + m]
+            off += m
+            t[dst] = np.maximum(t[dst], incoming)
+        return np.ascontiguousarray(t.T)
+
+    def _alltoall_reference(
+        self, rng: np.random.Generator, size_bytes: int, n: int
+    ) -> np.ndarray:
         P = self.nprocs
         t = np.zeros((n, P))
-        if P == 1:
-            return t
         use_xor = (P & (P - 1)) == 0
         for k in range(1, P):
             new_t = t.copy()
@@ -351,12 +598,15 @@ class SimComm:
 
         Follows the reduce schedule but message sizes grow toward the root
         (an interior node forwards its whole subtree's data), which makes
-        gather bandwidth-bound near the root for large payloads.
+        gather bandwidth-bound near the root for large payloads.  Message
+        sizes vary per edge, so gather has a single (scalar) kernel.
         """
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=1)
         check_int(n, "n", minimum=1)
         pre, rounds = reduce_schedule(self.nprocs)
         rng = self._fresh_stream("gather")
         P = self.nprocs
+        start = time.perf_counter()
         done = np.zeros((n, P))
         completion = np.zeros((n, P))
         # Bytes accumulated at each rank (own contribution to start with).
@@ -376,17 +626,21 @@ class SimComm:
         for rnd in rounds:
             for src, dst in rnd:
                 deliver(src, dst)
+        self._record_kernel(time.perf_counter() - start, (P - 1) * n)
         return completion
 
     def scatter(self, size_bytes: int = 8, n: int = 1) -> np.ndarray:
         """Binomial-tree scatter from root 0; ``(n, P)`` receive times.
 
         The mirror of :meth:`gather`: interior sends carry the payload for
-        the whole destination subtree, halving in size per round.
+        the whole destination subtree, halving in size per round.  Message
+        sizes vary per edge, so scatter has a single (scalar) kernel.
         """
+        size_bytes = check_int(size_bytes, "size_bytes", minimum=1)
         check_int(n, "n", minimum=1)
         rng = self._fresh_stream("scatter")
         P = self.nprocs
+        start = time.perf_counter()
         done = np.zeros((n, P))
         # In round k (descending), rank src < 2^k sends the data destined
         # for ranks [src + 2^k, min(src + 2^{k+1}, P)) to rank src + 2^k.
@@ -403,6 +657,7 @@ class SimComm:
                     done[:, dst], done[:, src] + base + noise
                 )
             k //= 2
+        self._record_kernel(time.perf_counter() - start, (P - 1) * n)
         return done
 
     def barrier(self, n: int = 1) -> np.ndarray:
@@ -413,10 +668,38 @@ class SimComm:
         """
         check_int(n, "n", minimum=1)
         rng = self._fresh_stream("barrier")
+        if self.nprocs == 1:
+            return np.zeros((n, 1))
+        sched = compile_barrier(self.nprocs)
+        start = time.perf_counter()
+        if self.kernel == "vectorized":
+            out = self._barrier_vectorized(rng, sched, n)
+        else:
+            out = self._barrier_reference(rng, n)
+        self._record_kernel(time.perf_counter() - start, sched.n_messages * n)
+        return out
+
+    def _barrier_vectorized(
+        self, rng: np.random.Generator, sched: CompiledSchedule, n: int
+    ) -> np.ndarray:
+        quiet = self._quiet
+        blk = None if quiet else self._net_noise_block(rng, (sched.n_messages, n))
+        t = np.zeros((self.nprocs, n))
+        off = 0
+        for rnd in sched.rounds:
+            src, dst, m = rnd.src, rnd.dst, rnd.n_messages
+            base = self._edge_base(src, dst, 0)
+            arrive = t[src]
+            arrive += base[:, None]
+            if not quiet:
+                arrive += blk[off : off + m]
+            off += m
+            t[dst] = np.maximum(t[dst], arrive)
+        return np.ascontiguousarray(t.T)
+
+    def _barrier_reference(self, rng: np.random.Generator, n: int) -> np.ndarray:
         P = self.nprocs
         t = np.zeros((n, P))
-        if P == 1:
-            return t
         rounds = math.ceil(math.log2(P))
         size = 0  # zero-byte flag messages
         for k in range(rounds):

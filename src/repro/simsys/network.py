@@ -65,11 +65,53 @@ class Topology:
             return 0
         return _shortest_path_len(id(self), self.graph, a, b)
 
+    def hop_matrix(self) -> np.ndarray:
+        """All-pairs hop counts as an ``(N, N)`` read-only array.
+
+        Rows/columns are compute-node ids; entry ``[i, j]`` is the
+        router-to-router hop count between nodes *i* and *j* (0 when they
+        share a router).  Computed once per topology via breadth-first
+        search over the router graph and cached — this is what lets the
+        vectorized kernels price a whole communication round in one
+        indexing operation instead of O(messages) ``hops()`` calls.
+        """
+        items = tuple(sorted(self.attachment.items()))
+        if any(node != i for i, (node, _) in enumerate(items)):
+            raise SimulationError(
+                f"topology {self.name!r} attaches non-contiguous node ids; "
+                "hop_matrix needs nodes 0..N-1"
+            )
+        return _hop_matrix(self.graph, items)
+
 
 # Cache keyed by topology identity: graphs are immutable once built.
 @lru_cache(maxsize=200_000)
 def _shortest_path_len(topo_id: int, graph: nx.Graph, a, b) -> int:
     return int(nx.shortest_path_length(graph, a, b))
+
+
+@lru_cache(maxsize=64)
+def _hop_matrix(graph: nx.Graph, attachment_items: tuple) -> np.ndarray:
+    """Expand router-level BFS distances to the compute-node pair matrix."""
+    routers: list = []
+    seen: dict = {}
+    for _, router in attachment_items:
+        if router not in seen:
+            seen[router] = len(routers)
+            routers.append(router)
+    rmat = np.zeros((len(routers), len(routers)), dtype=np.int64)
+    for i, router in enumerate(routers):
+        lengths = nx.single_source_shortest_path_length(graph, router)
+        for j, other in enumerate(routers):
+            if other not in lengths:
+                raise SimulationError(
+                    f"routers {router!r} and {other!r} are disconnected"
+                )
+            rmat[i, j] = lengths[other]
+    ridx = np.array([seen[router] for _, router in attachment_items], dtype=np.int64)
+    matrix = rmat[np.ix_(ridx, ridx)]
+    matrix.setflags(write=False)
+    return matrix
 
 
 def dragonfly(
@@ -196,3 +238,28 @@ class NetworkModel:
             + hops * self.per_hop_latency
             + size_bytes / self.bandwidth
         )
+
+    def message_time_array(
+        self,
+        src_nodes: np.ndarray,
+        dst_nodes: np.ndarray,
+        size_bytes: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`message_time` over arrays of compute nodes.
+
+        Bit-identical to the scalar path element-for-element (same
+        floating-point expression order), so the vectorized kernels and
+        the scalar reference kernels price messages identically.
+        """
+        if size_bytes < 0:
+            raise ValidationError("size_bytes must be non-negative")
+        src = np.asarray(src_nodes, dtype=np.int64)
+        dst = np.asarray(dst_nodes, dtype=np.int64)
+        hops = self.topology.hop_matrix()[src, dst]
+        inter = (
+            self.base_latency
+            + hops * self.per_hop_latency
+            + size_bytes / self.bandwidth
+        )
+        intra = 0.3 * self.base_latency + size_bytes / (4.0 * self.bandwidth)
+        return np.where(src == dst, intra, inter)

@@ -8,6 +8,13 @@ side (Section 1), producing distributions that are "multi-modal" and
 a non-negative extra delay; models compose by summation and mixture, and
 all sampling is vectorized.
 
+Two sampling entry points exist: ``sample(rng, n)`` draws a flat vector,
+``sample_block(rng, shape)`` draws a whole block in one call — the
+round-batched collective kernels use blocks of shape ``(repetitions,
+messages)`` so one RNG call serves an entire communication round.  For
+every model, ``sample_block(rng, (n,))`` consumes the stream exactly like
+``sample(rng, n)``.
+
 All delays are in seconds.
 """
 
@@ -31,15 +38,36 @@ __all__ = [
     "MixtureNoise",
     "CompositeNoise",
     "scaled",
+    "sample_block",
 ]
 
-
 class NoiseModel(Protocol):
-    """Anything that can produce n non-negative delay samples."""
+    """Anything that can produce non-negative delay samples."""
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw *n* delay samples (seconds, >= 0)."""
         ...
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block of delay samples with the given *shape*."""
+        ...
+
+
+def sample_block(
+    model: NoiseModel, rng: np.random.Generator, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Batched sampling with a fallback for third-party noise models.
+
+    Uses the model's native ``sample_block`` when present; otherwise draws
+    a flat vector via ``sample`` and reshapes, so user-defined models that
+    only implement the original protocol keep working with the vectorized
+    kernels.
+    """
+    fn = getattr(model, "sample_block", None)
+    if fn is not None:
+        return fn(rng, tuple(shape))
+    n = int(np.prod(shape)) if shape else 1
+    return np.asarray(model.sample(rng, n), dtype=np.float64).reshape(shape)
 
 
 @dataclass(frozen=True)
@@ -49,6 +77,10 @@ class NoNoise:
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Return n zeros: the machine is perfectly quiet."""
         return np.zeros(n)
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Return a block of zeros (no RNG consumed)."""
+        return np.zeros(shape)
 
 
 @dataclass(frozen=True)
@@ -69,6 +101,10 @@ class GaussianNoise:
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw n truncated-Gaussian delays."""
         return np.maximum(rng.normal(self.mean, self.sigma, size=n), 0.0)
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block of truncated-Gaussian delays in one call."""
+        return np.maximum(rng.normal(self.mean, self.sigma, size=shape), 0.0)
 
 
 @dataclass(frozen=True)
@@ -93,6 +129,12 @@ class LogNormalNoise:
             return np.zeros(n)
         return rng.lognormal(np.log(self.median), self.sigma, size=n)
 
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block of log-normal delays in one call."""
+        if self.median == 0.0:
+            return np.zeros(shape)
+        return rng.lognormal(np.log(self.median), self.sigma, size=shape)
+
 
 @dataclass(frozen=True)
 class ExponentialSpikes:
@@ -113,8 +155,12 @@ class ExponentialSpikes:
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw n delays, each a spike with probability prob."""
-        hits = rng.random(n) < self.prob
-        out = np.zeros(n)
+        return self.sample_block(rng, (n,))
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block of delays: one uniform draw + one draw per spike set."""
+        hits = rng.random(shape) < self.prob
+        out = np.zeros(shape)
         k = int(hits.sum())
         if k:
             out[hits] = rng.exponential(self.mean, size=k)
@@ -144,9 +190,13 @@ class PeriodicInterrupts:
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw n delays from uniformly random interrupt phases."""
+        return self.sample_block(rng, (n,))
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block of delays from uniformly random interrupt phases."""
         # Number of interrupt firings overlapping the operation given a
         # uniform phase: floor((op_length + phase)/period) with phase ~ U[0, period).
-        phase = rng.uniform(0.0, self.period, size=n)
+        phase = rng.uniform(0.0, self.period, size=shape)
         count = np.floor((self.op_length + phase) / self.period)
         return count * self.duration
 
@@ -172,14 +222,23 @@ class MixtureNoise:
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw n delays, each from a weight-chosen component."""
+        return self.sample_block(rng, (n,))
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Vectorized mixture sampling: one choice draw + one per component.
+
+        The whole block's component assignment is drawn at once, then each
+        component fills its positions with a single batched draw — the
+        per-sample dispatch cost is independent of the block size.
+        """
         weights = np.array([w for w, _ in self.components])
-        choice = rng.choice(len(self.components), size=n, p=weights)
-        out = np.empty(n)
+        choice = rng.choice(len(self.components), size=shape, p=weights)
+        out = np.empty(shape)
         for i, (_, model) in enumerate(self.components):
             mask = choice == i
             k = int(mask.sum())
             if k:
-                out[mask] = model.sample(rng, k)
+                out[mask] = sample_block(model, rng, (k,))
         return out
 
 
@@ -195,9 +254,13 @@ class CompositeNoise:
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw n delays as the sum over all component models."""
-        out = np.zeros(n)
+        return self.sample_block(rng, (n,))
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block of delays as the sum over all component models."""
+        out = np.zeros(shape)
         for model in self.models:
-            out += model.sample(rng, n)
+            out += sample_block(model, rng, shape)
         return out
 
 
@@ -218,3 +281,7 @@ class scaled:
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw n delays from the base model, scaled by the factor."""
         return self.factor * self.model.sample(rng, n)
+
+    def sample_block(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw a block from the base model, scaled by the factor."""
+        return self.factor * sample_block(self.model, rng, shape)

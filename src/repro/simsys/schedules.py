@@ -1,0 +1,225 @@
+"""Compiled message schedules for the simulated collectives.
+
+The scalar reference kernels in :mod:`repro.simsys.mpi` walk a collective's
+message list one ``(src, dst)`` pair at a time — O(P) Python iterations per
+repetition batch.  This module compiles each collective's schedule *once*
+into per-round index arrays so the kernels can evaluate a whole round (all
+messages x all repetitions) with a handful of numpy calls:
+
+* a **round** is a set of vertex-disjoint messages (no two messages share a
+  destination, and within tree phases no rank both sends and receives), so
+  the round can be applied to the state arrays with plain fancy-indexed
+  assignment — no ``np.maximum.at`` scatter conflicts to resolve;
+* a **compiled schedule** is the ordered tuple of rounds plus bookkeeping
+  (total message count) used by the kernel timing metrics.
+
+Compilers are ``lru_cache``-d: sweeping 1000 repetitions over process
+counts 2..4096 compiles each schedule exactly once.
+
+Round kinds (interpreted by the kernels in :mod:`repro.simsys.mpi`):
+
+``"tree"``
+    binomial-tree phase: receiver folds the message in (reduce pays the
+    operator cost, bcast does not);
+``"fold_in"`` / ``"fold_out"``
+    the MPICH non-power-of-two pre/post phases (Figure 5's extra step);
+``"exchange"``
+    recursive-doubling round: every participant sends and receives
+    simultaneously, state advances from a snapshot of the previous round;
+``"shift"``
+    dissemination/pairwise rounds (barrier, alltoall): a bijection of the
+    whole communicator.
+
+:data:`KERNEL_VERSION` identifies the RNG stream-consumption layout of the
+kernels (see docs/PERFORMANCE.md).  Version 1 was the scalar per-message
+layout (2-3 draws per message, in message order); version 2 is the batched
+layout: one block draw covering the whole collective, laid out row-major as
+``(noise slots, repetitions)`` — per-rank local rows first (where the op
+has a local term), then each round's message rows in schedule order.  The
+version is recorded in task methodology and provenance manifests so cached
+results produced under different layouts are never mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import ceil, log2
+
+import numpy as np
+
+from .._validation import check_int
+
+__all__ = [
+    "KERNEL_VERSION",
+    "Round",
+    "CompiledSchedule",
+    "reduce_schedule",
+    "compile_reduce",
+    "compile_bcast",
+    "compile_allreduce",
+    "compile_alltoall",
+    "compile_barrier",
+]
+
+#: RNG stream-consumption layout of the collective kernels.  Bump whenever
+#: the draw order changes; it keys provenance manifests and result caches.
+KERNEL_VERSION = 2
+
+
+def reduce_schedule(nprocs: int) -> tuple[list[tuple[int, int]], list[list[tuple[int, int]]]]:
+    """The message schedule of a binomial-tree reduce to root 0.
+
+    Returns ``(pre_phase, rounds)`` where *pre_phase* is the list of
+    ``(src, dst)`` messages folding the ``rem = P − 2^⌊log2 P⌋`` extra
+    processes into a power-of-two group (MPICH algorithm: the first
+    ``2·rem`` ranks pair up, odd sends to even), and *rounds* is the list
+    of per-round ``(src, dst)`` message lists of the binomial tree over the
+    surviving group.  For powers of two the pre-phase is empty — one fewer
+    communication step, the Figure 5 effect.
+
+    Rank identifiers in *rounds* refer to original ranks; the surviving
+    group after the pre-phase is ranks ``{0, 2, 4, …, 2·rem−2} ∪
+    {2·rem, …, P−1}`` relabelled consecutively.
+    """
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    pof2 = 1 << (nprocs.bit_length() - 1)
+    rem = nprocs - pof2
+    pre_phase: list[tuple[int, int]] = []
+    if rem:
+        for r in range(rem):
+            pre_phase.append((2 * r + 1, 2 * r))
+    # Surviving ranks, relabelled 0..pof2-1 in order.
+    if rem:
+        survivors = list(range(0, 2 * rem, 2)) + list(range(2 * rem, nprocs))
+    else:
+        survivors = list(range(nprocs))
+    assert len(survivors) == pof2
+    rounds: list[list[tuple[int, int]]] = []
+    k = 1
+    while k < pof2:
+        this_round = [
+            (survivors[j], survivors[j - k])
+            for j in range(k, pof2, 2 * k)
+        ]
+        rounds.append(this_round)
+        k *= 2
+    return pre_phase, rounds
+
+
+@dataclass(frozen=True)
+class Round:
+    """One batch of vertex-disjoint messages: ``src[i] -> dst[i]``."""
+
+    kind: str
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def n_messages(self) -> int:
+        return int(self.src.size)
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """The full round sequence of one collective on ``nprocs`` ranks."""
+
+    op: str
+    nprocs: int
+    rounds: tuple[Round, ...]
+
+    @property
+    def n_messages(self) -> int:
+        """Total messages per repetition of the collective."""
+        return sum(r.n_messages for r in self.rounds)
+
+
+def _round(kind: str, pairs: list[tuple[int, int]]) -> Round:
+    """Freeze a message list into read-only index arrays.
+
+    Destinations must be unique within a round — the kernels rely on this
+    to use direct fancy-indexed assignment instead of ``np.maximum.at``.
+    """
+    src = np.array([s for s, _ in pairs], dtype=np.int64)
+    dst = np.array([d for _, d in pairs], dtype=np.int64)
+    assert np.unique(dst).size == dst.size, f"{kind} round has colliding destinations"
+    src.setflags(write=False)
+    dst.setflags(write=False)
+    return Round(kind=kind, src=src, dst=dst)
+
+
+@lru_cache(maxsize=1024)
+def compile_reduce(nprocs: int) -> CompiledSchedule:
+    """Binomial-tree reduce to root 0 as batched rounds."""
+    pre, rounds = reduce_schedule(nprocs)
+    out: list[Round] = []
+    if pre:
+        out.append(_round("fold_in", pre))
+    for rnd in rounds:
+        out.append(_round("tree", rnd))
+    return CompiledSchedule(op="reduce", nprocs=nprocs, rounds=tuple(out))
+
+
+@lru_cache(maxsize=1024)
+def compile_bcast(nprocs: int) -> CompiledSchedule:
+    """Binomial-tree broadcast from root 0 as batched rounds."""
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    out: list[Round] = []
+    k = 1
+    while k < nprocs:
+        pairs = [(src, src + k) for src in range(min(k, nprocs - k))]
+        out.append(_round("tree", pairs))
+        k *= 2
+    return CompiledSchedule(op="bcast", nprocs=nprocs, rounds=tuple(out))
+
+
+@lru_cache(maxsize=1024)
+def compile_allreduce(nprocs: int) -> CompiledSchedule:
+    """Recursive-doubling allreduce (with non-power-of-two fold-in/out)."""
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    pof2 = 1 << (nprocs.bit_length() - 1)
+    rem = nprocs - pof2
+    survivors = (
+        list(range(0, 2 * rem, 2)) + list(range(2 * rem, nprocs))
+        if rem
+        else list(range(nprocs))
+    )
+    out: list[Round] = []
+    if rem:
+        out.append(_round("fold_in", [(2 * r + 1, 2 * r) for r in range(rem)]))
+    k = 1
+    while k < pof2:
+        pairs = [(survivors[j ^ k], survivors[j]) for j in range(pof2)]
+        out.append(_round("exchange", pairs))
+        k *= 2
+    if rem:
+        out.append(_round("fold_out", [(2 * r, 2 * r + 1) for r in range(rem)]))
+    return CompiledSchedule(op="allreduce", nprocs=nprocs, rounds=tuple(out))
+
+
+@lru_cache(maxsize=1024)
+def compile_alltoall(nprocs: int) -> CompiledSchedule:
+    """Pairwise-exchange alltoall: P − 1 permutation rounds."""
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    out: list[Round] = []
+    use_xor = (nprocs & (nprocs - 1)) == 0
+    for k in range(1, nprocs):
+        pairs = [
+            ((r ^ k) if use_xor else ((r + k) % nprocs), r)
+            for r in range(nprocs)
+        ]
+        out.append(_round("shift", pairs))
+    return CompiledSchedule(op="alltoall", nprocs=nprocs, rounds=tuple(out))
+
+
+@lru_cache(maxsize=1024)
+def compile_barrier(nprocs: int) -> CompiledSchedule:
+    """Dissemination barrier: ⌈log2 P⌉ shifted-bijection rounds."""
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    out: list[Round] = []
+    if nprocs > 1:
+        for k in range(ceil(log2(nprocs))):
+            shift = 1 << k
+            pairs = [(r, (r + shift) % nprocs) for r in range(nprocs)]
+            out.append(_round("shift", pairs))
+    return CompiledSchedule(op="barrier", nprocs=nprocs, rounds=tuple(out))

@@ -112,9 +112,10 @@ class TestScatter:
 
     def test_log_depth(self):
         comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
-        out = comm.scatter(0, 1)
-        # ceil(log2(16)) = 4 rounds of (at worst) inter-node messages.
-        inter = comm.message_base(0, 15, 0)
+        out = comm.scatter(1, 1)
+        # ceil(log2(16)) = 4 rounds of (at worst) inter-node messages;
+        # first-round sends carry the 8-byte subtree payload.
+        inter = comm.message_base(0, 15, 8)
         assert out.max() <= 4.5 * inter
 
     def test_subtree_sized_messages(self):

@@ -238,8 +238,8 @@ class TestBcastBarrier:
 
     def test_bcast_log_depth(self):
         comm = SimComm(make_testbed(4, deterministic=True), 16, seed=0)
-        out = comm.bcast(0, 1)
-        inter_node = comm.message_base(0, 15, 0)  # slowest single message
+        out = comm.bcast(1, 1)
+        inter_node = comm.message_base(0, 15, 1)  # slowest single message
         assert out.max() <= 4.5 * inter_node  # ceil(log2(16)) = 4 rounds
 
     def test_barrier_exit_spread_small_vs_mean(self):

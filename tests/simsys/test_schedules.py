@@ -1,0 +1,137 @@
+"""Tests for the compiled collective schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.simsys.schedules import (
+    KERNEL_VERSION,
+    compile_allreduce,
+    compile_alltoall,
+    compile_barrier,
+    compile_bcast,
+    compile_reduce,
+    reduce_schedule,
+)
+
+
+class TestKernelVersion:
+    def test_is_a_small_positive_int(self):
+        assert isinstance(KERNEL_VERSION, int)
+        assert KERNEL_VERSION >= 2  # v1 was the scalar per-message layout
+
+
+class TestRoundInvariants:
+    """Every compiled round must be safe for fancy-indexed assignment."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=130))
+    def test_unique_destinations_every_round(self, nprocs):
+        for compiler in (
+            compile_reduce,
+            compile_bcast,
+            compile_allreduce,
+            compile_alltoall,
+            compile_barrier,
+        ):
+            for rnd in compiler(nprocs).rounds:
+                assert np.unique(rnd.dst).size == rnd.dst.size
+                assert rnd.src.size == rnd.dst.size
+                assert not rnd.src.flags.writeable
+                assert not rnd.dst.flags.writeable
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=130))
+    def test_indices_in_range(self, nprocs):
+        for compiler in (compile_reduce, compile_bcast, compile_allreduce):
+            for rnd in compiler(nprocs).rounds:
+                assert rnd.src.min() >= 0 and rnd.src.max() < nprocs
+                assert rnd.dst.min() >= 0 and rnd.dst.max() < nprocs
+                assert np.all(rnd.src != rnd.dst)
+
+
+class TestReduceCompile:
+    def test_matches_legacy_schedule(self):
+        for nprocs in (1, 2, 3, 5, 8, 13, 16, 100):
+            pre, rounds = reduce_schedule(nprocs)
+            sched = compile_reduce(nprocs)
+            flat = [
+                (int(s), int(d))
+                for rnd in sched.rounds
+                for s, d in zip(rnd.src, rnd.dst)
+            ]
+            legacy = pre + [pair for rnd in rounds for pair in rnd]
+            assert flat == legacy
+
+    def test_message_count_is_p_minus_one(self):
+        for nprocs in (1, 2, 3, 7, 8, 31, 64, 100):
+            assert compile_reduce(nprocs).n_messages == nprocs - 1
+
+    def test_fold_in_only_for_non_powers_of_two(self):
+        assert all(r.kind == "tree" for r in compile_reduce(16).rounds)
+        assert compile_reduce(12).rounds[0].kind == "fold_in"
+
+
+class TestBcastCompile:
+    def test_message_count_is_p_minus_one(self):
+        for nprocs in (1, 2, 3, 7, 8, 31, 64):
+            assert compile_bcast(nprocs).n_messages == nprocs - 1
+
+    def test_log_rounds(self):
+        assert len(compile_bcast(16).rounds) == 4
+        assert len(compile_bcast(17).rounds) == 5
+
+
+class TestAllreduceCompile:
+    def test_power_of_two_has_only_exchanges(self):
+        sched = compile_allreduce(8)
+        assert all(r.kind == "exchange" for r in sched.rounds)
+        assert len(sched.rounds) == 3
+        # Exchange rounds are full pairings of the power-of-two group.
+        assert all(r.n_messages == 8 for r in sched.rounds)
+
+    def test_non_power_of_two_folds_in_and_out(self):
+        sched = compile_allreduce(6)
+        kinds = [r.kind for r in sched.rounds]
+        assert kinds[0] == "fold_in" and kinds[-1] == "fold_out"
+        assert kinds.count("exchange") == 2  # pof2 = 4
+
+    def test_exchange_rounds_are_involutions(self):
+        for rnd in compile_allreduce(16).rounds:
+            pairs = set(zip(rnd.src.tolist(), rnd.dst.tolist()))
+            assert all((d, s) in pairs for s, d in pairs)
+
+
+class TestAlltoallBarrierCompile:
+    def test_alltoall_total_messages(self):
+        for nprocs in (2, 3, 8, 9):
+            sched = compile_alltoall(nprocs)
+            assert len(sched.rounds) == nprocs - 1
+            assert sched.n_messages == nprocs * (nprocs - 1)
+
+    def test_barrier_round_count(self):
+        assert len(compile_barrier(1).rounds) == 0
+        assert len(compile_barrier(2).rounds) == 1
+        assert len(compile_barrier(16).rounds) == 4
+        assert len(compile_barrier(17).rounds) == 5
+
+    def test_barrier_rounds_are_bijections(self):
+        for rnd in compile_barrier(10).rounds:
+            assert np.unique(rnd.src).size == 10
+            assert np.unique(rnd.dst).size == 10
+
+
+class TestCaching:
+    def test_lru_returns_identical_objects(self):
+        assert compile_reduce(64) is compile_reduce(64)
+        assert compile_alltoall(33) is compile_alltoall(33)
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValidationError):
+            compile_reduce(0)
+        with pytest.raises(ValidationError):
+            compile_barrier(-3)

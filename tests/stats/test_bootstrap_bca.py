@@ -1,0 +1,117 @@
+"""Tests for the memory-bounded BCa jackknife in repro.stats.bootstrap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.bootstrap import bootstrap_ci, jackknife_replicates
+
+
+def _naive_jackknife(x, statistic):
+    return np.array(
+        [float(statistic(np.delete(x, i))) for i in range(x.size)]
+    )
+
+
+class TestJackknifeReplicates:
+    def test_mean_closed_form_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.lognormal(0.0, 0.5, size=200)
+        fast = jackknife_replicates(x, np.mean)
+        naive = _naive_jackknife(x, np.mean)
+        assert np.allclose(fast, naive, rtol=1e-12, atol=0.0)
+
+    def test_scalar_loop_matches_naive(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(5.0, 1.0, size=60)
+        fast = jackknife_replicates(x, np.median)
+        naive = _naive_jackknife(x, np.median)
+        assert np.array_equal(fast, naive)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        x = rng.exponential(2.0, size=150)
+        vec = jackknife_replicates(
+            x, lambda m: np.median(m, axis=1), vectorized=True
+        )
+        ref = jackknife_replicates(x, np.median)
+        assert np.array_equal(vec, ref)
+
+    def test_vectorized_chunking_crosses_boundaries(self):
+        # chunk_elems small enough that every chunk holds very few rows,
+        # including a ragged final chunk.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=37)
+        vec = jackknife_replicates(
+            x,
+            lambda m: m.mean(axis=1),
+            vectorized=True,
+            chunk_elems=5 * (x.size - 1),
+        )
+        assert np.allclose(vec, _naive_jackknife(x, np.mean), rtol=1e-12)
+
+    def test_vectorized_single_row_chunks(self):
+        x = np.arange(10, dtype=float)
+        vec = jackknife_replicates(
+            x, lambda m: m.sum(axis=1), vectorized=True, chunk_elems=1
+        )
+        assert np.array_equal(vec, x.sum() - x)
+
+    def test_large_sample_stays_in_memory(self):
+        # The old implementation built an n x n mask: 10 GB of bool here.
+        n = 100_000
+        x = np.random.default_rng(4).lognormal(0.0, 0.3, size=n)
+        jack = jackknife_replicates(x, np.mean)
+        assert jack.shape == (n,)
+        assert np.isfinite(jack).all()
+
+    def test_vectorized_statistic_must_reduce(self):
+        with pytest.raises(ValidationError):
+            jackknife_replicates(
+                np.arange(20.0), lambda m: m, vectorized=True
+            )
+
+
+class TestBcaCi:
+    def test_bca_mean_unchanged_by_fast_path(self):
+        # The closed-form jackknife feeds the same acceleration constant
+        # the naive delete-one loop produced, so BCa bounds agree.
+        rng = np.random.default_rng(5)
+        x = rng.lognormal(0.0, 0.6, size=80)
+        ci = bootstrap_ci(x, np.mean, method="bca", seed=9)
+        assert ci.low < ci.estimate < ci.high
+        naive_jack = _naive_jackknife(x, np.mean)
+        fast_jack = jackknife_replicates(x, np.mean)
+        assert np.allclose(fast_jack, naive_jack, rtol=1e-12)
+
+    def test_vectorized_bca_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        x = rng.exponential(1.0, size=120)
+        scalar = bootstrap_ci(x, np.median, method="bca", seed=3)
+        vector = bootstrap_ci(
+            x,
+            lambda m: np.median(m, axis=1),
+            method="bca",
+            seed=3,
+            vectorized=True,
+        )
+        assert scalar.estimate == pytest.approx(vector.estimate)
+        assert scalar.low == pytest.approx(vector.low)
+        assert scalar.high == pytest.approx(vector.high)
+
+    def test_vectorized_percentile_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(10.0, 2.0, size=90)
+        scalar = bootstrap_ci(x, np.mean, seed=2)
+        vector = bootstrap_ci(
+            x, lambda m: m.mean(axis=1), seed=2, vectorized=True
+        )
+        assert scalar.low == pytest.approx(vector.low)
+        assert scalar.high == pytest.approx(vector.high)
+
+    def test_bca_on_large_sample_completes(self):
+        x = np.random.default_rng(8).lognormal(0.0, 0.4, size=100_000)
+        ci = bootstrap_ci(x, np.mean, method="bca", n_boot=200, seed=1)
+        assert ci.low < ci.estimate < ci.high
