@@ -18,7 +18,7 @@ Quick start::
     print(ms.median_ci(0.99))
 """
 
-from . import core, exec, models, obs, report, simsys, stats, survey
+from . import core, exec, models, obs, report, simsys, stats, survey, validate
 from .errors import (
     ReproError,
     ValidationError,
@@ -44,6 +44,7 @@ __all__ = [
     "models",
     "survey",
     "report",
+    "validate",
     "ReproError",
     "ValidationError",
     "InsufficientDataError",

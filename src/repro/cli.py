@@ -270,6 +270,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
+    if args.profile:
+        return _run_statistical_calibration(args)
     from .core import PerfTimer, calibrate, check_interval
 
     cal = calibrate(PerfTimer(), samples=args.samples or 10_000)
@@ -278,6 +280,42 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         chk = check_interval(cal, interval)
         verdict = "ok" if chk.ok else f"k>={chk.recommended_batch()} batching needed"
         print(f"  interval {interval:.0e} s: {verdict}")
+    return 0
+
+
+def _run_statistical_calibration(args: argparse.Namespace) -> int:
+    """``repro calibrate --profile ...``: the Monte-Carlo stats gate.
+
+    Exit code 1 when any cell lands outside its tolerance band, so CI can
+    use the command directly as a correctness gate.
+    """
+    from .exec import ProcessExecutor, ResultCache
+    from .report import calibration_markdown, calibration_table
+    from .validate import CalibrationStudy, get_profile
+
+    study = CalibrationStudy(get_profile(args.profile), master_seed=args.seed)
+    executor = None
+    if args.workers > 1:
+        executor = ProcessExecutor(max_workers=args.workers)
+    cache = ResultCache(args.cache) if args.cache else None
+    hooks, registry = _make_metrics_hooks(args.emit_metrics)
+    report = study.run(executor=executor, cache=cache, hooks=hooks)
+
+    print(calibration_table(report))
+    if args.out:
+        json_path = report.write(args.out)
+        md_path = json_path.with_name("calibration_report.md")
+        md_path.write_text(calibration_markdown(report))
+        print(f"report written to {json_path} (+ {md_path.name})", file=sys.stderr)
+    if registry is not None:
+        _write_metrics(registry, args.emit_metrics)
+    flagged = report.flagged
+    if flagged:
+        print(
+            f"CALIBRATION FAILED: {len(flagged)} cell(s) outside tolerance",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -399,8 +437,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="regenerate the survey table")
     p.set_defaults(func=_cmd_table1)
 
-    p = sub.add_parser("calibrate", help="calibrate this host's timer")
-    p.add_argument("--samples", type=int, default=10_000)
+    p = sub.add_parser(
+        "calibrate",
+        help="calibrate this host's timer, or (--profile) the stats layer",
+    )
+    p.add_argument("--samples", type=int, default=10_000,
+                   help="timer-calibration sample count (default mode)")
+    p.add_argument("--profile", choices=("smoke", "full", "micro"),
+                   help="run the Monte-Carlo statistical calibration "
+                        "harness at this effort profile instead")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed of the calibration study")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fan calibration batches over N processes")
+    p.add_argument("--out", metavar="DIR",
+                   help="write calibration_report.json/.md into DIR")
+    p.add_argument("--cache", metavar="DIR",
+                   help="ResultCache directory for calibration batches")
+    p.add_argument("--emit-metrics", metavar="PATH",
+                   help="write repro_validate_* metrics "
+                        "(.json or Prometheus text)")
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("machines", help="describe the simulated machines")

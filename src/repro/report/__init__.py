@@ -31,6 +31,7 @@ from .export import (
 )
 from .document import ReportBuilder
 from .autoreport import report_experiment
+from .calibration import calibration_table, calibration_markdown
 
 __all__ = [
     "render_table",
@@ -65,4 +66,6 @@ __all__ = [
     "figure_to_json",
     "ReportBuilder",
     "report_experiment",
+    "calibration_table",
+    "calibration_markdown",
 ]

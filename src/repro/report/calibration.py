@@ -1,0 +1,113 @@
+"""Rendering for statistical calibration reports (:mod:`repro.validate`).
+
+Turns a :class:`~repro.validate.CalibrationReport` into the two shapes
+humans read: a monospace verdict table (terminal) and a full markdown
+document (CI artifacts, docs).  The machine-readable truth stays in
+``calibration_report.json``; these renderings carry the same numbers.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .document import ReportBuilder
+from .table import render_table
+
+__all__ = ["calibration_table", "calibration_markdown"]
+
+
+def _require_report(report) -> None:
+    if not hasattr(report, "cells") or not hasattr(report, "summary"):
+        raise ValidationError(
+            "expected a repro.validate.CalibrationReport, "
+            f"got {type(report).__name__}"
+        )
+
+
+def _cell_rows(report, *, flagged_only: bool = False) -> list[list]:
+    rows = []
+    for c in report.cells:
+        if flagged_only and c.ok:
+            continue
+        rows.append(
+            [
+                c.procedure,
+                c.generator,
+                c.kind,
+                f"{c.nominal:.3f}",
+                f"{c.rate:.3f}",
+                f"[{c.ci_low:.3f}, {c.ci_high:.3f}]",
+                f"[{c.band_low:.3f}, {c.band_high:.3f}]",
+                "ok" if c.ok else "FLAG",
+                c.note or ("" if c.exact_truth else "numeric truth"),
+            ]
+        )
+    return rows
+
+
+def calibration_table(report, *, flagged_only: bool = False) -> str:
+    """Monospace verdict table, one row per (procedure, generator) cell.
+
+    ``flagged_only`` restricts the table to out-of-band cells — the view
+    a CI log wants when something broke.
+    """
+    _require_report(report)
+    rows = _cell_rows(report, flagged_only=flagged_only)
+    summary = report.summary()
+    title = (
+        f"Calibration [{report.profile.get('name', '?')}] "
+        f"seed={report.master_seed}: {summary['cells']} cells, "
+        f"{summary['flagged']} flagged, {summary['trials_total']} trials"
+    )
+    if not rows:
+        return title + "\n(all cells within tolerance)"
+    return render_table(
+        ["procedure", "generator", "kind", "nominal", "rate", "CI99", "band", "verdict", "note"],
+        rows,
+        aligns=["l", "l", "l", "r", "r", "r", "r", "l", "l"],
+        title=title,
+    )
+
+
+def calibration_markdown(report) -> str:
+    """Full markdown calibration document (table + flags + provenance)."""
+    _require_report(report)
+    summary = report.summary()
+    builder = ReportBuilder(
+        title=f"Statistical calibration report ({report.profile.get('name', '?')})"
+    )
+    builder.add_section(
+        "Summary",
+        "\n".join(
+            [
+                f"- master seed: `{report.master_seed}`",
+                f"- cells: {summary['cells']} "
+                f"({len(summary['procedures'])} procedures x "
+                f"{len(summary['generators'])} generators)",
+                f"- Monte-Carlo trials: {summary['trials_total']}",
+                f"- flagged: **{summary['flagged']}**",
+                f"- deterministic digest: `{report.digest}`",
+            ]
+        ),
+    )
+    builder.add_section(
+        "Verdicts",
+        "```\n" + calibration_table(report) + "\n```",
+    )
+    flagged = report.flagged
+    if flagged:
+        lines = [
+            f"- **{c.procedure} / {c.generator}**: empirical {c.rate:.3f} "
+            f"(CI99 [{c.ci_low:.3f}, {c.ci_high:.3f}]) vs band "
+            f"[{c.band_low:.3f}, {c.band_high:.3f}]"
+            + (f" — {c.note}" if c.note else "")
+            for c in flagged
+        ]
+        builder.add_section(
+            "Flagged cells",
+            "\n".join(lines)
+            + "\n\nSee docs/CALIBRATION.md for the tolerance policy and the "
+            "known-limitations table.",
+        )
+    if report.provenance:
+        builder.add_provenance(report.provenance)
+    return builder.render()

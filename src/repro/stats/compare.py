@@ -80,6 +80,23 @@ def t_test(
     """
     x = as_sample(a, min_n=2, what="t-test group a")
     y = as_sample(b, min_n=2, what="t-test group b")
+    name = "t-test" if equal_var else "welch-t-test"
+    # The t statistic is invariant under a common positive rescaling;
+    # shrink huge-magnitude samples so the variance cannot overflow to
+    # inf (which scipy would propagate as a nan p-value).
+    magnitude = max(float(np.abs(x).max()), float(np.abs(y).max()))
+    if magnitude > 1e150:
+        x = x / magnitude
+        y = y / magnitude
+    if x.var(ddof=1) == 0.0 and y.var(ddof=1) == 0.0:
+        # Degenerate: both groups constant (scipy yields nan). Identical
+        # constants -> no evidence; different constants -> infinitely
+        # strong evidence, mirroring the ANOVA degenerate path.
+        df = float(x.size + y.size - 2)
+        if x[0] == y[0]:
+            return TestOutcome(name, 0.0, 1.0, (df,))
+        stat = math.inf if x[0] > y[0] else -math.inf
+        return TestOutcome(name, stat, 0.0, (df,))
     stat, p = _sps.ttest_ind(x, y, equal_var=equal_var)
     if equal_var:
         df = float(x.size + y.size - 2)
@@ -87,7 +104,6 @@ def t_test(
         va, vb = x.var(ddof=1) / x.size, y.var(ddof=1) / y.size
         denom = va**2 / (x.size - 1) + vb**2 / (y.size - 1)
         df = float((va + vb) ** 2 / denom) if denom > 0 else float(x.size + y.size - 2)
-    name = "t-test" if equal_var else "welch-t-test"
     return TestOutcome(name, float(stat), float(p), (df,))
 
 

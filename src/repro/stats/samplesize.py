@@ -46,8 +46,12 @@ def required_n_normal(
     """
     check_prob(relative_error, "relative_error")
     check_prob(confidence, "confidence")
-    if sample_std < 0:
-        raise ValidationError("sample_std must be non-negative")
+    if not math.isfinite(sample_mean):
+        raise ValidationError(f"sample_mean must be finite, got {sample_mean}")
+    if not math.isfinite(sample_std) or sample_std < 0:
+        raise ValidationError(
+            f"sample_std must be finite and non-negative, got {sample_std}"
+        )
     if sample_mean == 0.0:
         raise ValidationError("relative error undefined for zero mean")
     if sample_std == 0.0:
@@ -138,7 +142,12 @@ class SequentialChecker:
 
     def add(self, value: float) -> bool:
         """Record one measurement; return True when it is safe to stop."""
-        self._values.append(float(value))
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(
+                f"sequential checker measurements must be finite, got {value}"
+            )
+        self._values.append(value)
         if self._satisfied:
             return True
         self._since_check += 1

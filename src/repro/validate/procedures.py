@@ -1,0 +1,324 @@
+"""Procedure adapters: every ``repro.stats`` procedure as a system under test.
+
+A :class:`Procedure` turns one statistical routine into a Bernoulli
+trial with a *known* success probability:
+
+* **coverage** procedures build a confidence interval and succeed when it
+  contains the generator's true parameter — nominal rate = confidence;
+* **type1** procedures run a hypothesis test on groups drawn from the
+  *same* distribution and succeed when the test (incorrectly) rejects —
+  nominal rate = alpha;
+* **power** procedures inject a known effect and succeed when the test
+  detects it — nominal rate = the analytic power prediction.
+
+The empirical success rate over thousands of trials, compared against
+the nominal rate with a binomial CI, is the calibration verdict.  All
+trial randomness flows through the caller-provided generator, so a
+study's replications are deterministic per master seed (the bootstrap's
+internal seed is derived from the trial stream, not wall clock).
+
+``_calibration_measure`` is the module-level measurement callable handed
+to :func:`repro.exec.run_measurement_tasks` — module-level so it pickles
+into :class:`~repro.exec.ProcessExecutor` workers.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import CoverageWarning, ValidationError
+from ..stats import (
+    SequentialChecker,
+    bootstrap_ci,
+    kruskal_wallis,
+    mean_ci,
+    median_ci,
+    one_way_anova,
+    quantile_ci,
+    required_n_normal,
+    t_test,
+    t_test_power,
+)
+from .generators import GroundTruthGenerator, get_generator
+
+__all__ = [
+    "CellParams",
+    "Procedure",
+    "PROCEDURES",
+    "get_procedure",
+    "run_batch",
+]
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """The knobs of one calibration cell, shared by every trial in it.
+
+    ``n`` is the per-trial sample size (per group for tests), ``q`` the
+    target quantile for quantile procedures, ``effect`` the injected
+    standardized shift for power trials, ``relative_error`` the width
+    target for the sample-size procedures, and ``n_boot`` the bootstrap
+    replication count.  ``stop_cap`` bounds the sequential stopping rule
+    so a heavy-tailed cell cannot run away.
+    """
+
+    n: int = 30
+    confidence: float = 0.95
+    alpha: float = 0.05
+    q: float = 0.75
+    effect: float = 1.0
+    relative_error: float = 0.15
+    n_boot: int = 400
+    stop_cap: int = 400
+    plan_cap: int = 2_000
+
+    @classmethod
+    def from_point(cls, point: Mapping[str, Any]) -> "CellParams":
+        """Rebuild params from a design-point mapping (worker side)."""
+        fields = {
+            k: point[k] for k in cls.__dataclass_fields__ if k in point
+        }
+        return cls(**fields)
+
+
+def _row_mean(block: np.ndarray) -> np.ndarray:
+    """Vectorized mean statistic for the bootstrap (reduces ``axis=1``)."""
+    return np.mean(block, axis=1)
+
+
+def _trial_mean_ci(gen: GroundTruthGenerator, rng, p: CellParams) -> bool:
+    return mean_ci(gen.sample(rng, p.n), p.confidence).contains(gen.mean())
+
+
+def _trial_median_ci(gen: GroundTruthGenerator, rng, p: CellParams) -> bool:
+    return median_ci(gen.sample(rng, p.n), p.confidence).contains(gen.median())
+
+
+def _trial_quantile_ci(gen: GroundTruthGenerator, rng, p: CellParams) -> bool:
+    ci = quantile_ci(gen.sample(rng, p.n), p.q, p.confidence)
+    return ci.contains(gen.quantile(p.q))
+
+
+def _bootstrap_trial(gen, rng, p: CellParams, method: str) -> bool:
+    ci = bootstrap_ci(
+        gen.sample(rng, p.n),
+        _row_mean,
+        confidence=p.confidence,
+        n_boot=p.n_boot,
+        method=method,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        vectorized=True,
+    )
+    return ci.contains(gen.mean())
+
+
+def _trial_bootstrap_percentile(gen, rng, p: CellParams) -> bool:
+    return _bootstrap_trial(gen, rng, p, "percentile")
+
+
+def _trial_bootstrap_bca(gen, rng, p: CellParams) -> bool:
+    return _bootstrap_trial(gen, rng, p, "bca")
+
+
+def _trial_t_test_type1(gen, rng, p: CellParams) -> bool:
+    a, b = gen.sample(rng, p.n), gen.sample(rng, p.n)
+    return t_test(a, b).significant(p.alpha)
+
+
+def _trial_anova_type1(gen, rng, p: CellParams) -> bool:
+    groups = [gen.sample(rng, p.n) for _ in range(3)]
+    return one_way_anova(groups).significant(p.alpha)
+
+
+def _trial_kruskal_type1(gen, rng, p: CellParams) -> bool:
+    groups = [gen.sample(rng, p.n) for _ in range(3)]
+    return kruskal_wallis(groups).significant(p.alpha)
+
+
+def _trial_t_test_power(gen, rng, p: CellParams) -> bool:
+    a = gen.sample(rng, p.n)
+    b = gen.sample(rng, p.n) + p.effect * gen.std()
+    return t_test(a, b).significant(p.alpha)
+
+
+def _trial_samplesize_plan(gen, rng, p: CellParams) -> bool:
+    """Pilot -> plan n via ``required_n_normal`` -> fresh CI at planned n.
+
+    Success = the CI at the planned n covers the true mean; planning from
+    a noisy pilot must not distort the interval's coverage.  The plan is
+    capped so one heavy-tail pilot cannot demand a million draws.
+    """
+    pilot = gen.sample(rng, p.n)
+    try:
+        planned = required_n_normal(
+            float(pilot.mean()),
+            float(pilot.std(ddof=1)),
+            relative_error=p.relative_error,
+            confidence=p.confidence,
+        )
+    except ValidationError:
+        # Zero pilot mean/target unreachable: count as a miss — the plan
+        # failed to produce a usable experiment.
+        return False
+    planned = min(max(planned, 2), p.plan_cap)
+    return mean_ci(gen.sample(rng, planned), p.confidence).contains(gen.mean())
+
+
+def _trial_stopping_rule(gen, rng, p: CellParams) -> bool:
+    """Post-stopping coverage of the sequential CI-width rule.
+
+    Feeds measurements until :class:`SequentialChecker` says stop (or the
+    cap is hit), then asks whether the final CI still covers the true
+    mean.  Optional stopping biases coverage slightly below nominal — a
+    *known limitation* the calibration report documents rather than
+    hides.
+    """
+    chk = SequentialChecker(
+        relative_error=p.relative_error,
+        confidence=p.confidence,
+        statistic="mean",
+        check_every=10,
+    )
+    values = gen.sample(rng, p.stop_cap)
+    for v in values:
+        if chk.add(float(v)):
+            break
+    return chk.current_ci.contains(gen.mean())
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """One statistical procedure under calibration.
+
+    ``kind`` selects the metric (coverage / type1 / power), ``trial``
+    runs one Bernoulli trial, and ``generators`` optionally restricts the
+    procedure to generators where its nominal rate is well-defined (the
+    power prediction, e.g., is exact only for normal data).
+    """
+
+    name: str
+    kind: str  # "coverage" | "type1" | "power"
+    metric: str
+    trial: Callable[[GroundTruthGenerator, np.random.Generator, CellParams], bool]
+    generators: tuple[str, ...] | None = None
+
+    def nominal(self, params: CellParams) -> float:
+        """The success probability a perfectly calibrated run would show."""
+        if self.kind == "coverage":
+            return params.confidence
+        if self.kind == "type1":
+            return params.alpha
+        if self.kind == "power":
+            return t_test_power(params.n, params.effect, params.alpha)
+        raise ValidationError(f"unknown procedure kind {self.kind!r}")
+
+    def applies_to(self, generator: str) -> bool:
+        """True when this procedure is calibrated against *generator*."""
+        return self.generators is None or generator in self.generators
+
+
+#: Every shipped procedure, keyed by name, in report order.
+PROCEDURES: dict[str, Procedure] = {
+    p.name: p
+    for p in (
+        Procedure("mean_ci", "coverage", "coverage of true mean", _trial_mean_ci),
+        Procedure("median_ci", "coverage", "coverage of true median", _trial_median_ci),
+        Procedure(
+            "quantile_ci", "coverage", "coverage of true q0.75", _trial_quantile_ci
+        ),
+        Procedure(
+            "bootstrap_percentile",
+            "coverage",
+            "percentile-bootstrap coverage of true mean",
+            _trial_bootstrap_percentile,
+        ),
+        Procedure(
+            "bootstrap_bca",
+            "coverage",
+            "BCa-bootstrap coverage of true mean",
+            _trial_bootstrap_bca,
+        ),
+        Procedure(
+            "samplesize_plan",
+            "coverage",
+            "mean-CI coverage at the planned n",
+            _trial_samplesize_plan,
+        ),
+        Procedure(
+            "stopping_rule",
+            "coverage",
+            "mean-CI coverage at the sequential stop",
+            _trial_stopping_rule,
+        ),
+        Procedure(
+            "t_test", "type1", "false-rejection rate under the null", _trial_t_test_type1
+        ),
+        Procedure(
+            "anova", "type1", "false-rejection rate under the null", _trial_anova_type1
+        ),
+        Procedure(
+            "kruskal_wallis",
+            "type1",
+            "false-rejection rate under the null",
+            _trial_kruskal_type1,
+        ),
+        Procedure(
+            "t_test_power",
+            "power",
+            "detection rate vs noncentral-t prediction",
+            _trial_t_test_power,
+            generators=("normal",),
+        ),
+    )
+}
+
+
+def get_procedure(name: str) -> Procedure:
+    """Look up a registered procedure by name."""
+    try:
+        return PROCEDURES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown procedure {name!r}; have {sorted(PROCEDURES)}"
+        ) from None
+
+
+def run_batch(
+    procedure: Procedure,
+    generator: GroundTruthGenerator,
+    rng: np.random.Generator,
+    params: CellParams,
+    trials: int,
+) -> np.ndarray:
+    """Run *trials* Bernoulli trials; returns the 0/1 indicator vector.
+
+    CoverageWarnings from intentionally tight configurations are
+    suppressed — reduced achievable coverage shows up *quantitatively*
+    in the empirical rate, which is the whole point of the harness.
+    """
+    out = np.empty(int(trials), dtype=np.float64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CoverageWarning)
+        for i in range(int(trials)):
+            out[i] = 1.0 if procedure.trial(generator, rng, params) else 0.0
+    return out
+
+
+def _calibration_measure(
+    point: Mapping[str, Any], rep: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Measurement callable for the execution engine (picklable).
+
+    One task = one batch of trials for one (procedure, generator) cell;
+    ``rep`` indexes the batch, and the engine's pre-spawned per-task
+    generator makes the batch deterministic per master seed regardless of
+    executor or worker count.
+    """
+    procedure = get_procedure(str(point["procedure"]))
+    generator = get_generator(str(point["generator"]))
+    params = CellParams.from_point(point)
+    return run_batch(procedure, generator, rng, params, int(point["trials"]))

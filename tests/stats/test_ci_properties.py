@@ -1,0 +1,123 @@
+"""Property tests for the CI constructions (calibration-harness satellites).
+
+These pin down *structural* guarantees the Monte-Carlo harness cannot
+see: monotonicity of the rank construction, affine equivariance of the
+intervals, and percentile/BCa agreement when the data carry no skew for
+BCa to correct.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CoverageWarning
+from repro.stats import bootstrap_ci, mean_ci, median_ci
+from repro.stats.ci import _rank_bounds_1based, quantile_ci_ranks
+
+CONFIDENCES = st.floats(min_value=0.5, max_value=0.999)
+QUANTILES = st.floats(min_value=0.05, max_value=0.95)
+SIZES = st.integers(min_value=10, max_value=500)
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=SIZES, q=QUANTILES, c1=CONFIDENCES, c2=CONFIDENCES)
+def test_rank_interval_widens_with_confidence(n, q, c1, c2):
+    """Wider confidence => rank interval at least as wide, on both sides."""
+    lo_c, hi_c = sorted((c1, c2))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CoverageWarning)
+        lo1, hi1 = quantile_ci_ranks(n, q, lo_c)
+        lo2, hi2 = quantile_ci_ranks(n, q, hi_c)
+    assert lo2 <= lo1
+    assert hi2 >= hi1
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=st.integers(min_value=30, max_value=2000), q=QUANTILES, c=CONFIDENCES)
+def test_rank_interval_narrows_with_n_as_fraction(n, q, c):
+    """Larger n => the interval covers a smaller *fraction* of the sample.
+
+    The unclipped 1-based ranks are ``floor(nq - s)`` and
+    ``ceil(nq + s) + 1`` with ``s = z sqrt(nq(1-q))``; dividing by n, the
+    fractional half-width shrinks like 1/sqrt(n).  Compare n against 4n
+    (s only doubles while n quadruples), requiring a strict gap that
+    dominates the +/-2 flooring/ceiling slack.
+    """
+    lo1, hi1 = _rank_bounds_1based(n, q, c)
+    lo4, hi4 = _rank_bounds_1based(4 * n, q, c)
+    frac1 = (hi1 - lo1) / n
+    frac4 = (hi4 - lo4) / (4 * n)
+    assert frac4 <= frac1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=8, max_size=60
+    ),
+    scale=st.floats(min_value=1e-3, max_value=1e3),
+    shift=st.floats(min_value=-1e6, max_value=1e6),
+)
+def test_mean_ci_affine_equivariance(data, scale, shift):
+    """mean_ci(a*x + b) == a*mean_ci(x) + b (positive a)."""
+    x = np.asarray(data)
+    if x.std(ddof=1) == 0:
+        return
+    base = mean_ci(x, 0.95)
+    mapped = mean_ci(scale * x + shift, 0.95)
+    tol = 1e-9 * (abs(scale) * (abs(base.estimate) + base.high - base.low) + abs(shift) + 1)
+    assert mapped.estimate == pytest.approx(scale * base.estimate + shift, abs=tol)
+    assert mapped.low == pytest.approx(scale * base.low + shift, abs=tol)
+    assert mapped.high == pytest.approx(scale * base.high + shift, abs=tol)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=8, max_size=60
+    ),
+    scale=st.floats(min_value=1e-3, max_value=1e3),
+    shift=st.floats(min_value=-1e6, max_value=1e6),
+)
+def test_median_ci_affine_equivariance(data, scale, shift):
+    """The rank interval maps exactly under monotone affine transforms.
+
+    Order statistics are equivariant: the transformed sample's k-th order
+    statistic IS the transform of the original's, so the CI endpoints map
+    with no approximation beyond float rounding.
+    """
+    x = np.asarray(data)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CoverageWarning)
+        base = median_ci(x, 0.95)
+        mapped = median_ci(scale * x + shift, 0.95)
+    tol = 1e-12 * (abs(scale) * max(1.0, float(np.abs(x).max())) + abs(shift) + 1)
+    assert mapped.low == pytest.approx(scale * base.low + shift, abs=tol)
+    assert mapped.high == pytest.approx(scale * base.high + shift, abs=tol)
+
+
+def test_bootstrap_percentile_vs_bca_agree_on_symmetric_data():
+    """On symmetric data BCa's corrections vanish; methods nearly agree.
+
+    BCa differs from the percentile method through the bias correction
+    (median of the bootstrap distribution vs the estimate) and the
+    acceleration (jackknife skewness) — both ~0 for a symmetric sample.
+    """
+    rng = np.random.default_rng(42)
+    x = rng.normal(50.0, 5.0, size=200)
+    x = np.concatenate([x, 2 * 50.0 - x])  # exactly symmetric around 50
+
+    pct = bootstrap_ci(x, np.mean, confidence=0.95, n_boot=4000, method="percentile", seed=1)
+    bca = bootstrap_ci(x, np.mean, confidence=0.95, n_boot=4000, method="bca", seed=1)
+
+    width = pct.high - pct.low
+    assert bca.low == pytest.approx(pct.low, abs=0.15 * width)
+    assert bca.high == pytest.approx(pct.high, abs=0.15 * width)
+    # And both straddle the symmetric center.
+    assert pct.low < 50.0 < pct.high
+    assert bca.low < 50.0 < bca.high

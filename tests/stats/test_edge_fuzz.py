@@ -1,0 +1,199 @@
+"""Edge-case and fuzz tests for the stats layer.
+
+The calibration harness exercises the happy path at scale; these tests
+pin the boundaries — one- and two-observation samples, all-ties data,
+non-finite inputs — and assert the failures are *clear*
+:class:`repro.errors.ValidationError`/``InsufficientDataError``, never a
+nan propagated from scipy or a bare ``ValueError`` from arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CoverageWarning, InsufficientDataError, ValidationError
+from repro.stats import (
+    SequentialChecker,
+    bootstrap_ci,
+    compare_groups,
+    effect_size,
+    kruskal_wallis,
+    mean_ci,
+    median_ci,
+    one_way_anova,
+    quantile_ci,
+    required_n_normal,
+    t_test,
+)
+
+
+class TestTinySamples:
+    def test_mean_ci_n1_raises_insufficient(self):
+        with pytest.raises(InsufficientDataError):
+            mean_ci([1.0])
+
+    def test_mean_ci_n2_works(self):
+        ci = mean_ci([1.0, 3.0], 0.95)
+        assert ci.low <= 2.0 <= ci.high
+
+    def test_median_ci_below_min_nonparametric_raises(self):
+        with pytest.raises(InsufficientDataError):
+            median_ci([1.0, 2.0])
+
+    def test_quantile_ci_n1_raises(self):
+        with pytest.raises(InsufficientDataError):
+            quantile_ci([1.0], 0.5)
+
+    def test_t_test_n1_raises(self):
+        with pytest.raises(InsufficientDataError):
+            t_test([1.0], [1.0, 2.0])
+
+    def test_bootstrap_n1_raises(self):
+        with pytest.raises(InsufficientDataError):
+            bootstrap_ci([1.0], np.mean, n_boot=50, seed=0)
+
+
+class TestAllTies:
+    """Constant data must yield degenerate-but-defined answers, not nan."""
+
+    def test_mean_ci_constant(self):
+        ci = mean_ci([5.0] * 10, 0.95)
+        assert ci.low == ci.high == ci.estimate == 5.0
+
+    def test_t_test_identical_constants(self):
+        out = t_test([3.0] * 5, [3.0] * 5)
+        assert out.p_value == 1.0
+        assert out.statistic == 0.0
+        assert not out.significant(0.05)
+
+    def test_t_test_different_constants(self):
+        out = t_test([4.0] * 5, [3.0] * 5)
+        assert out.p_value == 0.0
+        assert math.isinf(out.statistic) and out.statistic > 0
+        assert out.significant(0.001)
+
+    def test_t_test_equal_var_constants(self):
+        out = t_test([2.0] * 4, [2.0] * 4, equal_var=True)
+        assert out.p_value == 1.0
+
+    def test_anova_all_constant(self):
+        out = one_way_anova([[1.0] * 5, [1.0] * 5, [1.0] * 5])
+        assert out.p_value == 1.0
+
+    def test_kruskal_all_ties(self):
+        out = kruskal_wallis([[2.0] * 5, [2.0] * 5])
+        assert out.p_value == 1.0
+
+    def test_effect_size_zero_variance(self):
+        assert effect_size([1.0] * 5, [1.0] * 5) == 0.0
+
+    def test_compare_groups_constant(self):
+        cmp_ = compare_groups([[1.0] * 6, [1.0] * 6])
+        assert cmp_.anova.p_value == 1.0
+
+    def test_median_ci_all_ties(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CoverageWarning)
+            ci = median_ci([7.0] * 12, 0.95)
+        assert ci.low == ci.high == 7.0
+
+
+class TestNonFinite:
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_mean_ci_rejects(self, bad):
+        with pytest.raises(ValidationError, match="non-finite"):
+            mean_ci([1.0, 2.0, bad])
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_quantile_ci_rejects(self, bad):
+        with pytest.raises(ValidationError, match="non-finite"):
+            quantile_ci([1.0] * 9 + [bad], 0.5)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_t_test_rejects(self, bad):
+        with pytest.raises(ValidationError, match="non-finite"):
+            t_test([1.0, 2.0, bad], [1.0, 2.0])
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_bootstrap_rejects(self, bad):
+        with pytest.raises(ValidationError, match="non-finite"):
+            bootstrap_ci([1.0, 2.0, 3.0, bad], np.mean, n_boot=50, seed=0)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_required_n_rejects_bad_mean(self, bad):
+        with pytest.raises(ValidationError, match="finite"):
+            required_n_normal(bad, 1.0, relative_error=0.1)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_required_n_rejects_bad_std(self, bad):
+        with pytest.raises(ValidationError, match="finite"):
+            required_n_normal(10.0, bad, relative_error=0.1)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_sequential_checker_rejects(self, bad):
+        chk = SequentialChecker(relative_error=0.1, statistic="mean")
+        with pytest.raises(ValidationError, match="finite"):
+            chk.add(bad)
+        # The poisoned value must not have been recorded.
+        assert chk.n == 0
+
+
+class TestSampleSizeDegenerate:
+    def test_required_n_zero_mean_raises(self):
+        with pytest.raises(ValidationError, match="zero mean"):
+            required_n_normal(0.0, 1.0, relative_error=0.1)
+
+    def test_required_n_zero_std_returns_minimum(self):
+        assert required_n_normal(10.0, 0.0, relative_error=0.1) == 2
+
+    def test_required_n_negative_std_raises(self):
+        with pytest.raises(ValidationError):
+            required_n_normal(10.0, -1.0, relative_error=0.1)
+
+    def test_sequential_checker_constant_data_stops(self):
+        chk = SequentialChecker(relative_error=0.05, statistic="mean", check_every=1)
+        stopped = chk.add_many([5.0] * 10)
+        assert stopped
+        assert chk.current_ci.contains(5.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+        min_size=0,
+        max_size=30,
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_fuzz_quantile_ci_no_unexpected_exceptions(data, q):
+    """Arbitrary float soup either works or raises a library error."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CoverageWarning)
+        try:
+            ci = quantile_ci(data, q)
+        except (ValidationError, InsufficientDataError):
+            return
+    assert ci.low <= ci.high
+    assert math.isfinite(ci.estimate)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    a=st.lists(st.floats(allow_nan=True, allow_infinity=True, width=64), max_size=20),
+    b=st.lists(st.floats(allow_nan=True, allow_infinity=True, width=64), max_size=20),
+)
+def test_fuzz_t_test_no_nan_pvalues(a, b):
+    """t_test either raises a library error or returns a real p-value."""
+    try:
+        out = t_test(a, b)
+    except (ValidationError, InsufficientDataError):
+        return
+    assert not math.isnan(out.p_value)
+    assert 0.0 <= out.p_value <= 1.0

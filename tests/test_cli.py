@@ -68,6 +68,29 @@ class TestCalibrate:
         out = capsys.readouterr().out
         assert "resolution" in out and "overhead" in out
 
+    def test_statistical_profile_writes_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "calib"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "calibrate", "--profile", "micro",
+            "--out", str(out_dir), "--emit-metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration [micro]" in out
+        assert "mean_ci" in out
+        payload = json.loads((out_dir / "calibration_report.json").read_text())
+        assert payload["summary"]["flagged"] == 0
+        assert payload["provenance"]["methodology"]["profile"] == "micro"
+        assert (out_dir / "calibration_report.md").exists()
+        recorded = json.loads(metrics.read_text())
+        assert recorded["repro_validate_cells_total"]["value"] == float(
+            payload["summary"]["cells"]
+        )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrate", "--profile", "huge"])
+
 
 class TestMachines:
     def test_lists_all(self, capsys):

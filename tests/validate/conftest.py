@@ -1,0 +1,17 @@
+"""Shared fixtures for the calibration-harness tests.
+
+The micro-profile study is the expensive fixture (~5 s); run it once per
+session and let every assertion share the report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate import CalibrationStudy, get_profile
+
+
+@pytest.fixture(scope="session")
+def micro_report():
+    study = CalibrationStudy(get_profile("micro"), master_seed=0)
+    return study.run(created_at="2026-01-01T00:00:00+00:00")

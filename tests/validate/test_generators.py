@@ -1,0 +1,110 @@
+"""Ground-truth generators: sampling contracts and truth accuracy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (
+    GENERATORS,
+    ExponentialGenerator,
+    LogNormalGenerator,
+    NormalGenerator,
+    ParetoGenerator,
+    get_generator,
+)
+
+
+class TestRegistry:
+    def test_required_stable(self):
+        # The acceptance criterion needs >= 4 ground-truth distributions;
+        # we ship 6, including both simulator noise models.
+        assert len(GENERATORS) >= 4
+        for name in ("normal", "lognormal", "exponential", "pareto",
+                     "simsys_lognormal", "simsys_mixture"):
+            assert name in GENERATORS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown generator"):
+            get_generator("cauchy")
+
+    def test_names_match_keys(self):
+        for key, gen in GENERATORS.items():
+            assert gen.name == key
+
+    def test_describe_mentions_truth_kind(self):
+        assert "analytic" in GENERATORS["normal"].describe()
+        assert "numeric" in GENERATORS["simsys_mixture"].describe()
+
+
+class TestSampling:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_shapes_and_finiteness(self, name):
+        gen = GENERATORS[name]
+        x = gen.sample(np.random.default_rng(0), 128)
+        assert x.shape == (128,)
+        assert np.all(np.isfinite(x))
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_deterministic_per_seed(self, name):
+        gen = GENERATORS[name]
+        a = gen.sample(np.random.default_rng(7), 64)
+        b = gen.sample(np.random.default_rng(7), 64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValidationError):
+            GENERATORS["normal"].sample(np.random.default_rng(0), 0)
+
+
+class TestTruth:
+    """Claimed truths must match a large empirical draw."""
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_mean_median_std_close_to_empirical(self, name):
+        gen = GENERATORS[name]
+        x = gen.sample(np.random.default_rng(123), 200_000)
+        assert gen.mean() == pytest.approx(float(x.mean()), rel=0.05)
+        assert gen.median() == pytest.approx(float(np.median(x)), rel=0.05)
+        assert gen.std() == pytest.approx(float(x.std(ddof=1)), rel=0.10)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_quantile_truth(self, name):
+        gen = GENERATORS[name]
+        x = gen.sample(np.random.default_rng(321), 200_000)
+        assert gen.quantile(0.75) == pytest.approx(
+            float(np.quantile(x, 0.75)), rel=0.05
+        )
+
+    def test_lognormal_closed_forms(self):
+        g = LogNormalGenerator(mu=0.0, sigma=1.0)
+        assert g.mean() == pytest.approx(math.exp(0.5))
+        assert g.median() == pytest.approx(1.0)
+
+    def test_exponential_closed_forms(self):
+        g = ExponentialGenerator(scale=2.0)
+        assert g.mean() == 2.0
+        assert g.median() == pytest.approx(2.0 * math.log(2.0))
+
+    def test_pareto_closed_forms(self):
+        g = ParetoGenerator(alpha=3.0, xm=1.0)
+        assert g.mean() == pytest.approx(1.5)
+        assert g.quantile(0.75) == pytest.approx(0.25 ** (-1.0 / 3.0))
+
+    def test_pareto_requires_finite_variance(self):
+        with pytest.raises(ValidationError, match="alpha"):
+            ParetoGenerator(alpha=2.0)
+
+    def test_normal_quantile_validates(self):
+        with pytest.raises(ValidationError):
+            NormalGenerator().quantile(1.5)
+
+    def test_simsys_lognormal_analytic_matches_numeric(self):
+        gen = GENERATORS["simsys_lognormal"]
+        assert gen.exact
+        x = gen.sample(np.random.default_rng(5), 400_000)
+        assert gen.mean() == pytest.approx(float(x.mean()), rel=0.02)
+        assert gen.median() == pytest.approx(float(np.median(x)), rel=0.02)
