@@ -18,7 +18,7 @@ Quick start::
     print(ms.median_ci(0.99))
 """
 
-from . import core, exec, models, obs, report, simsys, stats, survey, validate
+from . import chaos, core, exec, models, obs, report, simsys, stats, survey, validate
 from .errors import (
     ReproError,
     ValidationError,
@@ -45,6 +45,7 @@ __all__ = [
     "survey",
     "report",
     "validate",
+    "chaos",
     "ReproError",
     "ValidationError",
     "InsufficientDataError",

@@ -1,0 +1,40 @@
+"""Deterministic fault injection and graceful degradation (:mod:`repro.chaos`).
+
+A benchmarking campaign that dies on the first worker crash, torn cache
+file, or clock step loses *all* its measurements — the opposite of the
+paper's "collect everything, disclose everything" stance.  This package
+makes resilience testable:
+
+* :class:`FaultPlan` / :class:`FaultProfile` — seeded, hash-addressed
+  fault schedules, so a perturbed run is exactly as reproducible as a
+  clean one;
+* :class:`ChaosExecutor`, :class:`ChaosResultCache`,
+  :func:`perturbed_machine`, :func:`faulty_clock` — injectors that wrap
+  the production components (executor retries, cache verification, clock
+  clamping do the actual recovering);
+* :func:`run_chaos` / :class:`ChaosReport` — the three-phase gate behind
+  ``repro chaos``, verifying that campaigns complete with every design
+  point recovered or annotated and that recovered values stay
+  bit-identical to a fault-free run.
+
+See docs/ROBUSTNESS.md for the fault taxonomy and how to read failure
+envelopes.
+"""
+
+from .inject import ChaosExecutor, ChaosResultCache, faulty_clock, perturbed_machine
+from .plan import PROFILES, FaultPlan, FaultProfile, get_profile
+from .runner import ChaosCheck, ChaosReport, run_chaos
+
+__all__ = [
+    "FaultPlan",
+    "FaultProfile",
+    "PROFILES",
+    "get_profile",
+    "ChaosExecutor",
+    "ChaosResultCache",
+    "perturbed_machine",
+    "faulty_clock",
+    "ChaosCheck",
+    "ChaosReport",
+    "run_chaos",
+]

@@ -24,6 +24,11 @@ Commands
     ``--emit-metrics``) a metrics export.
 ``trace``
     Render the span tree of a recorded campaign run.
+``chaos``
+    Run the fault-injection gate: a smoke campaign under a seeded fault
+    profile (worker crashes, hangs, cache corruption, clock steps) that
+    must complete with every design point recovered or annotated; exits
+    nonzero on any unhandled escape.
 """
 
 from __future__ import annotations
@@ -118,6 +123,12 @@ def _figure_sections(spec: dict) -> list[tuple[str, str]]:
             ),
         ]
     raise ValueError(f"unknown figure id {fig_id!r}")
+
+
+def _chaos_profiles() -> dict:
+    from .chaos import PROFILES
+
+    return PROFILES
 
 
 def _make_metrics_hooks(emit_metrics: str | None):
@@ -233,6 +244,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"trace {tracer.trace_id} -> {camp_dir / 'trace.jsonl'}")
     if registry is not None:
         _write_metrics(registry, args.emit_metrics)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: the resilience gate (see :mod:`repro.chaos`)."""
+    from .chaos import run_chaos
+    from .report import chaos_markdown, chaos_table
+
+    hooks, registry = _make_metrics_hooks(args.emit_metrics)
+    if registry is not None:
+        registry.bind_chaos_metrics()
+    report = run_chaos(
+        args.profile,
+        out_dir=args.dir,
+        seed=args.seed,
+        workers=args.workers,
+        hooks=hooks,
+        metrics=registry,
+    )
+    print(chaos_table(report))
+    json_path = report.write(args.out or args.dir)
+    md_path = json_path.with_name("chaos_report.md")
+    md_path.write_text(chaos_markdown(report))
+    print(f"report written to {json_path} (+ {md_path.name})", file=sys.stderr)
+    if registry is not None:
+        _write_metrics(registry, args.emit_metrics)
+    if not report.ok:
+        print(
+            f"CHAOS GATE FAILED: {len(report.escapes)} escape(s), "
+            f"{sum(1 for c in report.checks if not c.ok)} failed check(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -428,6 +472,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write execution metrics to PATH (.json for JSON, "
                         "anything else for Prometheus text format)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection gate (campaign must degrade gracefully)",
+    )
+    p.add_argument("--profile", choices=sorted(_chaos_profiles()), default="smoke",
+                   help="fault profile (default: smoke)")
+    p.add_argument("--dir", required=True,
+                   help="scratch directory for fault markers, the result "
+                        "cache, and the report")
+    p.add_argument("--seed", type=int, default=12,
+                   help="fault-plan master seed (default 12, pinned so the "
+                        "smoke profile plants every fault kind)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="run campaign phases over N worker processes")
+    p.add_argument("--out", metavar="DIR",
+                   help="write chaos_report.json/.md into DIR "
+                        "(default: --dir)")
+    p.add_argument("--emit-metrics", metavar="PATH",
+                   help="write repro_chaos_* metrics "
+                        "(.json or Prometheus text)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("trace", help="render a recorded span trace")
     p.add_argument("run", help="trace.jsonl file, or a campaign directory "

@@ -50,7 +50,7 @@ from .rules import (
     check_all,
     RULE_TITLES,
 )
-from .experiment import Experiment, ExperimentResult
+from .experiment import Experiment, ExperimentResult, FailureEnvelope
 from .campaign import Campaign
 from .hostnoise import HostNoiseReport, measure_host_noise
 from .screening import (
@@ -114,6 +114,7 @@ __all__ = [
     "RULE_TITLES",
     "Experiment",
     "ExperimentResult",
+    "FailureEnvelope",
     "Campaign",
     "HostNoiseReport",
     "measure_host_noise",

@@ -124,6 +124,9 @@ def measure_callable(
     """
     config = config or MeasurementConfig()
     timer = config.timer or PerfTimer()
+    # Simulated clocks clamp backwards reads (discontinuities, adversarial
+    # drift); snapshot the counter so the clamp is disclosed in metadata.
+    clamped_before = getattr(getattr(timer, "clock", None), "backwards_clamped", 0)
     stopping = config.stopping or FixedCount(30)
     stopping.reset()
     calibration = config.calibration
@@ -175,6 +178,12 @@ def measure_callable(
         stopping=stopping.describe(),
         interval_check_ok=chk.ok,
     )
+    clamped = (
+        getattr(getattr(timer, "clock", None), "backwards_clamped", 0)
+        - clamped_before
+    )
+    if clamped > 0:
+        md["clock_backwards_clamped"] = int(clamped)
     md.setdefault(
         "provenance",
         Provenance.capture(

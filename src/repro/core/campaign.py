@@ -174,6 +174,7 @@ class Campaign:
         use_cache: bool = True,
         record: bool = True,
         overwrite: bool = False,
+        on_failure: str = "raise",
     ):
         """Run *experiment* through the execution engine into this campaign.
 
@@ -186,7 +187,10 @@ class Campaign:
 
         Passing a :class:`repro.obs.Tracer` records a ``campaign`` span
         enclosing the experiment's spans (and, through the engine, the
-        per-task ``measurement-batch`` spans).
+        per-task ``measurement-batch`` spans).  ``on_failure="annotate"``
+        completes the campaign under partial failure, annotating dead
+        design points in ``result.envelopes`` instead of raising (see
+        :meth:`repro.core.Experiment.run`).
 
         Returns the :class:`~repro.core.experiment.ExperimentResult`.
         """
@@ -196,10 +200,13 @@ class Campaign:
                 "campaign", label=self.name, experiment=experiment.name
             ):
                 result = experiment.run(
-                    executor=executor, cache=cache, hooks=hooks, tracer=tracer
+                    executor=executor, cache=cache, hooks=hooks, tracer=tracer,
+                    on_failure=on_failure,
                 )
         else:
-            result = experiment.run(executor=executor, cache=cache, hooks=hooks)
+            result = experiment.run(
+                executor=executor, cache=cache, hooks=hooks, on_failure=on_failure
+            )
         if record:
             for ms in result.datasets.values():
                 self.record(ms, overwrite=overwrite)

@@ -21,7 +21,7 @@ contract.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, replace as _dc_replace
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -35,7 +35,7 @@ from .design import FactorialDesign
 from .environment import EnvironmentSpec
 from .measurement import MeasurementSet
 
-__all__ = ["Experiment", "ExperimentResult"]
+__all__ = ["Experiment", "ExperimentResult", "FailureEnvelope"]
 
 PointKey = tuple[tuple[str, Any], ...]
 
@@ -66,6 +66,51 @@ def _point_key(point: Mapping[str, Any]) -> PointKey:
 
 
 @dataclass(frozen=True)
+class FailureEnvelope:
+    """What happened to one design point, resilience-wise.
+
+    Every point of an experiment run gets an envelope; the interesting
+    states are the non-``ok`` ones (see :mod:`repro.chaos` and
+    docs/ROBUSTNESS.md):
+
+    ``ok``
+        every replication produced values on the first attempt;
+    ``recovered``
+        full data, but only after retries or cache re-measurement —
+        values are still bit-identical to a fault-free run;
+    ``degraded``
+        at least one replication failed permanently, but the point kept
+        some values (wider CIs, disclosed in metadata);
+    ``failed``
+        no replication survived; with ``on_failure="annotate"`` the point
+        is dropped from ``datasets`` and annotated here instead of
+        aborting the campaign.
+    """
+
+    point: PointKey
+    state: str
+    replications: int
+    reps_ok: int
+    failed_reps: tuple[tuple[int, str], ...] = ()
+    retried_attempts: int = 0
+    cached_reps: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (for reports and provenance)."""
+        return {
+            "point": {k: v for k, v in self.point},
+            "state": self.state,
+            "replications": self.replications,
+            "reps_ok": self.reps_ok,
+            "failed_reps": [
+                {"rep": rep, "error": err} for rep, err in self.failed_reps
+            ],
+            "retried_attempts": self.retried_attempts,
+            "cached_reps": self.cached_reps,
+        }
+
+
+@dataclass(frozen=True)
 class ExperimentResult:
     """All measurements of one experiment, keyed by design point."""
 
@@ -74,6 +119,8 @@ class ExperimentResult:
     environment: EnvironmentSpec | None
     datasets: dict[PointKey, MeasurementSet]
     run_order: tuple[PointKey, ...]
+    #: Per-point resilience states; empty only for legacy constructions.
+    envelopes: dict[PointKey, FailureEnvelope] = field(default_factory=dict)
 
     def points(self) -> list[dict[str, Any]]:
         """The measured design points as dicts (canonical order)."""
@@ -200,6 +247,7 @@ class Experiment:
         cache: ResultCache | None = None,
         hooks: ExecHooks | None = None,
         tracer: Tracer | None = None,
+        on_failure: str = "raise",
     ) -> ExperimentResult:
         """Execute all runs and collect datasets (randomized run order).
 
@@ -207,9 +255,18 @@ class Experiment:
         assembled into per-point datasets following the randomized run
         order, exactly as the historical serial loop did, so results are
         identical whichever executor did the work.  A task that fails
-        permanently is recorded in its dataset's metadata; a design point
-        left with *no* values raises (:class:`ExecutionError`, or the
-        original library error when there is one).
+        permanently is recorded in its dataset's metadata.  Every point
+        gets a :class:`FailureEnvelope` (ok / recovered / degraded /
+        failed) in ``result.envelopes``; what happens to a point left
+        with *no* values depends on ``on_failure``:
+
+        ``"raise"`` (default)
+            abort with :class:`ExecutionError` (or the original library
+            error when there is one) — the fail-fast contract;
+        ``"annotate"``
+            complete the campaign anyway: the point is dropped from
+            ``datasets`` and its envelope records the failure — the
+            graceful-degradation contract used by :mod:`repro.chaos`.
 
         Every dataset's metadata carries a :class:`~repro.obs.Provenance`
         manifest (environment, package versions, master seed, methodology,
@@ -217,6 +274,10 @@ class Experiment:
         ``experiment`` span with per-design-point child spans on top of
         the engine's ``measurement-batch`` spans.
         """
+        if on_failure not in ("raise", "annotate"):
+            raise ValidationError(
+                f"on_failure must be 'raise' or 'annotate', got {on_failure!r}"
+            )
         executor = executor or self.executor or SerialExecutor(retries=0)
         hooks = hooks if hooks is not None else ExecHooks()
         master = self.order_seed if self.seed is None else self.seed
@@ -269,17 +330,25 @@ class Experiment:
             )
             if tracer is not None:
                 wall_by_point: dict[PointKey, float] = {}
+                failed_by_point: dict[PointKey, int] = {}
                 for res in results:
                     wall_by_point[res.task.point] = (
                         wall_by_point.get(res.task.point, 0.0) + res.wall_time
                     )
+                    if not res.ok:
+                        failed_by_point[res.task.point] = (
+                            failed_by_point.get(res.task.point, 0) + 1
+                        )
                 for point_key, wall in wall_by_point.items():
+                    attrs: dict[str, Any] = {"point": repr(dict(point_key))}
+                    if failed_by_point.get(point_key):
+                        attrs["failed_reps"] = failed_by_point[point_key]
                     tracer.emit_logical(
                         "design-point",
                         wall_s=wall,
                         span_id=point_span_ids[point_key],
                         parent_id=exp_span_id,
-                        point=repr(dict(point_key)),
+                        **attrs,
                     )
 
         buckets: dict[PointKey, list[float]] = {}
@@ -302,17 +371,55 @@ class Experiment:
                 cached_counts[key] = cached_counts.get(key, 0) + 1
             attempts[key] = attempts.get(key, 0) + res.attempts
 
-        for key, fails in failures.items():
-            if not buckets.get(key):
-                # Every replication of this point failed: surface the
-                # original error when the engine preserved one.
-                for res in results:
-                    if res.task.point == key and isinstance(res.exception, ReproError):
-                        raise res.exception
-                raise ExecutionError(
-                    f"design point {dict(key)!r} produced no values; "
-                    f"failures: {fails}"
-                )
+        if on_failure == "raise":
+            for key, fails in failures.items():
+                if not buckets.get(key):
+                    # Every replication of this point failed: surface the
+                    # original error when the engine preserved one.
+                    for res in results:
+                        if res.task.point == key and isinstance(res.exception, ReproError):
+                            raise res.exception
+                    raise ExecutionError(
+                        f"design point {dict(key)!r} produced no values; "
+                        f"failures: {fails}"
+                    )
+
+        reps = self.design.replications
+        envelopes: dict[PointKey, FailureEnvelope] = {}
+        for key, vals in buckets.items():
+            fails = tuple(failures.get(key, ()))
+            cached_here = cached_counts.get(key, 0)
+            # Every executed (non-cached, non-failed) task spends one
+            # non-retry attempt; anything beyond that was a retry.
+            executed = reps - cached_here
+            extra_attempts = max(attempts.get(key, 0) - executed, 0)
+            if not vals:
+                state = "failed"
+            elif fails:
+                state = "degraded"
+            elif extra_attempts > 0:
+                state = "recovered"
+            else:
+                state = "ok"
+            envelopes[key] = FailureEnvelope(
+                point=key,
+                state=state,
+                replications=reps,
+                reps_ok=reps - len(fails),
+                failed_reps=fails,
+                retried_attempts=extra_attempts,
+                cached_reps=cached_here,
+            )
+        degradation = {
+            s: sum(1 for e in envelopes.values() if e.state == s)
+            for s in ("recovered", "degraded", "failed")
+        }
+        if hooks.metrics is not None:
+            for state, count in degradation.items():
+                if count:
+                    hooks.metrics.counter(
+                        f"repro_chaos_points_{state}_total"
+                    ).inc(count)
 
         cache_stats: dict[str, Any] = {}
         if cache is not None:
@@ -321,30 +428,38 @@ class Experiment:
                 "hits": hooks.cached,
                 "path": str(cache.path),
             }
+            if cache.corrupt_entries:
+                cache_stats["corrupt_entries"] = cache.corrupt_entries
+        exec_stats = hooks.snapshot()
+        if any(degradation.values()):
+            exec_stats["degradation"] = degradation
         provenance = _dc_replace(
-            provenance, exec_stats=hooks.snapshot(), cache_stats=cache_stats
+            provenance, exec_stats=exec_stats, cache_stats=cache_stats
         )
 
         datasets = {}
         for key, vals in buckets.items():
+            if not vals:
+                # on_failure="annotate": the point is represented only by
+                # its (failed) envelope — an empty dataset would poison
+                # the statistics layer.
+                continue
             md: dict[str, Any] = {
                 "design": self.design.describe(),
                 "provenance": provenance.to_dict(),
             }
-            reps_here = self.design.replications
+            envelope = envelopes[key]
             exec_md: dict[str, Any] = {}
-            if cached_counts.get(key):
-                exec_md["cached_tasks"] = cached_counts[key]
-            # Every executed (non-cached) task spends one non-retry attempt;
-            # anything beyond that was a retry.
-            executed = reps_here - cached_counts.get(key, 0)
-            extra_attempts = attempts.get(key, 0) - executed
-            if key in failures:
+            if envelope.cached_reps:
+                exec_md["cached_tasks"] = envelope.cached_reps
+            if envelope.failed_reps:
                 exec_md["failed_reps"] = [
-                    {"rep": rep, "error": err} for rep, err in failures[key]
+                    {"rep": rep, "error": err} for rep, err in envelope.failed_reps
                 ]
-            if extra_attempts > 0:
-                exec_md["retried_attempts"] = extra_attempts
+            if envelope.retried_attempts > 0:
+                exec_md["retried_attempts"] = envelope.retried_attempts
+            if envelope.state != "ok":
+                exec_md["envelope"] = envelope.state
             if exec_md:
                 md["exec"] = exec_md
             datasets[key] = MeasurementSet(
@@ -359,4 +474,5 @@ class Experiment:
             environment=self.environment,
             datasets=datasets,
             run_order=tuple(order),
+            envelopes=envelopes,
         )

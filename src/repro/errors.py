@@ -19,6 +19,8 @@ __all__ = [
     "RuleViolation",
     "SurveyError",
     "CoverageWarning",
+    "ClockWarning",
+    "FaultInjected",
 ]
 
 
@@ -89,4 +91,26 @@ class CoverageWarning(ReproError, UserWarning):
     to the extremes, so the returned interval covers *less* than requested
     (the paper's "n > 5" caveat, Section 4.2.2).  The interval is still
     returned — widest available — but the shortfall must be disclosed.
+    """
+
+
+class ClockWarning(ReproError, UserWarning):
+    """A simulated clock read went backwards and was clamped.
+
+    Per-process clock readings must be monotone or negative "durations"
+    leak into the statistics layer unflagged (the Section 4.2.1 concern
+    behind timer calibration).  A drift/offset discontinuity can make the
+    raw reading regress; the clock clamps to the previous reading, counts
+    the event (``SimClock.backwards_clamped``), and raises this warning
+    once per clock so downstream metadata can disclose the clamp.
+    """
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """A deliberate fault planted by :mod:`repro.chaos`.
+
+    Raised inside chaos-wrapped workers to simulate a crash.  Deriving
+    from :class:`ReproError` means an escape (fault not recovered within
+    the retry budget) surfaces through the normal engine failure path and
+    is attributable to the fault plan, not the workload.
     """

@@ -94,28 +94,58 @@ def task_fingerprint(
 
 
 class ResultCache:
-    """A directory of content-addressed measurement results."""
+    """A directory of content-addressed measurement results.
+
+    Entries are verified on read: a torn, truncated, or hand-edited file
+    (e.g. the partial write of a killed worker) is treated as a miss, the
+    offending file is quarantined under ``<name>.json.corrupt``, and the
+    event is counted in :attr:`corrupt_entries` (surfaced as the
+    ``repro_cache_corrupt_total`` metric by the engine).  The campaign
+    then simply re-measures — corruption costs work, never correctness.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries detected (and quarantined) by this instance.
+        self.corrupt_entries = 0
 
     def _entry(self, fingerprint: str) -> Path:
         if len(fingerprint) < 8 or not all(c in "0123456789abcdef" for c in fingerprint):
             raise ValidationError(f"malformed cache fingerprint {fingerprint!r}")
         return self.path / fingerprint[:2] / f"{fingerprint}.json"
 
+    def _quarantine(self, entry: Path) -> None:
+        """Move a corrupt entry aside so it never poisons another read."""
+        self.corrupt_entries += 1
+        try:
+            entry.replace(entry.with_name(entry.name + ".corrupt"))
+        except OSError:
+            # A concurrent campaign may have quarantined or rewritten it
+            # first; losing the race is fine — the entry is already gone.
+            pass
+
     def get(self, fingerprint: str) -> tuple[np.ndarray, dict[str, Any]] | None:
-        """The cached ``(values, metadata)`` for *fingerprint*, or None."""
+        """The verified cached ``(values, metadata)`` for *fingerprint*, or None."""
         entry = self._entry(fingerprint)
         if not entry.exists():
             return None
         try:
             payload = json.loads(entry.read_text())
+            if not isinstance(payload, Mapping):
+                raise ValueError(f"cache entry is {type(payload).__name__}, not an object")
+            stored_fp = payload.get("fingerprint")
+            if stored_fp is not None and stored_fp != fingerprint:
+                raise ValueError(f"entry claims fingerprint {stored_fp!r}")
             values = np.asarray(payload["values"], dtype=np.float64)
-            metadata = dict(payload.get("metadata", {}))
-        except (KeyError, ValueError, json.JSONDecodeError):
-            # A torn or hand-edited entry is treated as a miss, not a crash.
+            if values.ndim != 1 or values.size == 0:
+                raise ValueError(f"entry values have shape {values.shape}")
+            metadata = payload.get("metadata", {})
+            if not isinstance(metadata, Mapping):
+                raise ValueError("entry metadata is not an object")
+            metadata = dict(metadata)
+        except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
+            self._quarantine(entry)
             return None
         return values, metadata
 
@@ -142,9 +172,11 @@ class ResultCache:
         return sum(1 for _ in self.path.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and quarantined file); returns entries removed."""
         removed = 0
         for entry in self.path.glob("*/*.json"):
             entry.unlink()
             removed += 1
+        for corpse in self.path.glob("*/*.json.corrupt"):
+            corpse.unlink()
         return removed

@@ -233,6 +233,7 @@ class ProcessExecutor(Executor):
             (i, 1, 0.0) for i in range(len(items))
         )
         inflight: dict[Any, tuple[int, int, float]] = {}
+        submitted: set[int] = set()
         pool = self._new_pool()
         width = self.max_workers or (pool._max_workers)
 
@@ -250,13 +251,20 @@ class ProcessExecutor(Executor):
                 out.ok = False
                 hooks.record("failed", names[i])
 
-        def requeue_inflight(except_future: Any) -> None:
-            """Resubmit innocent in-flight tasks after a pool teardown."""
+        def rebuild_pool(except_future: Any) -> None:
+            """Tear the pool down and requeue innocent in-flight tasks.
+
+            Shared by the crash and timeout paths so both give siblings
+            identical "not the task's fault" semantics: same attempt
+            number, no backoff, and no repeated ``submitted`` event.
+            """
+            nonlocal pool
             for fut, (oi, oattempt, _) in inflight.items():
                 if fut is not except_future:
-                    # Not the task's fault: same attempt number, no backoff.
                     pending.appendleft((oi, oattempt, 0.0))
             inflight.clear()
+            self._kill_pool(pool)
+            pool = self._new_pool()
 
         def pop_ready(now: float) -> tuple[int, int] | None:
             """Pop the first *ready* pending entry, scanning past backoffs.
@@ -283,7 +291,11 @@ class ProcessExecutor(Executor):
                     i, attempt = entry
                     future = pool.submit(worker, items[i])
                     inflight[future] = (i, attempt, time.monotonic())
-                    if attempt == 1:
+                    # Record "submitted" once per task: an innocent sibling
+                    # resubmitted after a pool teardown comes back through
+                    # here with attempt == 1 and must not double-count.
+                    if i not in submitted:
+                        submitted.add(i)
                         hooks.record("submitted", names[i])
                 if not inflight:
                     # Nothing running: sleep until the earliest retry is due.
@@ -302,9 +314,7 @@ class ProcessExecutor(Executor):
                         # The pool died under this task; rebuild and retry.
                         outcomes[i].wall_time += elapsed
                         fail(i, attempt, "worker process crashed (pool broken)")
-                        requeue_inflight(future)
-                        self._kill_pool(pool)
-                        pool = self._new_pool()
+                        rebuild_pool(future)
                         broken = True
                         break
                     except Exception as exc:  # noqa: BLE001 - fault boundary
@@ -335,9 +345,7 @@ class ProcessExecutor(Executor):
                         del inflight[future]
                         outcomes[i].wall_time += now - started
                         fail(i, attempt, f"task exceeded timeout of {self.timeout:g} s")
-                        requeue_inflight(None)
-                        self._kill_pool(pool)
-                        pool = self._new_pool()
+                        rebuild_pool(None)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return outcomes
@@ -522,6 +530,7 @@ def run_measurement_tasks(
         ]
     results: list[TaskResult | None] = [None] * len(tasks)
     misses: list[int] = []
+    corrupt_before = cache.corrupt_entries if cache is not None else 0
     for i, task in enumerate(tasks):
         if cache is not None:
             hit = cache.get(task.fingerprint())
@@ -539,6 +548,10 @@ def run_measurement_tasks(
                 )
                 continue
         misses.append(i)
+    if cache is not None and hooks.metrics is not None:
+        torn = cache.corrupt_entries - corrupt_before
+        if torn > 0:
+            hooks.metrics.counter("repro_cache_corrupt_total").inc(torn)
     if misses:
         outcomes = executor.run(
             _measure_worker,

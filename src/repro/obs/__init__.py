@@ -17,12 +17,14 @@ Three layers, all dependency-free and engine-agnostic:
 """
 
 from .metrics import (
+    CHAOS_METRICS,
     Counter,
     DEFAULT_BUCKETS,
     EXEC_METRICS,
     Gauge,
     Histogram,
     MetricsRegistry,
+    SIMSYS_METRICS,
 )
 from .provenance import PROVENANCE_VERSION, Provenance, package_versions
 from .tracing import (
@@ -41,6 +43,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "EXEC_METRICS",
+    "SIMSYS_METRICS",
+    "CHAOS_METRICS",
     "Provenance",
     "PROVENANCE_VERSION",
     "package_versions",

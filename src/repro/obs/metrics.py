@@ -35,6 +35,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "EXEC_METRICS",
     "SIMSYS_METRICS",
+    "CHAOS_METRICS",
     "SIMSYS_KERNEL_BUCKETS",
 ]
 
@@ -54,7 +55,19 @@ EXEC_METRICS: dict[str, str] = {
     "repro_tasks_failed_total": "Tasks that exhausted their retries.",
     "repro_task_latency_seconds": "Wall-clock seconds per executed task.",
     "repro_cache_hit_ratio": "Cached tasks over all tasks seen so far.",
+    "repro_cache_corrupt_total": "Corrupt cache entries detected on read and quarantined.",
     "repro_measurements_per_second": "Measured values per second of task wall time.",
+}
+
+#: Fault-injection and graceful-degradation metric names (recorded by
+#: :mod:`repro.chaos` and by ``Experiment.run`` envelope accounting).
+CHAOS_METRICS: dict[str, str] = {
+    "repro_chaos_crashes_injected_total": "Worker crashes planted by a fault plan.",
+    "repro_chaos_hangs_injected_total": "Worker hangs planted by a fault plan.",
+    "repro_chaos_cache_corruptions_injected_total": "Cache entries corrupted by a fault plan.",
+    "repro_chaos_points_recovered_total": "Design points needing retries that still produced full data.",
+    "repro_chaos_points_degraded_total": "Design points that lost replications but kept values.",
+    "repro_chaos_points_failed_total": "Design points annotated as failed (no surviving values).",
 }
 
 #: Simulation-kernel metric names (recorded by repro.simsys.mpi when a
@@ -275,6 +288,16 @@ class MetricsRegistry:
             else:
                 self.gauge(name, help_text)
         hooks.metrics = self
+
+    def bind_chaos_metrics(self) -> None:
+        """Pre-register the fault-injection metric set (:data:`CHAOS_METRICS`).
+
+        All chaos metrics are counters; pre-registration makes an export
+        taken from a fault-free run still show every series at zero, so
+        dashboards can tell "no faults" from "not instrumented".
+        """
+        for name, help_text in CHAOS_METRICS.items():
+            self.counter(name, help_text)
 
     # -- export ----------------------------------------------------------
 

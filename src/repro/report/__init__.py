@@ -32,6 +32,7 @@ from .export import (
 from .document import ReportBuilder
 from .autoreport import report_experiment
 from .calibration import calibration_table, calibration_markdown
+from .chaos import chaos_table, chaos_markdown
 
 __all__ = [
     "render_table",
@@ -68,4 +69,6 @@ __all__ = [
     "report_experiment",
     "calibration_table",
     "calibration_markdown",
+    "chaos_table",
+    "chaos_markdown",
 ]

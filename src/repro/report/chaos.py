@@ -1,0 +1,86 @@
+"""Rendering for chaos-gate reports (:mod:`repro.chaos`).
+
+Turns a :class:`~repro.chaos.ChaosReport` into a monospace verdict table
+(terminal / CI log) and a markdown document (CI artifact).  The
+machine-readable truth stays in ``chaos_report.json``; these renderings
+carry the same numbers.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .document import ReportBuilder
+from .table import render_table
+
+__all__ = ["chaos_table", "chaos_markdown"]
+
+
+def _require_report(report) -> None:
+    if not hasattr(report, "checks") or not hasattr(report, "escapes"):
+        raise ValidationError(
+            f"expected a repro.chaos.ChaosReport, got {type(report).__name__}"
+        )
+
+
+def chaos_table(report) -> str:
+    """Monospace verdict table, one row per resilience check."""
+    _require_report(report)
+    injected = ", ".join(f"{k}={v}" for k, v in report.injected.items()) or "none"
+    states = ", ".join(f"{k}={v}" for k, v in report.states.items()) or "n/a"
+    title = (
+        f"Chaos gate [{report.profile}] seed={report.plan_seed}: "
+        f"{'OK' if report.ok else 'FAILED'} — injected {injected}; "
+        f"points {states}"
+    )
+    rows = [
+        ["pass" if c.ok else "FAIL", c.name, c.detail] for c in report.checks
+    ]
+    for esc in report.escapes:
+        rows.append(["ESCAPE", "unhandled exception", esc.strip().splitlines()[-1]])
+    if not rows:
+        return title + "\n(no checks ran)"
+    return render_table(
+        ["verdict", "check", "detail"], rows, aligns=["l", "l", "l"], title=title
+    )
+
+
+def chaos_markdown(report) -> str:
+    """Full markdown chaos document (disclosure + verdicts + envelopes)."""
+    _require_report(report)
+    builder = ReportBuilder(title=f"Chaos gate report ({report.profile})")
+    builder.add_section(
+        "Summary",
+        "\n".join(
+            [
+                f"- verdict: **{'OK' if report.ok else 'FAILED'}**",
+                f"- fault plan: `{report.disclosure}`",
+                f"- injected: {dict(report.injected)}",
+                f"- design-point states: {dict(report.states)}",
+                f"- unhandled escapes: **{len(report.escapes)}**",
+            ]
+        ),
+    )
+    builder.add_section("Verdicts", "```\n" + chaos_table(report) + "\n```")
+    if report.envelopes:
+        lines = []
+        for env in report.envelopes:
+            failures = "; ".join(
+                f"rep {f['rep']}: {f['error']}" for f in env.get("failed_reps", [])
+            )
+            lines.append(
+                f"- **{env['point']}** — {env['state']} "
+                f"({env['reps_ok']}/{env['replications']} reps, "
+                f"{env['retried_attempts']} retried attempt(s))"
+                + (f": {failures}" if failures else "")
+            )
+        builder.add_section(
+            "Non-ok failure envelopes",
+            "\n".join(lines)
+            + "\n\nSee docs/ROBUSTNESS.md for how to read degradation states.",
+        )
+    if report.escapes:
+        builder.add_section(
+            "Unhandled escapes",
+            "\n\n".join(f"```\n{esc.strip()}\n```" for esc in report.escapes),
+        )
+    return builder.render()

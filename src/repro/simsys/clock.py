@@ -9,17 +9,24 @@ this module models them so :mod:`repro.core.sync` and
 
 All times are in seconds.  The clock maps true simulation time ``t`` to an
 observed reading ``offset + (1 + drift)·t`` quantized down to the clock's
-granularity.
+granularity, plus any discontinuity ``steps`` already passed — NTP-style
+corrections, leap adjustments, or a failing oscillator all appear to the
+process as a sudden jump in its reading.  A negative jump would make the
+reading regress; :meth:`read` clamps per-process readings to be monotone
+(counting the event and warning once) so negative "durations" never flow
+into the statistics layer unflagged.
 """
 
 from __future__ import annotations
 
 import math
+import warnings as _warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._validation import check_nonneg
+from ..errors import ClockWarning, ValidationError
 
 __all__ = ["SimClock", "perfect_clock", "realistic_clock"]
 
@@ -34,6 +41,8 @@ class SimClock:
         Constant offset from true time (s).  Unknown to the process.
     drift:
         Fractional rate error; 1e-6 means the clock gains 1 µs per second.
+        Must stay above -1 (a clock whose rate is non-positive is not a
+        clock).
     granularity:
         Reading resolution (s); readings are floored to a multiple of it.
     read_overhead:
@@ -41,6 +50,15 @@ class SimClock:
     jitter:
         Std-dev of Gaussian read-time jitter (s) modelling variable call
         cost; requires an ``rng`` when non-zero.
+    steps:
+        Discontinuities as ``(at_true_time, offset_jump)`` pairs, sorted
+        by time: once true time passes ``at_true_time`` the reading jumps
+        by ``offset_jump`` seconds (negative jumps model corrections that
+        set the clock *back*).  Injected by :mod:`repro.chaos` fault
+        plans.
+    backwards_clamped:
+        How many :meth:`read` calls would have gone backwards and were
+        clamped to the previous reading (not an init parameter).
     """
 
     offset: float = 0.0
@@ -49,7 +67,11 @@ class SimClock:
     read_overhead: float = 0.0
     jitter: float = 0.0
     rng: np.random.Generator | None = None
+    steps: tuple[tuple[float, float], ...] = ()
     reads: int = field(default=0, init=False)
+    backwards_clamped: int = field(default=0, init=False)
+    _last_reading: float | None = field(default=None, init=False, repr=False)
+    _warned_backwards: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_nonneg(self.granularity, "granularity")
@@ -57,10 +79,24 @@ class SimClock:
         check_nonneg(self.jitter, "jitter")
         if self.jitter > 0.0 and self.rng is None:
             raise ValueError("jitter requires an rng")
+        if not self.drift > -1.0:
+            raise ValidationError(
+                f"drift must be > -1 (clock rate must stay positive), got {self.drift}"
+            )
+        self.steps = tuple((float(at), float(jump)) for at, jump in self.steps)
+        if any(b[0] < a[0] for a, b in zip(self.steps, self.steps[1:])):
+            raise ValidationError("clock steps must be sorted by time")
 
     def observe(self, true_time: float) -> float:
-        """The reading an instantaneous, free peek at *true_time* would give."""
+        """The reading an instantaneous, free peek at *true_time* would give.
+
+        This is the raw (possibly non-monotone) physical mapping;
+        :meth:`read` is the process-visible API and is clamped monotone.
+        """
         raw = self.offset + (1.0 + self.drift) * true_time
+        for at, jump in self.steps:
+            if true_time >= at:
+                raw += jump
         if self.granularity > 0.0:
             raw = math.floor(raw / self.granularity) * self.granularity
         return raw
@@ -71,13 +107,35 @@ class SimClock:
         Returns ``(reading, new_true_time)`` where the new true time
         includes the read overhead (and jitter, if configured) — reading a
         timer is never free, which is what the <5% overhead rule guards.
+
+        Readings are clamped monotone per clock: when a discontinuity
+        makes the raw reading regress, the previous reading is returned
+        instead, :attr:`backwards_clamped` is incremented, and a
+        :class:`~repro.errors.ClockWarning` fires once per clock.
         """
         cost = self.read_overhead
         if self.jitter > 0.0:
             assert self.rng is not None
             cost = max(0.0, cost + float(self.rng.normal(0.0, self.jitter)))
         self.reads += 1
-        return self.observe(true_time), true_time + cost
+        reading = self.observe(true_time)
+        if self._last_reading is not None and reading < self._last_reading:
+            self.backwards_clamped += 1
+            if not self._warned_backwards:
+                self._warned_backwards = True
+                _warnings.warn(
+                    ClockWarning(
+                        f"clock read went backwards by "
+                        f"{self._last_reading - reading:.3g} s (discontinuity "
+                        "or adversarial drift); clamped to the previous "
+                        "reading — measured intervals spanning the step are "
+                        "truncated and flagged in metadata"
+                    ),
+                    stacklevel=2,
+                )
+            reading = self._last_reading
+        self._last_reading = reading
+        return reading, true_time + cost
 
     def interval(self, start_true: float, stop_true: float) -> float:
         """Measured duration between two true instants (observed units)."""
@@ -89,9 +147,34 @@ class SimClock:
         Used by the window-synchronization scheme: a process spinning until
         its local clock reaches a deadline actually starts at this true
         time (granularity makes the mapping many-to-one; we return the
-        first instant the quantized reading reaches the target).
+        first instant the quantized reading reaches the target).  With
+        discontinuity ``steps`` the mapping is piecewise; the earliest
+        segment whose readings reach the target wins.
         """
-        return (reading - self.offset) / (1.0 + self.drift)
+        rate = 1.0 + self.drift
+        if not self.steps:
+            return (reading - self.offset) / rate
+        # Segment k covers [start_k, start_{k+1}) with cumulative jump J_k.
+        starts = [-math.inf] + [at for at, _ in self.steps]
+        cumulative = [0.0]
+        for _, jump in self.steps:
+            cumulative.append(cumulative[-1] + jump)
+        best = math.inf
+        tolerance = self.granularity + 1e-12 * max(1.0, abs(reading))
+        for k, (start, jump_sum) in enumerate(zip(starts, cumulative)):
+            end = starts[k + 1] if k + 1 < len(starts) else math.inf
+            t = (reading - self.offset - jump_sum) / rate
+            t = max(t, start)
+            # A positive jump can overshoot the target right at the
+            # segment boundary; the boundary itself is then the earliest
+            # instant the reading is >= target within this segment.
+            if t < end and self.observe(t) >= reading - tolerance:
+                best = min(best, t)
+        if math.isinf(best):
+            # Reading is never reached (possible with negative jumps past
+            # every segment); fall back to the step-free inverse.
+            return (reading - self.offset) / rate
+        return best
 
 
 def perfect_clock() -> SimClock:

@@ -1,0 +1,89 @@
+"""Tests for fault profiles and seeded fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import PROFILES, FaultPlan, FaultProfile, get_profile
+from repro.errors import ValidationError
+
+
+class TestFaultProfile:
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValidationError, match="crash_p"):
+            FaultProfile(name="bad", crash_p=1.5)
+        with pytest.raises(ValidationError, match="cache_corrupt_p"):
+            FaultProfile(name="bad", cache_corrupt_p=-0.1)
+
+    def test_crash_plus_hang_must_fit(self):
+        with pytest.raises(ValidationError, match="exceed"):
+            FaultProfile(name="bad", crash_p=0.7, hang_p=0.6)
+
+    def test_hang_duration_positive(self):
+        with pytest.raises(ValidationError, match="hang_s"):
+            FaultProfile(name="bad", hang_s=0.0)
+
+    def test_crash_mode_restricted(self):
+        with pytest.raises(ValidationError, match="crash_mode"):
+            FaultProfile(name="bad", crash_mode="segfault")
+
+    def test_clock_steps_coerced_to_floats(self):
+        p = FaultProfile(name="steps", clock_steps=[(1, -2), [3, 4]])
+        assert p.clock_steps == ((1.0, -2.0), (3.0, 4.0))
+        assert all(isinstance(v, float) for at, j in p.clock_steps for v in (at, j))
+
+    def test_describe_discloses_the_mix(self):
+        text = PROFILES["smoke"].describe()
+        assert "crash p=0.05" in text and "1 clock step(s)" in text
+
+    def test_registry_and_lookup(self):
+        assert get_profile("smoke") is PROFILES["smoke"]
+        with pytest.raises(ValidationError, match="unknown fault profile"):
+            get_profile("tsunami")
+
+    def test_none_profile_is_inert(self):
+        p = PROFILES["none"]
+        assert p.crash_p == p.hang_p == p.cache_corrupt_p == 0.0
+        assert p.clock_steps == () and p.storm_factor == p.straggler_factor == 0.0
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic_across_instances(self):
+        labels = [f"task-{i}" for i in range(200)]
+        a = FaultPlan(PROFILES["heavy"], seed=7)
+        b = FaultPlan(PROFILES["heavy"], seed=7)
+        assert [a.task_fault(x) for x in labels] == [b.task_fault(x) for x in labels]
+
+    def test_decisions_are_order_independent(self):
+        labels = [f"task-{i}" for i in range(50)]
+        plan = FaultPlan(PROFILES["heavy"], seed=3)
+        forward = {x: plan.task_fault(x) for x in labels}
+        backward = {x: plan.task_fault(x) for x in reversed(labels)}
+        assert forward == backward
+
+    def test_seed_changes_the_fates(self):
+        labels = [f"task-{i}" for i in range(100)]
+        a = [FaultPlan(PROFILES["heavy"], seed=0).task_fault(x) for x in labels]
+        b = [FaultPlan(PROFILES["heavy"], seed=1).task_fault(x) for x in labels]
+        assert a != b
+
+    def test_fault_rates_track_probabilities(self):
+        plan = FaultPlan(PROFILES["heavy"], seed=11)
+        fates = [plan.task_fault(f"t{i}") for i in range(2000)]
+        crash = fates.count("crash") / len(fates)
+        hang = fates.count("hang") / len(fates)
+        assert crash == pytest.approx(0.2, abs=0.04)
+        assert hang == pytest.approx(0.05, abs=0.03)
+
+    def test_none_profile_never_faults(self):
+        plan = FaultPlan(PROFILES["none"], seed=5)
+        assert all(plan.task_fault(f"t{i}") is None for i in range(100))
+        assert not any(plan.corrupts_entry(f"{i:032x}") for i in range(100))
+
+    def test_corruption_modes_all_reachable(self):
+        plan = FaultPlan(PROFILES["heavy"], seed=2)
+        modes = {plan.corruption_mode(f"{i:032x}") for i in range(200)}
+        assert modes == {"truncate", "null", "shape"}
+
+    def test_describe_includes_seed(self):
+        assert "plan seed 42" in FaultPlan(PROFILES["smoke"], seed=42).describe()

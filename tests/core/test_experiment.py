@@ -146,3 +146,125 @@ class TestExperimentEngineSeam:
         key = next(iter(a.datasets))
         assert np.array_equal(a.datasets[key].values, b.datasets[key].values)
         assert not np.array_equal(a.datasets[key].values, c.datasets[key].values)
+
+
+def rep0_failing_measure(point, rep, rng):
+    if point["p"] == 2 and rep == 0:
+        raise RuntimeError("boom")
+    return rng.normal(size=3)
+
+
+def point_failing_measure(point, rep, rng):
+    if point["p"] == 2:
+        raise RuntimeError("dead point")
+    return rng.normal(size=3)
+
+
+class FlakyOnce:
+    """Fails its first call, then succeeds (serial executors only)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, point, rep, rng):
+        self.calls += 1
+        if self.calls == 1:
+            raise OSError("transient")
+        return rng.normal(size=3)
+
+
+class TestFailureEnvelopes:
+    def _exp(self, measure, reps=2):
+        return Experiment(
+            name="envelopes",
+            design=FactorialDesign((Factor("p", (1, 2)),), replications=reps),
+            measure=measure,
+            seed=3,
+        )
+
+    def test_every_point_gets_an_envelope(self):
+        res = self._exp(seeded_measure).run()
+        assert len(res.envelopes) == 2
+        assert all(e.state == "ok" for e in res.envelopes.values())
+        env = res.envelopes[next(iter(res.envelopes))]
+        assert env.replications == 2 and env.reps_ok == 2
+        # Clean runs carry no envelope noise in dataset metadata.
+        assert "exec" not in next(iter(res.datasets.values())).metadata
+
+    def test_annotate_mode_completes_with_dead_point(self):
+        from repro.exec import SerialExecutor
+
+        res = self._exp(point_failing_measure).run(
+            executor=SerialExecutor(retries=0), on_failure="annotate"
+        )
+        keys = {dict(k)["p"]: k for k in res.envelopes}
+        assert res.envelopes[keys[2]].state == "failed"
+        assert keys[2] not in res.datasets  # no empty dataset leaks out
+        assert res.envelopes[keys[1]].state == "ok"
+        assert keys[1] in res.datasets
+        failed = res.envelopes[keys[2]].failed_reps
+        assert len(failed) == 2 and all("dead point" in err for _, err in failed)
+
+    def test_raise_mode_still_raises(self):
+        from repro.exec import SerialExecutor
+
+        with pytest.raises(Exception, match="dead point|no values"):
+            self._exp(point_failing_measure).run(executor=SerialExecutor(retries=0))
+
+    def test_invalid_on_failure_rejected(self):
+        with pytest.raises(ValidationError, match="on_failure"):
+            self._exp(seeded_measure).run(on_failure="ignore")
+
+    def test_degraded_state_and_metadata(self):
+        from repro.exec import SerialExecutor
+
+        res = self._exp(rep0_failing_measure).run(executor=SerialExecutor(retries=0))
+        keys = {dict(k)["p"]: k for k in res.envelopes}
+        env = res.envelopes[keys[2]]
+        assert env.state == "degraded" and env.reps_ok == 1
+        assert res.datasets[keys[2]].metadata["exec"]["envelope"] == "degraded"
+        assert res.envelopes[keys[1]].state == "ok"
+
+    def test_recovered_state_after_retry(self):
+        from repro.exec import SerialExecutor
+
+        exp = Experiment(
+            name="envelopes",
+            design=FactorialDesign((Factor("p", (1,)),), replications=2),
+            measure=FlakyOnce(),
+            seed=3,
+        )
+        res = exp.run(executor=SerialExecutor(retries=2, backoff=0.0))
+        env = next(iter(res.envelopes.values()))
+        assert env.state == "recovered"
+        assert env.retried_attempts == 1 and env.reps_ok == 2
+        md = next(iter(res.datasets.values())).metadata
+        assert md["exec"]["envelope"] == "recovered"
+        assert md["exec"]["retried_attempts"] == 1
+
+    def test_degradation_surfaced_in_metrics_and_provenance(self):
+        from repro.exec import ExecHooks, SerialExecutor
+        from repro.obs import MetricsRegistry
+
+        hooks = ExecHooks()
+        registry = MetricsRegistry()
+        registry.bind_exec_hooks(hooks)
+        registry.bind_chaos_metrics()
+        res = self._exp(point_failing_measure).run(
+            executor=SerialExecutor(retries=0),
+            hooks=hooks,
+            on_failure="annotate",
+        )
+        assert registry.get("repro_chaos_points_failed_total").value == 1
+        assert registry.get("repro_chaos_points_recovered_total").value == 0
+        md = next(iter(res.datasets.values())).metadata
+        assert md["provenance"]["exec_stats"]["degradation"]["failed"] == 1
+
+    def test_envelope_to_dict_is_json_ready(self):
+        import json
+
+        res = self._exp(seeded_measure).run()
+        payload = [e.to_dict() for e in res.envelopes.values()]
+        parsed = json.loads(json.dumps(payload))
+        assert {e["state"] for e in parsed} == {"ok"}
+        assert sorted(e["point"]["p"] for e in parsed) == [1, 2]

@@ -140,3 +140,77 @@ class TestResultCache:
             cache.get("../escape")
         with pytest.raises(ValidationError):
             cache.put("XYZ", np.array([1.0]))
+
+
+class TestIntegrityVerification:
+    """Regression: ``get`` trusted entry files blindly — a ``null`` body
+    raised ``TypeError`` out of the old except clause, and any payload
+    that parsed as JSON was served no matter its shape.  Entries are now
+    verified on read: corrupt = miss + quarantine + counter."""
+
+    def _seeded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = task_fingerprint("w", {"x": 1}, (0, 0), {})
+        path = cache.put(fp, np.array([1.0, 2.0]), {"attempts": 1})
+        return cache, fp, path
+
+    def test_truncated_entry_is_miss_and_quarantined(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_null_body_is_miss_not_typeerror(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        path.write_text("null")
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+
+    def test_wrong_value_shape_rejected(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        path.write_text('{"values": [[1.0], [2.0]], "metadata": {}}')
+        assert cache.get(fp) is None
+        path2 = cache.put(fp, np.array([1.0]), {})
+        path2.write_text('{"values": [], "metadata": {}}')
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 2
+
+    def test_corrupt_metadata_rejected(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        path.write_text('{"values": [1.0], "metadata": [1, 2]}')
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        other = task_fingerprint("w", {"x": 2}, (0, 0), {})
+        payload = path.read_text().replace(fp, other)
+        path.write_text(payload)
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+
+    def test_quarantine_then_rewrite_recovers(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        path.write_text("{broken")
+        assert cache.get(fp) is None
+        cache.put(fp, np.array([3.0]), {})
+        hit = cache.get(fp)
+        assert hit is not None and hit[0].tolist() == [3.0]
+        assert cache.corrupt_entries == 1  # only the first read counted
+
+    def test_clear_removes_quarantined_corpses(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        path.write_text("{broken")
+        cache.get(fp)
+        assert cache.clear() == 0  # the only entry was quarantined, not live
+        assert list(tmp_path.glob("*/*.corrupt")) == []
+
+    def test_valid_entry_still_hits(self, tmp_path):
+        cache, fp, path = self._seeded(tmp_path)
+        values, metadata = cache.get(fp)
+        assert values.tolist() == [1.0, 2.0]
+        assert metadata["attempts"] == 1
+        assert cache.corrupt_entries == 0

@@ -76,6 +76,20 @@ def hol_worker(item):
     raise RuntimeError("slow first attempt")
 
 
+def innocent_worker(item):
+    """Timeout-isolation worker: ``stuck`` never returns; ``victim`` is
+    slow only on its first run (the sentinel crosses the process
+    boundary), so a rerun after a pool teardown finishes immediately."""
+    if item["kind"] == "stuck":
+        time.sleep(60.0)
+    if os.path.exists(item["sentinel"]):
+        return "ok"
+    with open(item["sentinel"], "w") as fh:
+        fh.write("x")
+    time.sleep(30.0)
+    return "ok-slow"
+
+
 def make_exp(measure=seeded_measure, levels=(0, 1, 2, 3), reps=2, **kw):
     return Experiment(
         name="engine-test",
@@ -302,6 +316,38 @@ class TestHooksAndValidation:
             ProcessExecutor(timeout=-1.0)
         with pytest.raises(ValidationError):
             SerialExecutor(retries=-1)
+
+
+class TestTimeoutIsolation:
+    def test_sibling_never_charged_for_anothers_timeout(self, tmp_path):
+        """Regression: a timeout tears the whole pool down, so innocent
+        in-flight siblings are killed too.  They must be resubmitted at
+        the *same* attempt with no backoff and no repeated ``submitted``
+        event — the timeout was not their fault (same semantics as the
+        crash path's pool teardown).
+        """
+        events: list[tuple[str, str]] = []
+        hooks = ExecHooks(on_event=lambda ev, label: events.append((ev, label)))
+        executor = ProcessExecutor(
+            max_workers=2, timeout=1.0, retries=0, backoff=0.0
+        )
+        items = [
+            {"kind": "stuck", "sentinel": str(tmp_path / "unused")},
+            {"kind": "victim", "sentinel": str(tmp_path / "sentinel")},
+        ]
+        outcomes = executor.run(
+            innocent_worker, items, labels=["stuck", "victim"], hooks=hooks
+        )
+        # The stuck task is charged its timeout...
+        assert not outcomes[0].ok and "timeout" in outcomes[0].error
+        assert outcomes[0].attempts == 1
+        # ...the innocent sibling is not: one attempt, no retry event.
+        assert outcomes[1].ok and outcomes[1].value == "ok"
+        assert outcomes[1].attempts == 1
+        assert ("retried", "victim") not in events
+        # And "submitted" fires once per task, even across the resubmit.
+        assert events.count(("submitted", "victim")) == 1
+        assert events.count(("submitted", "stuck")) == 1
 
 
 class TestSchedulerFairness:

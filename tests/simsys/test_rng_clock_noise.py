@@ -190,3 +190,90 @@ class TestNoiseModels:
         rng = np.random.default_rng(0)
         for model in NOISE_MODELS:
             assert model.sample(rng, n).shape == (n,)
+
+
+class TestClockDiscontinuities:
+    """Regression: a negative drift/discontinuity step let :meth:`read`
+    go backwards, feeding negative "durations" into the statistics layer
+    unflagged.  Reads are now clamped monotone per process, counted, and
+    warned about once."""
+
+    def test_step_shifts_observations(self):
+        c = SimClock(steps=((1.0, 0.5),))
+        assert c.observe(0.9) == pytest.approx(0.9)
+        assert c.observe(1.1) == pytest.approx(1.6)
+
+    def test_steps_must_be_sorted(self):
+        with pytest.raises(ValidationError, match="sorted"):
+            SimClock(steps=((2.0, 0.1), (1.0, 0.1)))
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValidationError, match="drift"):
+            SimClock(drift=-1.0)
+
+    def test_negative_step_clamped_and_counted(self):
+        from repro.errors import ClockWarning
+
+        c = SimClock(steps=((1.0, -0.25),))
+        with pytest.warns(ClockWarning):
+            r0, _ = c.read(0.9)
+            r1, _ = c.read(1.1)  # raw reading 0.85 < 0.9 -> clamped
+        assert r1 == r0
+        assert c.backwards_clamped == 1
+        # Once true time catches up, readings advance again.
+        r2, _ = c.read(1.5)
+        assert r2 == pytest.approx(1.25)
+        assert c.backwards_clamped == 1
+
+    def test_warning_fires_once_per_clock(self):
+        import warnings
+
+        from repro.errors import ClockWarning
+
+        c = SimClock(steps=((1.0, -1.0),))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            c.read(0.99)
+            for t in (1.0, 1.01, 1.02, 1.03):
+                c.read(t)
+        assert c.backwards_clamped >= 2
+        assert sum(isinstance(w.message, ClockWarning) for w in caught) == 1
+
+    def test_adversarial_drift_profile(self):
+        """Many small negative steps (a failing oscillator being yanked
+        back repeatedly): no read sequence may ever decrease."""
+        steps = tuple((0.1 * k, -0.015) for k in range(1, 10))
+        c = SimClock(drift=1e-4, granularity=1e-6, steps=steps)
+        import warnings
+
+        readings = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for t in np.linspace(0.0, 1.2, 400):
+                r, _ = c.read(float(t))
+                readings.append(r)
+        diffs = np.diff(np.asarray(readings))
+        assert np.all(diffs >= 0.0)
+        assert c.backwards_clamped > 0
+
+    def test_positive_step_never_clamps(self):
+        c = SimClock(steps=((1.0, 0.5),))
+        for t in (0.5, 0.99, 1.0, 1.5):
+            c.read(t)
+        assert c.backwards_clamped == 0
+
+    def test_invert_with_steps_round_trips(self):
+        c = SimClock(offset=2.0, drift=1e-5, steps=((1.0, 0.5), (3.0, -0.2)))
+        for t in (0.2, 0.999, 1.5, 2.9, 3.5, 10.0):
+            reading = c.observe(t)
+            t_back = c.invert(reading)
+            # Earliest true time showing >= reading: observing there must
+            # reach the reading, and never before t itself.
+            assert c.observe(t_back) >= reading - 1e-9
+            assert t_back <= t + 1e-9
+
+    def test_invert_positive_jump_lands_on_boundary(self):
+        # Readings inside the jumped-over interval are first shown at the
+        # step boundary itself.
+        c = SimClock(steps=((1.0, 0.5),))
+        assert c.invert(1.25) == pytest.approx(1.0)

@@ -222,3 +222,25 @@ class TestFiguresMetrics:
         text = metrics.read_text()
         assert "repro_tasks_completed_total 1" in text
         assert "# TYPE repro_task_latency_seconds histogram" in text
+
+
+class TestChaosCommand:
+    def test_gate_green_with_artifacts_and_metrics(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        metrics = tmp_path / "metrics.prom"
+        assert main(["chaos", "--dir", str(out),
+                     "--emit-metrics", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        assert "Chaos gate" in captured.out
+        payload = json.loads((out / "chaos_report.json").read_text())
+        assert payload["ok"] is True and payload["profile"] == "smoke"
+        assert "Failure envelopes" not in (out / "chaos_report.md").read_text() \
+            or "recovered" in (out / "chaos_report.md").read_text()
+        text = metrics.read_text()
+        assert "repro_chaos_crashes_injected_total 1" in text
+        assert "repro_chaos_points_recovered_total" in text
+
+    def test_gate_red_exits_nonzero(self, tmp_path, capsys):
+        assert main(["chaos", "--profile", "none",
+                     "--dir", str(tmp_path / "none")]) == 1
+        assert "CHAOS GATE FAILED" in capsys.readouterr().err
