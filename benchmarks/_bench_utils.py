@@ -4,17 +4,22 @@ Set ``REPRO_BENCH_FULL=1`` to run at the paper's full sample sizes
 (10⁶ ping-pong samples, 1000-run collectives); the default is a reduced
 fidelity that keeps the whole harness under a few minutes.
 
-:func:`record_bench_json` accumulates machine-readable benchmark rows in
-``BENCH_simsys.json`` at the repository root, so the performance trajectory
-is tracked across PRs instead of living only in the text files under
-``benchmarks/results/``.
+:func:`record_bench` appends one *run* of raw timing samples to the
+versioned :class:`repro.compare.BenchRecord` suite in
+``BENCH_simsys.json`` at the repository root, so the performance
+trajectory is tracked across PRs with enough structure for the
+Kalibera–Jones effect-size comparisons behind ``repro compare``
+(see docs/COMPARE.md).  The legacy scalar writer
+:func:`record_bench_json` still works but emits a
+``DeprecationWarning``; it forwards into the same suite.
 """
 
 from __future__ import annotations
 
-import json
 import os
+import warnings
 from pathlib import Path
+from typing import Iterable, Mapping
 
 #: Full paper fidelity (1M ping-pong samples etc.) vs quick harness run.
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
@@ -28,6 +33,60 @@ def fidelity(full_n: int, quick_n: int) -> int:
     return full_n if FULL else quick_n
 
 
+def record_bench(
+    name: str,
+    params: Mapping[str, object],
+    run_samples: Iterable[float],
+    *,
+    unit: str = "s",
+    metadata: Mapping[str, object] | None = None,
+    path: Path | str | None = None,
+    max_runs: int | None = None,
+):
+    """Append one run of raw samples to *name*'s record in the suite file.
+
+    *run_samples* are the individual timed iterations of this process's
+    run; repeated invocations accumulate runs (up to ``max_runs``,
+    oldest dropped first) so the suite carries the run/iteration
+    structure the multi-level variance estimator needs.  A legacy
+    flat-layout file is migrated in place on first write.  Returns the
+    updated :class:`repro.compare.BenchRecord`.
+    """
+    from repro.compare import BenchRecord, BenchSuiteResult
+    from repro.compare.record import DEFAULT_MAX_RUNS
+    from repro.errors import ValidationError
+    from repro.obs import Provenance
+
+    target = Path(path) if path is not None else BENCH_JSON
+    suite = BenchSuiteResult(records={})
+    if target.exists():
+        try:
+            suite = BenchSuiteResult.load(target)
+        except ValidationError as exc:
+            warnings.warn(
+                f"discarding unreadable benchmark suite {target}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    record = BenchRecord(
+        name=name,
+        params=dict(params),
+        samples=(tuple(float(s) for s in run_samples),),
+        unit=unit,
+        metadata=dict(metadata) if metadata else {},
+    )
+    suite = suite.merged(
+        record, max_runs=max_runs if max_runs is not None else DEFAULT_MAX_RUNS
+    )
+    suite = suite.with_provenance(
+        Provenance.capture(
+            methodology={"recorder": "benchmarks._bench_utils.record_bench"}
+        ).to_dict()
+    )
+    suite.write(target)
+    return suite.records[record.key]
+
+
 def record_bench_json(
     op: str,
     nprocs: int,
@@ -39,22 +98,21 @@ def record_bench_json(
     machine: str = "piz_daint",
     path: Path | None = None,
 ) -> dict:
-    """Merge one benchmark row into ``BENCH_simsys.json``.
+    """Deprecated scalar writer; forwards into :func:`record_bench`.
 
-    Rows are keyed by ``op[machine=..,P=..,n=..,kernel=..]`` so re-running a
-    benchmark overwrites its own row and leaves the rest of the file intact.
-    The write is atomic (tmp file + rename) so a crashed run can't leave a
-    half-written JSON behind.  Returns the row that was stored.
+    Kept so untouched bench scripts keep working: each call appends a
+    single-sample run for the measured kernel (and, when given, the
+    reference kernel) to the versioned suite, and returns the legacy row
+    dict the old callers expect.
     """
-    target = path or BENCH_JSON
-    payload: dict = {"schema": 1, "results": {}}
-    if target.exists():
-        try:
-            existing = json.loads(target.read_text())
-            if isinstance(existing.get("results"), dict):
-                payload = existing
-        except (json.JSONDecodeError, OSError):
-            pass  # corrupt file: start a fresh one
+    warnings.warn(
+        "record_bench_json is deprecated; record raw per-iteration samples "
+        "with record_bench(name, params, run_samples) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    params = {"machine": machine, "P": int(nprocs), "n": int(n), "kernel": kernel}
+    record_bench(op, params, [float(wall_s)], path=path)
     row = {
         "op": op,
         "machine": machine,
@@ -64,13 +122,11 @@ def record_bench_json(
         "wall_s": float(wall_s),
     }
     if reference_wall_s is not None:
+        record_bench(
+            op, {**params, "kernel": "reference"}, [float(reference_wall_s)], path=path
+        )
         row["reference_wall_s"] = float(reference_wall_s)
         row["speedup_vs_reference"] = (
             float(reference_wall_s) / float(wall_s) if wall_s > 0 else float("inf")
         )
-    key = f"{op}[machine={machine},P={nprocs},n={n},kernel={kernel}]"
-    payload["results"][key] = row
-    tmp = target.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, target)
     return row

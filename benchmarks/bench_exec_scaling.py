@@ -12,6 +12,11 @@ contracts at once:
   :meth:`numpy.random.SeedSequence.spawn` seeding contract;
 * **caching** — re-running the campaign against the warm result cache
   performs zero new measurements (verified by the metrics-hook counter).
+
+Each engine's campaign wall time is recorded as a
+:class:`repro.compare.BenchRecord` run in ``BENCH_simsys.json``, so the
+execution engine sits in the same ``repro compare`` trajectory as the
+simulator kernels.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+from _bench_utils import record_bench
 
 from repro.core import Experiment, Factor, FactorialDesign
 from repro.exec import ExecHooks, ProcessExecutor, ResultCache, SerialExecutor
@@ -57,7 +63,7 @@ def run_campaign(executor, cache=None):
     return result, time.perf_counter() - start, hooks
 
 
-def build_scaling(tmp_dir):
+def build_scaling(tmp_dir, *, out=None):
     serial_res, serial_s, serial_hooks = run_campaign(SerialExecutor(retries=0))
     parallel_res, parallel_s, parallel_hooks = run_campaign(
         ProcessExecutor(max_workers=WORKERS)
@@ -67,6 +73,21 @@ def build_scaling(tmp_dir):
     warm_res, warm_s, warm_hooks = run_campaign(
         SerialExecutor(retries=0), cache=cache
     )
+    # One run (single wall-time sample) per engine per invocation; runs
+    # accumulate across invocations into the comparison trajectory.
+    for engine, wall in (
+        ("serial", serial_s),
+        ("process_pool", parallel_s),
+        ("serial_cold_cache", cold_s),
+        ("serial_warm_cache", warm_s),
+    ):
+        record_bench(
+            "exec_campaign",
+            {"engine": engine, "points": N_POINTS, "workers": WORKERS},
+            [wall],
+            metadata={"task_seconds": TASK_SECONDS},
+            path=out,
+        )
     return {
         "serial": (serial_res, serial_s, serial_hooks),
         "parallel": (parallel_res, parallel_s, parallel_hooks),

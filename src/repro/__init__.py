@@ -7,8 +7,10 @@ performance results" (SC'15): a LibSciBench-style measurement library
 analytic bounds models (:mod:`repro.models`), a calibrated simulated
 parallel machine standing in for the paper's Cray systems
 (:mod:`repro.simsys`), the literature-survey substrate
-(:mod:`repro.survey`), and figure/table regeneration
-(:mod:`repro.report`).
+(:mod:`repro.survey`), figure/table regeneration
+(:mod:`repro.report`), and the continuous-benchmarking regression
+engine that holds our own perf claims to the same rules
+(:mod:`repro.compare`).
 
 Quick start::
 
@@ -18,7 +20,7 @@ Quick start::
     print(ms.median_ci(0.99))
 """
 
-from . import chaos, core, exec, models, obs, report, simsys, stats, survey, validate
+from . import chaos, compare, core, exec, models, obs, report, simsys, stats, survey, validate
 from .errors import (
     ReproError,
     ValidationError,
@@ -46,6 +48,7 @@ __all__ = [
     "report",
     "validate",
     "chaos",
+    "compare",
     "ReproError",
     "ValidationError",
     "InsufficientDataError",

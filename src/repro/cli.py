@@ -29,6 +29,13 @@ Commands
     profile (worker crashes, hangs, cache corruption, clock steps) that
     must complete with every design point recovered or annotated; exits
     nonzero on any unhandled escape.
+``compare``
+    The continuous-benchmarking regression gate: compare ``BENCH_*.json``
+    suites with Kalibera–Jones effect-size confidence intervals and exit
+    1 on a statistically significant regression (see docs/COMPARE.md).
+
+Exit codes are uniform across subcommands: 0 success, 1 gate/check
+failure, 2 bad input (one-line ``error:`` message on stderr).
 """
 
 from __future__ import annotations
@@ -281,18 +288,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .errors import ValidationError
     from .obs import read_trace, render_span_tree
 
     path = Path(args.run)
     if path.is_dir():
         path = path / "trace.jsonl"
-    try:
-        spans = read_trace(path)
-    except ValidationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(render_span_tree(spans))
+    # Bad input (missing/corrupt trace) raises ValidationError, which
+    # main() converts to the uniform exit code 2.
+    print(render_span_tree(read_trace(path)))
     return 0
 
 
@@ -432,6 +435,76 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if card.all_passed else 1
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: the benchmark regression gate (see docs/COMPARE.md)."""
+    from .compare import (
+        BenchSuiteResult,
+        compare_histories,
+        compare_runs,
+        compare_runs_sequential,
+        history_labels,
+    )
+    from .obs import Provenance
+    from .report import compare_markdown, compare_table
+
+    suites = [BenchSuiteResult.load(p) for p in args.suites]
+    history = None
+    if len(suites) == 2:
+        if args.sequential:
+            comparison = compare_runs_sequential(
+                suites[0], suites[1],
+                confidence=args.confidence, min_effect=args.min_effect,
+            )
+        else:
+            comparison = compare_runs(
+                suites[0], suites[1],
+                confidence=args.confidence, min_effect=args.min_effect,
+                bootstrap=not args.no_bootstrap, n_boot=args.n_boot,
+                seed=args.seed,
+            )
+        ok = comparison.ok
+    else:
+        history = compare_histories(
+            suites, labels=history_labels(args.suites),
+            confidence=args.confidence, min_effect=args.min_effect,
+            bootstrap=not args.no_bootstrap, n_boot=args.n_boot,
+            seed=args.seed,
+        )
+        for step in history.steps:
+            s = step.comparison.summary()
+            print(
+                f"step -> {step.label}: {s['regressions']} regressed, "
+                f"{s['improvements']} improved of {s['records']} shared"
+            )
+        comparison = history.overall
+        ok = history.ok
+    print(compare_table(comparison))
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        payload = history.to_dict() if history is not None else comparison.to_dict()
+        json_path = out_dir / "compare_report.json"
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        provenance = Provenance.capture(
+            master_seed=args.seed,
+            methodology={
+                "suites": [str(p) for p in args.suites],
+                "confidence": args.confidence,
+                "min_effect": args.min_effect,
+                "sequential": bool(args.sequential),
+            },
+        ).to_dict()
+        md_path = out_dir / "compare_report.md"
+        md_path.write_text(compare_markdown(comparison, provenance=provenance))
+        print(f"report written to {json_path} (+ {md_path.name})", file=sys.stderr)
+    if not ok:
+        regressed = ", ".join(r.key for r in comparison.regressions) or "history step"
+        print(f"COMPARE GATE FAILED: significant regression in {regressed}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -525,6 +598,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "(.json or Prometheus text)")
     p.set_defaults(func=_cmd_calibrate)
 
+    p = sub.add_parser(
+        "compare",
+        help="compare BENCH_*.json suites; exit 1 on significant regression",
+    )
+    p.add_argument("suites", nargs="+", metavar="SUITE",
+                   help="two suite files (baseline current), or more for a "
+                        "chronological history (oldest first)")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   help="effect-size CI confidence level (default 0.95)")
+    p.add_argument("--min-effect", type=float, default=0.02,
+                   help="minimum ratio change that counts as a real effect "
+                        "(default 0.02 = 2%%)")
+    p.add_argument("--n-boot", type=int, default=1000,
+                   help="hierarchical-bootstrap replicates (default 1000)")
+    p.add_argument("--no-bootstrap", action="store_true",
+                   help="skip the bootstrap cross-check (asymptotic CI only)")
+    p.add_argument("--sequential", action="store_true",
+                   help="replay runs through the sequential gate, stopping "
+                        "per benchmark as soon as the verdict is significant")
+    p.add_argument("--seed", type=int, default=0,
+                   help="bootstrap resampling seed")
+    p.add_argument("--out", metavar="DIR",
+                   help="write compare_report.json/.md into DIR")
+    p.set_defaults(func=_cmd_compare)
+
     p = sub.add_parser("machines", help="describe the simulated machines")
     p.set_defaults(func=_cmd_machines)
 
@@ -544,7 +642,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 gate/check failure, 2 bad input.  Bad input
+    (``ReproError`` — including ``ValidationError`` — plus OS and JSON
+    errors from user-supplied files) is reported as one ``error:`` line
+    on stderr instead of a traceback, uniformly across subcommands.
+    """
+    from .errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -552,6 +658,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:
         # stdout went away (e.g. piped into head); not an error.
         return 0
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

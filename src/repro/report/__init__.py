@@ -33,6 +33,7 @@ from .document import ReportBuilder
 from .autoreport import report_experiment
 from .calibration import calibration_table, calibration_markdown
 from .chaos import chaos_table, chaos_markdown
+from .compare import compare_table, compare_markdown
 
 __all__ = [
     "render_table",
@@ -71,4 +72,6 @@ __all__ = [
     "calibration_markdown",
     "chaos_table",
     "chaos_markdown",
+    "compare_table",
+    "compare_markdown",
 ]

@@ -18,7 +18,8 @@ definitions) and cross-checkable against scipy.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -26,7 +27,7 @@ from scipy import stats as _sps
 
 from .._validation import as_sample, check_prob
 from ..errors import InsufficientDataError, ValidationError
-from .ci import ConfidenceInterval, intervals_overlap
+from .ci import ConfidenceInterval, intervals_overlap, mean_ci
 
 __all__ = [
     "TestOutcome",
@@ -195,19 +196,41 @@ def effect_size(a: Iterable[float], b: Iterable[float]) -> float:
 
 
 def cohens_d(a: Iterable[float], b: Iterable[float]) -> float:
-    """Cohen's d — identical to :func:`effect_size` for two groups."""
+    """Deprecated alias of :func:`effect_size` (identical for two groups).
+
+    .. deprecated:: use :func:`effect_size` directly, or the
+       ``effect_sizes`` field of :func:`compare_groups`, which reports
+       every pairwise E alongside the significance tests.
+    """
+    warnings.warn(
+        "cohens_d is deprecated; use effect_size (or compare_groups, which "
+        "reports pairwise effect sizes) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return effect_size(a, b)
 
 
-def significant_by_ci(a: ConfidenceInterval, b: ConfidenceInterval) -> bool:
-    """Significance via non-overlapping confidence intervals (Section 3.2).
-
-    Conservative: ``True`` (non-overlap) establishes significance at the
-    intervals' confidence level; ``False`` is inconclusive.
-    """
+def _ci_separated(a: ConfidenceInterval, b: ConfidenceInterval) -> bool:
     if a.confidence != b.confidence:
         raise ValidationError("intervals must share a confidence level")
     return not intervals_overlap(a, b)
+
+
+def significant_by_ci(a: ConfidenceInterval, b: ConfidenceInterval) -> bool:
+    """Deprecated: use the ``ci_separated`` field of :func:`compare_groups`.
+
+    Significance via non-overlapping confidence intervals (Section 3.2).
+    Conservative: ``True`` (non-overlap) establishes significance at the
+    intervals' confidence level; ``False`` is inconclusive.
+    """
+    warnings.warn(
+        "significant_by_ci is deprecated; compare_groups now reports the "
+        "pairwise CI-overlap verdicts in its ci_separated field",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _ci_separated(a, b)
 
 
 @dataclass(frozen=True)
@@ -223,6 +246,9 @@ class GroupComparison:
     kruskal: TestOutcome
     effect_sizes: dict[tuple[int, int], float]
     alpha: float
+    confidence: float = 0.95
+    mean_cis: tuple[ConfidenceInterval, ...] = ()
+    ci_separated: dict[tuple[int, int], bool] = field(default_factory=dict)
 
     @property
     def means_differ(self) -> bool:
@@ -234,15 +260,42 @@ class GroupComparison:
         """Kruskal–Wallis verdict at the stored alpha."""
         return self.kruskal.significant(self.alpha)
 
+    def separated(self, i: int, j: int) -> bool:
+        """CI-overlap verdict for groups *i* and *j* (order-insensitive)."""
+        key = (i, j) if i < j else (j, i)
+        if key not in self.ci_separated:
+            raise ValidationError(f"no such group pair {key} in this comparison")
+        return self.ci_separated[key]
+
 
 def compare_groups(
-    groups: Sequence[Iterable[float]], alpha: float = 0.05
+    groups: Sequence[Iterable[float]],
+    alpha: float = 0.05,
+    *,
+    confidence: float = 0.95,
 ) -> GroupComparison:
-    """Run ANOVA + Kruskal–Wallis + pairwise effect sizes over k groups."""
+    """The one-stop k-group comparison Rule 7 asks for.
+
+    Runs the parametric (ANOVA) and nonparametric (Kruskal–Wallis)
+    significance tests, computes the paper's effect size E for every
+    group pair, and reports each group's mean confidence interval at
+    *confidence* plus the conservative CI-overlap verdicts
+    (``ci_separated[(i, j)]`` is ``True`` when the two intervals do not
+    overlap, which establishes a significant difference on its own).
+    This subsumes the deprecated free functions :func:`cohens_d` and
+    :func:`significant_by_ci`.
+    """
     check_prob(alpha, "alpha")
+    check_prob(confidence, "confidence")
     gs = _as_groups(groups, 2, "comparison")
     effects = {
         (i, j): effect_size(gs[i], gs[j])
+        for i in range(len(gs))
+        for j in range(i + 1, len(gs))
+    }
+    cis = tuple(mean_ci(g, confidence) for g in gs)
+    separated = {
+        (i, j): _ci_separated(cis[i], cis[j])
         for i in range(len(gs))
         for j in range(i + 1, len(gs))
     }
@@ -251,4 +304,7 @@ def compare_groups(
         kruskal=kruskal_wallis(gs),
         effect_sizes=effects,
         alpha=alpha,
+        confidence=confidence,
+        mean_cis=cis,
+        ci_separated=separated,
     )

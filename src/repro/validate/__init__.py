@@ -13,6 +13,7 @@ from .generators import (
     ExponentialGenerator,
     GroundTruthGenerator,
     LogNormalGenerator,
+    MultiLevelGenerator,
     NoiseModelGenerator,
     NormalGenerator,
     ParetoGenerator,
@@ -39,6 +40,7 @@ __all__ = [
     "ExponentialGenerator",
     "ParetoGenerator",
     "NoiseModelGenerator",
+    "MultiLevelGenerator",
     "GENERATORS",
     "get_generator",
     "CellParams",

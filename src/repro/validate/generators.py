@@ -42,6 +42,7 @@ __all__ = [
     "ExponentialGenerator",
     "ParetoGenerator",
     "NoiseModelGenerator",
+    "MultiLevelGenerator",
     "GENERATORS",
     "get_generator",
 ]
@@ -66,6 +67,12 @@ class GroundTruthGenerator:
 
     name: str = "generator"
     exact: bool = True
+    #: True for generators whose observations are *not* iid — they carry
+    #: a run/iteration hierarchy (see :class:`MultiLevelGenerator`).  The
+    #: iid-assuming procedures skip these by default; only procedures that
+    #: opt in explicitly (the Kalibera–Jones ratio CIs) are calibrated on
+    #: them.
+    multilevel: bool = False
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw *n* iid observations."""
@@ -269,6 +276,92 @@ class NoiseModelGenerator(GroundTruthGenerator):
         return float(self._truth_draw().std(ddof=0))
 
 
+@dataclass(frozen=True)
+class MultiLevelGenerator(GroundTruthGenerator):
+    """Hierarchical run/iteration data — the Kalibera–Jones regime.
+
+    Models the structure real benchmark campaigns produce: iteration *j*
+    of run *r* is ``y_rj = mu + b_r + s_r * e_rj`` with a random run
+    effect ``b_r = run_sigma * N(0,1)``, a *heteroscedastic* per-run
+    iteration scale ``s_r = iter_sigma * exp(spread * N(0,1))`` (every
+    run has its own noise level, as machines do), and normalized
+    iteration noise ``e_rj`` (mean 0, sd 1) — Gaussian by default, a
+    standardized log-normal when ``skew > 0`` to mimic right-skewed
+    timings.  Observations within a run are correlated through ``b_r``
+    and ``s_r``, so this data is **not** iid; draw it with
+    :meth:`sample_runs`.
+
+    The mean (``mu``) and standard deviation
+    (``sqrt(run_sigma² + iter_sigma² * exp(2*spread²))``) are analytic;
+    quantiles come from the cached numeric truth draw.
+    """
+
+    mu: float = 10.0
+    run_sigma: float = 1.0
+    iter_sigma: float = 0.5
+    spread: float = 0.6
+    skew: float = 0.0
+    name: str = "multilevel"
+    exact: bool = False
+    _truth_cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    multilevel = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.iter_sigma, "iter_sigma")
+        for attr in ("run_sigma", "spread", "skew"):
+            if getattr(self, attr) < 0:
+                raise ValidationError(f"{attr} must be non-negative")
+
+    def _iteration_noise(self, rng: np.random.Generator, shape) -> np.ndarray:
+        if self.skew > 0.0:
+            # Log-normal standardized to mean 0, sd 1: keeps the analytic
+            # moments while injecting the paper's right-skew shape.
+            m = math.exp(self.skew**2 / 2.0)
+            sd = m * math.sqrt(math.exp(self.skew**2) - 1.0)
+            return (rng.lognormal(0.0, self.skew, size=shape) - m) / sd
+        return rng.standard_normal(size=shape)
+
+    def sample_runs(
+        self, rng: np.random.Generator, runs: int, iters: int
+    ) -> np.ndarray:
+        """Draw a ``(runs, iters)`` hierarchical sample matrix."""
+        runs = check_int(runs, "runs", minimum=1)
+        iters = check_int(iters, "iters", minimum=1)
+        b = self.run_sigma * rng.standard_normal(size=(runs, 1))
+        s = self.iter_sigma * np.exp(self.spread * rng.standard_normal(size=(runs, 1)))
+        return self.mu + b + s * self._iteration_noise(rng, (runs, iters))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Flattened hierarchical draw (NOT iid — see the class docs).
+
+        Provided for API compatibility (``describe`` etc.); iid-assuming
+        procedures must not be calibrated on it, which is what the
+        ``multilevel`` flag enforces.
+        """
+        n = check_int(n, "n", minimum=1)
+        iters = 10
+        runs = -(-n // iters)
+        return self.sample_runs(rng, runs, iters).ravel()[:n]
+
+    def mean(self) -> float:
+        return self.mu
+
+    def std(self) -> float:
+        return math.sqrt(
+            self.run_sigma**2 + self.iter_sigma**2 * math.exp(2.0 * self.spread**2)
+        )
+
+    def quantile(self, q: float) -> float:
+        check_prob(q, "q")
+        draw = self._truth_cache.get("draw")
+        if draw is None:
+            rng = np.random.default_rng(TRUTH_SEED)
+            draw = np.sort(self.sample_runs(rng, 1000, TRUTH_SAMPLES // 1000).ravel())
+            self._truth_cache["draw"] = draw
+        return float(np.quantile(draw, q))
+
+
 def _simsys_lognormal() -> NoiseModelGenerator:
     """The simulator's log-normal delay model, with its analytic truth.
 
@@ -321,6 +414,8 @@ GENERATORS: dict[str, GroundTruthGenerator] = {
         ParetoGenerator(),
         _simsys_lognormal(),
         _simsys_mixture(),
+        MultiLevelGenerator(name="multilevel_normal"),
+        MultiLevelGenerator(name="multilevel_skew", skew=0.8),
     )
 }
 

@@ -30,6 +30,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from ..compare.kalibera import ratio_ci, ratio_ci_bootstrap
 from ..errors import CoverageWarning, ValidationError
 from ..stats import (
     SequentialChecker,
@@ -63,7 +64,8 @@ class CellParams:
     standardized shift for power trials, ``relative_error`` the width
     target for the sample-size procedures, and ``n_boot`` the bootstrap
     replication count.  ``stop_cap`` bounds the sequential stopping rule
-    so a heavy-tailed cell cannot run away.
+    so a heavy-tailed cell cannot run away.  ``runs``/``iters`` shape
+    the hierarchical draws of the multi-level (Kalibera–Jones) cells.
     """
 
     n: int = 30
@@ -75,6 +77,8 @@ class CellParams:
     n_boot: int = 400
     stop_cap: int = 400
     plan_cap: int = 2_000
+    runs: int = 10
+    iters: int = 10
 
     @classmethod
     def from_point(cls, point: Mapping[str, Any]) -> "CellParams":
@@ -190,6 +194,32 @@ def _trial_stopping_rule(gen, rng, p: CellParams) -> bool:
     return chk.current_ci.contains(gen.mean())
 
 
+def _trial_kj_ratio_ci(gen, rng, p: CellParams) -> bool:
+    """Coverage of the Kalibera–Jones asymptotic ratio-of-means CI.
+
+    Two independent hierarchical datasets from the *same* generator, so
+    the true ratio of population means is exactly 1; success = the
+    Fieller interval covers it.
+    """
+    a = gen.sample_runs(rng, p.runs, p.iters)
+    b = gen.sample_runs(rng, p.runs, p.iters)
+    return ratio_ci(a, b, confidence=p.confidence).contains(1.0)
+
+
+def _trial_kj_ratio_bootstrap(gen, rng, p: CellParams) -> bool:
+    """Coverage of the hierarchical-bootstrap ratio CI (same null as above)."""
+    a = gen.sample_runs(rng, p.runs, p.iters)
+    b = gen.sample_runs(rng, p.runs, p.iters)
+    ci = ratio_ci_bootstrap(
+        a,
+        b,
+        confidence=p.confidence,
+        n_boot=p.n_boot,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    return ci.contains(1.0)
+
+
 @dataclass(frozen=True)
 class Procedure:
     """One statistical procedure under calibration.
@@ -217,8 +247,16 @@ class Procedure:
         raise ValidationError(f"unknown procedure kind {self.kind!r}")
 
     def applies_to(self, generator: str) -> bool:
-        """True when this procedure is calibrated against *generator*."""
-        return self.generators is None or generator in self.generators
+        """True when this procedure is calibrated against *generator*.
+
+        Procedures with no explicit generator list run on every *iid*
+        generator; multi-level (hierarchical) generators violate the iid
+        assumption, so only procedures that list them explicitly — the
+        Kalibera–Jones ratio CIs — are calibrated on them.
+        """
+        if self.generators is not None:
+            return generator in self.generators
+        return not get_generator(generator).multilevel
 
 
 #: Every shipped procedure, keyed by name, in report order.
@@ -272,6 +310,20 @@ PROCEDURES: dict[str, Procedure] = {
             "detection rate vs noncentral-t prediction",
             _trial_t_test_power,
             generators=("normal",),
+        ),
+        Procedure(
+            "kj_ratio_ci",
+            "coverage",
+            "Kalibera-Jones ratio-CI coverage of the true ratio 1",
+            _trial_kj_ratio_ci,
+            generators=("multilevel_normal", "multilevel_skew"),
+        ),
+        Procedure(
+            "kj_ratio_bootstrap",
+            "coverage",
+            "hierarchical-bootstrap ratio-CI coverage of the true ratio 1",
+            _trial_kj_ratio_bootstrap,
+            generators=("multilevel_normal", "multilevel_skew"),
         ),
     )
 }

@@ -1,0 +1,209 @@
+"""Tests for the regression engine (repro.compare.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compare import (
+    BenchRecord,
+    BenchSuiteResult,
+    SequentialGate,
+    compare_histories,
+    compare_records,
+    compare_runs,
+    compare_runs_sequential,
+)
+from repro.errors import InsufficientDataError, ValidationError
+
+
+def suite_from(rng, *, scale=1.0, runs=6, iters=5, names=("reduce", "bcast")):
+    """A suite of hierarchical records around known means (cost ~ 1.0)."""
+    records = []
+    for i, name in enumerate(names):
+        base = 1.0 + 0.2 * i
+        samples = scale * (
+            base
+            + rng.normal(0, 0.01, size=(runs, 1))
+            + rng.normal(0, 0.005, size=(runs, iters))
+        )
+        records.append(
+            BenchRecord(name=name, params={"P": 64}, samples=samples)
+        )
+    return BenchSuiteResult(records={}).merged(*records, append_runs=False)
+
+
+class TestCompareRecords:
+    def test_identical_indistinguishable(self, rng):
+        old = suite_from(rng).records["reduce[P=64]"]
+        out = compare_records(old, old)
+        assert out.verdict == "indistinguishable"
+        assert out.statistical
+        assert out.ratio == pytest.approx(1.0)
+        assert not out.is_regression
+
+    def test_scaled_regression(self, rng):
+        old = suite_from(rng).records["reduce[P=64]"]
+        new = old.scaled(1.5)
+        out = compare_records(old, new)
+        assert out.verdict == "regression"
+        assert out.ci.low > 1.4 and out.ci.high < 1.6
+        assert out.is_regression
+
+    def test_scaled_improvement(self, rng):
+        old = suite_from(rng).records["reduce[P=64]"]
+        out = compare_records(old, old.scaled(1 / 1.5))
+        assert out.verdict == "improvement"
+
+    def test_single_run_incomparable(self):
+        old = BenchRecord(name="x", samples=[[1.0, 1.1]])
+        new = BenchRecord(name="x", samples=[[1.5, 1.6]])
+        out = compare_records(old, new)
+        assert out.verdict == "incomparable"
+        assert not out.statistical
+        assert out.ci is None
+        assert "insufficient replication" in out.note
+
+    def test_key_mismatch_rejected(self, rng):
+        s = suite_from(rng)
+        with pytest.raises(ValidationError, match="different configurations"):
+            compare_records(s.records["reduce[P=64]"], s.records["bcast[P=64]"])
+
+    def test_unit_mismatch_rejected(self):
+        a = BenchRecord(name="x", samples=[[1.0], [1.0]], unit="s")
+        b = BenchRecord(name="x", samples=[[1.0], [1.0]], unit="ms")
+        with pytest.raises(ValidationError, match="unit mismatch"):
+            compare_records(a, b)
+
+    def test_to_dict_serializes(self, rng):
+        old = suite_from(rng).records["reduce[P=64]"]
+        payload = compare_records(old, old.scaled(1.5)).to_dict()
+        assert payload["verdict"] == "regression"
+        assert payload["ci"]["low"] > 1.0
+
+
+class TestCompareRuns:
+    def test_identical_suites_ok(self, rng):
+        s = suite_from(rng)
+        out = compare_runs(s, s)
+        assert out.ok
+        assert len(out.records) == 2
+        assert all(r.verdict == "indistinguishable" for r in out.records)
+
+    def test_injected_regression_fails_gate(self, rng):
+        base = suite_from(rng)
+        slowed = BenchSuiteResult(records={}).merged(
+            *(rec.scaled(1.5) for rec in base.records.values()),
+            append_runs=False,
+        )
+        out = compare_runs(base, slowed)
+        assert not out.ok
+        assert len(out.regressions) == 2
+        assert out.summary()["regressions"] == 2
+
+    def test_incomparable_never_fails(self):
+        old = BenchSuiteResult(records={}).merged(
+            BenchRecord(name="x", samples=[[1.0]])
+        )
+        new = BenchSuiteResult(records={}).merged(
+            BenchRecord(name="x", samples=[[100.0]])
+        )
+        out = compare_runs(old, new)
+        assert out.ok  # Rule 7: no claim without sound statistics
+        assert len(out.incomparable) == 1
+
+    def test_coverage_drift_reported(self, rng):
+        base = suite_from(rng, names=("reduce",))
+        new = suite_from(rng, names=("bcast",))
+        out = compare_runs(base, new)
+        assert out.only_old == ("reduce[P=64]",)
+        assert out.only_new == ("bcast[P=64]",)
+        assert out.ok
+
+    def test_type_checked(self):
+        with pytest.raises(ValidationError):
+            compare_runs({}, BenchSuiteResult(records={}))
+
+
+class TestHistory:
+    def test_trajectory_detects_last_step_regression(self, rng):
+        s0 = suite_from(rng)
+        s1 = BenchSuiteResult(records={}).merged(
+            *(r.scaled(1.5) for r in s0.records.values()), append_runs=False
+        )
+        hist = compare_histories([s0, s0, s1], labels=["a", "b", "c"])
+        assert not hist.ok
+        assert hist.steps[0].comparison.ok
+        assert not hist.steps[1].comparison.ok
+        assert not hist.overall.ok
+        assert hist.labels == ("a", "b", "c")
+
+    def test_needs_two_suites(self, rng):
+        with pytest.raises(ValidationError):
+            compare_histories([suite_from(rng)])
+
+    def test_label_count_checked(self, rng):
+        s = suite_from(rng)
+        with pytest.raises(ValidationError):
+            compare_histories([s, s], labels=["only-one"])
+
+
+class TestSequentialGate:
+    def test_clear_regression_stops_early(self, rng):
+        gate = SequentialGate(min_runs=3, max_runs=30)
+        decision = None
+        for _ in range(30):
+            old = 1.0 + rng.normal(0, 0.005, size=5)
+            decision = gate.add_run_pair(old, old * 2.0)
+            if decision is not None:
+                break
+        assert decision is not None
+        assert decision.verdict == "regression"
+        assert decision.runs_used < 10  # far below the budget
+
+    def test_identical_runs_reach_ok(self, rng):
+        gate = SequentialGate(min_runs=3, max_runs=30)
+        decision = None
+        for _ in range(30):
+            old = 1.0 + rng.normal(0, 0.002, size=5)
+            decision = gate.add_run_pair(old, old)
+            if decision is not None:
+                break
+        assert decision is not None and decision.verdict == "ok"
+
+    def test_budget_exhaustion_inconclusive(self):
+        gate = SequentialGate(min_runs=3, max_runs=4, relative_error=1e-6)
+        decision = None
+        # Alternating new-run means keep the ratio CI wide and straddling
+        # the threshold, and the width target is unreachable.
+        for new_mean in (0.9, 1.1, 0.9, 1.1):
+            decision = gate.add_run_pair([1.0] * 3, [new_mean] * 3)
+        assert decision is not None
+        assert decision.verdict == "inconclusive"
+        assert "budget" in decision.reason
+
+    def test_run_record_requires_min_pairs(self):
+        gate = SequentialGate(min_runs=3)
+        a = BenchRecord(name="x", samples=[[1.0], [1.0]])
+        with pytest.raises(InsufficientDataError):
+            gate.run_record(a, a)
+
+
+class TestCompareRunsSequential:
+    def test_regression_detected_with_note(self, rng):
+        base = suite_from(rng, runs=10)
+        slowed = BenchSuiteResult(records={}).merged(
+            *(r.scaled(1.5) for r in base.records.values()), append_runs=False
+        )
+        out = compare_runs_sequential(base, slowed)
+        assert not out.ok
+        rec = out.records[0]
+        assert "sequential gate stopped after" in rec.note
+
+    def test_few_runs_falls_back_to_incomparable(self):
+        old = BenchSuiteResult(records={}).merged(
+            BenchRecord(name="x", samples=[[1.0]])
+        )
+        out = compare_runs_sequential(old, old)
+        assert out.ok
+        assert out.records[0].verdict == "incomparable"

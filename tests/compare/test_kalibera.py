@@ -1,0 +1,157 @@
+"""Tests for the Kalibera–Jones estimators (repro.compare.kalibera)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.compare import (
+    mean_and_variance,
+    ratio_ci,
+    ratio_ci_bootstrap,
+    variance_components,
+)
+from repro.errors import InsufficientDataError, ValidationError
+
+
+class TestVarianceComponents:
+    def test_two_level_matches_direct_run_mean_variance(self, rng):
+        data = rng.normal(10.0, 1.0, size=(6, 8)) + rng.normal(
+            0.0, 0.5, size=(6, 1)
+        )
+        vc = variance_components(data)
+        run_means = data.mean(axis=1)
+        assert vc.grand_mean == pytest.approx(float(data.mean()))
+        assert vc.t2[0] == pytest.approx(float(run_means.var(ddof=1)))
+        assert vc.mean_variance == pytest.approx(
+            float(run_means.var(ddof=1)) / 6
+        )
+        assert vc.df == 5
+        assert vc.counts == (6, 8)
+
+    def test_three_level_top_variance(self, rng):
+        data = rng.normal(5.0, 1.0, size=(4, 3, 5))
+        vc = variance_components(data)
+        top_means = data.mean(axis=(1, 2))
+        assert vc.levels == 3
+        assert vc.mean_variance == pytest.approx(
+            float(top_means.var(ddof=1)) / 4
+        )
+        assert vc.df == 3
+
+    def test_within_t2_is_pooled_within_run_variance(self, rng):
+        data = rng.normal(0.0, 2.0, size=(5, 20))
+        vc = variance_components(data)
+        pooled = np.mean([row.var(ddof=1) for row in data])
+        assert vc.t2[1] == pytest.approx(float(pooled))
+
+    def test_ragged_runs_two_level(self):
+        runs = [[1.0, 2.0, 3.0], [4.0, 5.0]]
+        vc = variance_components(runs)
+        means = np.array([2.0, 4.5])
+        assert vc.grand_mean == pytest.approx(3.25)  # runs weighted equally
+        assert vc.t2[0] == pytest.approx(float(means.var(ddof=1)))
+        assert vc.df == 1
+
+    def test_single_run_falls_back_to_iid(self):
+        mean, var, df = mean_and_variance([[1.0, 2.0, 3.0, 4.0]])
+        flat = np.array([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert var == pytest.approx(float(flat.var(ddof=1)) / 4)
+        assert df == 3
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            variance_components([[1.0]])
+
+
+class TestRatioCI:
+    def test_fieller_worked_example(self):
+        """Hand-computed Fieller interval on tiny two-run data.
+
+        Numerator runs (10,12),(14,16): m1=13, run means 11/15, so
+        T2=8, v1=8/2=4, df1=1.  Denominator runs (9,11),(13,15):
+        m2=12, v2=4, df2=1.  Welch df=(4+4)^2/(16/1+16/1)=2.
+        """
+        num = [[10.0, 12.0], [14.0, 16.0]]
+        den = [[9.0, 11.0], [13.0, 15.0]]
+        t = float(sps.t.ppf(0.975, df=2.0))
+        t2 = t * t
+        a = 144.0 - t2 * 4.0
+        b = 13.0 * 12.0
+        c = 169.0 - t2 * 4.0
+        root = math.sqrt(b * b - a * c)
+        ci = ratio_ci(num, den)
+        assert ci.estimate == pytest.approx(13.0 / 12.0)
+        assert ci.low == pytest.approx((b - root) / a)
+        assert ci.high == pytest.approx((b + root) / a)
+        assert ci.n == 8
+
+    def test_contains_true_ratio(self, rng):
+        base = 10.0 + rng.normal(0, 0.5, size=(12, 1)) + rng.normal(
+            0, 0.2, size=(12, 6)
+        )
+        ci = ratio_ci(base * 1.3, base)
+        assert ci.low < 1.3 < ci.high
+
+    def test_identical_sides_straddle_one(self, rng):
+        a = 10.0 + rng.normal(0, 0.5, size=(10, 1)) + rng.normal(
+            0, 0.2, size=(10, 5)
+        )
+        b = 10.0 + rng.normal(0, 0.5, size=(10, 1)) + rng.normal(
+            0, 0.2, size=(10, 5)
+        )
+        ci = ratio_ci(a, b)
+        assert ci.low < 1.0 < ci.high
+
+    def test_unresolved_denominator_gives_unbounded_ci(self, rng):
+        # Denominator mean indistinguishable from zero at 95%.
+        num = rng.normal(5.0, 0.1, size=(4, 3))
+        den = rng.normal(0.0, 5.0, size=(4, 3))
+        ci = ratio_ci(num, den)
+        assert ci.low == -math.inf and ci.high == math.inf
+
+    def test_degenerate_point_ratio(self):
+        ci = ratio_ci([[2.0], [2.0]], [[1.0], [1.0]])
+        assert ci.low == ci.high == ci.estimate == pytest.approx(2.0)
+
+    def test_min_runs_enforced(self):
+        with pytest.raises(InsufficientDataError):
+            ratio_ci([[1.0, 2.0]], [[1.0], [2.0]])
+
+    def test_zero_denominator_mean_rejected(self):
+        with pytest.raises(ValidationError, match="denominator mean is zero"):
+            ratio_ci([[1.0], [1.0]], [[-1.0], [1.0]])
+
+
+class TestRatioBootstrap:
+    def test_agrees_with_asymptotic_on_clean_data(self, rng):
+        base = 10.0 + rng.normal(0, 0.5, size=(20, 1)) + rng.normal(
+            0, 0.2, size=(20, 8)
+        )
+        other = (
+            12.0
+            + rng.normal(0, 0.5, size=(20, 1))
+            + rng.normal(0, 0.2, size=(20, 8))
+        )
+        asym = ratio_ci(other, base)
+        boot = ratio_ci_bootstrap(other, base, n_boot=2000, seed=7)
+        assert boot.low < asym.estimate < boot.high
+        # Overlapping intervals: the cross-check certifies the asymptotic CI.
+        assert boot.low < asym.high and asym.low < boot.high
+
+    def test_deterministic_per_seed(self, rng):
+        a = rng.normal(10, 1, size=(6, 4))
+        b = rng.normal(10, 1, size=(6, 4))
+        one = ratio_ci_bootstrap(a, b, seed=3)
+        two = ratio_ci_bootstrap(a, b, seed=3)
+        assert (one.low, one.high) == (two.low, two.high)
+        three = ratio_ci_bootstrap(a, b, seed=4)
+        assert (one.low, one.high) != (three.low, three.high)
+
+    def test_min_runs_enforced(self):
+        with pytest.raises(InsufficientDataError):
+            ratio_ci_bootstrap([[1.0, 2.0]], [[1.0], [2.0]])

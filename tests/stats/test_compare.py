@@ -145,8 +145,10 @@ class TestEffectSize:
     def test_infinite_for_degenerate_difference(self):
         assert effect_size([1.0, 1.0], [2.0, 2.0]) == -np.inf
 
-    def test_cohens_d_alias(self, two_shifted):
-        assert cohens_d(*two_shifted) == effect_size(*two_shifted)
+    def test_cohens_d_alias_deprecated(self, two_shifted):
+        with pytest.warns(DeprecationWarning, match="cohens_d"):
+            d = cohens_d(*two_shifted)
+        assert d == effect_size(*two_shifted)
 
     def test_scale_invariant(self, two_shifted):
         a, b = two_shifted
@@ -157,17 +159,19 @@ class TestCIComparison:
     def test_nonoverlap_is_significant(self, rng):
         a = mean_ci(rng.normal(0, 1, 200), 0.95)
         b = mean_ci(rng.normal(3, 1, 200), 0.95)
-        assert significant_by_ci(a, b)
+        with pytest.warns(DeprecationWarning, match="significant_by_ci"):
+            assert significant_by_ci(a, b)
 
     def test_overlap_inconclusive(self, rng):
         a = mean_ci(rng.normal(0, 1, 30), 0.95)
         b = mean_ci(rng.normal(0.05, 1, 30), 0.95)
-        assert not significant_by_ci(a, b)
+        with pytest.warns(DeprecationWarning):
+            assert not significant_by_ci(a, b)
 
     def test_mismatched_confidence_rejected(self, rng):
         a = mean_ci(rng.normal(0, 1, 30), 0.95)
         b = mean_ci(rng.normal(0, 1, 30), 0.99)
-        with pytest.raises(ValidationError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValidationError):
             significant_by_ci(a, b)
 
 
@@ -186,3 +190,21 @@ class TestCompareGroups:
         rep = compare_groups(groups, alpha=0.01)
         assert not rep.means_differ
         assert not rep.medians_differ
+
+    def test_ci_overlap_surface(self, rng):
+        groups = [
+            rng.normal(0, 1, 200),
+            rng.normal(0.05, 1, 200),
+            rng.normal(3, 1, 200),
+        ]
+        rep = compare_groups(groups, confidence=0.95)
+        assert len(rep.mean_cis) == 3
+        assert all(ci.confidence == 0.95 for ci in rep.mean_cis)
+        assert rep.separated(0, 2) and rep.separated(2, 0)
+        assert not rep.separated(0, 1)
+        assert set(rep.ci_separated) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_separated_unknown_pair_rejected(self, rng):
+        rep = compare_groups([rng.normal(0, 1, 30), rng.normal(0, 1, 30)])
+        with pytest.raises(ValidationError):
+            rep.separated(0, 5)

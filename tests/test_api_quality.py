@@ -17,7 +17,7 @@ import pytest
 import repro
 
 SUBPACKAGES = ["repro.core", "repro.stats", "repro.simsys", "repro.models",
-               "repro.survey", "repro.report"]
+               "repro.survey", "repro.report", "repro.compare"]
 
 
 def _all_modules():

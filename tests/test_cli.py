@@ -244,3 +244,73 @@ class TestChaosCommand:
         assert main(["chaos", "--profile", "none",
                      "--dir", str(tmp_path / "none")]) == 1
         assert "CHAOS GATE FAILED" in capsys.readouterr().err
+
+
+def _write_suite(path, *, scale=1.0, runs=6):
+    import numpy as np
+
+    from repro.compare import BenchRecord, BenchSuiteResult
+
+    rng = np.random.default_rng(99)
+    samples = scale * (
+        1.0 + rng.normal(0, 0.01, size=(runs, 1)) + rng.normal(0, 0.005, size=(runs, 4))
+    )
+    suite = BenchSuiteResult(records={}).merged(
+        BenchRecord(name="reduce", params={"P": 64}, samples=samples)
+    )
+    suite.write(path)
+    return path
+
+
+class TestCompareCommand:
+    def test_identical_suites_pass(self, tmp_path, capsys):
+        base = _write_suite(tmp_path / "base.json")
+        assert main(["compare", str(base), str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "reduce[P=64]" in out
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        base = _write_suite(tmp_path / "base.json")
+        slow = _write_suite(tmp_path / "slow.json", scale=1.5)
+        assert main(["compare", str(base), str(slow)]) == 1
+        captured = capsys.readouterr()
+        assert "COMPARE GATE FAILED" in captured.err
+        assert "REGRESSION" in captured.out
+
+    def test_out_writes_report_artifacts(self, tmp_path, capsys):
+        base = _write_suite(tmp_path / "base.json")
+        out_dir = tmp_path / "report"
+        assert main(
+            ["compare", str(base), str(base), "--out", str(out_dir)]
+        ) == 0
+        payload = json.loads((out_dir / "compare_report.json").read_text())
+        assert payload["ok"] is True
+        md = (out_dir / "compare_report.md").read_text()
+        assert "Benchmark comparison" in md and "Provenance" in md
+
+    def test_missing_suite_is_bad_input(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_suite_is_bad_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        base = _write_suite(tmp_path / "base.json")
+        assert main(["compare", str(base), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_history_mode(self, tmp_path, capsys):
+        a = _write_suite(tmp_path / "a.json")
+        b = _write_suite(tmp_path / "b.json")
+        c = _write_suite(tmp_path / "c.json", scale=1.5)
+        assert main(["compare", str(a), str(b), str(c)]) == 1
+        out = capsys.readouterr().out
+        assert "step -> b.json" in out and "step -> c.json" in out
+
+    def test_sequential_gate(self, tmp_path, capsys):
+        base = _write_suite(tmp_path / "base.json", runs=10)
+        slow = _write_suite(tmp_path / "slow.json", scale=1.5, runs=10)
+        assert main(["compare", str(base), str(slow), "--sequential"]) == 1
+        assert "COMPARE GATE FAILED" in capsys.readouterr().err
+        assert main(["compare", str(base), str(base), "--sequential"]) == 0

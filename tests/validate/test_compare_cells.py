@@ -1,0 +1,120 @@
+"""Multi-level generators and Kalibera–Jones calibration cells."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (
+    GENERATORS,
+    PROCEDURES,
+    CalibrationStudy,
+    CellParams,
+    MultiLevelGenerator,
+    get_generator,
+    get_profile,
+    run_batch,
+)
+
+
+class TestMultiLevelGenerator:
+    def test_registered_variants(self):
+        for name in ("multilevel_normal", "multilevel_skew"):
+            gen = get_generator(name)
+            assert gen.multilevel
+        assert not get_generator("normal").multilevel
+
+    def test_sample_runs_shape(self, rng):
+        gen = get_generator("multilevel_normal")
+        assert gen.sample_runs(rng, 7, 3).shape == (7, 3)
+
+    def test_analytic_moments_match_empirical(self, rng):
+        for name in ("multilevel_normal", "multilevel_skew"):
+            gen = get_generator(name)
+            data = gen.sample_runs(rng, 4000, 100)
+            assert float(data.mean()) == pytest.approx(gen.mean(), abs=0.05)
+            assert float(data.std()) == pytest.approx(gen.std(), rel=0.03)
+
+    def test_heteroscedastic_run_scales(self, rng):
+        # spread > 0: per-run iteration variance genuinely varies.
+        gen = get_generator("multilevel_normal")
+        data = gen.sample_runs(rng, 200, 50)
+        run_sds = data.std(axis=1, ddof=1)
+        assert run_sds.max() / run_sds.min() > 2.0
+
+    def test_skew_variant_is_right_skewed(self, rng):
+        gen = get_generator("multilevel_skew")
+        data = gen.sample_runs(rng, 2000, 20).ravel()
+        centered = data - data.mean()
+        skewness = float(np.mean(centered**3)) / float(np.std(data)) ** 3
+        assert skewness > 0.3
+
+    def test_flat_sample_matches_truth(self, rng):
+        gen = get_generator("multilevel_normal")
+        flat = gen.sample(rng, 25)
+        assert flat.shape == (25,)
+        assert gen.quantile(0.5) == pytest.approx(gen.mean(), abs=0.2)
+
+    def test_quantile_monotone(self):
+        gen = get_generator("multilevel_skew")
+        assert gen.quantile(0.25) < gen.median() < gen.quantile(0.75)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiLevelGenerator(iter_sigma=0.0)
+        with pytest.raises(ValidationError):
+            MultiLevelGenerator(run_sigma=-1.0)
+        with pytest.raises(ValidationError):
+            MultiLevelGenerator(spread=-0.1)
+
+
+class TestKJProcedures:
+    def test_registered_and_restricted(self):
+        for name in ("kj_ratio_ci", "kj_ratio_bootstrap"):
+            proc = PROCEDURES[name]
+            assert proc.kind == "coverage"
+            assert proc.applies_to("multilevel_normal")
+            assert proc.applies_to("multilevel_skew")
+            assert not proc.applies_to("normal")
+
+    def test_iid_procedures_skip_multilevel(self):
+        for proc in PROCEDURES.values():
+            if proc.generators is None:
+                assert not proc.applies_to("multilevel_normal")
+                assert proc.applies_to("normal")
+
+    def test_study_matrix_pairs_kj_with_multilevel_only(self):
+        study = CalibrationStudy(get_profile("micro"))
+        cells = study.cells()
+        kj = {c for c in cells if c[0].startswith("kj_")}
+        assert kj == {
+            (p, g)
+            for p in ("kj_ratio_ci", "kj_ratio_bootstrap")
+            for g in ("multilevel_normal", "multilevel_skew")
+        }
+        assert not any(
+            g.startswith("multilevel")
+            for p, g in cells
+            if not p.startswith("kj_")
+        )
+
+    def test_trials_roughly_calibrated(self):
+        # 150 trials at nominal 0.95: a gross miscalibration (e.g. the CI
+        # missing 1.0 half the time) would show decisively.
+        gen = GENERATORS["multilevel_normal"]
+        rng = np.random.default_rng(5)
+        params = CellParams(runs=10, iters=10, n_boot=200)
+        hits = run_batch(PROCEDURES["kj_ratio_ci"], gen, rng, params, 150)
+        assert hits.mean() > 0.85
+
+    def test_cell_params_carry_runs_iters(self):
+        p = CellParams.from_point({"runs": 4, "iters": 7, "n": 30})
+        assert p.runs == 4 and p.iters == 7
+
+    def test_study_points_include_runs_iters(self):
+        study = CalibrationStudy(get_profile("micro"))
+        point, _ = study._runs()[0]
+        assert "runs" in point and "iters" in point
