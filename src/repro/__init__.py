@@ -20,7 +20,20 @@ Quick start::
     print(ms.median_ci(0.99))
 """
 
-from . import chaos, compare, core, exec, models, obs, report, simsys, stats, survey, validate
+from . import (
+    chaos,
+    compare,
+    core,
+    exec,
+    models,
+    obs,
+    report,
+    simsys,
+    stats,
+    store,
+    survey,
+    validate,
+)
 from .errors import (
     ReproError,
     ValidationError,
@@ -49,6 +62,7 @@ __all__ = [
     "validate",
     "chaos",
     "compare",
+    "store",
     "ReproError",
     "ValidationError",
     "InsufficientDataError",

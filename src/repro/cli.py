@@ -33,6 +33,11 @@ Commands
     The continuous-benchmarking regression gate: compare ``BENCH_*.json``
     suites with Kalibera–Jones effect-size confidence intervals and exit
     1 on a statistically significant regression (see docs/COMPARE.md).
+``store``
+    Inspect, verify, or compact a columnar shard store (the out-of-core
+    home of spilled campaign datasets and cache entries; see
+    docs/STORE.md).  ``verify`` re-digests every shard and exits 1 when
+    any had to be quarantined.
 
 Exit codes are uniform across subcommands: 0 success, 1 gate/check
 failure, 2 bad input (one-line ``error:`` message on stderr).
@@ -244,7 +249,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         executor = SerialExecutor(retries=0)
     result = camp.run(
-        exp, executor=executor, hooks=hooks, tracer=tracer, overwrite=True
+        exp,
+        executor=executor,
+        hooks=hooks,
+        tracer=tracer,
+        overwrite=True,
+        spill_rows=args.spill_rows if args.spill_rows > 0 else None,
     )
     print(result.describe())
     print(hooks.describe())
@@ -505,6 +515,77 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``repro store``: inspect/verify/compact a shard store (docs/STORE.md)."""
+    from .report import store_markdown, store_table, store_verify_table
+    from .store import ShardStore
+
+    path = Path(args.dir)
+    # Accept a campaign directory as shorthand for its store/ subdirectory.
+    if not (path / "manifest.json").exists() and (
+        path / "store" / "manifest.json"
+    ).exists():
+        path = path / "store"
+    if not (path / "manifest.json").exists():
+        print(f"error: no shard store at {path}", file=sys.stderr)
+        return 2
+    store = ShardStore(path)
+
+    if args.action == "inspect":
+        if args.json:
+            print(json.dumps(store.stats().as_dict(), indent=2, sort_keys=True))
+        else:
+            print(store_table(store))
+        return 0
+
+    if args.action == "verify":
+        import warnings
+
+        # verify() already reports quarantines in its table; the warning
+        # channel would just duplicate them on stderr.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = store.verify()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(store_verify_table(report))
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            json_path = out_dir / "store_report.json"
+            json_path.write_text(
+                json.dumps(
+                    {"stats": store.stats().as_dict(), "verify": report},
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            md_path = out_dir / "store_report.md"
+            md_path.write_text(store_markdown(store, verify=report))
+            print(
+                f"report written to {json_path} (+ {md_path.name})",
+                file=sys.stderr,
+            )
+        if not report["ok"]:
+            print(
+                f"STORE VERIFY FAILED: {report['corrupt']} shard(s) "
+                f"quarantined, "
+                f"{report['entries'] - report['entries_after']} entries lost",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    result = store.compact()
+    print(
+        f"compacted {path}: reclaimed {result['bytes_reclaimed']} bytes "
+        f"({result['shards_before']} -> {result['shards_after']} shard(s))"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -541,6 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replications per design point (default 3)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--spill-rows", type=int, default=0, metavar="N",
+                   help="spill datasets/cache values of N+ rows to the "
+                        "campaign's columnar shard store (0 = keep inline)")
     p.add_argument("--emit-metrics", metavar="PATH",
                    help="write execution metrics to PATH (.json for JSON, "
                         "anything else for Prometheus text format)")
@@ -622,6 +706,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="DIR",
                    help="write compare_report.json/.md into DIR")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect/verify/compact a columnar shard store",
+    )
+    p.add_argument("action", choices=("inspect", "verify", "compact"),
+                   help="inspect: shape + shard table; verify: re-digest "
+                        "every shard (exit 1 on quarantine); compact: "
+                        "rewrite live entries, reclaim removed bytes")
+    p.add_argument("dir", help="store directory, or a campaign directory "
+                               "containing one")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output instead of tables")
+    p.add_argument("--out", metavar="DIR",
+                   help="(verify) write store_report.json/.md into DIR")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("machines", help="describe the simulated machines")
     p.set_defaults(func=_cmd_machines)

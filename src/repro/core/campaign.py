@@ -108,8 +108,20 @@ class Campaign:
 
     # -- data ------------------------------------------------------------
 
-    def record(self, ms: MeasurementSet, *, overwrite: bool = False) -> Path:
-        """Persist a dataset under its name; refuses silent overwrites."""
+    def record(
+        self,
+        ms: MeasurementSet,
+        *,
+        overwrite: bool = False,
+        spill_rows: int | None = None,
+    ) -> Path:
+        """Persist a dataset under its name; refuses silent overwrites.
+
+        With *spill_rows* set, datasets of at least that many values go
+        to the campaign's columnar shard store (:meth:`store`) and the
+        JSON file keeps only a stub — :meth:`load` resolves stubs
+        transparently, returning lazily memory-mapped values.
+        """
         from ..report.export import measurements_to_json
 
         slug = _slug(ms.name)
@@ -121,7 +133,10 @@ class Campaign:
                 f"dataset {ms.name!r} already recorded; pass overwrite=True "
                 "to replace it (the old values will be lost)"
             )
-        target.write_text(measurements_to_json(ms))
+        store = self.store() if spill_rows is not None else None
+        target.write_text(
+            measurements_to_json(ms, store=store, spill_rows=spill_rows)
+        )
         datasets = [d for d in datasets if d["name"] != ms.name]
         datasets.append({"name": ms.name, "file": target.name, "n": ms.n,
                          "unit": ms.unit})
@@ -134,14 +149,19 @@ class Campaign:
         return [d["name"] for d in self._read_datasets()]
 
     def load(self, name: str) -> MeasurementSet:
-        """Load a dataset by name, provenance intact."""
+        """Load a dataset by name, provenance intact.
+
+        Spilled datasets load lazily from the campaign's shard store:
+        the values array is a read-only memory map, so loading a
+        larger-than-RAM dataset is cheap until its bytes are touched.
+        """
         from ..report.export import measurements_from_json
 
         for d in self._read_datasets():
             if d["name"] == name:
-                return measurements_from_json(
-                    (self.path / d["file"]).read_text()
-                )
+                text = (self.path / d["file"]).read_text()
+                store = self.store() if self.has_store() else None
+                return measurements_from_json(text, store=store)
         raise ValidationError(
             f"no dataset {name!r} in campaign {self.name!r}; have {self.names()}"
         )
@@ -156,13 +176,39 @@ class Campaign:
 
     # -- execution --------------------------------------------------------
 
-    def result_cache(self) -> ResultCache:
+    def store(self, *, shard_rows: int | None = None):
+        """The campaign's columnar shard store (``<campaign>/store/``).
+
+        Created on first use; holds spilled task results and datasets as
+        append-only ``.npy`` segments with integrity digests (see
+        docs/STORE.md).  Returns a :class:`repro.store.ShardStore`.
+        """
+        from ..store import ShardStore
+
+        kwargs = {} if shard_rows is None else {"shard_rows": shard_rows}
+        return ShardStore(self.path / "store", **kwargs)
+
+    def has_store(self) -> bool:
+        """True when this campaign directory has a shard store."""
+        return (self.path / "store" / "manifest.json").exists()
+
+    def result_cache(self, *, spill_rows: int | None = None) -> ResultCache:
         """The campaign's content-addressed task-result cache.
 
         Lives under ``<campaign>/cache/`` so re-running a campaign in the
-        same directory only measures new or changed design points.
+        same directory only measures new or changed design points.  With
+        *spill_rows* set, task results of at least that many values spill
+        to :meth:`store` and the cache keeps stubs (bounded memory on
+        reload; see :class:`repro.exec.ResultCache`).
         """
-        return ResultCache(self.path / "cache")
+        if spill_rows is None:
+            # Existing spilled entries must stay readable even when the
+            # caller did not ask for spilling on this run.
+            store = self.store() if self.has_store() else None
+            return ResultCache(self.path / "cache", spill_store=store)
+        return ResultCache(
+            self.path / "cache", spill_store=self.store(), spill_rows=spill_rows
+        )
 
     def run(
         self,
@@ -175,6 +221,7 @@ class Campaign:
         record: bool = True,
         overwrite: bool = False,
         on_failure: str = "raise",
+        spill_rows: int | None = None,
     ):
         """Run *experiment* through the execution engine into this campaign.
 
@@ -192,9 +239,14 @@ class Campaign:
         design points in ``result.envelopes`` instead of raising (see
         :meth:`repro.core.Experiment.run`).
 
+        ``spill_rows`` routes large task results *and* large recorded
+        datasets through the campaign's columnar shard store instead of
+        inline JSON (see :meth:`store`), keeping memory and file counts
+        bounded for out-of-core campaigns.
+
         Returns the :class:`~repro.core.experiment.ExperimentResult`.
         """
-        cache = self.result_cache() if use_cache else None
+        cache = self.result_cache(spill_rows=spill_rows) if use_cache else None
         if tracer is not None:
             with tracer.span(
                 "campaign", label=self.name, experiment=experiment.name
@@ -209,7 +261,7 @@ class Campaign:
             )
         if record:
             for ms in result.datasets.values():
-                self.record(ms, overwrite=overwrite)
+                self.record(ms, overwrite=overwrite, spill_rows=spill_rows)
         return result
 
     # -- analysis ---------------------------------------------------------

@@ -19,6 +19,7 @@ from .._validation import as_sample, check_int
 from ..errors import ValidationError
 from ..stats.ci import ConfidenceInterval, mean_ci, median_ci, quantile_ci
 from ..stats.normality import NormalityReport, diagnose
+from ..stats.streaming import StreamingSummary
 from ..stats.summaries import Summary, summarize
 from .units import format_quantity
 
@@ -80,6 +81,83 @@ class MeasurementSet:
     def n(self) -> int:
         """Number of retained measurements."""
         return len(self)
+
+    # -- out-of-core construction -------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls,
+        store: Any,
+        fingerprint: str,
+        *,
+        unit: str,
+        name: str = "measurement",
+        warmup_dropped: int = 0,
+        batch_k: int = 1,
+        deterministic: bool = False,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "MeasurementSet":
+        """A set whose values are a lazily memory-mapped store column.
+
+        The returned set behaves exactly like an in-memory one (the
+        ``values`` array is a read-only slice of the shard mapping), but
+        no sample bytes are read until a statistic touches them — use
+        :meth:`iter_chunks` / :meth:`streaming_summary` to keep analysis
+        bounded.  The full-sample finiteness scan of the normal
+        constructor is skipped: the store validated every chunk at append
+        time, and scanning here would defeat the laziness.
+
+        Raises :class:`ValidationError` when the entry is absent (or was
+        quarantined by the store during the read).
+        """
+        got = store.get(fingerprint)
+        if got is None:
+            raise ValidationError(
+                f"store at {getattr(store, 'path', '?')} has no entry "
+                f"{fingerprint!r} (missing or quarantined)"
+            )
+        values, store_md = got
+        ms = cls.__new__(cls)
+        object.__setattr__(ms, "values", values)
+        object.__setattr__(ms, "unit", unit)
+        object.__setattr__(ms, "name", name)
+        object.__setattr__(
+            ms, "warmup_dropped", check_int(warmup_dropped, "warmup_dropped", minimum=0)
+        )
+        object.__setattr__(ms, "batch_k", check_int(batch_k, "batch_k", minimum=1))
+        object.__setattr__(ms, "deterministic", bool(deterministic))
+        object.__setattr__(ms, "metadata", {**store_md, **dict(metadata or {})})
+        return ms
+
+    # -- streaming statistics -----------------------------------------------
+
+    def iter_chunks(self, chunk_rows: int = 512 * 1024):
+        """Yield ``values`` in bounded read-only chunks (views, no copies)."""
+        check_int(chunk_rows, "chunk_rows", minimum=1)
+        for start in range(0, self.values.size, chunk_rows):
+            yield self.values[start : start + chunk_rows]
+
+    def streaming_summary(
+        self,
+        *,
+        sketch_k: int | None = None,
+        seed: int | None = None,
+        chunk_rows: int = 512 * 1024,
+    ) -> StreamingSummary:
+        """A :class:`~repro.stats.streaming.StreamingSummary` of the sample.
+
+        One bounded pass over :meth:`iter_chunks` — mean/std/CoV and the
+        extremes exact, quantiles within the sketch's documented
+        rank-error bound.  Call ``.summary()`` on the result for the
+        :class:`~repro.stats.summaries.Summary` dataclass, or keep the
+        object to merge with other partial summaries.
+        """
+        kwargs: dict[str, Any] = {}
+        if sketch_k is not None:
+            kwargs["sketch_k"] = sketch_k
+        acc = StreamingSummary(seed=seed, **kwargs)
+        acc.update_chunks(self.iter_chunks(chunk_rows))
+        return acc
 
     # -- derived sets --------------------------------------------------------
 

@@ -93,6 +93,13 @@ def task_fingerprint(
     return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
 
+#: Entries at or above this many values spill to the shard store (when
+#: one is attached): the JSON encoding of a large sample costs ~20 bytes
+#: per value and a full parse per read, while a shard row costs 8 bytes
+#: and reads back lazily.
+DEFAULT_SPILL_ROWS = 4096
+
+
 class ResultCache:
     """A directory of content-addressed measurement results.
 
@@ -102,13 +109,31 @@ class ResultCache:
     event is counted in :attr:`corrupt_entries` (surfaced as the
     ``repro_cache_corrupt_total`` metric by the engine).  The campaign
     then simply re-measures — corruption costs work, never correctness.
+
+    With a ``spill_store`` attached (a :class:`repro.store.ShardStore`),
+    entries of at least ``spill_rows`` values keep only a stub JSON here
+    (``{"spilled": true, "rows": n}``) while the column itself lives in
+    the store under the *same* fingerprint and is returned as a read-only
+    memory-mapped slice — a cache hit on a spilled entry never
+    materializes the sample.  A stub whose store entry has gone missing
+    is corruption like any other: quarantined, counted, re-measured.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        spill_store: Any | None = None,
+        spill_rows: int = DEFAULT_SPILL_ROWS,
+    ) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         #: Corrupt entries detected (and quarantined) by this instance.
         self.corrupt_entries = 0
+        if spill_rows < 1:
+            raise ValidationError(f"spill_rows must be >= 1, got {spill_rows}")
+        self.spill_store = spill_store
+        self.spill_rows = int(spill_rows)
 
     def _entry(self, fingerprint: str) -> Path:
         if len(fingerprint) < 8 or not all(c in "0123456789abcdef" for c in fingerprint):
@@ -135,19 +160,44 @@ class ResultCache:
             if not isinstance(payload, Mapping):
                 raise ValueError(f"cache entry is {type(payload).__name__}, not an object")
             stored_fp = payload.get("fingerprint")
-            if stored_fp is not None and stored_fp != fingerprint:
-                raise ValueError(f"entry claims fingerprint {stored_fp!r}")
-            values = np.asarray(payload["values"], dtype=np.float64)
-            if values.ndim != 1 or values.size == 0:
-                raise ValueError(f"entry values have shape {values.shape}")
+            if stored_fp != fingerprint:
+                # A *missing* fingerprint is as corrupt as a mismatched one:
+                # the field is what lets a read prove the entry belongs to
+                # this key, so its absence must not be taken on faith.
+                raise ValueError(
+                    "entry has no fingerprint field"
+                    if stored_fp is None
+                    else f"entry claims fingerprint {stored_fp!r}"
+                )
             metadata = payload.get("metadata", {})
             if not isinstance(metadata, Mapping):
                 raise ValueError("entry metadata is not an object")
             metadata = dict(metadata)
+            if payload.get("spilled"):
+                values = self._get_spilled(payload, fingerprint)
+            else:
+                values = np.asarray(payload["values"], dtype=np.float64)
+            if values.ndim != 1 or values.size == 0:
+                raise ValueError(f"entry values have shape {values.shape}")
         except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
             self._quarantine(entry)
             return None
         return values, metadata
+
+    def _get_spilled(self, payload: Mapping[str, Any], fingerprint: str) -> np.ndarray:
+        """Resolve a spill stub through the shard store (lazy memmap)."""
+        if self.spill_store is None:
+            raise ValueError("spilled entry but no spill store attached")
+        got = self.spill_store.get(fingerprint)
+        if got is None:
+            raise ValueError("spilled entry missing from the shard store")
+        values, _ = got
+        rows = int(payload.get("rows", -1))
+        if values.size != rows:
+            raise ValueError(
+                f"spilled entry has {values.size} rows, stub claims {rows}"
+            )
+        return values
 
     def put(
         self,
@@ -155,14 +205,32 @@ class ResultCache:
         values: np.ndarray,
         metadata: Mapping[str, Any] | None = None,
     ) -> Path:
-        """Store ``(values, metadata)`` under *fingerprint* atomically."""
+        """Store ``(values, metadata)`` under *fingerprint* atomically.
+
+        Large entries spill to the attached shard store (see class
+        docstring); the JSON file then holds only a verifiable stub.  The
+        column is written to the store *before* the stub is published, so
+        a crash between the two leaves an orphaned column (wasted bytes,
+        reclaimed by ``repro store compact``) — never a dangling stub.
+        """
         entry = self._entry(fingerprint)
         entry.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "fingerprint": fingerprint,
-            "values": [float(v) for v in np.asarray(values, dtype=np.float64).ravel()],
-            "metadata": _canonical(dict(metadata or {})),
-        }
+        x = np.ascontiguousarray(values, dtype=np.float64).ravel()
+        if self.spill_store is not None and x.size >= self.spill_rows:
+            if fingerprint not in self.spill_store:
+                self.spill_store.append(fingerprint, x)
+            payload: dict[str, Any] = {
+                "fingerprint": fingerprint,
+                "spilled": True,
+                "rows": int(x.size),
+                "metadata": _canonical(dict(metadata or {})),
+            }
+        else:
+            payload = {
+                "fingerprint": fingerprint,
+                "values": [float(v) for v in x],
+                "metadata": _canonical(dict(metadata or {})),
+            }
         tmp = entry.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload))
         tmp.replace(entry)

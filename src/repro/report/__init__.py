@@ -34,6 +34,7 @@ from .autoreport import report_experiment
 from .calibration import calibration_table, calibration_markdown
 from .chaos import chaos_table, chaos_markdown
 from .compare import compare_table, compare_markdown
+from .store import store_table, store_verify_table, store_markdown
 
 __all__ = [
     "render_table",
@@ -74,4 +75,7 @@ __all__ = [
     "chaos_markdown",
     "compare_table",
     "compare_markdown",
+    "store_table",
+    "store_verify_table",
+    "store_markdown",
 ]

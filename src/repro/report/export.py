@@ -22,6 +22,7 @@ from ..errors import ValidationError
 __all__ = [
     "write_csv",
     "read_csv",
+    "dataset_fingerprint",
     "measurements_to_json",
     "measurements_from_json",
     "figure_to_json",
@@ -58,8 +59,32 @@ def read_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
-def measurements_to_json(ms: MeasurementSet) -> str:
-    """Serialize a MeasurementSet, preserving all provenance fields."""
+def dataset_fingerprint(name: str) -> str:
+    """The shard-store key of a spilled campaign dataset.
+
+    Task results use :func:`repro.exec.task_fingerprint`; datasets are
+    addressed by name, namespaced so the two key families cannot collide.
+    """
+    import hashlib
+
+    return hashlib.blake2b(f"dataset:{name}".encode(), digest_size=16).hexdigest()
+
+
+def measurements_to_json(
+    ms: MeasurementSet,
+    *,
+    store: Any = None,
+    spill_rows: int | None = None,
+) -> str:
+    """Serialize a MeasurementSet, preserving all provenance fields.
+
+    With *store* (a :class:`repro.store.ShardStore`) given and
+    ``ms.n >= spill_rows``, the values column is written to the store
+    under :func:`dataset_fingerprint` and the JSON carries only a stub —
+    the out-of-core path for campaign datasets too large to re-encode as
+    a JSON array.  Reading a stub back requires passing the same store to
+    :func:`measurements_from_json`.
+    """
     payload = {
         "name": ms.name,
         "unit": ms.unit,
@@ -67,15 +92,53 @@ def measurements_to_json(ms: MeasurementSet) -> str:
         "batch_k": ms.batch_k,
         "deterministic": ms.deterministic,
         "metadata": {k: _jsonable(v) for k, v in ms.metadata.items()},
-        "values": ms.values.tolist(),
     }
+    if store is not None and spill_rows is not None and ms.n >= spill_rows:
+        fp = dataset_fingerprint(ms.name)
+        if fp in store:
+            # Re-recording (overwrite=True): unlist the stale column
+            # first; its bytes are reclaimed by `repro store compact`.
+            store.remove(fp)
+        store.append(fp, ms.values, {"dataset": ms.name})
+        payload["store"] = {"fingerprint": fp, "rows": ms.n}
+    else:
+        payload["values"] = ms.values.tolist()
     return json.dumps(payload)
 
 
-def measurements_from_json(text: str) -> MeasurementSet:
-    """Inverse of :func:`measurements_to_json`."""
+def measurements_from_json(text: str, *, store: Any = None) -> MeasurementSet:
+    """Inverse of :func:`measurements_to_json`.
+
+    Spilled datasets (a ``"store"`` stub instead of inline ``"values"``)
+    load lazily from *store*: the returned set's values are a read-only
+    memory-mapped slice.  Loading a stub without its store — or with the
+    entry missing/quarantined — raises :class:`ValidationError`.
+    """
     payload = json.loads(text)
     try:
+        stub = payload.get("store")
+        if stub is not None:
+            if store is None:
+                raise ValidationError(
+                    f"dataset {payload.get('name')!r} is spilled to a shard "
+                    "store; pass store= to load it"
+                )
+            ms = MeasurementSet.from_store(
+                store,
+                str(stub["fingerprint"]),
+                unit=payload["unit"],
+                name=payload["name"],
+                warmup_dropped=payload["warmup_dropped"],
+                batch_k=payload["batch_k"],
+                deterministic=payload["deterministic"],
+                metadata=payload.get("metadata", {}),
+            )
+            if ms.n != int(stub["rows"]):
+                raise ValidationError(
+                    f"spilled dataset {payload['name']!r} has {ms.n} rows, "
+                    f"stub claims {stub['rows']}"
+                )
+            return ms
         return MeasurementSet(
             values=np.asarray(payload["values"], dtype=np.float64),
             unit=payload["unit"],

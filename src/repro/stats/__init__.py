@@ -23,9 +23,14 @@ samplesize
 density
     KDE / histogram / ECDF for distribution reporting.
 bootstrap
-    Percentile and BCa bootstrap CIs (extension).
+    Percentile and BCa bootstrap CIs (extension), with a chunked
+    bounded-memory replicate path.
 distributions
     Normal and shifted log-normal fits.
+sketch
+    Mergeable KLL quantile sketch with measured rank-error bounds.
+streaming
+    Bounded-memory summaries over chunked / out-of-core samples.
 """
 
 from .summaries import (
@@ -102,6 +107,8 @@ from .nonparametric import mann_whitney, rank_biserial, SignTestResult, sign_tes
 from .multiple import holm_bonferroni, PairwiseResult, pairwise_comparisons
 from .trend import MannKendallResult, mann_kendall, rolling_cov, rolling_median
 from .power import t_test_power, required_n_for_power
+from .sketch import KLLSketch, SKETCH_RANK_ERROR_C
+from .streaming import StreamingSummary, summarize_chunks, summarize_store
 
 __all__ = [
     # summaries
@@ -203,4 +210,10 @@ __all__ = [
     # power
     "t_test_power",
     "required_n_for_power",
+    # sketch / streaming
+    "KLLSketch",
+    "SKETCH_RANK_ERROR_C",
+    "StreamingSummary",
+    "summarize_chunks",
+    "summarize_store",
 ]

@@ -29,26 +29,46 @@ def bootstrap_distribution(
     n_boot: int = 1000,
     seed: int = 0,
     vectorized: bool = False,
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Bootstrap replicates of *statistic* over resamples of *data*.
 
     With ``vectorized=True`` the statistic must accept a 2-D array of shape
     ``(n_boot, n)`` and reduce along ``axis=1`` (e.g. ``np.mean``), which
     is dramatically faster for simple estimators.
+
+    ``chunk_rows`` bounds memory for the streaming/out-of-core path: the
+    replicate index matrix is generated and evaluated ``chunk_rows``
+    replicates at a time, so peak memory is ``O(chunk_rows × n)`` instead
+    of ``O(n_boot × n)`` — and *data* may itself be a lazily-mapped store
+    column.  Chunking is **bit-identical** to the one-shot path for any
+    ``chunk_rows``: numpy's ``Generator.integers`` fills C-order from one
+    sequential stream, so splitting along the leading axis consumes the
+    stream identically (locked by a regression test).
     """
     x = as_sample(data, min_n=2, what="bootstrap")
     n_boot = check_int(n_boot, "n_boot", minimum=10)
     rng = np.random.default_rng(seed)
-    idx = rng.integers(0, x.size, size=(n_boot, x.size))
-    samples = x[idx]
-    if vectorized:
-        reps = np.asarray(statistic(samples))
-        if reps.shape != (n_boot,):
-            raise ValidationError(
-                "vectorized statistic must reduce (n_boot, n) along axis=1"
-            )
-        return reps.astype(np.float64)
-    return np.array([float(statistic(row)) for row in samples])
+    rows = (
+        n_boot
+        if chunk_rows is None
+        else check_int(chunk_rows, "chunk_rows", minimum=1)
+    )
+    reps = np.empty(n_boot, dtype=np.float64)
+    for start in range(0, n_boot, rows):
+        m = min(rows, n_boot - start)
+        idx = rng.integers(0, x.size, size=(m, x.size))
+        block = x[idx]
+        if vectorized:
+            r = np.asarray(statistic(block))
+            if r.shape != (m,):
+                raise ValidationError(
+                    "vectorized statistic must reduce (n_boot, n) along axis=1"
+                )
+            reps[start : start + m] = r
+        else:
+            reps[start : start + m] = [float(statistic(row)) for row in block]
+    return reps
 
 
 def jackknife_replicates(
@@ -111,6 +131,7 @@ def bootstrap_ci(
     seed: int = 0,
     name: str = "statistic",
     vectorized: bool = False,
+    chunk_rows: int | None = None,
 ) -> ConfidenceInterval:
     """Bootstrap CI for an arbitrary statistic.
 
@@ -119,12 +140,15 @@ def bootstrap_ci(
     the jackknife for the acceleration constant).  ``vectorized=True``
     declares that the statistic reduces 2-D arrays along ``axis=1`` (see
     :func:`bootstrap_distribution`), which also unlocks the chunked
-    jackknife path for BCa on large samples.
+    jackknife path for BCa on large samples.  ``chunk_rows`` streams the
+    replicates in bounded memory (bit-identical to the one-shot path; see
+    :func:`bootstrap_distribution`).
     """
     check_prob(confidence, "confidence")
     x = as_sample(data, min_n=3, what="bootstrap CI")
     reps = bootstrap_distribution(
-        x, statistic, n_boot=n_boot, seed=seed, vectorized=vectorized
+        x, statistic, n_boot=n_boot, seed=seed, vectorized=vectorized,
+        chunk_rows=chunk_rows,
     )
     if vectorized:
         est = float(np.asarray(statistic(x[None, :])).reshape(()))

@@ -1,0 +1,230 @@
+"""Bounded-memory summaries over chunked / out-of-core samples.
+
+Glue between :mod:`repro.store` and the paper's summary machinery: a
+:class:`StreamingSummary` pairs the exact online moments of
+:class:`~repro.stats.summaries.RunningMoments` (mean/std/CoV are
+*algebraically* exact, independent of chunking) with a mergeable
+:class:`~repro.stats.sketch.KLLSketch` for the rank statistics (min, the
+quartiles, q95 — exact until the sketch compacts, then within its
+documented rank-error bound), producing the same
+:class:`~repro.stats.summaries.Summary` dataclass the in-memory
+:func:`~repro.stats.summaries.summarize` returns.  Minimum and maximum
+are tracked exactly — the paper's Figure 1 annotates both, and extremes
+are precisely what sketches are worst at.
+
+Two summaries over disjoint chunk streams :meth:`merge` exactly
+(moments via Chan's parallel update, sketches via KLL merge), so
+parallel workers can each summarize their own shards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .._validation import as_sample, check_int
+from ..errors import InsufficientDataError, ValidationError
+from .ci import ConfidenceInterval
+from .sketch import DEFAULT_SKETCH_K, KLLSketch
+from .summaries import RunningMoments, Summary, _degenerate_cov
+
+__all__ = ["StreamingSummary", "summarize_chunks", "summarize_store"]
+
+
+class StreamingSummary:
+    """Every Figure-1 statistic, computed one bounded chunk at a time."""
+
+    def __init__(
+        self, *, sketch_k: int = DEFAULT_SKETCH_K, seed: int | None = None
+    ) -> None:
+        self.moments = RunningMoments()
+        self.sketch = KLLSketch(sketch_k, seed=seed)
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def n(self) -> int:
+        return self.moments.n
+
+    def update(self, x: float) -> None:
+        """Incorporate one observation into moments, sketch, and extremes."""
+        x = float(x)
+        self.moments.update(x)
+        self.sketch.update(x)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def update_many(self, data: Iterable[float]) -> None:
+        """Incorporate one chunk (empty chunks are no-ops)."""
+        x = as_sample(data, min_n=0, what="summary chunk")
+        if x.size == 0:
+            return
+        self.moments.update_many(x)
+        self.sketch.update_many(x)
+        self._min = min(self._min, float(x.min()))
+        self._max = max(self._max, float(x.max()))
+
+    def update_chunks(self, chunks: Iterable[Iterable[float]]) -> "StreamingSummary":
+        """Drain an iterable of chunks through :meth:`update_many`; returns self."""
+        for chunk in chunks:
+            self.update_many(chunk)
+        return self
+
+    def merge(self, other: "StreamingSummary") -> "StreamingSummary":
+        """Combine two partial summaries (inputs untouched)."""
+        if not isinstance(other, StreamingSummary):
+            raise ValidationError(
+                f"cannot merge StreamingSummary with {type(other).__name__}"
+            )
+        out = StreamingSummary.__new__(StreamingSummary)
+        out.moments = self.moments.merge(other.moments)
+        out.sketch = self.sketch.merge(other.sketch)
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        if self.n == 0:
+            raise InsufficientDataError(1, 0, "streaming mean")
+        return self.moments.mean
+
+    @property
+    def std(self) -> float:
+        return self.moments.std
+
+    @property
+    def minimum(self) -> float:
+        if self.n == 0:
+            raise InsufficientDataError(1, 0, "streaming minimum")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self.n == 0:
+            raise InsufficientDataError(1, 0, "streaming maximum")
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Sketch estimate of quantile *q* (see :meth:`KLLSketch.quantile`)."""
+        return self.sketch.quantile(q)
+
+    def quantile_ci(self, q: float, confidence: float = 0.95) -> ConfidenceInterval:
+        """Rank-based CI via the sketch (see :meth:`KLLSketch.quantile_ci`)."""
+        return self.sketch.quantile_ci(q, confidence)
+
+    def median_ci(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """:meth:`quantile_ci` at q = 0.5."""
+        return self.sketch.quantile_ci(0.5, confidence)
+
+    def summary(self) -> Summary:
+        """The :class:`Summary` dataclass of everything seen (n ≥ 2).
+
+        Moments (n, mean, std, CoV) and the extremes are exact; the inner
+        quantiles come from the sketch.  While the sketch is still exact
+        (small n), this equals the in-memory :func:`summarize` up to
+        quantile-interpolation convention; afterwards the quantiles are
+        within the sketch's documented rank-error bound.
+        """
+        if self.n < 2:
+            raise InsufficientDataError(2, self.n, "streaming summary")
+        mean = self.moments.mean
+        std = self.moments.std
+        return Summary(
+            n=self.n,
+            mean=mean,
+            std=std,
+            cov=_degenerate_cov(mean, std),
+            minimum=self._min,
+            q25=self.sketch.quantile(0.25),
+            median=self.sketch.quantile(0.5),
+            q75=self.sketch.quantile(0.75),
+            q95=self.sketch.quantile(0.95),
+            maximum=self._max,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready state (serializable partial summary)."""
+        return {
+            "n": self.n,
+            "mean": self.moments.mean,
+            "m2": self.moments._m2,
+            "min": None if self.n == 0 else self._min,
+            "max": None if self.n == 0 else self._max,
+            "sketch": self.sketch.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StreamingSummary":
+        try:
+            out = cls()
+            out.sketch = KLLSketch.from_dict(payload["sketch"])
+            n = int(payload["n"])
+            out.moments = RunningMoments(
+                n=n, mean=float(payload["mean"]), _m2=float(payload["m2"])
+            )
+            if n != out.sketch.n:
+                raise ValueError(f"moments n={n} but sketch n={out.sketch.n}")
+            if n > 0:
+                out._min = float(payload["min"])
+                out._max = float(payload["max"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed streaming summary: {exc}") from exc
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.n == 0:
+            return "StreamingSummary(n=0)"
+        return f"StreamingSummary(n={self.n}, mean={self.moments.mean:.6g})"
+
+
+def summarize_chunks(
+    chunks: Iterable[Iterable[float]],
+    *,
+    sketch_k: int = DEFAULT_SKETCH_K,
+    seed: int | None = None,
+) -> Summary:
+    """One-pass :class:`Summary` over an iterable of chunks (n ≥ 2 total)."""
+    acc = StreamingSummary(sketch_k=sketch_k, seed=seed)
+    acc.update_chunks(chunks)
+    return acc.summary()
+
+
+def summarize_store(
+    store: Any,
+    fingerprints: Iterable[str] | str | None = None,
+    *,
+    chunk_rows: int | None = None,
+    sketch_k: int = DEFAULT_SKETCH_K,
+    seed: int | None = None,
+) -> Summary:
+    """Bounded-memory :class:`Summary` over entries of a
+    :class:`~repro.store.ShardStore`.
+
+    ``fingerprints`` may be one fingerprint, an iterable of them, or
+    ``None`` for every entry in the store.  Entries the store has
+    quarantined mid-read are skipped (they return no chunks), keeping the
+    quarantine-not-crash contract.
+    """
+    if isinstance(fingerprints, str):
+        fingerprints = [fingerprints]
+    fps = store.fingerprints() if fingerprints is None else list(fingerprints)
+    acc = StreamingSummary(sketch_k=sketch_k, seed=seed)
+    kwargs: dict[str, Any] = {}
+    if chunk_rows is not None:
+        kwargs["chunk_rows"] = check_int(chunk_rows, "chunk_rows", minimum=1)
+    for fp in fps:
+        if fp not in store:
+            raise KeyError(fp)
+        try:
+            chunk_iter: Iterator[np.ndarray] = store.iter_chunks(fp, **kwargs)
+            acc.update_chunks(chunk_iter)
+        except KeyError:
+            # Quarantined between the membership check and the read; the
+            # store already warned — summarize what survives.
+            continue
+    return acc.summary()

@@ -89,7 +89,10 @@ def geometric_mean(data: Iterable[float]) -> float:
 
     The paper interprets it as the mean of log-normalized data
     (Section 3.1.2) and allows it only as a last resort for ratios
-    (Rule 4).  Requires strictly positive data.
+    (Rule 4).  Requires strictly positive data: an input containing a
+    zero (or negative) value raises :class:`~repro.errors.ValidationError`
+    up front — ``log(0)`` would otherwise silently collapse the mean to
+    ``-inf`` and the result to ``0``.
     """
     x = as_positive_sample(data, what="ratios")
     return float(np.exp(np.mean(np.log(x))))
@@ -211,17 +214,33 @@ def sample_std(data: Iterable[float]) -> float:
     return math.sqrt(sample_var(data))
 
 
+def _degenerate_cov(mean: float, std: float) -> float:
+    """The library-wide sentinel convention for CoV at zero mean.
+
+    ``s/x̄`` is undefined at ``x̄ = 0``; rather than raising (which would
+    abort a whole campaign summary over one degenerate sample) the
+    library returns documented sentinels, mirroring the zero-variance
+    ``t_test`` convention from the calibration-harness PR:
+
+    * all-zero sample (``s = 0`` too) → ``0.0`` — perfectly stable;
+    * zero mean with spread (``s > 0``) → ``inf`` — no meaningful scale.
+    """
+    if mean == 0.0:
+        return 0.0 if std == 0.0 else math.inf
+    return std / mean
+
+
 def coefficient_of_variation(data: Iterable[float]) -> float:
     """Coefficient of variation ``CoV = s/x̄`` (Section 3.1.2).
 
     A dimensionless stability measure; the paper cites it as a good gauge
-    of system performance consistency over time.  Requires a nonzero mean.
+    of system performance consistency over time.  A zero mean yields the
+    documented sentinels of :func:`_degenerate_cov` (``0.0`` for an
+    all-zero sample, ``inf`` otherwise) instead of raising, consistently
+    with :func:`summarize` and :attr:`RunningMoments.cov`.
     """
     x = as_sample(data, min_n=2, what="CoV")
-    m = x.mean()
-    if m == 0.0:
-        raise ValidationError("CoV undefined for zero mean")
-    return float(x.std(ddof=1) / m)
+    return float(_degenerate_cov(float(x.mean()), float(x.std(ddof=1))))
 
 
 @dataclass
@@ -248,8 +267,15 @@ class RunningMoments:
         self._m2 += delta * (x - self.mean)
 
     def update_many(self, data: Iterable[float]) -> None:
-        """Incorporate a batch of observations (vectorized merge)."""
-        x = as_sample(data, min_n=1, what="batch")
+        """Incorporate a batch of observations (vectorized merge).
+
+        An empty batch is a no-op — the streaming layer feeds arbitrary
+        chunk boundaries through here, and a zero-length tail chunk must
+        not abort (nor perturb) the summary.
+        """
+        x = as_sample(data, min_n=0, what="batch")
+        if x.size == 0:
+            return
         batch = RunningMoments(
             n=int(x.size), mean=float(x.mean()), _m2=float(((x - x.mean()) ** 2).sum())
         )
@@ -282,10 +308,12 @@ class RunningMoments:
 
     @property
     def cov(self) -> float:
-        """Coefficient of variation of everything seen so far."""
-        if self.mean == 0.0:
-            raise ValidationError("CoV undefined for zero mean")
-        return self.std / self.mean
+        """Coefficient of variation of everything seen so far.
+
+        Zero mean yields the :func:`_degenerate_cov` sentinels rather
+        than raising, matching :func:`coefficient_of_variation`.
+        """
+        return _degenerate_cov(self.mean, self.std)
 
 
 @dataclass(frozen=True)
@@ -334,7 +362,7 @@ def summarize(data: Iterable[float]) -> Summary:
         n=int(x.size),
         mean=mean,
         std=std,
-        cov=std / mean if mean != 0.0 else math.inf,
+        cov=_degenerate_cov(mean, std),
         minimum=float(x.min()),
         q25=float(q25),
         median=float(q50),

@@ -19,7 +19,14 @@ from .generators import (
     ParetoGenerator,
     get_generator,
 )
-from .procedures import PROCEDURES, CellParams, Procedure, get_procedure, run_batch
+from .procedures import (
+    PROCEDURES,
+    SKETCH_BOUND_CONFIDENCE,
+    CellParams,
+    Procedure,
+    get_procedure,
+    run_batch,
+)
 from .study import (
     KNOWN_LIMITATIONS,
     PROFILES,
@@ -46,6 +53,7 @@ __all__ = [
     "CellParams",
     "Procedure",
     "PROCEDURES",
+    "SKETCH_BOUND_CONFIDENCE",
     "get_procedure",
     "run_batch",
     "CalibrationProfile",

@@ -9,7 +9,11 @@ trial with a *known* success probability:
   *same* distribution and succeed when the test (incorrectly) rejects —
   nominal rate = alpha;
 * **power** procedures inject a known effect and succeed when the test
-  detects it — nominal rate = the analytic power prediction.
+  detects it — nominal rate = the analytic power prediction;
+* **bound** procedures check a documented deterministic/high-probability
+  error bound and succeed when the observed error stays inside it —
+  nominal rate = the bound's stated confidence (the KLL sketch's rank
+  error, e.g., is *measured* against ``C / k``, not assumed).
 
 The empirical success rate over thousands of trials, compared against
 the nominal rate with a binomial CI, is the calibration verdict.  All
@@ -33,6 +37,7 @@ import numpy as np
 from ..compare.kalibera import ratio_ci, ratio_ci_bootstrap
 from ..errors import CoverageWarning, ValidationError
 from ..stats import (
+    KLLSketch,
     SequentialChecker,
     bootstrap_ci,
     kruskal_wallis,
@@ -50,9 +55,24 @@ __all__ = [
     "CellParams",
     "Procedure",
     "PROCEDURES",
+    "SKETCH_BOUND_CONFIDENCE",
     "get_procedure",
     "run_batch",
 ]
+
+#: Nominal success rate for the sketch rank-error cells: the KLL bound
+#: ``eps = C / k`` is a high-probability guarantee, and the constant we
+#: ship (C = 4) is conservative enough that violations should be rarer
+#: than 1 in 100 streams.  A cell whose empirical rate dips below the
+#: tolerance band around this value means the documented bound is wrong
+#: for that input distribution — exactly what calibration exists to catch.
+SKETCH_BOUND_CONFIDENCE = 0.99
+
+#: Sketch accuracy parameter for the calibration cells.  Fixed (rather
+#: than a :class:`CellParams` knob) so cell fingerprints stay stable;
+#: k = 64 gives eps = 0.0625, small enough to be a meaningful check and
+#: cheap enough for thousands of Monte-Carlo trials.
+_SKETCH_CALIBRATION_K = 64
 
 
 @dataclass(frozen=True)
@@ -194,6 +214,25 @@ def _trial_stopping_rule(gen, rng, p: CellParams) -> bool:
     return chk.current_ci.contains(gen.mean())
 
 
+def _trial_sketch_rank_error(gen, rng, p: CellParams) -> bool:
+    """One stream through the KLL sketch vs the exact empirical CDF.
+
+    Feeds ``plan_cap`` draws (the largest stream a cell affords) into a
+    k = 64 sketch, asks for the ``q`` quantile, and measures the *actual*
+    rank error of the answer against the full in-memory sample.  Success
+    = the error is within the documented bound ``rank_error_bound()``
+    plus the 1/n empirical-CDF discretization step (which the bound, a
+    statement about ranks of the continuous stream, does not include).
+    """
+    values = gen.sample(rng, p.plan_cap)
+    sk = KLLSketch(k=_SKETCH_CALIBRATION_K, seed=int(rng.integers(0, 2**31 - 1)))
+    sk.update_many(values)
+    got = sk.quantile(p.q)
+    observed_rank = float(np.sum(values <= got)) / values.size
+    eps = sk.rank_error_bound() + 1.0 / values.size
+    return abs(observed_rank - p.q) <= eps
+
+
 def _trial_kj_ratio_ci(gen, rng, p: CellParams) -> bool:
     """Coverage of the Kalibera–Jones asymptotic ratio-of-means CI.
 
@@ -231,7 +270,7 @@ class Procedure:
     """
 
     name: str
-    kind: str  # "coverage" | "type1" | "power"
+    kind: str  # "coverage" | "type1" | "power" | "bound"
     metric: str
     trial: Callable[[GroundTruthGenerator, np.random.Generator, CellParams], bool]
     generators: tuple[str, ...] | None = None
@@ -244,6 +283,8 @@ class Procedure:
             return params.alpha
         if self.kind == "power":
             return t_test_power(params.n, params.effect, params.alpha)
+        if self.kind == "bound":
+            return SKETCH_BOUND_CONFIDENCE
         raise ValidationError(f"unknown procedure kind {self.kind!r}")
 
     def applies_to(self, generator: str) -> bool:
@@ -310,6 +351,12 @@ PROCEDURES: dict[str, Procedure] = {
             "detection rate vs noncentral-t prediction",
             _trial_t_test_power,
             generators=("normal",),
+        ),
+        Procedure(
+            "sketch_rank_error",
+            "bound",
+            "KLL quantile rank error within the documented C/k bound",
+            _trial_sketch_rank_error,
         ),
         Procedure(
             "kj_ratio_ci",

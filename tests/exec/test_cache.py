@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -214,3 +216,95 @@ class TestIntegrityVerification:
         assert values.tolist() == [1.0, 2.0]
         assert metadata["attempts"] == 1
         assert cache.corrupt_entries == 0
+
+    def test_missing_fingerprint_field_is_corruption(self, tmp_path):
+        """Regression: an entry *without* a fingerprint field sailed past
+        the mismatch check (``payload.get(...) != fingerprint`` was only
+        reached for present-but-wrong values in an earlier draft, and a
+        hand-built payload with the field deleted was accepted as
+        verified).  Absence must be treated exactly like a mismatch:
+        miss + quarantine + counter."""
+        cache, fp, path = self._seeded(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["fingerprint"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+
+class TestSpillToStore:
+    """Entries at/above ``spill_rows`` live in the shard store; the JSON
+    entry is only a stub.  Stub resolution failures are corruption."""
+
+    def _cache(self, tmp_path, spill_rows=8):
+        from repro.store import ShardStore
+
+        store = ShardStore(tmp_path / "store", shard_rows=64)
+        return ResultCache(
+            tmp_path / "cache", spill_store=store, spill_rows=spill_rows
+        ), store
+
+    def test_large_entry_spills_and_roundtrips(self, tmp_path):
+        cache, store = self._cache(tmp_path)
+        fp = task_fingerprint("w", {"p": 1}, (0, 0))
+        values = np.linspace(0.0, 1.0, 20)
+        path = cache.put(fp, values, {"attempts": 1})
+        payload = json.loads(path.read_text())
+        assert payload["spilled"] is True and "values" not in payload
+        assert fp in store
+        got, md = cache.get(fp)
+        assert np.array_equal(got, values)
+        assert md == {"attempts": 1}
+        assert not got.flags.writeable  # lazy read-only memmap slice
+
+    def test_small_entry_stays_inline(self, tmp_path):
+        cache, store = self._cache(tmp_path, spill_rows=100)
+        fp = task_fingerprint("w", {"p": 2}, (0, 0))
+        path = cache.put(fp, np.array([1.0, 2.0]))
+        assert "values" in json.loads(path.read_text())
+        assert fp not in store
+
+    def test_stub_with_missing_store_entry_quarantined(self, tmp_path):
+        cache, store = self._cache(tmp_path)
+        fp = task_fingerprint("w", {"p": 3}, (0, 0))
+        path = cache.put(fp, np.arange(20.0))
+        store.remove(fp)
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+        assert not path.exists()
+
+    def test_stub_row_mismatch_quarantined(self, tmp_path):
+        cache, store = self._cache(tmp_path)
+        fp = task_fingerprint("w", {"p": 4}, (0, 0))
+        path = cache.put(fp, np.arange(20.0))
+        payload = json.loads(path.read_text())
+        payload["rows"] = 7
+        path.write_text(json.dumps(payload))
+        assert cache.get(fp) is None
+        assert cache.corrupt_entries == 1
+
+    def test_stub_without_store_attached_quarantined(self, tmp_path):
+        cache, store = self._cache(tmp_path)
+        fp = task_fingerprint("w", {"p": 5}, (0, 0))
+        cache.put(fp, np.arange(20.0))
+        detached = ResultCache(tmp_path / "cache")
+        assert detached.get(fp) is None
+        assert detached.corrupt_entries == 1
+
+    def test_respill_same_fingerprint_reuses_column(self, tmp_path):
+        """put() on an already-spilled fingerprint must not trip the
+        store's duplicate-append refusal."""
+        cache, store = self._cache(tmp_path)
+        fp = task_fingerprint("w", {"p": 6}, (0, 0))
+        values = np.arange(20.0)
+        cache.put(fp, values, {"attempt": 1})
+        cache.put(fp, values, {"attempt": 2})
+        got, md = cache.get(fp)
+        assert np.array_equal(got, values)
+        assert md == {"attempt": 2}
+
+    def test_spill_rows_validated(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ResultCache(tmp_path, spill_rows=0)

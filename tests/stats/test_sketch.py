@@ -1,0 +1,199 @@
+"""Tests for the mergeable KLL quantile sketch (:mod:`repro.stats.sketch`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import KLLSketch, SKETCH_RANK_ERROR_C
+from repro.stats.sketch import DEFAULT_SKETCH_K
+
+
+def true_rank(data: np.ndarray, value: float) -> float:
+    return float(np.sum(data <= value)) / data.size
+
+
+class TestExactRegime:
+    """Below the compaction threshold the sketch is exact by construction."""
+
+    def test_small_stream_quantiles_exact(self):
+        data = np.arange(1.0, 101.0)
+        sk = KLLSketch(k=200)
+        sk.update_many(data)
+        assert sk.is_exact
+        assert sk.rank_error_bound() == 0.0
+        for q in (0.1, 0.25, 0.5, 0.9):
+            assert sk.quantile(q) == np.quantile(data, q, method="lower")
+
+    def test_median_alias(self):
+        sk = KLLSketch()
+        sk.update_many([3.0, 1.0, 2.0])
+        assert sk.median == 2.0
+
+    def test_empty_sketch_refuses_queries(self):
+        sk = KLLSketch()
+        with pytest.raises(InsufficientDataError):
+            sk.quantile(0.5)
+        assert len(sk) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            KLLSketch(k=3)
+        sk = KLLSketch()
+        sk.update(1.0)
+        with pytest.raises(ValidationError):
+            sk.quantile(0.0)
+        with pytest.raises(ValidationError):
+            sk.quantile(1.0)
+
+    def test_update_many_empty_noop(self):
+        sk = KLLSketch()
+        sk.update_many(np.array([]))
+        assert len(sk) == 0
+
+    def test_nonfinite_rejected(self):
+        sk = KLLSketch()
+        with pytest.raises(ValidationError):
+            sk.update_many([1.0, np.nan])
+
+
+class TestCompactedRegime:
+    def test_rank_error_within_documented_bound(self):
+        """The tentpole claim: every quantile answer is within eps = C/k
+        rank error of the truth ('measured, not assumed' — the calibrate
+        harness measures the same cells continuously)."""
+        rng = np.random.default_rng(42)
+        data = rng.lognormal(0.5, 0.8, 200_000)
+        for k in (64, 200):
+            sk = KLLSketch(k=k, seed=1)
+            sk.update_many(data)
+            assert not sk.is_exact
+            eps = sk.rank_error_bound()
+            assert eps == SKETCH_RANK_ERROR_C / k
+            for q in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+                got = sk.quantile(q)
+                assert abs(true_rank(data, got) - q) <= eps
+
+    def test_weight_invariant_survives_compaction(self):
+        """Regression: odd-sized level compaction once promoted
+        ceil(size/2) items at doubled weight, so total weight drifted
+        from n and from_dict round-trips failed its consistency check."""
+        rng = np.random.default_rng(7)
+        sk = KLLSketch(k=16, seed=3)  # tiny k: lots of odd compactions
+        sk.update_many(rng.normal(size=10_000))
+        assert len(sk) == 10_000
+        payload = sk.to_dict()
+        back = KLLSketch.from_dict(payload)  # validates weight sum == n
+        assert len(back) == 10_000
+
+    def test_bounded_memory(self):
+        rng = np.random.default_rng(0)
+        sk = KLLSketch(k=64, seed=0)
+        for _ in range(20):
+            sk.update_many(rng.normal(size=50_000))
+        stored = sum(lvl.size for lvl in sk._levels) + len(sk._buf)
+        assert stored < 40 * 64  # O(k log(n/k)), nowhere near n=1e6
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=30_000)
+        a, b = KLLSketch(k=32, seed=9), KLLSketch(k=32, seed=9)
+        a.update_many(data)
+        b.update_many(data)
+        assert a.quantiles([0.1, 0.5, 0.9]) == b.quantiles([0.1, 0.5, 0.9])
+
+
+class TestMerge:
+    def test_merge_matches_single_stream_bound(self):
+        rng = np.random.default_rng(11)
+        data = rng.lognormal(size=100_000)
+        parts = np.array_split(data, 7)
+        merged = KLLSketch(k=100, seed=0)
+        for part in parts:
+            sk = KLLSketch(k=100, seed=0)
+            sk.update_many(part)
+            merged = merged.merge(sk)
+        assert len(merged) == data.size
+        eps = merged.rank_error_bound()
+        for q in (0.1, 0.5, 0.9):
+            assert abs(true_rank(data, merged.quantile(q)) - q) <= eps
+
+    def test_merge_uses_min_k(self):
+        a, b = KLLSketch(k=64), KLLSketch(k=256)
+        a.update_many([1.0, 2.0])
+        b.update_many([3.0, 4.0])
+        assert a.merge(b).k == 64
+
+    def test_merge_empty_sides(self):
+        a = KLLSketch()
+        a.update_many([1.0, 2.0, 3.0])
+        assert len(a.merge(KLLSketch())) == 3
+        assert len(KLLSketch().merge(a)) == 3
+
+
+class TestRankAndCI:
+    def test_rank_is_cdf(self):
+        sk = KLLSketch()
+        sk.update_many(np.arange(1.0, 11.0))
+        assert sk.rank(5.0) == pytest.approx(0.5)
+        assert sk.rank(0.0) == 0.0
+        assert sk.rank(100.0) == 1.0
+
+    def test_quantile_ci_contains_quantile(self):
+        rng = np.random.default_rng(3)
+        sk = KLLSketch(k=200, seed=0)
+        data = rng.lognormal(size=50_000)
+        sk.update_many(data)
+        ci = sk.quantile_ci(0.5, 0.95)
+        assert ci.low <= sk.median <= ci.high
+        assert ci.confidence == 0.95
+
+    def test_sketch_ci_widens_on_exact_ci(self):
+        """The sketch CI pads the exact rank CI by ceil(eps*n) on each
+        side — it can only be wider (conservative), never narrower."""
+        from repro.stats.ci import quantile_ci as exact_quantile_ci
+
+        rng = np.random.default_rng(8)
+        data = np.sort(rng.lognormal(size=20_000))
+        sk = KLLSketch(k=64, seed=2)
+        sk.update_many(data)
+        exact = exact_quantile_ci(data, 0.5, 0.95)
+        sketch = sk.quantile_ci(0.5, 0.95)
+        assert sketch.low <= exact.low + 1e-12
+        assert sketch.high >= exact.high - 1e-12
+
+    def test_median_ci_small_n_refused(self):
+        sk = KLLSketch()
+        sk.update_many([1.0, 2.0, 3.0])
+        with pytest.raises(InsufficientDataError):
+            sk.median_ci()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(21)
+        sk = KLLSketch(k=48, seed=4)
+        sk.update_many(rng.normal(size=25_000))
+        back = KLLSketch.from_dict(sk.to_dict())
+        assert len(back) == len(sk)
+        assert back.quantiles([0.1, 0.5, 0.9]) == sk.quantiles([0.1, 0.5, 0.9])
+        assert back.rank_error_bound() == sk.rank_error_bound()
+
+    def test_tampered_weight_sum_rejected(self):
+        sk = KLLSketch()
+        sk.update_many([1.0, 2.0, 3.0])
+        payload = sk.to_dict()
+        payload["n"] = 5
+        with pytest.raises(ValidationError):
+            KLLSketch.from_dict(payload)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=300))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, xs):
+        sk = KLLSketch(k=DEFAULT_SKETCH_K)
+        sk.update_many(xs)
+        back = KLLSketch.from_dict(sk.to_dict())
+        assert back.median == sk.median

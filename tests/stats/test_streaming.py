@@ -1,0 +1,215 @@
+"""Tests for streaming summaries and the chunked bootstrap
+(:mod:`repro.stats.streaming`, :func:`repro.stats.bootstrap_distribution`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError, ValidationError
+from repro.stats import (
+    StreamingSummary,
+    bootstrap_ci,
+    summarize,
+    summarize_chunks,
+    summarize_store,
+)
+from repro.stats.bootstrap import bootstrap_distribution
+
+
+def chunked(data, size):
+    return [data[i : i + size] for i in range(0, len(data), size)]
+
+
+class TestStreamingSummary:
+    def test_moments_exact_vs_inmemory(self, lognormal_sample):
+        acc = StreamingSummary(seed=0)
+        acc.update_chunks(chunked(lognormal_sample, 97))
+        exact = summarize(lognormal_sample)
+        assert acc.n == exact.n
+        assert acc.mean == pytest.approx(exact.mean, rel=1e-12)
+        assert acc.std == pytest.approx(exact.std, rel=1e-12)
+        assert acc.minimum == exact.minimum
+        assert acc.maximum == exact.maximum
+
+    def test_quantiles_within_sketch_bound(self):
+        rng = np.random.default_rng(1)
+        data = rng.lognormal(0.3, 0.7, 150_000)
+        acc = StreamingSummary(sketch_k=64, seed=0)
+        acc.update_chunks(chunked(data, 4096))
+        eps = acc.sketch.rank_error_bound()
+        assert eps > 0
+        s = acc.summary()
+        for q, got in ((0.25, s.q25), (0.5, s.median), (0.75, s.q75), (0.95, s.q95)):
+            true = float(np.sum(data <= got)) / data.size
+            assert abs(true - q) <= eps
+
+    def test_summary_matches_inmemory_while_exact(self, normal_sample):
+        """While the sketch holds every value, the whole Summary matches
+        the in-memory one (quantiles via the same 'lower' convention)."""
+        data = normal_sample[:150]
+        acc = StreamingSummary()
+        acc.update_chunks(chunked(data, 31))
+        assert acc.sketch.is_exact
+        s, exact = acc.summary(), summarize(data)
+        assert s.mean == pytest.approx(exact.mean, rel=1e-12)
+        assert s.median == np.quantile(data, 0.5, method="lower")
+        assert (s.minimum, s.maximum) == (exact.minimum, exact.maximum)
+
+    def test_chunk_boundaries_do_not_matter_for_moments(self, normal_sample):
+        a = StreamingSummary(seed=5)
+        b = StreamingSummary(seed=5)
+        a.update_chunks(chunked(normal_sample, 7))
+        b.update_chunks(chunked(normal_sample, 501))
+        assert a.mean == pytest.approx(b.mean, rel=1e-12)
+        assert a.std == pytest.approx(b.std, rel=1e-12)
+        assert a.minimum == b.minimum and a.maximum == b.maximum
+
+    def test_merge_partials(self, lognormal_sample):
+        parts = np.array_split(lognormal_sample, 5)
+        partials = []
+        for part in parts:
+            acc = StreamingSummary(seed=2)
+            acc.update_many(part)
+            partials.append(acc)
+        merged = partials[0]
+        for acc in partials[1:]:
+            merged = merged.merge(acc)
+        whole = StreamingSummary(seed=2)
+        whole.update_many(lognormal_sample)
+        assert merged.n == whole.n == lognormal_sample.size
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_type_checked(self):
+        with pytest.raises(ValidationError):
+            StreamingSummary().merge(object())
+
+    def test_empty_queries_refused(self):
+        acc = StreamingSummary()
+        for prop in ("mean", "minimum", "maximum"):
+            with pytest.raises(InsufficientDataError):
+                getattr(acc, prop)
+        with pytest.raises(InsufficientDataError):
+            acc.summary()
+
+    def test_degenerate_cov_sentinels(self):
+        acc = StreamingSummary()
+        acc.update_many([-1.0, 1.0])
+        assert acc.summary().cov == np.inf
+        zero = StreamingSummary()
+        zero.update_many([0.0, 0.0])
+        assert zero.summary().cov == 0.0
+
+    def test_update_scalar(self):
+        acc = StreamingSummary()
+        for x in (3.0, 1.0, 2.0):
+            acc.update(x)
+        assert acc.n == 3 and acc.quantile(0.5) == 2.0
+
+    def test_as_dict_roundtrip(self, normal_sample):
+        acc = StreamingSummary(sketch_k=48, seed=1)
+        acc.update_many(normal_sample)
+        back = StreamingSummary.from_dict(acc.as_dict())
+        assert back.n == acc.n
+        assert back.mean == acc.mean
+        assert back.minimum == acc.minimum
+        assert back.quantile(0.5) == acc.quantile(0.5)
+
+    def test_from_dict_inconsistent_n_rejected(self, normal_sample):
+        acc = StreamingSummary()
+        acc.update_many(normal_sample[:50])
+        payload = acc.as_dict()
+        payload["n"] = 49
+        with pytest.raises(ValidationError):
+            StreamingSummary.from_dict(payload)
+
+    def test_summary_needs_two(self):
+        acc = StreamingSummary()
+        acc.update(1.0)
+        with pytest.raises(InsufficientDataError):
+            acc.summary()
+
+
+class TestSummarizeHelpers:
+    def test_summarize_chunks(self, lognormal_sample):
+        s = summarize_chunks(chunked(lognormal_sample, 200), seed=0)
+        exact = summarize(lognormal_sample)
+        assert s.n == exact.n and s.mean == pytest.approx(exact.mean, rel=1e-12)
+
+    def test_summarize_store_all_entries(self, tmp_path):
+        from repro.store import ShardStore
+
+        rng = np.random.default_rng(4)
+        parts = [rng.lognormal(size=500) for _ in range(4)]
+        with ShardStore(tmp_path, shard_rows=800) as store:
+            for i, part in enumerate(parts):
+                store.append(f"{i:032x}", part)
+        whole = np.concatenate(parts)
+        s = summarize_store(store, chunk_rows=128, seed=0)
+        assert s.n == whole.size
+        assert s.mean == pytest.approx(whole.mean(), rel=1e-12)
+        # Single-fingerprint form
+        one = summarize_store(store, f"{0:032x}", seed=0)
+        assert one.n == 500
+
+    def test_summarize_store_missing_fp(self, tmp_path):
+        from repro.store import ShardStore
+
+        store = ShardStore(tmp_path)
+        store.append("a" * 32, np.arange(10.0))
+        with pytest.raises(KeyError):
+            summarize_store(store, ["a" * 32, "b" * 32])
+
+
+class TestChunkedBootstrapBitIdentity:
+    """Regression: the chunked bootstrap must be *bit-identical* to the
+    one-shot bootstrap for every chunk size — numpy's Generator fills
+    ``integers(size=(m, n))`` C-order row-by-row, so splitting along the
+    leading axis consumes the identical random stream.  Any refactor that
+    changes the fill order silently changes every CI in out-of-core mode.
+    """
+
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 64, 200, 999])
+    def test_distribution_bit_identical(self, chunk_rows, lognormal_sample):
+        x = lognormal_sample[:300]
+        stat = lambda a: a.mean(axis=1)  # noqa: E731
+        one = bootstrap_distribution(x, stat, n_boot=200, seed=9, vectorized=True)
+        chunked_dist = bootstrap_distribution(
+            x, stat, n_boot=200, seed=9, vectorized=True, chunk_rows=chunk_rows
+        )
+        assert np.array_equal(one, chunked_dist)
+
+    def test_bootstrap_ci_bit_identical(self, lognormal_sample):
+        x = lognormal_sample[:300]
+        stat = lambda a: np.median(a, axis=1)  # noqa: E731
+        base = bootstrap_ci(x, stat, n_boot=300, seed=3, vectorized=True)
+        split = bootstrap_ci(x, stat, n_boot=300, seed=3, vectorized=True, chunk_rows=37)
+        assert base.low == split.low and base.high == split.high
+        assert base.estimate == split.estimate
+
+    def test_chunk_rows_validated(self, lognormal_sample):
+        with pytest.raises(ValidationError):
+            bootstrap_distribution(
+                lognormal_sample[:50],
+                lambda a: a.mean(axis=1),
+                n_boot=10,
+                seed=0,
+                vectorized=True,
+                chunk_rows=0,
+            )
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_any_chunking_identical(self, chunk_rows):
+        rng = np.random.default_rng(0)
+        x = rng.lognormal(size=80)
+        stat = lambda a: a.mean(axis=1)  # noqa: E731
+        one = bootstrap_distribution(x, stat, n_boot=40, seed=1, vectorized=True)
+        split = bootstrap_distribution(
+            x, stat, n_boot=40, seed=1, vectorized=True, chunk_rows=chunk_rows
+        )
+        assert np.array_equal(one, split)

@@ -69,6 +69,15 @@ class TestMeans:
         with pytest.raises(ValidationError):
             geometric_mean([1.0, -2.0])
 
+    def test_geometric_rejects_zeros(self):
+        # Locked convention: zeros are rejected loudly (ValidationError),
+        # never silently mapped to gm=0 — log(0) would otherwise turn the
+        # whole summary into -inf without saying why.
+        with pytest.raises(ValidationError):
+            geometric_mean([0.0, 1.0, 2.0])
+        with pytest.raises(ValidationError):
+            geometric_mean([0.0, 0.0])
+
     @given(positive_samples)
     @settings(max_examples=100)
     def test_hm_gm_am_inequality(self, xs):
@@ -185,9 +194,21 @@ class TestSpread:
         c2 = coefficient_of_variation(normal_sample * 7.0)
         assert c1 == pytest.approx(c2)
 
-    def test_cov_zero_mean_rejected(self):
-        with pytest.raises(ValidationError):
-            coefficient_of_variation([-1.0, 1.0])
+    def test_cov_zero_mean_sentinels(self):
+        # Documented degenerate convention (matches the zero-variance
+        # t_test outcome style): zero mean with spread -> inf, the
+        # all-zero sample -> 0.0.  Consistent across the free function,
+        # RunningMoments.cov, and summarize().
+        assert coefficient_of_variation([-1.0, 1.0]) == math.inf
+        assert coefficient_of_variation([0.0, 0.0, 0.0]) == 0.0
+        rm = RunningMoments()
+        rm.update_many([-1.0, 1.0])
+        assert rm.cov == math.inf
+        rm_zero = RunningMoments()
+        rm_zero.update_many([0.0, 0.0])
+        assert rm_zero.cov == 0.0
+        assert summarize([-1.0, 1.0]).cov == math.inf
+        assert summarize([0.0, 0.0]).cov == 0.0
 
 
 class TestRunningMoments:
@@ -230,6 +251,66 @@ class TestRunningMoments:
         assert merged.mean == pytest.approx(2.0)
         merged2 = RunningMoments().merge(a)
         assert merged2.n == 3
+
+    def test_merge_empty_side_is_exact(self):
+        """Regression: merging an empty side once went through the general
+        Chan update, whose ``delta * n_a * n_b / n`` term perturbed the
+        surviving moments by an ulp — streaming summaries then disagreed
+        bitwise with their in-memory twins.  An empty side must return the
+        other side's moments *exactly*."""
+        a = RunningMoments()
+        a.update_many([0.1, 0.2, 0.7, 1e9])
+        for merged in (a.merge(RunningMoments()), RunningMoments().merge(a)):
+            assert merged.n == a.n
+            assert merged.mean == a.mean  # bitwise, not approx
+            assert merged.variance == a.variance
+
+    def test_update_many_empty_is_noop(self):
+        """A zero-length chunk (a streaming tail) must not raise or
+        perturb the accumulated state."""
+        rm = RunningMoments()
+        rm.update_many(np.array([], dtype=float))  # no-op on empty state
+        assert rm.n == 0
+        rm.update_many([1.0, 2.0])
+        mean, m2 = rm.mean, rm.variance
+        rm.update_many([])
+        assert rm.n == 2 and rm.mean == mean and rm.variance == m2
+
+    @given(
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=30),
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=30),
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_merge_associative(self, xs, ys, zs):
+        """(a + b) + c and a + (b + c) must agree to rounding — the
+        property that makes tree-reduction of worker partials valid."""
+        parts = []
+        for chunk in (xs, ys, zs):
+            rm = RunningMoments()
+            rm.update_many(chunk)
+            parts.append(rm)
+        a, b, c = parts
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.n == right.n
+        assert left.mean == pytest.approx(right.mean, rel=1e-9, abs=1e-9)
+        assert left.variance == pytest.approx(right.variance, rel=1e-6, abs=1e-6)
+
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=80),
+           st.integers(min_value=1, max_value=17))
+    @settings(max_examples=100)
+    def test_chunked_equals_one_pass(self, xs, chunk):
+        """Feeding arbitrary chunk boundaries must match one update_many —
+        the equivalence the out-of-core summaries lean on."""
+        one = RunningMoments()
+        one.update_many(xs)
+        chunked = RunningMoments()
+        for start in range(0, len(xs), chunk):
+            chunked.update_many(xs[start : start + chunk])
+        assert chunked.n == one.n
+        assert chunked.mean == pytest.approx(one.mean, rel=1e-9, abs=1e-9)
+        assert chunked.variance == pytest.approx(one.variance, rel=1e-6, abs=1e-6)
 
     def test_variance_needs_two(self):
         rm = RunningMoments()

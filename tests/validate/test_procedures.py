@@ -23,7 +23,8 @@ class TestRegistry:
         for name in ("mean_ci", "median_ci", "quantile_ci",
                      "bootstrap_percentile", "bootstrap_bca",
                      "t_test", "anova", "kruskal_wallis",
-                     "samplesize_plan", "stopping_rule", "t_test_power"):
+                     "samplesize_plan", "stopping_rule", "t_test_power",
+                     "sketch_rank_error"):
             assert name in PROCEDURES
 
     def test_unknown_name_raises(self):
@@ -32,7 +33,7 @@ class TestRegistry:
 
     def test_kinds_are_valid(self):
         assert {p.kind for p in PROCEDURES.values()} == {
-            "coverage", "type1", "power"
+            "coverage", "type1", "power", "bound"
         }
 
     def test_power_restricted_to_normal(self):
@@ -54,6 +55,12 @@ class TestNominal:
         p = CellParams(n=30, effect=1.0, alpha=0.05)
         nominal = PROCEDURES["t_test_power"].nominal(p)
         assert 0.9 < nominal < 1.0
+
+    def test_bound_nominal_is_sketch_confidence(self):
+        from repro.validate import SKETCH_BOUND_CONFIDENCE
+
+        nominal = PROCEDURES["sketch_rank_error"].nominal(CellParams())
+        assert nominal == SKETCH_BOUND_CONFIDENCE == 0.99
 
 
 class TestCellParams:
