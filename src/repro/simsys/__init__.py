@@ -29,22 +29,40 @@ from .machine import (
     piz_dora,
     pilatus,
     testbed,
+    xc_scale,
     MACHINES,
     get_machine,
 )
-from .network import Topology, dragonfly, fat_tree, single_switch, NetworkModel
+from .network import (
+    Topology,
+    HierarchicalTopology,
+    HierDragonfly,
+    HierFatTree,
+    dragonfly,
+    fat_tree,
+    single_switch,
+    hier_dragonfly,
+    hier_fat_tree,
+    NetworkModel,
+    set_hop_matrix_budget,
+)
 from .events import EventQueue
 from .schedules import (
     KERNEL_VERSION,
     CompiledSchedule,
     Round,
+    ScheduleSpec,
+    schedule_spec,
+    iter_rounds,
     compile_allreduce,
     compile_alltoall,
     compile_barrier,
     compile_bcast,
+    compile_neighbor,
     compile_reduce,
+    compile_scan,
 )
-from .mpi import SimComm, reduce_schedule, bind_kernel_metrics
+from .mpi import SimComm, SkewModel, reduce_schedule, bind_kernel_metrics
 from .energy import PowerModel
 from .noisebench import FWQResult, fixed_work_quantum, detour_spectrum, dominant_period
 from .cache import CacheModel, CachedKernel
@@ -55,6 +73,7 @@ from .workloads import (
     reduction_overhead_piz_daint,
     PiWorkload,
     StreamWorkload,
+    GpuNodeSkew,
 )
 
 __all__ = [
@@ -79,30 +98,44 @@ __all__ = [
     "piz_dora",
     "pilatus",
     "testbed",
+    "xc_scale",
     "MACHINES",
     "get_machine",
     "Topology",
+    "HierarchicalTopology",
+    "HierDragonfly",
+    "HierFatTree",
     "dragonfly",
     "fat_tree",
     "single_switch",
+    "hier_dragonfly",
+    "hier_fat_tree",
     "NetworkModel",
+    "set_hop_matrix_budget",
     "EventQueue",
     "SimComm",
+    "SkewModel",
     "reduce_schedule",
     "bind_kernel_metrics",
     "KERNEL_VERSION",
     "CompiledSchedule",
     "Round",
+    "ScheduleSpec",
+    "schedule_spec",
+    "iter_rounds",
     "compile_reduce",
     "compile_bcast",
     "compile_allreduce",
     "compile_alltoall",
     "compile_barrier",
+    "compile_neighbor",
+    "compile_scan",
     "hpl_flops",
     "HPLModel",
     "reduction_overhead_piz_daint",
     "PiWorkload",
     "StreamWorkload",
+    "GpuNodeSkew",
     "PowerModel",
     "FWQResult",
     "fixed_work_quantum",

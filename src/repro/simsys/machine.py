@@ -24,7 +24,15 @@ from dataclasses import dataclass, replace
 
 from .._validation import check_int, check_positive
 from ..errors import ValidationError
-from .network import NetworkModel, Topology, dragonfly, fat_tree, single_switch
+from .network import (
+    NetworkModel,
+    Topology,
+    dragonfly,
+    fat_tree,
+    hier_dragonfly,
+    hier_fat_tree,
+    single_switch,
+)
 from .noise import (
     CompositeNoise,
     ExponentialSpikes,
@@ -40,9 +48,26 @@ __all__ = [
     "piz_dora",
     "pilatus",
     "testbed",
+    "xc_scale",
     "MACHINES",
     "get_machine",
 ]
+
+#: Aries-like group shape used when auto-sizing hierarchical dragonflies:
+#: 16 routers x 4 nodes = 64 nodes per group.
+_ARIES_ROUTERS_PER_GROUP = 16
+_ARIES_NODES_PER_ROUTER = 4
+
+
+def _sized_hier_dragonfly(n_nodes: int):
+    """A hierarchical dragonfly with Aries group shape covering *n_nodes*."""
+    per_group = _ARIES_ROUTERS_PER_GROUP * _ARIES_NODES_PER_ROUTER
+    groups = max(2, -(-n_nodes // per_group))
+    return hier_dragonfly(
+        groups=groups,
+        routers_per_group=_ARIES_ROUTERS_PER_GROUP,
+        nodes_per_router=_ARIES_NODES_PER_ROUTER,
+    )
 
 
 @dataclass(frozen=True)
@@ -128,11 +153,14 @@ class MachineSpec:
         return replace(self, n_nodes=n_nodes)
 
 
-def piz_daint(n_nodes: int = 64) -> MachineSpec:
+def piz_daint(n_nodes: int = 64, *, hierarchical: bool = False) -> MachineSpec:
     """Piz Daint (Cray XC30 + K20X), calibrated to the paper's Section 4.1.2.
 
     64-node peak: 64 × (0.166 CPU + 1.311 GPU) Tflop/s ≈ 94.5 Tflop/s,
-    matching the paper's HPL peak.
+    matching the paper's HPL peak.  ``hierarchical=True`` swaps the graph
+    dragonfly for the closed-form :class:`~repro.simsys.network.HierDragonfly`
+    (identical hop counts at the stock 384-node shape, auto-sized beyond it)
+    — required for large ``n_nodes``.
     """
     node = NodeSpec(
         name="XC30 compute node",
@@ -145,7 +173,13 @@ def piz_daint(n_nodes: int = 64) -> MachineSpec:
         mem_bandwidth=51.2e9,
         accelerator="NVIDIA Tesla K20X (6 GiB GDDR5)",
     )
-    topo = dragonfly(groups=6, routers_per_group=16, nodes_per_router=4)
+    if hierarchical:
+        if n_nodes <= 6 * 16 * 4:
+            topo = hier_dragonfly(groups=6, routers_per_group=16, nodes_per_router=4)
+        else:
+            topo = _sized_hier_dragonfly(n_nodes)
+    else:
+        topo = dragonfly(groups=6, routers_per_group=16, nodes_per_router=4)
     net = NetworkModel(
         topology=topo,
         base_latency=1.10e-6,
@@ -177,11 +211,12 @@ def piz_daint(n_nodes: int = 64) -> MachineSpec:
     )
 
 
-def piz_dora(n_nodes: int = 64) -> MachineSpec:
+def piz_dora(n_nodes: int = 64, *, hierarchical: bool = False) -> MachineSpec:
     """Piz Dora (Cray XC40), calibrated to the 64 B ping-pong anchors.
 
     Target distribution (Figures 2/3/7c): floor ≈ 1.57 µs, median ≈ 1.72 µs,
     mean ≈ 1.77 µs, max ≈ 7.2 µs — moderate log-normal tail.
+    ``hierarchical=True`` as in :func:`piz_daint`.
     """
     node = NodeSpec(
         name="XC40 compute node",
@@ -193,7 +228,13 @@ def piz_dora(n_nodes: int = 64) -> MachineSpec:
         mem_bytes=64 * 2**30,
         mem_bandwidth=136.0e9,
     )
-    topo = dragonfly(groups=6, routers_per_group=16, nodes_per_router=4)
+    if hierarchical:
+        if n_nodes <= 6 * 16 * 4:
+            topo = hier_dragonfly(groups=6, routers_per_group=16, nodes_per_router=4)
+        else:
+            topo = _sized_hier_dragonfly(n_nodes)
+    else:
+        topo = dragonfly(groups=6, routers_per_group=16, nodes_per_router=4)
     net = NetworkModel(
         topology=topo,
         base_latency=1.555e-6,
@@ -225,11 +266,13 @@ def piz_dora(n_nodes: int = 64) -> MachineSpec:
     )
 
 
-def pilatus(n_nodes: int = 44) -> MachineSpec:
+def pilatus(n_nodes: int = 44, *, hierarchical: bool = False) -> MachineSpec:
     """Pilatus (InfiniBand FDR fat tree, MVAPICH2).
 
     Target distribution (Figure 3): lower floor ≈ 1.48 µs but a longer,
     fatter tail (max ≈ 11.6 µs) — lower base latency, noisier transport.
+    ``hierarchical=True`` swaps in the closed-form fat tree (identical hop
+    counts; auto-sized leaves beyond the stock 48 nodes).
     """
     node = NodeSpec(
         name="Pilatus compute node",
@@ -241,7 +284,11 @@ def pilatus(n_nodes: int = 44) -> MachineSpec:
         mem_bytes=64 * 2**30,
         mem_bandwidth=102.4e9,
     )
-    topo = fat_tree(leaf_switches=4, nodes_per_leaf=12, spine_switches=2)
+    if hierarchical:
+        leaves = max(4, -(-n_nodes // 12))
+        topo = hier_fat_tree(leaf_switches=leaves, nodes_per_leaf=12, spine_switches=2)
+    else:
+        topo = fat_tree(leaf_switches=4, nodes_per_leaf=12, spine_switches=2)
     net = NetworkModel(
         topology=topo,
         base_latency=1.465e-6,
@@ -307,11 +354,55 @@ def testbed(n_nodes: int = 4, *, deterministic: bool = False) -> MachineSpec:
     )
 
 
+def xc_scale(n_nodes: int = 1024, *, deterministic: bool = True) -> MachineSpec:
+    """A scale-study Cray-XC-like machine on a closed-form dragonfly.
+
+    The machine for million-rank simulation: hierarchical Aries-shaped
+    dragonfly auto-sized to *n_nodes* (O(1) hop counts, no dense matrix),
+    8-core nodes, deterministic by default so results are bit-reproducible
+    and the sparse/aggregated kernels stay exact.  ``n_nodes=125_000``
+    gives :math:`10^6` ranks with one rank per core.
+    """
+    from .noise import NoNoise
+
+    node = NodeSpec(
+        name="XC scale node",
+        sockets=1,
+        cores_per_socket=8,
+        cpu_model="Intel Xeon E5-2670 @ 2.6 GHz",
+        cpu_flops=0.1664e12,
+        peak_flops=0.1664e12,
+        mem_bytes=32 * 2**30,
+        mem_bandwidth=51.2e9,
+    )
+    net = NetworkModel(
+        topology=_sized_hier_dragonfly(n_nodes),
+        base_latency=1.10e-6,
+        per_hop_latency=0.10e-6,
+        bandwidth=10.0e9,
+    )
+    noise: NoiseModel = (
+        NoNoise() if deterministic else LogNormalNoise(median=0.12e-6, sigma=0.70)
+    )
+    return MachineSpec(
+        name="xc_scale",
+        description="Cray-XC-like scale model, hierarchical dragonfly (simulated)",
+        n_nodes=n_nodes,
+        node=node,
+        network=net,
+        network_noise=noise,
+        compute_noise_cov=0.0 if deterministic else 0.018,
+        noisy_rank_factor=4.0,
+        noisy_core_stride=24,
+    )
+
+
 MACHINES = {
     "piz_daint": piz_daint,
     "piz_dora": piz_dora,
     "pilatus": pilatus,
     "testbed": testbed,
+    "xc_scale": xc_scale,
 }
 
 

@@ -2,9 +2,10 @@
 
 The scalar reference kernels in :mod:`repro.simsys.mpi` walk a collective's
 message list one ``(src, dst)`` pair at a time — O(P) Python iterations per
-repetition batch.  This module compiles each collective's schedule *once*
-into per-round index arrays so the kernels can evaluate a whole round (all
-messages x all repetitions) with a handful of numpy calls:
+repetition batch.  This module compiles each collective's schedule into
+sparse per-round ``(src[], dst[])`` index arrays so the kernels can evaluate
+a whole round (all messages x all repetitions) with a handful of numpy
+calls:
 
 * a **round** is a set of vertex-disjoint messages (no two messages share a
   destination, and within tree phases no rank both sends and receives), so
@@ -13,8 +14,20 @@ messages x all repetitions) with a handful of numpy calls:
 * a **compiled schedule** is the ordered tuple of rounds plus bookkeeping
   (total message count) used by the kernel timing metrics.
 
-Compilers are ``lru_cache``-d: sweeping 1000 repetitions over process
-counts 2..4096 compiles each schedule exactly once.
+Two access paths, selected by scale:
+
+* :func:`compile_reduce` etc. materialize and ``lru_cache`` the full round
+  tuple — right for small ``P`` swept many times (each schedule compiles
+  exactly once across a campaign);
+* :func:`iter_rounds` *generates* the same rounds lazily, one at a time,
+  so peak schedule memory is one round's index arrays (O(P)) instead of
+  the whole schedule (O(P log P), or O(P²) for alltoall).  This is the
+  million-rank path; :func:`schedule_spec` gives the closed-form round and
+  message counts without materializing anything.
+
+Rounds are built straight from ``np.arange`` index arithmetic — identical
+contents to the historical pair-list construction (property-tested), but
+O(round) numpy work instead of O(messages) Python-object churn.
 
 Round kinds (interpreted by the kernels in :mod:`repro.simsys.mpi`):
 
@@ -27,17 +40,21 @@ Round kinds (interpreted by the kernels in :mod:`repro.simsys.mpi`):
     recursive-doubling round: every participant sends and receives
     simultaneously, state advances from a snapshot of the previous round;
 ``"shift"``
-    dissemination/pairwise rounds (barrier, alltoall): a bijection of the
-    whole communicator.
+    dissemination/pairwise rounds (barrier, alltoall, neighborhood): a
+    bijection of the whole communicator;
+``"scan"``
+    recursive-doubling prefix round: receiver folds in (op cost) but the
+    sender also keeps its value — ranks ``>= k`` receive from ``rank - k``.
 
 :data:`KERNEL_VERSION` identifies the RNG stream-consumption layout of the
 kernels (see docs/PERFORMANCE.md).  Version 1 was the scalar per-message
-layout (2-3 draws per message, in message order); version 2 is the batched
-layout: one block draw covering the whole collective, laid out row-major as
-``(noise slots, repetitions)`` — per-rank local rows first (where the op
-has a local term), then each round's message rows in schedule order.  The
-version is recorded in task methodology and provenance manifests so cached
-results produced under different layouts are never mixed.
+layout (2-3 draws per message, in message order); version 2 batched one
+block draw covering the whole collective; version 3 is the *tiled* layout:
+repetitions stream through fixed-size tiles, and within each tile noise is
+drawn per round — local rows first (where the op has a local term), then
+round 0's message rows, round 1's, … in schedule order.  The version is
+recorded in task methodology and provenance manifests so cached results
+produced under different layouts are never mixed.
 """
 
 from __future__ import annotations
@@ -45,26 +62,39 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 from math import ceil, log2
+from typing import Iterator
 
 import numpy as np
 
 from .._validation import check_int
+from ..errors import ValidationError
 
 __all__ = [
     "KERNEL_VERSION",
     "Round",
     "CompiledSchedule",
+    "ScheduleSpec",
+    "schedule_spec",
+    "iter_rounds",
     "reduce_schedule",
     "compile_reduce",
     "compile_bcast",
     "compile_allreduce",
     "compile_alltoall",
     "compile_barrier",
+    "compile_scan",
+    "compile_neighbor",
 ]
 
 #: RNG stream-consumption layout of the collective kernels.  Bump whenever
 #: the draw order changes; it keys provenance manifests and result caches.
-KERNEL_VERSION = 2
+KERNEL_VERSION = 3
+
+#: Above this process count the schedule builders skip the O(m log m)
+#: destination-uniqueness assertion: every builder below constructs
+#: destinations unique *by construction* (arithmetic progressions,
+#: bijections), and the invariant is property-tested at small P.
+_VALIDATE_MAX_P = 4096
 
 
 def reduce_schedule(nprocs: int) -> tuple[list[tuple[int, int]], list[list[tuple[int, int]]]]:
@@ -134,92 +164,276 @@ class CompiledSchedule:
         return sum(r.n_messages for r in self.rounds)
 
 
-def _round(kind: str, pairs: list[tuple[int, int]]) -> Round:
-    """Freeze a message list into read-only index arrays.
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Closed-form shape of a schedule — no rounds materialized.
+
+    What the streaming kernels need for sizing and metrics before (or
+    without ever) generating the rounds: ``n_rounds`` and total
+    ``n_messages`` per repetition, plus ``max_round_messages`` — the
+    widest single round, which bounds the per-round noise block.
+    """
+
+    op: str
+    nprocs: int
+    n_rounds: int
+    n_messages: int
+    max_round_messages: int
+
+
+def _freeze(kind: str, src: np.ndarray, dst: np.ndarray) -> Round:
+    """Freeze index arrays into a read-only :class:`Round`.
 
     Destinations must be unique within a round — the kernels rely on this
     to use direct fancy-indexed assignment instead of ``np.maximum.at``.
+    Checked eagerly at small P; by construction (and property test) above.
     """
-    src = np.array([s for s, _ in pairs], dtype=np.int64)
-    dst = np.array([d for _, d in pairs], dtype=np.int64)
-    assert np.unique(dst).size == dst.size, f"{kind} round has colliding destinations"
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    if dst.size <= _VALIDATE_MAX_P:
+        assert np.unique(dst).size == dst.size, (
+            f"{kind} round has colliding destinations"
+        )
     src.setflags(write=False)
     dst.setflags(write=False)
     return Round(kind=kind, src=src, dst=dst)
 
 
+def _survivors(nprocs: int) -> tuple[int, int, np.ndarray]:
+    """MPICH non-power-of-two survivor group as an index array."""
+    pof2 = 1 << (nprocs.bit_length() - 1)
+    rem = nprocs - pof2
+    if rem:
+        survivors = np.concatenate(
+            [np.arange(0, 2 * rem, 2), np.arange(2 * rem, nprocs)]
+        )
+    else:
+        survivors = np.arange(nprocs)
+    return pof2, rem, survivors
+
+
+def _fold_round(kind: str, rem: int) -> Round:
+    r = np.arange(rem, dtype=np.int64)
+    if kind == "fold_in":
+        return _freeze(kind, 2 * r + 1, 2 * r)
+    return _freeze(kind, 2 * r, 2 * r + 1)
+
+
+def _iter_reduce(nprocs: int) -> Iterator[Round]:
+    pof2, rem, survivors = _survivors(nprocs)
+    if rem:
+        yield _fold_round("fold_in", rem)
+    k = 1
+    while k < pof2:
+        j = np.arange(k, pof2, 2 * k, dtype=np.int64)
+        yield _freeze("tree", survivors[j], survivors[j - k])
+        k *= 2
+
+
+def _iter_bcast(nprocs: int) -> Iterator[Round]:
+    k = 1
+    while k < nprocs:
+        src = np.arange(min(k, nprocs - k), dtype=np.int64)
+        yield _freeze("tree", src, src + k)
+        k *= 2
+
+
+def _iter_allreduce(nprocs: int) -> Iterator[Round]:
+    pof2, rem, survivors = _survivors(nprocs)
+    if rem:
+        yield _fold_round("fold_in", rem)
+    j = np.arange(pof2, dtype=np.int64)
+    k = 1
+    while k < pof2:
+        yield _freeze("exchange", survivors[j ^ k], survivors[j])
+        k *= 2
+    if rem:
+        yield _fold_round("fold_out", rem)
+
+
+def _iter_alltoall(nprocs: int) -> Iterator[Round]:
+    r = np.arange(nprocs, dtype=np.int64)
+    use_xor = (nprocs & (nprocs - 1)) == 0
+    for k in range(1, nprocs):
+        src = (r ^ k) if use_xor else ((r + k) % nprocs)
+        yield _freeze("shift", src, r)
+
+
+def _iter_barrier(nprocs: int) -> Iterator[Round]:
+    if nprocs <= 1:
+        return
+    r = np.arange(nprocs, dtype=np.int64)
+    for k in range(ceil(log2(nprocs))):
+        shift = 1 << k
+        yield _freeze("shift", r, (r + shift) % nprocs)
+
+
+def _iter_scan(nprocs: int) -> Iterator[Round]:
+    k = 1
+    while k < nprocs:
+        dst = np.arange(k, nprocs, dtype=np.int64)
+        yield _freeze("scan", dst - k, dst)
+        k *= 2
+
+
+def _iter_neighbor(nprocs: int, offsets: tuple[int, ...]) -> Iterator[Round]:
+    r = np.arange(nprocs, dtype=np.int64)
+    for off in offsets:
+        yield _freeze("shift", r, (r + off) % nprocs)
+
+
+_ITERATORS = {
+    "reduce": _iter_reduce,
+    "bcast": _iter_bcast,
+    "allreduce": _iter_allreduce,
+    "alltoall": _iter_alltoall,
+    "barrier": _iter_barrier,
+    "scan": _iter_scan,
+}
+
+
+def _check_offsets(nprocs: int, offsets) -> tuple[int, ...]:
+    offsets = tuple(int(o) for o in offsets)
+    if not offsets:
+        raise ValidationError("neighbor schedule needs at least one offset")
+    if len(set(o % nprocs for o in offsets)) != len(offsets):
+        raise ValidationError(
+            f"neighbor offsets {offsets} collide modulo nprocs={nprocs}"
+        )
+    if any(o % nprocs == 0 for o in offsets):
+        raise ValidationError("neighbor offsets must be nonzero modulo nprocs")
+    return offsets
+
+
+def iter_rounds(op: str, nprocs: int, *, offsets=None) -> Iterator[Round]:
+    """Lazily generate the rounds of *op* on *nprocs* ranks.
+
+    Yields exactly the rounds :func:`compile_reduce` (etc.) would
+    materialize, in order, but holds only one round's index arrays at a
+    time — the streaming path for large ``P``.  ``op="neighbor"`` takes
+    the nonzero ring *offsets* (e.g. ``(-1, 1)`` for a 1-D halo).
+    """
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    if op == "neighbor":
+        return _iter_neighbor(nprocs, _check_offsets(nprocs, offsets))
+    if offsets is not None:
+        raise ValidationError(f"offsets only apply to op='neighbor', not {op!r}")
+    if op not in _ITERATORS:
+        raise ValidationError(f"unknown schedule op {op!r}; have {sorted(_ITERATORS)}")
+    return _ITERATORS[op](nprocs)
+
+
+def schedule_spec(op: str, nprocs: int, *, offsets=None) -> ScheduleSpec:
+    """Closed-form round/message counts of *op* — O(log P), no rounds built."""
+    nprocs = check_int(nprocs, "nprocs", minimum=1)
+    pof2 = 1 << (nprocs.bit_length() - 1)
+    rem = nprocs - pof2
+    log_rounds = ceil(log2(nprocs)) if nprocs > 1 else 0
+    if op == "reduce":
+        n_rounds = (1 if rem else 0) + (pof2.bit_length() - 1)
+        widest = max(rem, pof2 // 2)
+        return ScheduleSpec(op, nprocs, n_rounds, nprocs - 1, widest)
+    if op == "bcast":
+        widths = [min(k, nprocs - k) for k in _powers_below(nprocs)]
+        return ScheduleSpec(op, nprocs, len(widths), nprocs - 1, max(widths, default=0))
+    if op == "allreduce":
+        exch = pof2.bit_length() - 1
+        n_rounds = exch + (2 if rem else 0)
+        n_msgs = 2 * rem + exch * pof2
+        widest = max(pof2 if exch else 0, rem)
+        return ScheduleSpec(op, nprocs, n_rounds, n_msgs, widest)
+    if op == "alltoall":
+        return ScheduleSpec(
+            op, nprocs, nprocs - 1, nprocs * (nprocs - 1),
+            nprocs if nprocs > 1 else 0,
+        )
+    if op == "barrier":
+        return ScheduleSpec(
+            op, nprocs, log_rounds, log_rounds * nprocs,
+            nprocs if log_rounds else 0,
+        )
+    if op == "scan":
+        widths = [nprocs - k for k in _powers_below(nprocs)]
+        return ScheduleSpec(
+            op, nprocs, len(widths), sum(widths), max(widths, default=0)
+        )
+    if op == "neighbor":
+        offs = _check_offsets(nprocs, offsets)
+        return ScheduleSpec(op, nprocs, len(offs), len(offs) * nprocs, nprocs)
+    raise ValidationError(f"unknown schedule op {op!r}")
+
+
+def _powers_below(n: int) -> list[int]:
+    out, k = [], 1
+    while k < n:
+        out.append(k)
+        k *= 2
+    return out
+
+
 @lru_cache(maxsize=1024)
 def compile_reduce(nprocs: int) -> CompiledSchedule:
     """Binomial-tree reduce to root 0 as batched rounds."""
-    pre, rounds = reduce_schedule(nprocs)
-    out: list[Round] = []
-    if pre:
-        out.append(_round("fold_in", pre))
-    for rnd in rounds:
-        out.append(_round("tree", rnd))
-    return CompiledSchedule(op="reduce", nprocs=nprocs, rounds=tuple(out))
+    return CompiledSchedule(
+        op="reduce", nprocs=nprocs, rounds=tuple(iter_rounds("reduce", nprocs))
+    )
 
 
 @lru_cache(maxsize=1024)
 def compile_bcast(nprocs: int) -> CompiledSchedule:
     """Binomial-tree broadcast from root 0 as batched rounds."""
-    nprocs = check_int(nprocs, "nprocs", minimum=1)
-    out: list[Round] = []
-    k = 1
-    while k < nprocs:
-        pairs = [(src, src + k) for src in range(min(k, nprocs - k))]
-        out.append(_round("tree", pairs))
-        k *= 2
-    return CompiledSchedule(op="bcast", nprocs=nprocs, rounds=tuple(out))
+    return CompiledSchedule(
+        op="bcast", nprocs=nprocs, rounds=tuple(iter_rounds("bcast", nprocs))
+    )
 
 
 @lru_cache(maxsize=1024)
 def compile_allreduce(nprocs: int) -> CompiledSchedule:
     """Recursive-doubling allreduce (with non-power-of-two fold-in/out)."""
-    nprocs = check_int(nprocs, "nprocs", minimum=1)
-    pof2 = 1 << (nprocs.bit_length() - 1)
-    rem = nprocs - pof2
-    survivors = (
-        list(range(0, 2 * rem, 2)) + list(range(2 * rem, nprocs))
-        if rem
-        else list(range(nprocs))
+    return CompiledSchedule(
+        op="allreduce", nprocs=nprocs, rounds=tuple(iter_rounds("allreduce", nprocs))
     )
-    out: list[Round] = []
-    if rem:
-        out.append(_round("fold_in", [(2 * r + 1, 2 * r) for r in range(rem)]))
-    k = 1
-    while k < pof2:
-        pairs = [(survivors[j ^ k], survivors[j]) for j in range(pof2)]
-        out.append(_round("exchange", pairs))
-        k *= 2
-    if rem:
-        out.append(_round("fold_out", [(2 * r, 2 * r + 1) for r in range(rem)]))
-    return CompiledSchedule(op="allreduce", nprocs=nprocs, rounds=tuple(out))
 
 
 @lru_cache(maxsize=1024)
 def compile_alltoall(nprocs: int) -> CompiledSchedule:
     """Pairwise-exchange alltoall: P − 1 permutation rounds."""
-    nprocs = check_int(nprocs, "nprocs", minimum=1)
-    out: list[Round] = []
-    use_xor = (nprocs & (nprocs - 1)) == 0
-    for k in range(1, nprocs):
-        pairs = [
-            ((r ^ k) if use_xor else ((r + k) % nprocs), r)
-            for r in range(nprocs)
-        ]
-        out.append(_round("shift", pairs))
-    return CompiledSchedule(op="alltoall", nprocs=nprocs, rounds=tuple(out))
+    return CompiledSchedule(
+        op="alltoall", nprocs=nprocs, rounds=tuple(iter_rounds("alltoall", nprocs))
+    )
 
 
 @lru_cache(maxsize=1024)
 def compile_barrier(nprocs: int) -> CompiledSchedule:
     """Dissemination barrier: ⌈log2 P⌉ shifted-bijection rounds."""
-    nprocs = check_int(nprocs, "nprocs", minimum=1)
-    out: list[Round] = []
-    if nprocs > 1:
-        for k in range(ceil(log2(nprocs))):
-            shift = 1 << k
-            pairs = [(r, (r + shift) % nprocs) for r in range(nprocs)]
-            out.append(_round("shift", pairs))
-    return CompiledSchedule(op="barrier", nprocs=nprocs, rounds=tuple(out))
+    return CompiledSchedule(
+        op="barrier", nprocs=nprocs, rounds=tuple(iter_rounds("barrier", nprocs))
+    )
+
+
+@lru_cache(maxsize=1024)
+def compile_scan(nprocs: int) -> CompiledSchedule:
+    """Recursive-doubling inclusive-prefix scan: ⌈log2 P⌉ rounds.
+
+    Round ``k`` (``k = 1, 2, 4, …``): every rank ``r >= k`` receives from
+    ``r − k`` and folds the partial in (op cost); senders keep their
+    values.  Exscan shares this message pattern — only the local data
+    handling differs, which the timing simulation does not observe.
+    """
+    return CompiledSchedule(
+        op="scan", nprocs=nprocs, rounds=tuple(iter_rounds("scan", nprocs))
+    )
+
+
+@lru_cache(maxsize=1024)
+def compile_neighbor(nprocs: int, offsets: tuple[int, ...]) -> CompiledSchedule:
+    """Ring neighborhood exchange: one bijection round per offset.
+
+    Models ``MPI_Neighbor_alltoall`` on a periodic Cartesian communicator:
+    for each offset ``o`` every rank sends to ``(rank + o) mod P``.
+    """
+    return CompiledSchedule(
+        op="neighbor",
+        nprocs=nprocs,
+        rounds=tuple(iter_rounds("neighbor", nprocs, offsets=offsets)),
+    )

@@ -12,6 +12,8 @@ These stand in for the applications the paper measures:
   overhead model f(p).
 * :class:`StreamWorkload` — a memory-bandwidth-bound triad used by the
   capability/roofline examples.
+* :class:`GpuNodeSkew` — a start-offset (skew) model for GPU-accelerated
+  nodes, pluggable into the collectives' ``skew=`` parameter.
 """
 
 from __future__ import annotations
@@ -26,7 +28,14 @@ from ..errors import ValidationError
 from .machine import MachineSpec
 from .rng import RngFactory
 
-__all__ = ["hpl_flops", "HPLModel", "reduction_overhead_piz_daint", "PiWorkload", "StreamWorkload"]
+__all__ = [
+    "hpl_flops",
+    "HPLModel",
+    "reduction_overhead_piz_daint",
+    "PiWorkload",
+    "StreamWorkload",
+    "GpuNodeSkew",
+]
 
 
 def hpl_flops(n: int) -> float:
@@ -241,3 +250,69 @@ class StreamWorkload:
         if cov == 0.0:
             return np.full(n_runs, base)
         return base * rng.lognormal(0.0, cov, n_runs)
+
+
+@dataclass(frozen=True)
+class GpuNodeSkew:
+    """Start-offset model for GPU-accelerated nodes (Rule 10 ablation).
+
+    When every rank's collective entry follows a GPU kernel, ranks do not
+    arrive synchronized: the preceding kernel's duration varies *per node*
+    (same GPU, same thermal/clock state for all ranks of the node), each
+    rank adds its own host-side jitter, and the rank driving the GPU
+    (core 0) pays an extra launch/synchronization latency.  Offsets are
+
+    ``node_factor[node] · kernel_time + jitter(rank) + is_driver · launch``
+
+    with ``node_factor`` log-normal (median 1, sigma ``node_sigma``) shared
+    by all ranks of a node and re-drawn per repetition, and ``jitter``
+    half-normal per rank.  Plug into ``SimComm.reduce(..., skew=model)``
+    or ``allreduce``; implements :class:`repro.simsys.mpi.SkewModel`.
+
+    Parameters
+    ----------
+    kernel_time:
+        Median duration of the preceding GPU kernel (s).
+    node_sigma:
+        Log-sigma of the per-node kernel-duration factor.
+    jitter_sigma:
+        Scale of per-rank host-side jitter (s, half-normal).
+    launch_latency:
+        Extra offset on each node's driver rank — core 0, the same rank
+        the noise model singles out — for kernel launch + stream sync (s).
+    """
+
+    kernel_time: float = 25e-6
+    node_sigma: float = 0.15
+    jitter_sigma: float = 1.5e-6
+    launch_latency: float = 6e-6
+
+    def __post_init__(self) -> None:
+        check_positive(self.kernel_time, "kernel_time")
+        check_positive(self.node_sigma, "node_sigma")
+        if self.jitter_sigma < 0 or self.launch_latency < 0:
+            raise ValidationError("jitter_sigma and launch_latency must be >= 0")
+
+    def sample_offsets(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        node: np.ndarray,
+        core: np.ndarray,
+    ) -> np.ndarray:
+        """Draw the ``(n, P)`` start-offset block for one operation."""
+        node = np.asarray(node)
+        # Draw one factor per *occupied node* per repetition and broadcast
+        # it to the node's ranks: ranks sharing a GPU share its timing.
+        nodes, inverse = np.unique(node, return_inverse=True)
+        factors = rng.lognormal(0.0, self.node_sigma, size=(n, nodes.size))
+        offsets = factors[:, inverse] * self.kernel_time
+        if self.jitter_sigma > 0.0:
+            offsets = offsets + np.abs(
+                rng.normal(0.0, self.jitter_sigma, size=offsets.shape)
+            )
+        if self.launch_latency > 0.0:
+            offsets = offsets + np.where(
+                np.asarray(core) == 0, self.launch_latency, 0.0
+            )
+        return offsets

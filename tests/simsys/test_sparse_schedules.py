@@ -1,0 +1,168 @@
+"""Tests for the sparse/lazy schedule machinery (iter_rounds, ScheduleSpec).
+
+The million-rank path never materializes a full schedule: it regenerates
+rounds lazily from :func:`iter_rounds` and sizes buffers from the closed-form
+:class:`ScheduleSpec`.  These properties pin the lazy path to the cached
+compilers message-for-message, round-for-round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.simsys.schedules import (
+    compile_allreduce,
+    compile_alltoall,
+    compile_barrier,
+    compile_bcast,
+    compile_neighbor,
+    compile_reduce,
+    compile_scan,
+    iter_rounds,
+    schedule_spec,
+)
+
+_COMPILERS = {
+    "reduce": compile_reduce,
+    "bcast": compile_bcast,
+    "allreduce": compile_allreduce,
+    "alltoall": compile_alltoall,
+    "barrier": compile_barrier,
+    "scan": compile_scan,
+}
+
+
+def _flat_messages(rounds):
+    return [
+        (rnd.kind, int(s), int(d))
+        for rnd in rounds
+        for s, d in zip(rnd.src, rnd.dst)
+    ]
+
+
+class TestLazyEqualsCompiled:
+    """iter_rounds must replay the compiled schedule exactly."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=90))
+    def test_all_ops_round_for_round(self, nprocs):
+        for op, compiler in _COMPILERS.items():
+            compiled = compiler(nprocs).rounds
+            lazy = list(iter_rounds(op, nprocs))
+            assert len(lazy) == len(compiled), (op, nprocs)
+            for a, b in zip(lazy, compiled):
+                assert a.kind == b.kind
+                assert np.array_equal(a.src, b.src)
+                assert np.array_equal(a.dst, b.dst)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=40),
+        st.sets(st.integers(min_value=1, max_value=5), min_size=1, max_size=3),
+    )
+    def test_neighbor_round_for_round(self, nprocs, off_set):
+        offsets = tuple(sorted(off_set))
+        if len({o % nprocs for o in offsets}) != len(offsets):
+            return  # offsets collide mod P; rejected by validation
+        if any(o % nprocs == 0 for o in offsets):
+            return
+        compiled = compile_neighbor(nprocs, offsets).rounds
+        lazy = list(iter_rounds("neighbor", nprocs, offsets=offsets))
+        assert _flat_messages(lazy) == _flat_messages(compiled)
+
+    def test_non_power_of_two_fold_phases_survive_laziness(self):
+        # P = 12: reduce folds in, allreduce folds in and out.
+        kinds = [r.kind for r in iter_rounds("allreduce", 12)]
+        assert kinds[0] == "fold_in" and kinds[-1] == "fold_out"
+        assert [r.kind for r in iter_rounds("reduce", 12)][0] == "fold_in"
+
+
+class TestScheduleSpec:
+    """Closed-form counts must match the materialized schedules."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=90))
+    def test_counts_match_materialized(self, nprocs):
+        for op, compiler in _COMPILERS.items():
+            sched = compiler(nprocs)
+            spec = schedule_spec(op, nprocs)
+            assert spec.n_rounds == len(sched.rounds), (op, nprocs)
+            assert spec.n_messages == sched.n_messages, (op, nprocs)
+            widest = max((r.n_messages for r in sched.rounds), default=0)
+            assert spec.max_round_messages == widest, (op, nprocs)
+
+    def test_million_rank_specs_are_cheap_and_sane(self):
+        P = 1_000_000
+        assert schedule_spec("reduce", P).n_messages == P - 1
+        assert schedule_spec("bcast", P).n_messages == P - 1
+        assert schedule_spec("alltoall", P).n_messages == P * (P - 1)
+        assert schedule_spec("barrier", P).n_rounds == 20  # ceil(log2 1e6)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValidationError):
+            schedule_spec("gossip", 8)
+        with pytest.raises(ValidationError):
+            list(iter_rounds("gossip", 8))
+
+
+class TestScanSchedule:
+    def test_scan_computes_inclusive_prefix_coverage(self):
+        # Propagating contribution sets along the schedule must give rank r
+        # exactly the contributions of ranks 0..r.
+        for P in (1, 2, 5, 8, 13, 32):
+            have = [{r} for r in range(P)]
+            for rnd in iter_rounds("scan", P):
+                assert rnd.kind == "scan"
+                snapshot = [set(h) for h in have]
+                for s, d in zip(rnd.src, rnd.dst):
+                    have[int(d)] |= snapshot[int(s)]
+            for r in range(P):
+                assert have[r] == set(range(r + 1))
+
+
+class TestNeighborValidation:
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValidationError):
+            compile_neighbor(8, (0,))
+
+    def test_offsets_colliding_mod_p_rejected(self):
+        with pytest.raises(ValidationError):
+            compile_neighbor(4, (1, 5))
+        with pytest.raises(ValidationError):
+            compile_neighbor(4, (4,))
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValidationError):
+            compile_neighbor(8, ())
+
+    def test_halo_exchange_shape(self):
+        sched = compile_neighbor(10, (-1, 1))
+        assert len(sched.rounds) == 2
+        assert sched.n_messages == 20
+        for rnd in sched.rounds:
+            assert rnd.kind == "shift"
+            assert np.unique(rnd.dst).size == 10
+
+
+class TestLargePGeneration:
+    """Rounds at huge P are generated without materializing the schedule."""
+
+    def test_first_reduce_round_at_one_million(self):
+        it = iter_rounds("reduce", 1_000_000)
+        first = next(it)
+        # 1e6 is not a power of two: the first round folds in the remainder.
+        assert first.kind == "fold_in"
+        pof2 = 1 << (1_000_000).bit_length() - 1
+        assert first.n_messages == 1_000_000 - pof2
+
+    def test_alltoall_round_is_a_rotation(self):
+        it = iter_rounds("alltoall", 500_000)
+        rnd = next(it)
+        assert rnd.n_messages == 500_000
+        assert np.array_equal(
+            np.sort(rnd.dst), np.arange(500_000, dtype=np.int64)
+        )
