@@ -113,12 +113,15 @@ class ChaosExecutor(Executor):
             backoff=inner.backoff,
             max_backoff=inner.max_backoff,
         )
-        if plan.profile.crash_mode == "exit" and not isinstance(inner, ProcessExecutor):
-            raise ValidationError(
-                "crash_mode='exit' kills the worker process; it needs a "
-                "ProcessExecutor (a SerialExecutor would take the campaign "
-                "down with it)"
-            )
+        if plan.profile.crash_mode == "exit":
+            from ..exec.dist import DistExecutor
+
+            if not isinstance(inner, (ProcessExecutor, DistExecutor)):
+                raise ValidationError(
+                    "crash_mode='exit' kills the worker process; it needs a "
+                    "ProcessExecutor or DistExecutor (a SerialExecutor would "
+                    "take the campaign down with it)"
+                )
         self.inner = inner
         self.plan = plan
         self.state_dir = str(state_dir)

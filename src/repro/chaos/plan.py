@@ -61,7 +61,18 @@ class FaultProfile:
     crash_mode:
         ``"raise"`` (an exception crosses the future) or ``"exit"`` (the
         worker process dies hard, breaking the pool).  ``"exit"`` needs a
-        :class:`~repro.exec.ProcessExecutor`.
+        :class:`~repro.exec.ProcessExecutor` or
+        :class:`~repro.exec.DistExecutor`.
+    net_kill_p, net_partition_p, net_slow_p:
+        Socket-level faults for the distributed backend
+        (:class:`~repro.exec.DistExecutor`): per-task probabilities that,
+        *after* the measurement but before its result is sent, the worker
+        process is killed hard, its connection is severed, or the send is
+        delayed by ``net_slow_s`` seconds.  Like task faults, each fires
+        at most once per task label, so one retry on another worker
+        always recovers — and because the retry re-derives the task's
+        generator from its own SeedSequence, the recovered bytes are
+        identical.
     """
 
     name: str
@@ -74,6 +85,10 @@ class FaultProfile:
     straggler_factor: float = 0.0
     hang_s: float = 0.4
     crash_mode: str = "raise"
+    net_kill_p: float = 0.0
+    net_partition_p: float = 0.0
+    net_slow_p: float = 0.0
+    net_slow_s: float = 0.05
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -81,6 +96,17 @@ class FaultProfile:
         _check_prob(self.hang_p, "hang_p")
         if self.crash_p + self.hang_p > 1.0:
             raise ValidationError("crash_p + hang_p must not exceed 1")
+        _check_prob(self.net_kill_p, "net_kill_p")
+        _check_prob(self.net_partition_p, "net_partition_p")
+        _check_prob(self.net_slow_p, "net_slow_p")
+        if self.net_kill_p + self.net_partition_p + self.net_slow_p > 1.0:
+            raise ValidationError(
+                "net_kill_p + net_partition_p + net_slow_p must not exceed 1"
+            )
+        if self.net_slow_s <= 0.0:
+            raise ValidationError(
+                f"net_slow_s must be positive, got {self.net_slow_s}"
+            )
         _check_prob(self.cache_corrupt_p, "cache_corrupt_p")
         _check_prob(self.storm_weight, "storm_weight")
         if self.storm_factor < 0.0:
@@ -103,7 +129,7 @@ class FaultProfile:
 
     def describe(self) -> str:
         """One-line disclosure for reports (Rule 9: report the environment)."""
-        return (
+        text = (
             f"profile {self.name!r}: crash p={self.crash_p:g}, "
             f"hang p={self.hang_p:g} ({self.hang_s:g} s), "
             f"cache corruption p={self.cache_corrupt_p:g}, "
@@ -111,6 +137,13 @@ class FaultProfile:
             f"noise storm x{self.storm_factor:g}@{self.storm_weight:g}, "
             f"stragglers x{self.straggler_factor:g}"
         )
+        if self.net_kill_p + self.net_partition_p + self.net_slow_p > 0.0:
+            text += (
+                f", net kill p={self.net_kill_p:g} / "
+                f"partition p={self.net_partition_p:g} / "
+                f"slow p={self.net_slow_p:g} ({self.net_slow_s:g} s)"
+            )
+        return text
 
 
 #: The standard profiles.  ``smoke`` is the CI gate's contract: worker
@@ -145,6 +178,17 @@ PROFILES: dict[str, FaultProfile] = {
         straggler_factor=4.0,
         hang_s=0.4,
         description="stress mix for manual soak runs",
+    ),
+    "dist": FaultProfile(
+        name="dist",
+        crash_p=0.05,
+        net_kill_p=0.1,
+        net_partition_p=0.1,
+        net_slow_p=0.1,
+        net_slow_s=0.05,
+        hang_s=0.1,
+        description="socket faults for the distributed backend: worker "
+        "kills, partitions, slow links, plus light task crashes",
     ),
 }
 
@@ -189,6 +233,28 @@ class FaultPlan:
             return "crash"
         if u < self.profile.crash_p + self.profile.hang_p:
             return "hang"
+        return None
+
+    def net_fault(self, label: str) -> str | None:
+        """``"kill"``, ``"partition"``, ``"slow"``, or None for *label*.
+
+        Socket-level fates for the distributed backend, drawn from an
+        independent hash domain so a task can meet both a task fault and
+        a network fault (on different attempts).  The dist worker fires
+        the fault *after* measuring, just before the result frame goes
+        out — the most adversarial moment, because the work is lost.
+        """
+        p = self.profile
+        total = p.net_kill_p + p.net_partition_p + p.net_slow_p
+        if total <= 0.0:
+            return None
+        u = self._unit("net", label)
+        if u < p.net_kill_p:
+            return "kill"
+        if u < p.net_kill_p + p.net_partition_p:
+            return "partition"
+        if u < total:
+            return "slow"
         return None
 
     def corrupts_entry(self, fingerprint: str) -> bool:

@@ -22,6 +22,10 @@ Commands
     Run a small synthetic measurement campaign into a directory —
     datasets, result cache, provenance, span trace, and (with
     ``--emit-metrics``) a metrics export.
+``worker``
+    Run one worker rank of the distributed execution backend, connecting
+    to a coordinator started with ``campaign --dist`` (or any
+    :class:`repro.exec.DistExecutor` in ``spawn="external"`` mode).
 ``trace``
     Render the span tree of a recorded campaign run.
 ``chaos``
@@ -244,24 +248,57 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     hooks, registry = _make_metrics_hooks(args.emit_metrics)
     tracer = Tracer(sink=JsonlSpanSink(camp_dir / "trace.jsonl"))
-    if args.workers > 1:
+    if args.dist > 0:
+        from .exec import DistExecutor
+
+        # Cold cli workers pay interpreter + package import before they
+        # can even say HELLO; on a loaded runner that is many seconds.
+        executor = DistExecutor(
+            workers=args.dist, spawn=args.dist_spawn, connect_timeout=60.0
+        )
+    elif args.workers > 1:
         executor = ProcessExecutor(max_workers=args.workers)
     else:
         executor = SerialExecutor(retries=0)
-    result = camp.run(
-        exp,
-        executor=executor,
-        hooks=hooks,
-        tracer=tracer,
-        overwrite=True,
-        spill_rows=args.spill_rows if args.spill_rows > 0 else None,
-    )
+    try:
+        result = camp.run(
+            exp,
+            executor=executor,
+            hooks=hooks,
+            tracer=tracer,
+            overwrite=True,
+            spill_rows=args.spill_rows if args.spill_rows > 0 else None,
+        )
+    finally:
+        if args.dist > 0:
+            executor.close()
     print(result.describe())
     print(hooks.describe())
+    if args.dist > 0:
+        print(f"dist: coordinator on {executor.address[0]}:{executor.address[1]}, "
+              f"{args.dist} {args.dist_spawn} worker(s)")
     print(f"trace {tracer.trace_id} -> {camp_dir / 'trace.jsonl'}")
     if registry is not None:
         _write_metrics(registry, args.emit_metrics)
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: one rank of the distributed backend."""
+    from .errors import ValidationError
+    from .exec.dist import worker_main
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValidationError(
+            f"--connect must be HOST:PORT, got {args.connect!r}"
+        )
+    return worker_main(
+        host,
+        int(port),
+        rank=args.rank,
+        connect_timeout=args.connect_timeout,
+    )
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -622,6 +659,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replications per design point (default 3)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--dist", type=int, default=0, metavar="N",
+                   help="run the campaign on the distributed backend with "
+                        "N socket workers (overrides --workers)")
+    p.add_argument("--dist-spawn", choices=["fork", "cli"], default="cli",
+                   help="how the coordinator launches dist workers: 'cli' "
+                        "runs `repro worker` subprocesses (default), 'fork' "
+                        "forks in-interpreter")
     p.add_argument("--spill-rows", type=int, default=0, metavar="N",
                    help="spill datasets/cache values of N+ rows to the "
                         "campaign's columnar shard store (0 = keep inline)")
@@ -629,6 +673,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write execution metrics to PATH (.json for JSON, "
                         "anything else for Prometheus text format)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one distributed-backend worker rank (see docs/EXEC.md)",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's listen address")
+    p.add_argument("--rank", type=int, default=-1,
+                   help="this worker's rank (default: coordinator assigns)")
+    p.add_argument("--connect-timeout", type=float, default=10.0,
+                   help="seconds to keep retrying the initial connection")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "chaos",

@@ -50,7 +50,12 @@ from .rules import (
     check_all,
     RULE_TITLES,
 )
-from .experiment import Experiment, ExperimentResult, FailureEnvelope
+from .experiment import (
+    Experiment,
+    ExperimentResult,
+    FailureEnvelope,
+    derive_envelope,
+)
 from .campaign import Campaign
 from .hostnoise import HostNoiseReport, measure_host_noise
 from .screening import (
@@ -115,6 +120,7 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "FailureEnvelope",
+    "derive_envelope",
     "Campaign",
     "HostNoiseReport",
     "measure_host_noise",

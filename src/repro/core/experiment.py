@@ -35,7 +35,7 @@ from .design import FactorialDesign
 from .environment import EnvironmentSpec
 from .measurement import MeasurementSet
 
-__all__ = ["Experiment", "ExperimentResult", "FailureEnvelope"]
+__all__ = ["Experiment", "ExperimentResult", "FailureEnvelope", "derive_envelope"]
 
 PointKey = tuple[tuple[str, Any], ...]
 
@@ -108,6 +108,48 @@ class FailureEnvelope:
             "retried_attempts": self.retried_attempts,
             "cached_reps": self.cached_reps,
         }
+
+
+def derive_envelope(
+    point: PointKey,
+    *,
+    replications: int,
+    failed_reps: tuple[tuple[int, str], ...] = (),
+    cached_reps: int = 0,
+    total_attempts: int = 0,
+    has_values: bool = True,
+) -> FailureEnvelope:
+    """Classify one design point's resilience outcome.
+
+    The pure core of :meth:`Experiment.run`'s envelope derivation (and
+    the property-tested one, see ``tests/exec/test_exec_properties.py``):
+    given what the engine reported for a point — which replications
+    failed permanently, how many were served from cache, and the total
+    attempt count across all its tasks — produce the
+    :class:`FailureEnvelope`.  Every executed (non-cached) replication
+    spends one non-retry attempt; anything beyond that was a retry and
+    makes a fully-successful point ``recovered`` rather than ``ok``.
+    """
+    fails = tuple(failed_reps)
+    executed = replications - cached_reps
+    extra_attempts = max(total_attempts - executed, 0)
+    if not has_values:
+        state = "failed"
+    elif fails:
+        state = "degraded"
+    elif extra_attempts > 0:
+        state = "recovered"
+    else:
+        state = "ok"
+    return FailureEnvelope(
+        point=point,
+        state=state,
+        replications=replications,
+        reps_ok=replications - len(fails),
+        failed_reps=fails,
+        retried_attempts=extra_attempts,
+        cached_reps=cached_reps,
+    )
 
 
 @dataclass(frozen=True)
@@ -387,28 +429,13 @@ class Experiment:
         reps = self.design.replications
         envelopes: dict[PointKey, FailureEnvelope] = {}
         for key, vals in buckets.items():
-            fails = tuple(failures.get(key, ()))
-            cached_here = cached_counts.get(key, 0)
-            # Every executed (non-cached, non-failed) task spends one
-            # non-retry attempt; anything beyond that was a retry.
-            executed = reps - cached_here
-            extra_attempts = max(attempts.get(key, 0) - executed, 0)
-            if not vals:
-                state = "failed"
-            elif fails:
-                state = "degraded"
-            elif extra_attempts > 0:
-                state = "recovered"
-            else:
-                state = "ok"
-            envelopes[key] = FailureEnvelope(
-                point=key,
-                state=state,
+            envelopes[key] = derive_envelope(
+                key,
                 replications=reps,
-                reps_ok=reps - len(fails),
-                failed_reps=fails,
-                retried_attempts=extra_attempts,
-                cached_reps=cached_here,
+                failed_reps=tuple(failures.get(key, ())),
+                cached_reps=cached_counts.get(key, 0),
+                total_attempts=attempts.get(key, 0),
+                has_values=bool(vals),
             )
         degradation = {
             s: sum(1 for e in envelopes.values() if e.state == s)

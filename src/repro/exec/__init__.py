@@ -22,12 +22,18 @@ from .engine import (
     run_measurement_tasks,
 )
 from .hooks import ExecHooks
+from .protocol import PROTOCOL_VERSION, ProtocolError
 from .seeding import spawn_task_seeds, task_seed_id
+from .dist import DistExecutor, worker_main
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "DistExecutor",
+    "worker_main",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "MeasurementTask",
     "TaskResult",
     "Outcome",

@@ -56,6 +56,36 @@ __all__ = [
 # --------------------------------------------------------------------------
 
 
+def _now() -> float:
+    """The scheduler clock.  Module-level so tests can install a fake
+    clock (``tests/conftest.py::fake_clock``) and make backoff/timeout
+    assertions exact instead of wall-margin guesses."""
+    return time.monotonic()
+
+
+def _sleep(seconds: float) -> None:
+    """The scheduler sleep, paired with :func:`_now` for fake clocks."""
+    time.sleep(seconds)
+
+
+def _pop_ready(
+    pending: deque[tuple[int, int, float]], now: float
+) -> tuple[int, int] | None:
+    """Pop the first *ready* pending entry, scanning past backoffs.
+
+    Retry deadlines are appended in failure order, not deadline order, so
+    the head of the queue can sit in a long backoff while entries behind
+    it are ready now.  Scanning (rather than only inspecting
+    ``pending[0]``) keeps one long-backoff task from stalling ready work.
+    Shared by :class:`ProcessExecutor` and the dist coordinator.
+    """
+    for pos, (i, attempt, ready_at) in enumerate(pending):
+        if ready_at <= now:
+            del pending[pos]
+            return i, attempt
+    return None
+
+
 @dataclass
 class Outcome:
     """What happened to one item handed to an executor.
@@ -140,20 +170,20 @@ class SerialExecutor(Executor):
             out = Outcome(index=i)
             while True:
                 out.attempts += 1
-                start = time.monotonic()
+                start = _now()
                 try:
                     out.value = worker(item)
                 except Exception as exc:  # noqa: BLE001 - fault boundary
-                    out.wall_time += time.monotonic() - start
+                    out.wall_time += _now() - start
                     out.error = f"{type(exc).__name__}: {exc}"
                     out.exception = exc
                     if out.attempts <= self.retries:
                         hooks.record("retried", names[i])
-                        time.sleep(self._delay(out.attempts))
+                        _sleep(self._delay(out.attempts))
                         continue
                     hooks.record("failed", names[i])
                 else:
-                    out.wall_time += time.monotonic() - start
+                    out.wall_time += _now() - start
                     out.ok = True
                     out.error = None
                     out.exception = None
@@ -246,7 +276,7 @@ class ProcessExecutor(Executor):
             out.exception = exc
             if attempt <= self.retries:
                 hooks.record("retried", names[i])
-                pending.append((i, attempt + 1, time.monotonic() + self._delay(attempt)))
+                pending.append((i, attempt + 1, _now() + self._delay(attempt)))
             else:
                 out.ok = False
                 hooks.record("failed", names[i])
@@ -266,31 +296,16 @@ class ProcessExecutor(Executor):
             self._kill_pool(pool)
             pool = self._new_pool()
 
-        def pop_ready(now: float) -> tuple[int, int] | None:
-            """Pop the first *ready* pending entry, scanning past backoffs.
-
-            Retry deadlines are appended in failure order, not deadline
-            order, so the head of the queue can sit in a long backoff while
-            entries behind it are ready now.  Scanning (rather than only
-            inspecting ``pending[0]``) keeps one long-backoff task from
-            stalling ready work.
-            """
-            for pos, (i, attempt, ready_at) in enumerate(pending):
-                if ready_at <= now:
-                    del pending[pos]
-                    return i, attempt
-            return None
-
         try:
             while pending or inflight:
-                now = time.monotonic()
+                now = _now()
                 while pending and len(inflight) < width:
-                    entry = pop_ready(now)
+                    entry = _pop_ready(pending, now)
                     if entry is None:
                         break
                     i, attempt = entry
                     future = pool.submit(worker, items[i])
-                    inflight[future] = (i, attempt, time.monotonic())
+                    inflight[future] = (i, attempt, _now())
                     # Record "submitted" once per task: an innocent sibling
                     # resubmitted after a pool teardown comes back through
                     # here with attempt == 1 and must not double-count.
@@ -300,14 +315,14 @@ class ProcessExecutor(Executor):
                 if not inflight:
                     # Nothing running: sleep until the earliest retry is due.
                     next_ready = min(entry[2] for entry in pending)
-                    time.sleep(max(min(next_ready - time.monotonic(), self._TICK), 0.0))
+                    _sleep(max(min(next_ready - _now(), self._TICK), 0.0))
                     continue
                 done, _ = wait(set(inflight), timeout=self._TICK,
                                return_when=FIRST_COMPLETED)
                 broken = False
                 for future in done:
                     i, attempt, started = inflight.pop(future)
-                    elapsed = time.monotonic() - started
+                    elapsed = _now() - started
                     try:
                         value = future.result()
                     except BrokenProcessPool:
@@ -331,7 +346,7 @@ class ProcessExecutor(Executor):
                 if broken:
                     continue
                 if self.timeout is not None:
-                    now = time.monotonic()
+                    now = _now()
                     stuck = next(
                         (
                             (fut, i, attempt, started)

@@ -18,6 +18,7 @@ Three layers, all dependency-free and engine-agnostic:
 
 from .metrics import (
     CHAOS_METRICS,
+    DIST_METRICS,
     Counter,
     DEFAULT_BUCKETS,
     EXEC_METRICS,
@@ -31,6 +32,8 @@ from .tracing import (
     JsonlSpanSink,
     Span,
     Tracer,
+    capture_file_spans,
+    emit_span_dict,
     file_span,
     read_trace,
     render_span_tree,
@@ -45,6 +48,7 @@ __all__ = [
     "EXEC_METRICS",
     "SIMSYS_METRICS",
     "CHAOS_METRICS",
+    "DIST_METRICS",
     "Provenance",
     "PROVENANCE_VERSION",
     "package_versions",
@@ -52,6 +56,8 @@ __all__ = [
     "Tracer",
     "JsonlSpanSink",
     "file_span",
+    "capture_file_spans",
+    "emit_span_dict",
     "read_trace",
     "render_span_tree",
 ]

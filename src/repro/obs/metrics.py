@@ -23,7 +23,7 @@ import json
 import math
 import re
 import threading
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 from ..errors import ValidationError
 
@@ -36,6 +36,7 @@ __all__ = [
     "EXEC_METRICS",
     "SIMSYS_METRICS",
     "CHAOS_METRICS",
+    "DIST_METRICS",
     "SIMSYS_KERNEL_BUCKETS",
 ]
 
@@ -68,6 +69,16 @@ CHAOS_METRICS: dict[str, str] = {
     "repro_chaos_points_recovered_total": "Design points needing retries that still produced full data.",
     "repro_chaos_points_degraded_total": "Design points that lost replications but kept values.",
     "repro_chaos_points_failed_total": "Design points annotated as failed (no surviving values).",
+    "repro_chaos_net_kills_injected_total": "Dist workers killed mid-task by a fault plan.",
+    "repro_chaos_net_partitions_injected_total": "Dist worker connections severed by a fault plan.",
+    "repro_chaos_net_slow_links_injected_total": "Dist result sends delayed by a fault plan.",
+}
+
+#: Distributed-backend metric names (recorded by ``repro.exec.dist``).
+DIST_METRICS: dict[str, str] = {
+    "repro_dist_workers_connected_total": "Workers that completed the dist handshake.",
+    "repro_dist_workers_lost_total": "Worker connections lost mid-run (crash, partition, timeout).",
+    "repro_dist_tasks_reassigned_total": "Task attempts requeued because their worker was lost.",
 }
 
 #: Simulation-kernel metric names (recorded by repro.simsys.mpi when a
@@ -298,6 +309,44 @@ class MetricsRegistry:
         """
         for name, help_text in CHAOS_METRICS.items():
             self.counter(name, help_text)
+
+    def bind_dist_metrics(self) -> None:
+        """Pre-register the distributed-backend counters (:data:`DIST_METRICS`)."""
+        for name, help_text in DIST_METRICS.items():
+            self.counter(name, help_text)
+
+    # -- remote forwarding -----------------------------------------------
+
+    def counter_values(self) -> dict[str, float]:
+        """A snapshot of every counter's current value, by name.
+
+        The worker half of remote metric forwarding: a dist worker
+        snapshots its private registry after each task and ships the
+        *delta* since the previous snapshot to the coordinator.
+        """
+        with self._lock:
+            return {
+                name: m.value
+                for name, m in self._metrics.items()
+                if isinstance(m, Counter)
+            }
+
+    def merge_counter_deltas(
+        self, deltas: Mapping[str, float], help_texts: Mapping[str, str] | None = None
+    ) -> None:
+        """Fold counter increments from another registry into this one.
+
+        The coordinator half of remote metric forwarding.  Only counters
+        merge — they are the one metric kind whose cross-process sum is
+        well defined without clock or bucket reconciliation.  Negative or
+        zero deltas are ignored (a restarted worker re-counts from zero).
+        """
+        help_texts = help_texts or {}
+        for name, delta in deltas.items():
+            delta = float(delta)
+            if delta <= 0.0:
+                continue
+            self.counter(name, help_texts.get(name, "")).inc(delta)
 
     # -- export ----------------------------------------------------------
 

@@ -43,6 +43,8 @@ __all__ = [
     "Tracer",
     "JsonlSpanSink",
     "file_span",
+    "capture_file_spans",
+    "emit_span_dict",
     "read_trace",
     "render_span_tree",
 ]
@@ -267,6 +269,50 @@ class Tracer:
         return sid
 
 
+#: When set (via :func:`capture_file_spans`), :func:`file_span` appends
+#: ``(sink_path, span_dict)`` pairs here instead of writing to disk.
+#: Worker loops without a shared filesystem — the dist backend — use this
+#: to ship spans back to the coordinator inside result frames.
+_file_span_capture: list[tuple[str, dict[str, Any]]] | None = None
+
+
+@contextmanager
+def capture_file_spans(
+    into: list[tuple[str, dict[str, Any]]],
+) -> Iterator[list[tuple[str, dict[str, Any]]]]:
+    """Redirect :func:`file_span` writes into *into* for this block.
+
+    Each captured element is ``(sink_path, span_dict)`` — everything
+    needed to replay the write elsewhere with :func:`emit_span_dict`.
+    Process-wide (not thread-scoped): it exists for single-threaded
+    remote worker loops, not for concurrent tracers.
+    """
+    global _file_span_capture
+    previous = _file_span_capture
+    _file_span_capture = into
+    try:
+        yield into
+    finally:
+        _file_span_capture = previous
+
+
+def emit_span_dict(sink_path: str | Path, payload: Mapping[str, Any]) -> None:
+    """Append one already-serialized span to a JSONL sink.
+
+    The replay half of :func:`capture_file_spans`: the coordinator calls
+    this with span dicts forwarded from remote workers, preserving the
+    single-``os.write`` atomicity contract of :class:`JsonlSpanSink`.
+    """
+    path = Path(sink_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(dict(payload), separators=(",", ":")) + "\n"
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+
+
 @contextmanager
 def file_span(
     sink_path: str | Path,
@@ -279,26 +325,29 @@ def file_span(
 
     The worker-side primitive: cheap to construct from the picklable
     ``(path, trace_id, parent_id)`` triple a task carries across the
-    process boundary.
+    process boundary.  Under :func:`capture_file_spans` the span is
+    captured instead of written, for forwarding over a socket.
     """
     start_wall = time.time()
     t0, c0 = time.perf_counter(), time.process_time()
     try:
         yield
     finally:
-        JsonlSpanSink(sink_path).emit(
-            Span(
-                name=name,
-                trace_id=trace_id,
-                span_id=_new_id(),
-                parent_id=parent_id,
-                start_s=start_wall,
-                wall_s=time.perf_counter() - t0,
-                cpu_s=time.process_time() - c0,
-                attrs=attrs,
-                pid=os.getpid(),
-            )
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=_new_id(),
+            parent_id=parent_id,
+            start_s=start_wall,
+            wall_s=time.perf_counter() - t0,
+            cpu_s=time.process_time() - c0,
+            attrs=attrs,
+            pid=os.getpid(),
         )
+        if _file_span_capture is not None:
+            _file_span_capture.append((str(sink_path), span.to_dict()))
+        else:
+            JsonlSpanSink(sink_path).emit(span)
 
 
 def read_trace(path: str | Path) -> list[Span]:

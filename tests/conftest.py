@@ -8,6 +8,47 @@ import pytest
 from repro.simsys import SimComm, piz_daint, piz_dora, pilatus, testbed
 
 
+class FakeClock:
+    """Virtual monotonic time for the execution engine's scheduler.
+
+    Installed over :func:`repro.exec.engine._now` / ``_sleep`` (the
+    engine's only time seam), it makes backoff and deadline assertions
+    *exact*: ``_sleep`` advances virtual time instantly and records the
+    requested duration, so a test asserts the scheduler's intended
+    schedule instead of guessing wall-clock margins that flake under
+    load.  Worker processes still run in real time — only the parent
+    scheduler's clock is virtual — which is precisely what backoff
+    tests need: deadlines derive from ``_now()``, never from how long a
+    subprocess really took.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = float(start)
+        #: Every duration the scheduler asked to sleep, in order.
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self.t
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self.t += max(float(seconds), 0.0)
+
+    def advance(self, seconds: float) -> None:
+        self.t += float(seconds)
+
+
+@pytest.fixture()
+def fake_clock(monkeypatch) -> FakeClock:
+    """The engine scheduler on virtual time (see :class:`FakeClock`)."""
+    from repro.exec import engine
+
+    clock = FakeClock()
+    monkeypatch.setattr(engine, "_now", clock.now)
+    monkeypatch.setattr(engine, "_sleep", clock.sleep)
+    return clock
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """A fresh, identically-seeded generator per test.

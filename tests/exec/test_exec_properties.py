@@ -1,0 +1,231 @@
+"""Property-based tests for the execution engine's pure cores.
+
+Two families of invariants (hypothesis-driven):
+
+* **task fingerprints** — the cache key of a measurement task must be a
+  pure function of the task's *content* (workload, point, seed identity,
+  methodology): insertion order must not matter, every content change
+  must, and the same content must hash identically in another process
+  (the distributed backend's cache-sharing guarantee rests on this);
+* **failure envelopes** — :func:`repro.core.derive_envelope` must
+  classify any consistent attempt history into exactly one state, with
+  counts that add up, and the engine's attempt accounting must be
+  monotone: attempts only grow, and the terminal status is consistent
+  with the retry budget.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import derive_envelope
+from repro.exec import ExecHooks, SerialExecutor, task_fingerprint
+
+# -- strategies ------------------------------------------------------------
+
+factor_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+points = st.dictionaries(st.text(min_size=1, max_size=8), factor_values, max_size=5)
+methodologies = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.text(max_size=12), st.integers(min_value=0, max_value=999)),
+    max_size=4,
+)
+seed_ids = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestFingerprintProperties:
+    @given(points, seed_ids, methodologies, st.randoms())
+    @settings(max_examples=100)
+    def test_insertion_order_never_matters(self, point, seed_id, meth, rnd):
+        shuffled_keys = list(point)
+        rnd.shuffle(shuffled_keys)
+        shuffled = {k: point[k] for k in shuffled_keys}
+        assert task_fingerprint("w", point, seed_id, meth) == task_fingerprint(
+            "w", shuffled, seed_id, meth
+        )
+
+    @given(points, seed_ids, methodologies)
+    @settings(max_examples=100)
+    def test_every_content_change_changes_the_fingerprint(
+        self, point, seed_id, meth
+    ):
+        base = task_fingerprint("w", point, seed_id, meth)
+        assert base != task_fingerprint("w2", point, seed_id, meth)
+        assert base != task_fingerprint(
+            "w", point, (seed_id[0] + 1, seed_id[1]), meth
+        )
+        assert base != task_fingerprint(
+            "w", point, (seed_id[0], seed_id[1] + 1), meth
+        )
+        changed_meth = dict(meth)
+        changed_meth["__probe__"] = "x"
+        assert base != task_fingerprint("w", point, seed_id, changed_meth)
+        changed_point = dict(point)
+        changed_point["__probe__"] = 1
+        assert base != task_fingerprint("w", changed_point, seed_id, changed_meth)
+
+    def test_stable_across_processes(self, tmp_path):
+        """The same task content fingerprints identically in a fresh
+        interpreter — no dependence on hash randomization, dict order,
+        or interpreter state.  (Cache sharing between dist workers on
+        different hosts is exactly this property.)"""
+        cases = [
+            ("w", {"x": 1, "y": "a"}, (0, 0), {"stopping": "n=30"}),
+            ("w", {"x": 2.5, "flag": True}, (7, 3), {}),
+            ("bench", {"size": 4096, "batch": 10}, (123, 42), {"unit": "s"}),
+            ("w", {}, (2**32 - 1, 9999), {"design": "factorial"}),
+        ]
+        local = [task_fingerprint(*case) for case in cases]
+        script = (
+            "import json, sys\n"
+            "from repro.exec import task_fingerprint\n"
+            "cases = json.load(sys.stdin)\n"
+            "print(json.dumps([task_fingerprint(w, p, tuple(s), m)"
+            " for w, p, s, m in cases]))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(cases),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert json.loads(proc.stdout) == local
+
+
+# -- failure-envelope derivation -------------------------------------------
+
+histories = st.integers(min_value=1, max_value=10).flatmap(
+    lambda reps: st.tuples(
+        st.just(reps),
+        st.integers(min_value=0, max_value=reps),  # cached_reps
+        st.lists(  # failed replication indices + messages
+            st.tuples(st.integers(min_value=0, max_value=reps - 1), st.text(max_size=8)),
+            max_size=reps,
+            unique_by=lambda t: t[0],
+        ),
+        st.integers(min_value=0, max_value=40),  # total_attempts
+        st.booleans(),  # has_values
+    )
+)
+
+
+class TestEnvelopeProperties:
+    @given(histories)
+    @settings(max_examples=200)
+    def test_counts_always_add_up(self, history):
+        reps, cached, fails, attempts, has_values = history
+        env = derive_envelope(
+            (("x", 1),),
+            replications=reps,
+            failed_reps=tuple(fails),
+            cached_reps=cached,
+            total_attempts=attempts,
+            has_values=has_values,
+        )
+        assert env.reps_ok + len(env.failed_reps) == env.replications == reps
+        assert env.retried_attempts >= 0
+        assert env.cached_reps == cached
+        assert env.state in ("ok", "recovered", "degraded", "failed")
+
+    @given(histories)
+    @settings(max_examples=200)
+    def test_state_classification_is_total_and_consistent(self, history):
+        reps, cached, fails, attempts, has_values = history
+        env = derive_envelope(
+            (("x", 1),),
+            replications=reps,
+            failed_reps=tuple(fails),
+            cached_reps=cached,
+            total_attempts=attempts,
+            has_values=has_values,
+        )
+        if not has_values:
+            assert env.state == "failed"
+        elif fails:
+            assert env.state == "degraded"
+        elif attempts > reps - cached:
+            assert env.state == "recovered"
+            assert env.retried_attempts == attempts - (reps - cached)
+        else:
+            assert env.state == "ok" and env.retried_attempts == 0
+
+    @given(histories)
+    @settings(max_examples=100)
+    def test_round_trips_through_to_dict(self, history):
+        reps, cached, fails, attempts, has_values = history
+        env = derive_envelope(
+            (("x", 1),),
+            replications=reps,
+            failed_reps=tuple(fails),
+            cached_reps=cached,
+            total_attempts=attempts,
+            has_values=has_values,
+        )
+        payload = json.loads(json.dumps(env.to_dict()))
+        assert payload["state"] == env.state
+        assert payload["reps_ok"] == env.reps_ok
+        assert len(payload["failed_reps"]) == len(env.failed_reps)
+
+
+# -- attempt-history monotonicity (scripted serial worker) -----------------
+
+
+class ScriptedWorker:
+    """Fails exactly *fail_times* attempts per item, then succeeds."""
+
+    def __init__(self, fail_times: int) -> None:
+        self.fail_times = fail_times
+        self.calls: dict[int, int] = {}
+
+    def __call__(self, item: int) -> int:
+        self.calls[item] = self.calls.get(item, 0) + 1
+        if self.calls[item] <= self.fail_times:
+            raise OSError(f"scripted failure #{self.calls[item]}")
+        return item
+
+
+class TestAttemptHistoryProperties:
+    @given(
+        st.integers(min_value=0, max_value=4),  # retries budget
+        st.integers(min_value=0, max_value=6),  # scripted failures per item
+        st.integers(min_value=1, max_value=5),  # item count
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_attempts_monotone_and_terminal_status_consistent(
+        self, retries, fail_times, n_items
+    ):
+        worker = ScriptedWorker(fail_times)
+        hooks = ExecHooks()
+        executor = SerialExecutor(retries=retries, backoff=0.0)
+        outcomes = executor.run(worker, list(range(n_items)), hooks=hooks)
+        for item, out in zip(range(n_items), outcomes):
+            # Attempt numbers are monotone from 1 with no gaps: the
+            # worker saw exactly `attempts` calls for this item.
+            assert worker.calls[item] == out.attempts
+            if fail_times <= retries:
+                assert out.ok and out.value == item
+                assert out.attempts == fail_times + 1
+                assert out.error is None
+            else:
+                # Terminal failure: the budget is exhausted exactly.
+                assert not out.ok and out.value is None
+                assert out.attempts == retries + 1
+                assert f"#{retries + 1}" in out.error
+        expected_retries = n_items * min(fail_times, retries)
+        assert hooks.retried == expected_retries
+        assert hooks.failed == (n_items if fail_times > retries else 0)
+        assert hooks.completed == (0 if fail_times > retries else n_items)
