@@ -1,0 +1,86 @@
+"""Cold vs. cached render cost of the figure registry.
+
+The acceptance contract of the content-addressed cache
+(docs/REPORT.md): a second render of a figure with unchanged inputs
+must skip the builder entirely, so its cost is file-stat plus path
+construction — orders of magnitude below the cold build.  This bench
+times both paths for a pair of registry figures (a cheap one and a
+simulation-heavy one) and records the samples into
+``BENCH_simsys.json`` so ``repro compare`` flags a cache regression
+(e.g. a key accidentally depending on wall-clock) as a slowdown.
+
+Override knobs: ``REPRO_BENCH_REGISTRY_OUT`` (alternate suite file).
+Full fidelity (``REPRO_BENCH_FULL=1``) renders at paper sample sizes;
+quick uses the registry's built-in quick params.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from _bench_utils import FULL, record_bench
+
+from repro.report import render_table
+from repro.report.registry import FigureService
+
+OUT_PATH = os.environ.get("REPRO_BENCH_REGISTRY_OUT") or None
+FIGURES = ("fig7ab_bounds", "fig6_rank_variation")
+CACHED_REPS = 50
+SEED = 2026
+
+
+def bench_registry():
+    """Time a cold build and repeated cached renders per figure."""
+    rows = []
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-registry-")
+    try:
+        service = FigureService(cache_dir, quick=not FULL, seed=SEED)
+        for name in FIGURES:
+            start = time.perf_counter()
+            first = service.render(name)
+            cold_s = time.perf_counter() - start
+            assert not first.cached, f"{name}: cold render hit the cache"
+
+            cached_samples = []
+            for _ in range(CACHED_REPS):
+                start = time.perf_counter()
+                again = service.render(name)
+                cached_samples.append(time.perf_counter() - start)
+                assert again.cached and again.key == first.key
+
+            params = {
+                "figure": name,
+                "fidelity": "full" if FULL else "quick",
+                "seed": SEED,
+            }
+            record_bench(
+                "report_registry_cold", params, [cold_s],
+                metadata={"key": first.key}, path=OUT_PATH,
+            )
+            record_bench(
+                "report_registry_cached", params, cached_samples,
+                metadata={"key": first.key}, path=OUT_PATH,
+            )
+            cached_s = sorted(cached_samples)[len(cached_samples) // 2]
+            rows.append(
+                [
+                    name,
+                    f"{cold_s * 1e3:.1f}",
+                    f"{cached_s * 1e6:.0f}",
+                    f"{cold_s / cached_s:.0f}x",
+                ]
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    print(
+        render_table(
+            ["figure", "cold (ms)", "cached median (us)", "speedup"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    bench_registry()

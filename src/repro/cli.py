@@ -42,6 +42,14 @@ Commands
     home of spilled campaign datasets and cache entries; see
     docs/STORE.md).  ``verify`` re-digests every shard and exits 1 when
     any had to be quarantined.
+``render``
+    Render named registry figures (see docs/REPORT.md) into a
+    content-addressed cache directory as figure JSON, Vega-Lite spec,
+    and standalone HTML; unchanged inputs are served from cache.
+``serve``
+    Serve the figure registry over HTTP (``/figures``, ``/health``,
+    ``/metrics``) from the same content-addressed cache; ETags are
+    content keys, so clients revalidate with ``If-None-Match``.
 
 Exit codes are uniform across subcommands: 0 success, 1 gate/check
 failure, 2 bad input (one-line ``error:`` message on stderr).
@@ -623,6 +631,95 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure_service(args: argparse.Namespace, registry):
+    """Build the FigureService shared by ``render`` and ``serve``."""
+    from .core import Campaign
+    from .report.registry import FigureService
+
+    campaign = None
+    if args.campaign:
+        campaign = Campaign.open(args.campaign)
+    return FigureService(
+        args.cache_dir,
+        campaign=campaign,
+        quick=args.quick,
+        seed=args.seed,
+        metrics=registry,
+    )
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    """``repro render``: materialize registry figures (see docs/REPORT.md)."""
+    from .errors import ValidationError
+
+    registry = None
+    if args.emit_metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.bind_serve_metrics()
+    service = _figure_service(args, registry)
+    available = service.names()
+    if args.list:
+        for name in available:
+            entry = service.entry(name)
+            print(f"{name:<22} {entry.title}")
+        return 0
+    names = args.figures or available
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        raise ValidationError(
+            f"unknown or unavailable figure(s) {unknown}; available: "
+            f"{available} (campaign figures need --campaign)"
+        )
+    for name in names:
+        rendered = service.render(name)
+        origin = "cache" if rendered.cached else "built"
+        print(f"{name}: {origin} key={rendered.key}")
+        for fmt in ("json", "vl.json", "html"):
+            print(f"  {rendered.path(fmt)}")
+    if registry is not None:
+        _write_metrics(registry, args.emit_metrics)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the figure HTTP service (see docs/REPORT.md)."""
+    from .obs import MetricsRegistry
+    from .serve import run_server
+
+    registry = MetricsRegistry()
+    registry.bind_serve_metrics()
+    service = _figure_service(args, registry)
+    tracer = None
+    if args.trace:
+        from .obs import JsonlSpanSink, Tracer
+
+        tracer = Tracer(sink=JsonlSpanSink(args.trace))
+
+    def ready(server) -> None:
+        # Flush so wrappers tailing a redirected log see the URL
+        # immediately, not at process exit.
+        print(
+            f"serving {len(service.names())} figure(s) on {server.url} "
+            f"(cache: {service.cache_dir})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        metrics=registry,
+        tracer=tracer,
+        ready=ready,
+    )
+    if args.emit_metrics:
+        _write_metrics(registry, args.emit_metrics)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -778,6 +875,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="DIR",
                    help="(verify) write store_report.json/.md into DIR")
     p.set_defaults(func=_cmd_store)
+
+    for cmd, helptext in (
+        ("render", "render registry figures into a content-addressed cache"),
+        ("serve", "serve registry figures over HTTP"),
+    ):
+        p = sub.add_parser(cmd, help=helptext)
+        if cmd == "render":
+            p.add_argument("figures", nargs="*", metavar="FIGURE",
+                           help="figure names (default: all available; "
+                                "see --list)")
+            p.add_argument("--list", action="store_true",
+                           help="list available figures and exit")
+        p.add_argument("--cache-dir", default="figure-cache", metavar="DIR",
+                       help="content-addressed figure cache directory "
+                            "(default: ./figure-cache)")
+        p.add_argument("--campaign", metavar="DIR",
+                       help="campaign directory backing campaign figures "
+                            "(e.g. campaign_trajectory)")
+        p.add_argument("--quick", action="store_true",
+                       help="reduced-fidelity parameters (fast CI/dev "
+                            "renders; keyed separately from full renders)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="simulation seed (part of the content key)")
+        p.add_argument("--emit-metrics", metavar="PATH",
+                       help="write repro_serve_* metrics "
+                            "(.json or Prometheus text)")
+        if cmd == "serve":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=8472,
+                           help="listen port (default 8472; 0 = ephemeral)")
+            p.add_argument("--trace", metavar="PATH",
+                           help="record serve-request spans to a JSONL file")
+        p.set_defaults(func=_cmd_render if cmd == "render" else _cmd_serve)
 
     p = sub.add_parser("machines", help="describe the simulated machines")
     p.set_defaults(func=_cmd_machines)

@@ -108,6 +108,21 @@ class Campaign:
 
     # -- data ------------------------------------------------------------
 
+    @property
+    def dataset_namespace(self) -> str:
+        """Stable spill-key namespace for this campaign's datasets.
+
+        Derived from the campaign name, so re-running the same campaign
+        re-addresses the same store entries, while two campaigns spilling
+        same-named datasets into one shared store stay distinct (see
+        :func:`repro.report.export.dataset_fingerprint`).
+        """
+        import hashlib
+
+        return hashlib.blake2b(
+            f"campaign:{self.name}".encode(), digest_size=8
+        ).hexdigest()
+
     def record(
         self,
         ms: MeasurementSet,
@@ -135,7 +150,12 @@ class Campaign:
             )
         store = self.store() if spill_rows is not None else None
         target.write_text(
-            measurements_to_json(ms, store=store, spill_rows=spill_rows)
+            measurements_to_json(
+                ms,
+                store=store,
+                spill_rows=spill_rows,
+                namespace=self.dataset_namespace,
+            )
         )
         datasets = [d for d in datasets if d["name"] != ms.name]
         datasets.append({"name": ms.name, "file": target.name, "n": ms.n,

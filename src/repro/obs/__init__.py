@@ -25,6 +25,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SERVE_METRICS,
     SIMSYS_METRICS,
 )
 from .provenance import PROVENANCE_VERSION, Provenance, package_versions
@@ -49,6 +50,7 @@ __all__ = [
     "SIMSYS_METRICS",
     "CHAOS_METRICS",
     "DIST_METRICS",
+    "SERVE_METRICS",
     "Provenance",
     "PROVENANCE_VERSION",
     "package_versions",

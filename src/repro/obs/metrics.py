@@ -37,6 +37,7 @@ __all__ = [
     "SIMSYS_METRICS",
     "CHAOS_METRICS",
     "DIST_METRICS",
+    "SERVE_METRICS",
     "SIMSYS_KERNEL_BUCKETS",
 ]
 
@@ -79,6 +80,17 @@ DIST_METRICS: dict[str, str] = {
     "repro_dist_workers_connected_total": "Workers that completed the dist handshake.",
     "repro_dist_workers_lost_total": "Worker connections lost mid-run (crash, partition, timeout).",
     "repro_dist_tasks_reassigned_total": "Task attempts requeued because their worker was lost.",
+}
+
+#: Report-server metric names (recorded by :mod:`repro.serve` and the
+#: figure service in :mod:`repro.report.registry`).
+SERVE_METRICS: dict[str, str] = {
+    "repro_serve_requests_total": "HTTP requests handled by the figure server.",
+    "repro_serve_errors_total": "Requests answered with a 4xx/5xx status.",
+    "repro_serve_not_modified_total": "Requests answered 304 via If-None-Match.",
+    "repro_serve_cache_hits_total": "Figure renders served from the content-addressed cache.",
+    "repro_serve_renders_total": "Figure renders that executed a builder.",
+    "repro_serve_request_seconds": "Wall-clock seconds per handled request.",
 }
 
 #: Simulation-kernel metric names (recorded by repro.simsys.mpi when a
@@ -314,6 +326,20 @@ class MetricsRegistry:
         """Pre-register the distributed-backend counters (:data:`DIST_METRICS`)."""
         for name, help_text in DIST_METRICS.items():
             self.counter(name, help_text)
+
+    def bind_serve_metrics(self) -> None:
+        """Pre-register the report-server metric set (:data:`SERVE_METRICS`).
+
+        An export scraped before the first request still shows every
+        series at zero — in particular ``repro_serve_cache_hits_total``,
+        whose zero-vs-absent distinction is what lets a smoke test prove
+        "second render did no recompute" rather than "not instrumented".
+        """
+        for name, help_text in SERVE_METRICS.items():
+            if name.endswith("_seconds"):
+                self.histogram(name, help_text)
+            else:
+                self.counter(name, help_text)
 
     # -- remote forwarding -----------------------------------------------
 

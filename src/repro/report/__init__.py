@@ -23,11 +23,22 @@ from .figures import (
     fig7c_distribution,
 )
 from .export import (
+    NONFINITE_JSON,
     write_csv,
     read_csv,
+    dataset_fingerprint,
     measurements_to_json,
     measurements_from_json,
     figure_to_json,
+)
+from .vega import vl_html, vl_to_json
+from .registry import (
+    FIGURES,
+    FigureEntry,
+    FigureService,
+    RenderedFigure,
+    campaign_digest,
+    content_key,
 )
 from .document import ReportBuilder
 from .autoreport import report_experiment
@@ -62,11 +73,21 @@ __all__ = [
     "fig7ab_bounds",
     "Fig7cPlots",
     "fig7c_distribution",
+    "NONFINITE_JSON",
     "write_csv",
     "read_csv",
+    "dataset_fingerprint",
     "measurements_to_json",
     "measurements_from_json",
     "figure_to_json",
+    "vl_html",
+    "vl_to_json",
+    "FIGURES",
+    "FigureEntry",
+    "FigureService",
+    "RenderedFigure",
+    "campaign_digest",
+    "content_key",
     "ReportBuilder",
     "report_experiment",
     "calibration_table",

@@ -32,6 +32,7 @@ def report_experiment(
     scaling_factor: str | None = None,
     bounds: Sequence[BoundsModel] = (),
     confidence: float = 0.95,
+    on_nonnumeric: str = "raise",
 ) -> str:
     """Render a complete markdown report for an experiment.
 
@@ -44,10 +45,21 @@ def report_experiment(
         appended (and the report honestly shows any failures).
     scaling_factor:
         Name of the single factor to present as a scaling series with a
-        chart; requires that factor to be the experiment's only factor.
+        chart; requires that factor to be the experiment's only factor
+        and its levels to be numeric (a chart axis needs numbers).
     bounds:
         Bounds models to overlay on the scaling chart (Rule 11).
+    on_nonnumeric:
+        What to do when a scaling level is not numeric (e.g. a
+        ``placement`` factor): ``"raise"`` (default) raises
+        :class:`ValidationError` naming the factor; ``"note"`` skips the
+        chart and appends a note section saying why, so a report over a
+        categorical factor still renders its statistics.
     """
+    if on_nonnumeric not in ("raise", "note"):
+        raise ValidationError(
+            f"on_nonnumeric must be 'raise' or 'note', got {on_nonnumeric!r}"
+        )
     builder = ReportBuilder(f"Experiment report: {result.name}")
     if result.environment is not None:
         builder.add_environment(result.environment)
@@ -85,15 +97,33 @@ def report_experiment(
 
     if scaling_factor is not None:
         levels, values = result.series(scaling_factor)
-        xs = [float(l) for l in levels]
-        series = {"measured": values}
-        for model in bounds:
-            series[model.name] = [model.time_bound(int(l)) for l in levels]
-        chart = line_chart(
-            xs, series, height=12, width=56,
-            xlabel=scaling_factor, ylabel=result.unit,
-        )
-        builder.add_figure(f"{result.name} vs {scaling_factor}", chart)
+        xs, bad_level = [], None
+        for level in levels:
+            try:
+                xs.append(float(level))
+            except (TypeError, ValueError):
+                bad_level = level
+                break
+        if bad_level is not None:
+            message = (
+                f"scaling factor {scaling_factor!r} has non-numeric level "
+                f"{bad_level!r}; a scaling chart needs numeric levels"
+            )
+            if on_nonnumeric == "raise":
+                raise ValidationError(message)
+            builder.add_section(
+                f"Figure: {result.name} vs {scaling_factor}",
+                f"_(chart skipped: {message})_",
+            )
+        else:
+            series = {"measured": values}
+            for model in bounds:
+                series[model.name] = [model.time_bound(int(l)) for l in levels]
+            chart = line_chart(
+                xs, series, height=12, width=56,
+                xlabel=scaling_factor, ylabel=result.unit,
+            )
+            builder.add_figure(f"{result.name} vs {scaling_factor}", chart)
 
     if declaration is not None:
         builder.add_rule_card(check_all(declaration))

@@ -4,6 +4,19 @@ LibSciBench's "low-overhead data collection mechanism produces datasets
 that can be read directly with established statistical tools such as GNU
 R"; the Python equivalents are plain CSV (for R/pandas) and JSON (for
 provenance-preserving round-trips of :class:`MeasurementSet`).
+
+Encoding and strictness contracts (the web-facing half of Rule 9):
+
+* CSV files are always UTF-8, independent of the host locale — a dataset
+  written on a developer laptop must read back in a C-locale CI container
+  (and vice versa) without mangling non-ASCII metadata.
+* Exported JSON never contains the ``NaN``/``Infinity`` tokens.  Python's
+  ``json`` emits them by default, but they are invalid JSON — Vega-Lite,
+  browsers' ``JSON.parse``, and most non-Python readers reject the whole
+  document.  Non-finite floats are serialized as ``null``
+  (:data:`NONFINITE_JSON`), and every ``json.dumps`` in this module runs
+  with ``allow_nan=False`` so an unconverted escape fails loudly at
+  export time instead of corrupting the artifact.
 """
 
 from __future__ import annotations
@@ -11,6 +24,7 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
+import math
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -26,7 +40,13 @@ __all__ = [
     "measurements_to_json",
     "measurements_from_json",
     "figure_to_json",
+    "NONFINITE_JSON",
 ]
+
+#: What a non-finite float becomes in exported JSON.  ``null`` is the only
+#: value every JSON consumer agrees on; readers that need to distinguish
+#: "missing" from "infinite" must carry that distinction in metadata.
+NONFINITE_JSON = None
 
 
 def write_csv(
@@ -34,9 +54,9 @@ def write_csv(
     headers: Sequence[str],
     rows: Iterable[Sequence[Any]],
 ) -> Path:
-    """Write a headers+rows table as CSV; returns the written path."""
+    """Write a headers+rows table as UTF-8 CSV; returns the written path."""
     path = Path(path)
-    with path.open("w", newline="") as fh:
+    with path.open("w", newline="", encoding="utf-8") as fh:
         writer = csv.writer(fh)
         writer.writerow(headers)
         for row in rows:
@@ -49,7 +69,7 @@ def write_csv(
 def read_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
     """Read a CSV written by :func:`write_csv`; returns (headers, rows)."""
     path = Path(path)
-    with path.open(newline="") as fh:
+    with path.open(newline="", encoding="utf-8") as fh:
         reader = csv.reader(fh)
         try:
             headers = next(reader)
@@ -59,15 +79,23 @@ def read_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
-def dataset_fingerprint(name: str) -> str:
+def dataset_fingerprint(name: str, *, namespace: str | None = None) -> str:
     """The shard-store key of a spilled campaign dataset.
 
     Task results use :func:`repro.exec.task_fingerprint`; datasets are
     addressed by name, namespaced so the two key families cannot collide.
+
+    *namespace* scopes the key to one producer (a campaign passes its
+    :attr:`~repro.core.Campaign.dataset_namespace`), so two campaigns
+    spilling same-named datasets into one shared store get distinct
+    entries instead of silently clobbering each other through the
+    re-record path.  Omitting it yields the legacy name-only key, kept so
+    stores written before namespacing stay addressable.
     """
     import hashlib
 
-    return hashlib.blake2b(f"dataset:{name}".encode(), digest_size=16).hexdigest()
+    scoped = f"dataset:{namespace}:{name}" if namespace else f"dataset:{name}"
+    return hashlib.blake2b(scoped.encode(), digest_size=16).hexdigest()
 
 
 def measurements_to_json(
@@ -75,6 +103,7 @@ def measurements_to_json(
     *,
     store: Any = None,
     spill_rows: int | None = None,
+    namespace: str | None = None,
 ) -> str:
     """Serialize a MeasurementSet, preserving all provenance fields.
 
@@ -84,6 +113,10 @@ def measurements_to_json(
     the out-of-core path for campaign datasets too large to re-encode as
     a JSON array.  Reading a stub back requires passing the same store to
     :func:`measurements_from_json`.
+
+    *namespace* scopes the spill key (see :func:`dataset_fingerprint`).
+    Re-recording removes both the namespaced key and the legacy name-only
+    key, migrating pre-namespace stores in place.
     """
     payload = {
         "name": ms.name,
@@ -94,16 +127,20 @@ def measurements_to_json(
         "metadata": {k: _jsonable(v) for k, v in ms.metadata.items()},
     }
     if store is not None and spill_rows is not None and ms.n >= spill_rows:
-        fp = dataset_fingerprint(ms.name)
-        if fp in store:
-            # Re-recording (overwrite=True): unlist the stale column
-            # first; its bytes are reclaimed by `repro store compact`.
-            store.remove(fp)
-        store.append(fp, ms.values, {"dataset": ms.name})
+        fp = dataset_fingerprint(ms.name, namespace=namespace)
+        for stale in {fp, dataset_fingerprint(ms.name)}:
+            if stale in store:
+                # Re-recording (overwrite=True): unlist the stale column
+                # first; its bytes are reclaimed by `repro store compact`.
+                store.remove(stale)
+        meta = {"dataset": ms.name}
+        if namespace:
+            meta["namespace"] = namespace
+        store.append(fp, ms.values, meta)
         payload["store"] = {"fingerprint": fp, "rows": ms.n}
     else:
         payload["values"] = ms.values.tolist()
-    return json.dumps(payload)
+    return json.dumps(payload, allow_nan=False)
 
 
 def measurements_from_json(text: str, *, store: Any = None) -> MeasurementSet:
@@ -112,27 +149,36 @@ def measurements_from_json(text: str, *, store: Any = None) -> MeasurementSet:
     Spilled datasets (a ``"store"`` stub instead of inline ``"values"``)
     load lazily from *store*: the returned set's values are a read-only
     memory-mapped slice.  Loading a stub without its store — or with the
-    entry missing/quarantined — raises :class:`ValidationError`.
+    entry missing/quarantined, or its row count diverging from the stub —
+    raises :class:`ValidationError` naming the dataset.
     """
     payload = json.loads(text)
+    name = payload.get("name")
     try:
         stub = payload.get("store")
         if stub is not None:
             if store is None:
                 raise ValidationError(
-                    f"dataset {payload.get('name')!r} is spilled to a shard "
+                    f"dataset {name!r} is spilled to a shard "
                     "store; pass store= to load it"
                 )
-            ms = MeasurementSet.from_store(
-                store,
-                str(stub["fingerprint"]),
-                unit=payload["unit"],
-                name=payload["name"],
-                warmup_dropped=payload["warmup_dropped"],
-                batch_k=payload["batch_k"],
-                deterministic=payload["deterministic"],
-                metadata=payload.get("metadata", {}),
-            )
+            try:
+                ms = MeasurementSet.from_store(
+                    store,
+                    str(stub["fingerprint"]),
+                    unit=payload["unit"],
+                    name=payload["name"],
+                    warmup_dropped=payload["warmup_dropped"],
+                    batch_k=payload["batch_k"],
+                    deterministic=payload["deterministic"],
+                    metadata=payload.get("metadata", {}),
+                )
+            except KeyError:
+                raise
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"spilled dataset {name!r} failed to load: {exc}"
+                ) from exc
             if ms.n != int(stub["rows"]):
                 raise ValidationError(
                     f"spilled dataset {payload['name']!r} has {ms.n} rows, "
@@ -149,7 +195,9 @@ def measurements_from_json(text: str, *, store: Any = None) -> MeasurementSet:
             metadata=payload.get("metadata", {}),
         )
     except KeyError as exc:
-        raise ValidationError(f"missing field in serialized set: {exc}") from exc
+        raise ValidationError(
+            f"dataset {name!r}: missing field in serialized set: {exc}"
+        ) from exc
 
 
 def figure_to_json(figure: Any, *, provenance: Any = None, indent: int | None = None) -> str:
@@ -160,6 +208,10 @@ def figure_to_json(figure: Any, *, provenance: Any = None, indent: int | None = 
     carries a :class:`repro.obs.Provenance` manifest — pass the run's own
     (object or dict) to preserve it, or omit it to capture the exporting
     host (Rule 9: the figure file alone says how it was produced).
+
+    The output is strict JSON: non-finite floats (e.g. an unbounded
+    speedup in ``fig7ab_bounds``) become ``null`` rather than the
+    ``Infinity``/``NaN`` tokens browsers and Vega-Lite reject.
     """
     if not dataclasses.is_dataclass(figure) or isinstance(figure, type):
         raise ValidationError(
@@ -178,7 +230,7 @@ def figure_to_json(figure: Any, *, provenance: Any = None, indent: int | None = 
         "data": _deep_jsonable(dataclasses.asdict(figure)),
         "provenance": _deep_jsonable(prov_dict),
     }
-    return json.dumps(payload, indent=indent)
+    return json.dumps(payload, indent=indent, allow_nan=False)
 
 
 def _jsonable(value: Any) -> Any:
@@ -186,10 +238,11 @@ def _jsonable(value: Any) -> Any:
         return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
+    if isinstance(value, (float, np.floating)):
+        f = float(value)
+        return f if math.isfinite(f) else NONFINITE_JSON
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return _deep_jsonable(value.tolist())
     return value
 
 

@@ -367,6 +367,29 @@ class ShardStore:
         entry = self._entries.get(fingerprint)
         return None if entry is None else dict(entry["metadata"])
 
+    def entry_digest(self, fingerprint: str) -> str | None:
+        """BLAKE2b-16 hex digest of one entry's value bytes, or ``None``.
+
+        The per-entry analogue of the shard :func:`payload_digest`:
+        content identity for a single column slice, independent of which
+        shard holds it or at what offset.  The report registry derives
+        figure content keys from these, so a figure's cache entry goes
+        stale exactly when the bytes behind it change.  Reads in bounded
+        chunks; a missing or quarantined entry returns ``None``.
+        """
+        import hashlib
+
+        if fingerprint not in self._entries:
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        try:
+            for chunk in self.iter_chunks(fingerprint):
+                h.update(np.ascontiguousarray(chunk).tobytes())
+        except KeyError:
+            # The read path quarantined the entry mid-iteration.
+            return None
+        return h.hexdigest()
+
     def rows(self, fingerprint: str) -> int | None:
         entry = self._entries.get(fingerprint)
         return None if entry is None else int(entry["rows"])

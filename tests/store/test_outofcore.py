@@ -125,7 +125,8 @@ def _dataset_shard(camp, name):
     from repro.report.export import dataset_fingerprint
 
     manifest = json.loads((camp.path / "store" / "manifest.json").read_text())
-    entry = manifest["entries"][dataset_fingerprint(name)]
+    fp = dataset_fingerprint(name, namespace=camp.dataset_namespace)
+    entry = manifest["entries"][fp]
     return camp.path / "store" / entry["shard"]
 
 

@@ -314,3 +314,55 @@ class TestCompareCommand:
         assert main(["compare", str(base), str(slow), "--sequential"]) == 1
         assert "COMPARE GATE FAILED" in capsys.readouterr().err
         assert main(["compare", str(base), str(base), "--sequential"]) == 0
+
+
+class TestRenderCommand:
+    def test_list_names_every_simulated_figure(self, tmp_path, capsys):
+        assert main(
+            ["render", "--list", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig1_hpl" in out and "scale_collectives" in out
+        assert "campaign_trajectory" not in out  # needs --campaign
+
+    def test_render_builds_then_serves_from_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        argv = ["render", "fig7ab_bounds", "--quick", "--cache-dir", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "fig7ab_bounds: built key=" in first
+        assert ".vl.json" in first and ".html" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "fig7ab_bounds: cache key=" in second
+        key = first.split("key=")[1].split()[0]
+        assert f"key={key}" in second
+
+    def test_unknown_figure_is_bad_input(self, tmp_path, capsys):
+        assert main(
+            ["render", "nope", "--cache-dir", str(tmp_path / "c")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_emit_metrics_counts_the_render(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main(
+            ["render", "fig7ab_bounds", "--quick",
+             "--cache-dir", str(tmp_path / "c"),
+             "--emit-metrics", str(metrics)]
+        ) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["repro_serve_renders_total"]["value"] == 1.0
+        assert payload["repro_serve_cache_hits_total"]["value"] == 0.0
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8472
+        assert args.host == "127.0.0.1"
+        assert args.cache_dir == "figure-cache"
+        assert args.quick is False
+
+    def test_ephemeral_port_accepted(self):
+        assert build_parser().parse_args(["serve", "--port", "0"]).port == 0
